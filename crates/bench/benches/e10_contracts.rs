@@ -1,0 +1,37 @@
+//! E10 (§4.2): the interaction contracts under message loss — resend +
+//! idempotence overhead as the loss rate grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use unbundled_bench::*;
+use unbundled_core::TcId;
+use unbundled_dc::DcConfig;
+use unbundled_kernel::{FaultModel, TransportKind};
+use unbundled_tc::TcConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_contracts");
+    g.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(300));
+
+    for loss in [0.0f64, 0.1] {
+        g.bench_with_input(BenchmarkId::new("txn_insert_loss", format!("{loss}")), &loss, |b, &loss| {
+            let kind = TransportKind::Queued {
+                faults: FaultModel { loss, ..Default::default() },
+                workers: 4,
+            };
+            let mut cfg = TcConfig::default();
+            cfg.resend_interval = Duration::from_millis(2);
+            let d = unbundled_single(kind, cfg, DcConfig::default());
+            let tc = d.tc(TcId(1));
+            let mut k = 0u64;
+            b.iter(|| {
+                k += 1;
+                load_tc(&tc, k, 1, 16)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E1 (Figure 1): per-operation cost of the unbundled architecture's
+//! layers — monolith vs unbundled inline vs unbundled queued transport.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use unbundled_bench::*;
+use unbundled_core::TcId;
+use unbundled_dc::DcConfig;
+use unbundled_kernel::{FaultModel, TransportKind};
+use unbundled_tc::TcConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_architecture");
+    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+
+    g.bench_function("monolith_insert_txn", |b| {
+        let m = monolith();
+        let mut k = 0u64;
+        b.iter(|| {
+            load_monolith(&m, k, 1, 32);
+            k += 1;
+        });
+    });
+
+    g.bench_function("unbundled_inline_insert_txn", |b| {
+        let d = unbundled_single(TransportKind::Inline, TcConfig::default(), DcConfig::default());
+        let tc = d.tc(TcId(1));
+        let mut k = 0u64;
+        b.iter(|| {
+            load_tc(&tc, k, 1, 32);
+            k += 1;
+        });
+    });
+
+    g.bench_function("unbundled_queued_insert_txn", |b| {
+        let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2 };
+        let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
+        let tc = d.tc(TcId(1));
+        let mut k = 0u64;
+        b.iter(|| {
+            load_tc(&tc, k, 1, 32);
+            k += 1;
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

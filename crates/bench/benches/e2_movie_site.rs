@@ -1,0 +1,50 @@
+//! E2 (Figure 2 / §6.3): the movie-site workloads W1–W4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use unbundled_core::ReadFlavor;
+use unbundled_kernel::scenarios::MovieSite;
+use unbundled_kernel::TransportKind;
+
+fn bench(c: &mut Criterion) {
+    let site = MovieSite::build(TransportKind::Inline, 500);
+    site.seed_movies(50).unwrap();
+    site.seed_users(20).unwrap();
+    for u in 0..20u64 {
+        for m in 0..10u64 {
+            site.w2_add_review(u, m, b"seed review").unwrap();
+        }
+    }
+    let mut g = c.benchmark_group("e2_movie_site");
+    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+
+    let mut i = 0u64;
+    g.bench_function("w2_add_review_two_dcs_no_2pc", |b| {
+        b.iter(|| {
+            i += 1;
+            // Unique (user, movie) pair per iteration; movie ids above the
+            // split land on DC2, exercising both partitions.
+            site.w2_add_review(i % 20, 10_000 + i, b"bench review").unwrap();
+        })
+    });
+    g.bench_function("w1_reviews_for_movie_read_committed", |b| {
+        b.iter(|| site.w1_reviews_for_movie(3, ReadFlavor::Committed).unwrap())
+    });
+    g.bench_function("w1_reviews_for_movie_dirty", |b| {
+        b.iter(|| site.w1_reviews_for_movie(3, ReadFlavor::Latest).unwrap())
+    });
+    g.bench_function("w3_update_profile", |b| {
+        let mut u = 0u64;
+        b.iter(|| {
+            u = (u + 1) % 20;
+            site.w3_update_profile(u, b"updated bio").unwrap();
+        })
+    });
+    g.bench_function("w4_reviews_by_user", |b| {
+        b.iter(|| site.w4_reviews_by_user(5).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E4 (§5.1): the abstract-LSN idempotence test vs the classic scalar
+//! test, plus exactly-once cost under heavy reordering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use unbundled_bench::*;
+use unbundled_core::{AbstractLsn, Lsn, TcId};
+use unbundled_dc::DcConfig;
+use unbundled_kernel::{FaultModel, TransportKind};
+use unbundled_tc::TcConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_ablsn");
+    g.sample_size(10).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+
+    // Micro: the generalized <= test with a populated in-set vs scalar.
+    g.bench_function("ablsn_includes_test", |b| {
+        let mut ab = AbstractLsn::from_scalar(Lsn(1000));
+        for i in 0..32u64 {
+            ab.record(Lsn(1000 + i * 3));
+        }
+        let mut probe = 0u64;
+        b.iter(|| {
+            probe = (probe + 7) % 1100;
+            criterion::black_box(ab.includes(Lsn(probe)))
+        })
+    });
+    g.bench_function("scalar_lsn_test", |b| {
+        let page_lsn = Lsn(1000);
+        let mut probe = 0u64;
+        b.iter(|| {
+            probe = (probe + 7) % 1100;
+            criterion::black_box(Lsn(probe) <= page_lsn)
+        })
+    });
+
+    // Macro: committed inserts over a reordering transport — the abLSN
+    // machinery keeps execution exactly-once.
+    g.bench_function("txn_insert_reordering_transport", |b| {
+        let kind = TransportKind::Queued {
+            faults: FaultModel { reorder: 0.3, ..Default::default() },
+            workers: 4,
+        };
+        let mut cfg = TcConfig::default();
+        cfg.resend_interval = Duration::from_millis(5);
+        let d = unbundled_single(kind, cfg, DcConfig::default());
+        let tc = d.tc(TcId(1));
+        let mut k = 0u64;
+        b.iter(|| {
+            k += 1;
+            load_tc(&tc, k, 1, 16)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E8 (§6): multiple TCs sharing one DC — scaling over disjoint
+//! partitions and never-blocking shared reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use unbundled_bench::*;
+use unbundled_core::{Key, TcId};
+use unbundled_dc::DcConfig;
+use unbundled_kernel::harness::run_concurrent;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_multi_tc");
+    g.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(300));
+
+    for n_tcs in [1u16, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("parallel_load_60_txns_per_tc", n_tcs), &n_tcs, |b, &n| {
+            b.iter_with_setup(
+                || std::sync::Arc::new(multi_tc_deployment(n, DcConfig::default())),
+                |d| {
+                    run_concurrent(n as usize, move |i| {
+                        let tcid = TcId(i as u16 + 1);
+                        let tc = d.tc(tcid);
+                        load_tc(&tc, tc_partition_base(tcid.0) + 1, 60, 16);
+                    })
+                },
+            )
+        });
+    }
+
+    // Shared reads while another TC writes: dirty + read-committed.
+    g.bench_function("read_committed_under_writer", |b| {
+        let d = multi_tc_deployment(2, DcConfig::default());
+        let writer = d.tc(TcId(1));
+        load_tc(&writer, tc_partition_base(1), 100, 16);
+        let reader = d.tc(TcId(2));
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 100;
+            reader.read_dirty(TABLE, Key::from_u64(tc_partition_base(1) + k)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

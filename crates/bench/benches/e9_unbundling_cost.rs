@@ -1,0 +1,53 @@
+//! E9 (§1.1(3), §7): the unbundling-overhead hypothesis — the same
+//! workload on the bundled engine vs the unbundled kernel, colocated vs
+//! on separate threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use unbundled_bench::*;
+use unbundled_core::TcId;
+use unbundled_dc::DcConfig;
+use unbundled_kernel::{FaultModel, TransportKind};
+use unbundled_tc::TcConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_unbundling_cost");
+    g.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(300));
+
+    g.bench_function("rmw_monolith", |b| {
+        let m = monolith();
+        load_monolith(&m, 0, 500, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let k = (i * 2654435761) % 500;
+            let t = m.begin();
+            let v = m.read(t, TABLE, unbundled_core::Key::from_u64(k)).unwrap().unwrap_or_default();
+            m.update(t, TABLE, unbundled_core::Key::from_u64(k), v).unwrap();
+            m.commit(t).unwrap();
+        })
+    });
+
+    g.bench_function("rmw_unbundled_inline", |b| {
+        let d = unbundled_single(TransportKind::Inline, TcConfig::default(), DcConfig::default());
+        let tc = d.tc(TcId(1));
+        load_tc(&tc, 0, 500, 16);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            rmw_tc(&tc, 1, 500)
+        })
+    });
+
+    g.bench_function("rmw_unbundled_separate_threads", |b| {
+        let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2 };
+        let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
+        let tc = d.tc(TcId(1));
+        load_tc(&tc, 0, 500, 16);
+        b.iter(|| rmw_tc(&tc, 1, 500))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

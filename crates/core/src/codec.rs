@@ -1,0 +1,186 @@
+//! A small binary codec for page images and log records.
+//!
+//! Little-endian, length-prefixed. Hand-rolled instead of pulling a serde
+//! stack: storage engines control their on-disk layout byte by byte, and
+//! the page-sync experiments (Section 5.1.2) need exact accounting of how
+//! many bytes abstract LSNs occupy in a page image.
+
+use crate::error::CoreError;
+
+/// Append-only byte sink.
+#[derive(Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Fresh encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// Encoder with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Write a length-prefixed byte slice.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Write a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Consume into the underlying buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Cursor over an encoded byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Decode from `buf` starting at offset zero.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CoreError> {
+        if self.remaining() < n {
+            return Err(CoreError::Codec {
+                what: "unexpected end of buffer",
+                at: self.pos,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8, CoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self) -> Result<u16, CoreError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32, CoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64, CoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CoreError> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a bool.
+    pub fn bool(&mut self) -> Result<bool, CoreError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Fail unless the whole buffer was consumed.
+    pub fn expect_end(&self) -> Result<(), CoreError> {
+        if self.remaining() != 0 {
+            return Err(CoreError::Codec { what: "trailing bytes", at: self.pos });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.u16(300);
+        e.u32(70_000);
+        e.u64(1 << 40);
+        e.bytes(b"hello");
+        e.bool(true);
+        let v = e.finish();
+        let mut d = Decoder::new(&v);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 300);
+        assert_eq!(d.u32().unwrap(), 70_000);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.bytes().unwrap(), b"hello");
+        assert!(d.bool().unwrap());
+        d.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let mut e = Encoder::new();
+        e.u32(5);
+        let v = e.finish();
+        let mut d = Decoder::new(&v);
+        assert!(d.u64().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.u8(1);
+        e.u8(2);
+        let v = e.finish();
+        let mut d = Decoder::new(&v);
+        d.u8().unwrap();
+        assert!(d.expect_end().is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Error types shared across the unbundled kernel.
+
+use crate::ids::{DcId, TableId, TcId, TxnId};
+use crate::key::Key;
+use std::fmt;
+
+/// Errors from the contract layer itself (codec, invariant violations).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// Malformed binary image.
+    Codec {
+        /// What went wrong.
+        what: &'static str,
+        /// Byte offset of the failure.
+        at: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Codec { what, at } => write!(f, "codec error at byte {at}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Errors a DC can return for a logical operation. These surface in the
+/// `perform_operation` reply; the TC maps them to transaction outcomes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DcError {
+    /// The named table does not exist at this DC.
+    NoSuchTable(TableId),
+    /// Insert of a key that already exists.
+    DuplicateKey(TableId, Key),
+    /// Update/delete of a key that does not exist.
+    KeyNotFound(TableId, Key),
+    /// A versioned-table operation was sent to an unversioned table or
+    /// vice versa.
+    VersioningMismatch(TableId),
+    /// The DC is restarting and cannot serve normal requests yet.
+    Restarting,
+    /// Corrupt stable state encountered.
+    Corrupt(String),
+}
+
+impl fmt::Display for DcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            DcError::DuplicateKey(t, k) => write!(f, "duplicate key {k} in {t}"),
+            DcError::KeyNotFound(t, k) => write!(f, "key {k} not found in {t}"),
+            DcError::VersioningMismatch(t) => write!(f, "versioning mismatch on {t}"),
+            DcError::Restarting => write!(f, "data component is restarting"),
+            DcError::Corrupt(s) => write!(f, "corrupt state: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for DcError {}
+
+/// Errors surfaced to applications by the TC.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TcError {
+    /// The transaction was chosen as a deadlock victim and rolled back.
+    Deadlock(TxnId),
+    /// The transaction was already committed/aborted.
+    NotActive(TxnId),
+    /// A DC rejected an operation; the transaction has been rolled back.
+    OperationFailed(TxnId, DcError),
+    /// A request to an unknown DC.
+    NoSuchDc(DcId),
+    /// The TC is not accepting work (crashed or restarting).
+    Unavailable(TcId),
+    /// A DC stopped responding to (re)sends.
+    DcUnreachable(DcId),
+    /// Lock acquisition timed out (distinct from detected deadlock).
+    LockTimeout(TxnId),
+}
+
+impl fmt::Display for TcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcError::Deadlock(x) => write!(f, "{x} aborted: deadlock victim"),
+            TcError::NotActive(x) => write!(f, "{x} is not active"),
+            TcError::OperationFailed(x, e) => write!(f, "{x} aborted: {e}"),
+            TcError::NoSuchDc(d) => write!(f, "unknown data component {d}"),
+            TcError::Unavailable(t) => write!(f, "{t} unavailable"),
+            TcError::DcUnreachable(d) => write!(f, "{d} unreachable"),
+            TcError::LockTimeout(x) => write!(f, "{x} aborted: lock timeout"),
+        }
+    }
+}
+
+impl std::error::Error for TcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DcError::DuplicateKey(TableId(1), Key::from_u64(9));
+        assert!(e.to_string().contains("duplicate key"));
+        let t = TcError::OperationFailed(TxnId(4), e);
+        assert!(t.to_string().contains("X4"));
+        let c = CoreError::Codec { what: "x", at: 3 };
+        assert!(c.to_string().contains("byte 3"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Byte-ordered record keys.
+//!
+//! Keys sort lexicographically on their byte representation; the helpers
+//! encode integers big-endian so numeric order equals byte order. The
+//! composite helpers build the paper's movie-site keys — `Reviews(MId,
+//! UId)` and `MyReviews(UId, MId)` (Section 6.3) — whose clustering drives
+//! the Figure 2 partitioning.
+
+use std::fmt;
+
+/// A record key: an owned byte string with lexicographic order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Key(pub Vec<u8>);
+
+impl Key {
+    /// The empty key: sorts before every other key.
+    pub const fn empty() -> Key {
+        Key(Vec::new())
+    }
+
+    /// Key from raw bytes.
+    pub fn from_bytes(b: impl Into<Vec<u8>>) -> Key {
+        Key(b.into())
+    }
+
+    /// Key encoding one `u64` (big-endian, so numeric order = key order).
+    pub fn from_u64(v: u64) -> Key {
+        Key(v.to_be_bytes().to_vec())
+    }
+
+    /// Composite key of two `u64`s, ordered by the first then the second.
+    pub fn from_pair(a: u64, b: u64) -> Key {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&a.to_be_bytes());
+        v.extend_from_slice(&b.to_be_bytes());
+        Key(v)
+    }
+
+    /// Key from a string.
+    pub fn from_str_key(s: &str) -> Key {
+        Key(s.as_bytes().to_vec())
+    }
+
+    /// Decode a key produced by [`Key::from_u64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        if self.0.len() == 8 {
+            Some(u64::from_be_bytes(self.0[..8].try_into().unwrap()))
+        } else {
+            None
+        }
+    }
+
+    /// Decode a key produced by [`Key::from_pair`].
+    pub fn as_pair(&self) -> Option<(u64, u64)> {
+        if self.0.len() == 16 {
+            let a = u64::from_be_bytes(self.0[..8].try_into().unwrap());
+            let b = u64::from_be_bytes(self.0[8..].try_into().unwrap());
+            Some((a, b))
+        } else {
+            None
+        }
+    }
+
+    /// First 8 bytes as a u64 prefix (partitioning helper).
+    pub fn u64_prefix(&self) -> Option<u64> {
+        if self.0.len() >= 8 {
+            Some(u64::from_be_bytes(self.0[..8].try_into().unwrap()))
+        } else {
+            None
+        }
+    }
+
+    /// Underlying bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty key.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The immediate successor key in lexicographic order (`k` + `0x00`):
+    /// the smallest key strictly greater than `k`. Used to build
+    /// half-open scan bounds.
+    pub fn successor(&self) -> Key {
+        let mut v = self.0.clone();
+        v.push(0);
+        Key(v)
+    }
+
+    /// Smallest key with this prefix's *next* prefix, i.e. the exclusive
+    /// upper bound of the set of keys starting with `self`. `None` if the
+    /// prefix is all-0xFF (unbounded).
+    pub fn prefix_upper_bound(&self) -> Option<Key> {
+        let mut v = self.0.clone();
+        while let Some(&last) = v.last() {
+            if last == 0xFF {
+                v.pop();
+            } else {
+                *v.last_mut().unwrap() += 1;
+                return Some(Key(v));
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some((a, b)) = self.as_pair() {
+            return write!(f, "({a},{b})");
+        }
+        if let Some(v) = self.as_u64() {
+            return write!(f, "{v}");
+        }
+        if let Ok(s) = std::str::from_utf8(&self.0) {
+            if s.chars().all(|c| c.is_ascii_graphic() || c == ' ') {
+                return write!(f, "{s:?}");
+            }
+        }
+        write!(f, "0x")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<u64> for Key {
+    fn from(v: u64) -> Key {
+        Key::from_u64(v)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Key {
+        Key::from_str_key(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_order_preserved() {
+        assert!(Key::from_u64(2) < Key::from_u64(10));
+        assert!(Key::from_u64(255) < Key::from_u64(256));
+        assert_eq!(Key::from_u64(7).as_u64(), Some(7));
+    }
+
+    #[test]
+    fn pair_order_is_lexicographic() {
+        assert!(Key::from_pair(1, 99) < Key::from_pair(2, 0));
+        assert!(Key::from_pair(1, 1) < Key::from_pair(1, 2));
+        assert_eq!(Key::from_pair(3, 4).as_pair(), Some((3, 4)));
+    }
+
+    #[test]
+    fn successor_is_tight() {
+        let k = Key::from_u64(5);
+        let s = k.successor();
+        assert!(k < s);
+        assert!(s < Key::from_u64(6));
+    }
+
+    #[test]
+    fn prefix_upper_bound_covers_prefix() {
+        let p = Key::from_bytes(vec![1, 2]);
+        let ub = p.prefix_upper_bound().unwrap();
+        assert!(Key::from_bytes(vec![1, 2, 0xFF, 0xFF]) < ub);
+        assert!(Key::from_bytes(vec![1, 3]) >= ub);
+        assert_eq!(Key::from_bytes(vec![0xFF]).prefix_upper_bound(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Key::from_u64(9).to_string(), "9");
+        assert_eq!(Key::from_pair(1, 2).to_string(), "(1,2)");
+        assert_eq!(Key::from_str_key("abc").to_string(), "\"abc\"");
+    }
+
+    #[test]
+    fn empty_sorts_first() {
+        assert!(Key::empty() < Key::from_bytes(vec![0]));
+        assert!(Key::empty().is_empty());
+    }
+}

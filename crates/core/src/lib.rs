@@ -1,0 +1,52 @@
+//! # unbundled-core
+//!
+//! The contract layer of an *unbundled* database kernel, following
+//! D. Lomet, A. Fekete, G. Weikum, M. Zwilling,
+//! **"Unbundling Transaction Services in the Cloud"**, CIDR 2009.
+//!
+//! The paper factors the monolithic transactional storage manager into a
+//! **Transactional Component (TC)** — logical locking + logical undo/redo
+//! logging, no knowledge of pages — and a **Data Component (DC)** — access
+//! methods, cache management and atomic, *idempotent*, record-oriented
+//! operations, no knowledge of transactions. The two interact at arm's
+//! length through the message API in [`msg`], governed by the interaction
+//! contracts of the paper's Section 4.2 (causality, unique request ids,
+//! idempotence, resend, recovery ordering, contract termination).
+//!
+//! This crate holds everything both sides must agree on:
+//!
+//! * [`lsn`] — TC log sequence numbers ([`Lsn`]), DC log sequence numbers
+//!   ([`DLsn`]) and the paper's **abstract page LSN** ([`AbstractLsn`],
+//!   Section 5.1.2) with its generalized `<=` test, low-water-mark pruning
+//!   and the merge rule used by page consolidation.
+//! * [`ids`] — component / page / table / transaction identifiers.
+//! * [`key`] — byte-ordered record keys with composite-key helpers.
+//! * [`record`] — stored record representation, including the
+//!   *before-version* scheme of Section 6.2.2 that enables cross-TC
+//!   read-committed sharing without two-phase commit.
+//! * [`op`] — the logical (record-oriented) operations a TC may submit and
+//!   their results; operation inverses are what the TC logs for undo.
+//! * [`msg`] — the TC:DC API of Section 4.2.1: `perform_operation`,
+//!   `end_of_stable_log`, `checkpoint`, `low_water_mark`, `restart`, plus
+//!   the DC→TC replies and out-of-band prompts.
+//! * [`codec`] — a small binary codec used for page images and log records.
+//! * [`error`] — shared error types.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod ids;
+pub mod key;
+pub mod lsn;
+pub mod msg;
+pub mod op;
+pub mod record;
+
+pub use error::{CoreError, DcError, TcError};
+pub use ids::{DcId, PageId, RequestId, SysTxnId, TableId, TcId, TxnId};
+pub use key::Key;
+pub use lsn::{AbstractLsn, DLsn, Lsn, PerTcAbLsn};
+pub use msg::{DataComponentApi, DcToTc, TcToDc};
+pub use op::{LogicalOp, OpResult, ReadFlavor};
+pub use record::{BeforeVersion, StoredRecord, TableSpec};

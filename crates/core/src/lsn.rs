@@ -1,0 +1,481 @@
+//! Log sequence numbers and the paper's **abstract page LSN** (Section 5.1.2).
+//!
+//! In a bundled kernel the idempotence test during redo is
+//! `operation LSN <= page LSN`: the LSN is assigned while the page is
+//! latched, so LSN order equals application order. In the unbundled kernel
+//! the TC assigns LSNs *before* the DC decides the order in which
+//! operations reach a page, so non-conflicting operations can execute out
+//! of LSN order and a single page LSN is no longer a sound summary.
+//!
+//! The paper's fix is the *abstract LSN* `abLSN = <LSNlw, {LSNin}>`:
+//! a low-water LSN below which every operation is known applied, plus the
+//! explicit set of applied LSNs above it. [`AbstractLsn::includes`]
+//! implements the generalized `<=` test; [`AbstractLsn::advance_lw`]
+//! consumes the TC-supplied low-water mark (LWM) to prune the set;
+//! [`AbstractLsn::merge`] is the rule used when two pages are consolidated.
+
+use crate::codec::{Decoder, Encoder};
+use crate::error::CoreError;
+use std::fmt;
+
+/// A TC log sequence number. `Lsn(0)` is the null LSN (nothing logged).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The null LSN: below every real LSN.
+    pub const NULL: Lsn = Lsn(0);
+    /// Largest representable LSN, used as an "infinity" bound.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// Next LSN in sequence.
+    #[inline]
+    pub fn next(self) -> Lsn {
+        Lsn(self.0 + 1)
+    }
+
+    /// True if this is the null LSN.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A DC log sequence number (`dLSN`, Section 5.2.2). The DC stamps pages
+/// with the dLSN of the last *system transaction* record applied to them,
+/// making structure-modification recovery idempotent with the conventional
+/// scalar test — system transactions replay in DC-log order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct DLsn(pub u64);
+
+impl DLsn {
+    /// The null dLSN.
+    pub const NULL: DLsn = DLsn(0);
+
+    /// Next dLSN in sequence.
+    #[inline]
+    pub fn next(self) -> DLsn {
+        DLsn(self.0 + 1)
+    }
+}
+
+impl fmt::Display for DLsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The abstract page LSN of Section 5.1.2: `<LSNlw, {LSNin}>`.
+///
+/// *Every* operation with LSN ≤ `lw` is applied; additionally exactly the
+/// operations whose LSNs appear in `ins` (all > `lw`) are applied. The
+/// structure accurately captures which operations' results a page state
+/// reflects even when operations arrive out of LSN order.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AbstractLsn {
+    lw: Lsn,
+    /// Sorted, deduplicated LSNs strictly greater than `lw`.
+    ins: Vec<Lsn>,
+}
+
+impl AbstractLsn {
+    /// An abstract LSN that includes nothing.
+    pub fn new() -> Self {
+        AbstractLsn { lw: Lsn::NULL, ins: Vec::new() }
+    }
+
+    /// An abstract LSN equivalent to a scalar page LSN: includes every
+    /// operation with LSN ≤ `lw` and nothing else.
+    pub fn from_scalar(lw: Lsn) -> Self {
+        AbstractLsn { lw, ins: Vec::new() }
+    }
+
+    /// The low-water component `LSNlw`.
+    #[inline]
+    pub fn lw(&self) -> Lsn {
+        self.lw
+    }
+
+    /// The explicit in-set `{LSNin}` (sorted ascending, all > `lw`).
+    #[inline]
+    pub fn ins(&self) -> &[Lsn] {
+        &self.ins
+    }
+
+    /// The paper's generalized `<=` test:
+    /// `LSNi <= abLSN  ⇔  LSNi <= LSNlw ∨ LSNi ∈ {LSNin}`.
+    ///
+    /// When true, the page already reflects the operation and redo (or a
+    /// duplicate delivery) must be suppressed.
+    #[inline]
+    pub fn includes(&self, lsn: Lsn) -> bool {
+        lsn <= self.lw || self.ins.binary_search(&lsn).is_ok()
+    }
+
+    /// Record that the operation with `lsn` has been applied to the page.
+    ///
+    /// Idempotent; ignores LSNs already included.
+    pub fn record(&mut self, lsn: Lsn) {
+        if lsn <= self.lw {
+            return;
+        }
+        if let Err(pos) = self.ins.binary_search(&lsn) {
+            self.ins.insert(pos, lsn);
+        }
+    }
+
+    /// Apply a TC-supplied low-water mark (Section 5.1.2, "Establishing
+    /// LSNlw"): the TC guarantees it has received replies for every
+    /// operation with LSN ≤ `lwm`, so every such operation is applied on
+    /// whichever page it targeted. Raises `lw` and prunes the in-set.
+    pub fn advance_lw(&mut self, lwm: Lsn) {
+        if lwm <= self.lw {
+            return;
+        }
+        self.lw = lwm;
+        self.ins.retain(|&l| l > lwm);
+    }
+
+    /// Collapse to a scalar if the in-set is empty (the state after the
+    /// LWM has caught up with every included operation). Returns `None`
+    /// if explicit entries remain.
+    pub fn as_scalar(&self) -> Option<Lsn> {
+        if self.ins.is_empty() {
+            Some(self.lw)
+        } else {
+            None
+        }
+    }
+
+    /// Largest LSN whose effects are included in the page. This is what
+    /// causality compares against the TC's end-of-stable-log before the
+    /// page may be flushed.
+    pub fn max_included(&self) -> Lsn {
+        self.ins.last().copied().unwrap_or(self.lw)
+    }
+
+    /// Number of explicit in-set entries (page-sync policies bound this).
+    #[inline]
+    pub fn in_set_len(&self) -> usize {
+        self.ins.len()
+    }
+
+    /// Merge rule for page consolidation (Section 5.2.2, "Page
+    /// Deletes/Consolidates"): the consolidated page inherits
+    /// `max` of the low-water components and the union of the in-sets.
+    ///
+    /// Soundness: `lw` derives from the TC's global LWM, so the larger of
+    /// the two is valid for any page; the in-sets contain only *applied*
+    /// operations, and every applied operation's effect survives into the
+    /// consolidated page.
+    pub fn merge(&self, other: &AbstractLsn) -> AbstractLsn {
+        let lw = self.lw.max(other.lw);
+        let mut ins: Vec<Lsn> = Vec::with_capacity(self.ins.len() + other.ins.len());
+        let (mut a, mut b) = (self.ins.iter().peekable(), other.ins.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&x), Some(&&y)) => {
+                    let min = x.min(y);
+                    if x == min {
+                        a.next();
+                    }
+                    if y == min {
+                        b.next();
+                    }
+                    if min > lw {
+                        ins.push(min);
+                    }
+                }
+                (Some(&&x), None) => {
+                    a.next();
+                    if x > lw {
+                        ins.push(x);
+                    }
+                }
+                (None, Some(&&y)) => {
+                    b.next();
+                    if y > lw {
+                        ins.push(y);
+                    }
+                }
+                (None, None) => break,
+            }
+        }
+        AbstractLsn { lw, ins }
+    }
+
+    /// Bytes this abstract LSN occupies when stored in a page image
+    /// (Section 5.1.2 "Page Sync" algorithm 2 stores the full structure).
+    pub fn encoded_size(&self) -> usize {
+        8 + 4 + 8 * self.ins.len()
+    }
+
+    /// Serialize into a page/log image.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.u64(self.lw.0);
+        enc.u32(self.ins.len() as u32);
+        for l in &self.ins {
+            enc.u64(l.0);
+        }
+    }
+
+    /// Deserialize from a page/log image.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, CoreError> {
+        let lw = Lsn(dec.u64()?);
+        let n = dec.u32()? as usize;
+        let mut ins = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            ins.push(Lsn(dec.u64()?));
+        }
+        Ok(AbstractLsn { lw, ins })
+    }
+}
+
+impl fmt::Display for AbstractLsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{{", self.lw)?;
+        for (i, l) in self.ins.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}>")
+    }
+}
+
+/// Per-TC abstract LSNs for a page shared by multiple TCs (Section 6.1.1).
+///
+/// TCs do not coordinate their logs, so their LSN spaces are unrelated and
+/// the DC must track idempotence separately per TC. Pages touched by a
+/// single TC pay for exactly one entry (the common case the paper
+/// optimizes for).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PerTcAbLsn {
+    /// Sorted by `TcId`; nearly always length 0 or 1.
+    entries: Vec<(crate::ids::TcId, AbstractLsn)>,
+}
+
+impl PerTcAbLsn {
+    /// Empty map.
+    pub fn new() -> Self {
+        PerTcAbLsn { entries: Vec::new() }
+    }
+
+    /// The abstract LSN for `tc`, if the TC has data on this page.
+    pub fn get(&self, tc: crate::ids::TcId) -> Option<&AbstractLsn> {
+        self.entries
+            .binary_search_by_key(&tc, |(t, _)| *t)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access, creating an empty abstract LSN on first touch.
+    pub fn get_mut(&mut self, tc: crate::ids::TcId) -> &mut AbstractLsn {
+        match self.entries.binary_search_by_key(&tc, |(t, _)| *t) {
+            Ok(i) => &mut self.entries[i].1,
+            Err(i) => {
+                self.entries.insert(i, (tc, AbstractLsn::new()));
+                &mut self.entries[i].1
+            }
+        }
+    }
+
+    /// Iterate `(tc, abLSN)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (crate::ids::TcId, &AbstractLsn)> {
+        self.entries.iter().map(|(t, a)| (*t, a))
+    }
+
+    /// Mutable iteration.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (crate::ids::TcId, &mut AbstractLsn)> {
+        self.entries.iter_mut().map(|(t, a)| (*t, a))
+    }
+
+    /// Number of TCs with data on the page.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no TC has stamped this page.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remove a TC's entry entirely (used by page reset after a TC crash).
+    pub fn remove(&mut self, tc: crate::ids::TcId) {
+        if let Ok(i) = self.entries.binary_search_by_key(&tc, |(t, _)| *t) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Replace a TC's entry (page reset restores the disk version's view).
+    pub fn set(&mut self, tc: crate::ids::TcId, ab: AbstractLsn) {
+        *self.get_mut(tc) = ab;
+    }
+
+    /// Merge rule for consolidation across all TCs.
+    pub fn merge(&self, other: &PerTcAbLsn) -> PerTcAbLsn {
+        let mut out = self.clone();
+        for (tc, ab) in other.iter() {
+            let slot = out.get_mut(tc);
+            *slot = slot.merge(ab);
+        }
+        out
+    }
+
+    /// Total encoded size of all entries.
+    pub fn encoded_size(&self) -> usize {
+        4 + self.entries.iter().map(|(_, a)| 2 + a.encoded_size()).sum::<usize>()
+    }
+
+    /// Serialize.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.u32(self.entries.len() as u32);
+        for (tc, ab) in &self.entries {
+            enc.u16(tc.0);
+            ab.encode(enc);
+        }
+    }
+
+    /// Deserialize.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, CoreError> {
+        let n = dec.u32()? as usize;
+        let mut entries = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            let tc = crate::ids::TcId(dec.u16()?);
+            let ab = AbstractLsn::decode(dec)?;
+            entries.push((tc, ab));
+        }
+        Ok(PerTcAbLsn { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TcId;
+
+    #[test]
+    fn scalar_behaviour_matches_classic_test() {
+        let ab = AbstractLsn::from_scalar(Lsn(10));
+        assert!(ab.includes(Lsn(1)));
+        assert!(ab.includes(Lsn(10)));
+        assert!(!ab.includes(Lsn(11)));
+    }
+
+    #[test]
+    fn out_of_order_inclusion() {
+        // The paper's motivating case: Oj (LSN 12) executes before Oi
+        // (LSN 11). A scalar page LSN of 12 would wrongly claim Oi done.
+        let mut ab = AbstractLsn::new();
+        ab.record(Lsn(12));
+        assert!(ab.includes(Lsn(12)));
+        assert!(!ab.includes(Lsn(11)), "abLSN must not claim the skipped LSN");
+        ab.record(Lsn(11));
+        assert!(ab.includes(Lsn(11)));
+    }
+
+    #[test]
+    fn record_is_idempotent() {
+        let mut ab = AbstractLsn::new();
+        ab.record(Lsn(5));
+        ab.record(Lsn(5));
+        assert_eq!(ab.in_set_len(), 1);
+    }
+
+    #[test]
+    fn advance_lw_prunes() {
+        let mut ab = AbstractLsn::new();
+        for l in [3u64, 5, 8, 13] {
+            ab.record(Lsn(l));
+        }
+        ab.advance_lw(Lsn(8));
+        assert_eq!(ab.lw(), Lsn(8));
+        assert_eq!(ab.ins(), &[Lsn(13)]);
+        assert!(ab.includes(Lsn(5)));
+        assert!(ab.includes(Lsn(13)));
+        assert!(!ab.includes(Lsn(9)));
+        // LWM never regresses.
+        ab.advance_lw(Lsn(2));
+        assert_eq!(ab.lw(), Lsn(8));
+    }
+
+    #[test]
+    fn as_scalar_only_when_caught_up() {
+        let mut ab = AbstractLsn::new();
+        ab.record(Lsn(4));
+        assert_eq!(ab.as_scalar(), None);
+        ab.advance_lw(Lsn(4));
+        assert_eq!(ab.as_scalar(), Some(Lsn(4)));
+    }
+
+    #[test]
+    fn merge_union_semantics() {
+        let mut a = AbstractLsn::from_scalar(Lsn(5));
+        a.record(Lsn(9));
+        a.record(Lsn(11));
+        let mut b = AbstractLsn::from_scalar(Lsn(7));
+        b.record(Lsn(9));
+        b.record(Lsn(14));
+        let m = a.merge(&b);
+        assert_eq!(m.lw(), Lsn(7));
+        assert_eq!(m.ins(), &[Lsn(9), Lsn(11), Lsn(14)]);
+        // lower lw's implicit inclusions are covered by max(lw).
+        assert!(m.includes(Lsn(6)));
+    }
+
+    #[test]
+    fn max_included() {
+        let mut ab = AbstractLsn::from_scalar(Lsn(3));
+        assert_eq!(ab.max_included(), Lsn(3));
+        ab.record(Lsn(10));
+        assert_eq!(ab.max_included(), Lsn(10));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let mut ab = AbstractLsn::from_scalar(Lsn(42));
+        ab.record(Lsn(50));
+        ab.record(Lsn(44));
+        let mut enc = Encoder::new();
+        ab.encode(&mut enc);
+        let bytes = enc.finish();
+        assert_eq!(bytes.len(), ab.encoded_size());
+        let mut dec = Decoder::new(&bytes);
+        let back = AbstractLsn::decode(&mut dec).unwrap();
+        assert_eq!(back, ab);
+    }
+
+    #[test]
+    fn per_tc_separate_spaces() {
+        let mut p = PerTcAbLsn::new();
+        p.get_mut(TcId(1)).record(Lsn(9));
+        p.get_mut(TcId(2)).record(Lsn(9));
+        p.get_mut(TcId(1)).advance_lw(Lsn(9));
+        assert_eq!(p.get(TcId(1)).unwrap().as_scalar(), Some(Lsn(9)));
+        assert_eq!(p.get(TcId(2)).unwrap().as_scalar(), None);
+        assert_eq!(p.len(), 2);
+        p.remove(TcId(1));
+        assert!(p.get(TcId(1)).is_none());
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn per_tc_encode_roundtrip() {
+        let mut p = PerTcAbLsn::new();
+        p.get_mut(TcId(3)).record(Lsn(100));
+        p.get_mut(TcId(1)).advance_lw(Lsn(7));
+        let mut enc = Encoder::new();
+        p.encode(&mut enc);
+        let bytes = enc.finish();
+        assert_eq!(bytes.len(), p.encoded_size());
+        let back = PerTcAbLsn::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,258 @@
+//! The TC:DC message API (paper Section 4.2.1) and the interaction
+//! contracts it carries (Section 4.2).
+//!
+//! The kernel is "a distributed system" (Section 4.1): the TC acts as a
+//! client, the DC as a server; information exchange may be synchronous
+//! calls on a multi-core design or asynchronous messages in a cloud
+//! deployment — both are supported by making the DC a message handler
+//! ([`DataComponentApi`]) behind a transport chosen at deployment time.
+//!
+//! Contract summary:
+//! * **Causality** — the DC never makes an operation's effects stable
+//!   before the TC's log record for it is stable: enforced with
+//!   [`TcToDc::EndOfStableLog`].
+//! * **Unique request ids** — [`TcToDc::Perform`] carries a
+//!   [`RequestId`]; mutations use the TC-log LSN.
+//! * **Idempotence** — the DC tracks applied LSNs in abstract page LSNs
+//!   and suppresses duplicates, enabling…
+//! * **Resend** — the TC resends `Perform` (same request id) until it
+//!   sees a [`DcToTc::Reply`].
+//! * **Recovery** — [`TcToDc::RestartBegin`] / [`TcToDc::RestartEnd`]
+//!   bracket the restart conversation; the DC makes its structures
+//!   well-formed *before* acknowledging with [`DcToTc::RestartReady`].
+//! * **Contract termination** — [`TcToDc::Checkpoint`] asks the DC to
+//!   make everything below a new redo-scan-start-point stable, after
+//!   which the TC may stop resending those operations;
+//!   [`TcToDc::LowWaterMark`] lets the DC collapse abstract LSNs.
+
+use crate::error::DcError;
+use crate::ids::{DcId, RequestId, TcId};
+use crate::lsn::Lsn;
+use crate::op::{LogicalOp, OpResult};
+
+/// Messages from a Transactional Component to a Data Component.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TcToDc {
+    /// `perform_operation`: execute a logical operation exactly once.
+    /// Resends reuse the same `req`.
+    Perform {
+        /// Sending TC.
+        tc: TcId,
+        /// Unique request id (the TC-log LSN for mutations).
+        req: RequestId,
+        /// The logical operation.
+        op: LogicalOp,
+    },
+    /// `end_of_stable_log`: every operation with LSN ≤ `eosl` is stable
+    /// in the TC log and may therefore be made stable by the DC (this is
+    /// how write-ahead logging is enforced in an unbundled engine).
+    EndOfStableLog {
+        /// Sending TC.
+        tc: TcId,
+        /// Last stable TC-log LSN.
+        eosl: Lsn,
+    },
+    /// `low_water_mark`: the TC has received replies for every operation
+    /// with LSN ≤ `lwm`; there are no gaps below it, so the DC may use it
+    /// as a page's `LSNlw` and prune in-sets (Section 5.1.2).
+    LowWaterMark {
+        /// Sending TC.
+        tc: TcId,
+        /// All-replied prefix of the TC's LSNs.
+        lwm: Lsn,
+    },
+    /// `checkpoint`: the TC wishes to advance its redo scan start point
+    /// to `new_rssp`. The DC replies with [`DcToTc::CheckpointDone`] once
+    /// every page containing effects of operations with LSN < `new_rssp`
+    /// is stable, releasing the TC's resend obligation below that point.
+    Checkpoint {
+        /// Sending TC.
+        tc: TcId,
+        /// Proposed new redo scan start point.
+        new_rssp: Lsn,
+    },
+    /// `restart` (first half): the TC is recovering (or the DC crashed
+    /// and the TC is driving redo). The DC must discard any effects of
+    /// this TC's operations with LSN > `stable_end` — causality
+    /// guarantees they are volatile — and then acknowledge with
+    /// [`DcToTc::RestartReady`]. Redo resends follow as ordinary
+    /// `Perform` messages.
+    RestartBegin {
+        /// Recovering TC.
+        tc: TcId,
+        /// End of the TC's stable log; later effects must be discarded.
+        stable_end: Lsn,
+    },
+    /// `restart` (second half): redo resends and loser rollback are
+    /// complete; the DC acknowledges with [`DcToTc::RestartDone`] and
+    /// normal processing resumes.
+    RestartEnd {
+        /// Recovering TC.
+        tc: TcId,
+    },
+}
+
+impl TcToDc {
+    /// The sending TC.
+    pub fn tc(&self) -> TcId {
+        match self {
+            TcToDc::Perform { tc, .. }
+            | TcToDc::EndOfStableLog { tc, .. }
+            | TcToDc::LowWaterMark { tc, .. }
+            | TcToDc::Checkpoint { tc, .. }
+            | TcToDc::RestartBegin { tc, .. }
+            | TcToDc::RestartEnd { tc } => *tc,
+        }
+    }
+
+    /// True for control-plane messages that must not be dropped or
+    /// reordered by a simulated transport (the paper assumes the
+    /// restart/checkpoint conversation is reliable; only operation
+    /// traffic needs the resend/idempotence machinery).
+    pub fn is_control(&self) -> bool {
+        !matches!(self, TcToDc::Perform { .. })
+    }
+}
+
+/// Messages from a Data Component to a Transactional Component.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DcToTc {
+    /// Reply to [`TcToDc::Perform`], correlated by `req`.
+    Reply {
+        /// Replying DC.
+        dc: DcId,
+        /// Destination TC.
+        tc: TcId,
+        /// Request id being answered.
+        req: RequestId,
+        /// Outcome.
+        result: Result<OpResult, DcError>,
+    },
+    /// Reply to [`TcToDc::Checkpoint`]: everything below `rssp` is
+    /// stable; the TC may advance its redo scan start point.
+    CheckpointDone {
+        /// Replying DC.
+        dc: DcId,
+        /// Destination TC.
+        tc: TcId,
+        /// The granted redo scan start point.
+        rssp: Lsn,
+    },
+    /// Spontaneous hint (Section 4.2.1: the DC "could spontaneously
+    /// inform TC that the RSSP can advance"): the DC has proactively made
+    /// pages stable.
+    RsspHint {
+        /// Hinting DC.
+        dc: DcId,
+        /// Destination TC.
+        tc: TcId,
+        /// LSN below which everything is stable at this DC.
+        can_advance_to: Lsn,
+    },
+    /// Out-of-band prompt after a DC failure (Section 4.2.1: "following
+    /// a crash of DC, a prompt is needed so that TC will begin the
+    /// restart function").
+    Crashed {
+        /// The crashed (now rebooted, structures-recovered) DC.
+        dc: DcId,
+    },
+    /// The DC has discarded post-`stable_end` effects and its structures
+    /// are well-formed; the TC may begin redo resends.
+    RestartReady {
+        /// Replying DC.
+        dc: DcId,
+        /// Destination TC.
+        tc: TcId,
+    },
+    /// The restart conversation is complete.
+    RestartDone {
+        /// Replying DC.
+        dc: DcId,
+        /// Destination TC.
+        tc: TcId,
+    },
+}
+
+impl DcToTc {
+    /// The destination TC, if the message is TC-directed (a crash prompt
+    /// is broadcast to every TC using the DC).
+    pub fn tc(&self) -> Option<TcId> {
+        match self {
+            DcToTc::Reply { tc, .. }
+            | DcToTc::CheckpointDone { tc, .. }
+            | DcToTc::RsspHint { tc, .. }
+            | DcToTc::RestartReady { tc, .. }
+            | DcToTc::RestartDone { tc, .. } => Some(*tc),
+            DcToTc::Crashed { .. } => None,
+        }
+    }
+
+    /// The originating DC.
+    pub fn dc(&self) -> DcId {
+        match self {
+            DcToTc::Reply { dc, .. }
+            | DcToTc::CheckpointDone { dc, .. }
+            | DcToTc::RsspHint { dc, .. }
+            | DcToTc::Crashed { dc }
+            | DcToTc::RestartReady { dc, .. }
+            | DcToTc::RestartDone { dc, .. } => *dc,
+        }
+    }
+}
+
+/// A Data Component as seen through the message API.
+///
+/// Every DC — the B-tree DC, the custom text/spatial DCs, or any
+/// application-supplied store — implements this one trait; the TC:DC
+/// contracts are the *only* coupling between the components. Handlers
+/// push zero or more outbound messages into `out` (a reply, a checkpoint
+/// ack, a spontaneous hint, …).
+pub trait DataComponentApi: Send + Sync {
+    /// This DC's identity.
+    fn dc_id(&self) -> DcId;
+
+    /// Handle one inbound message, appending any outbound messages.
+    fn handle(&self, msg: TcToDc, out: &mut Vec<DcToTc>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use crate::op::ReadFlavor;
+
+    #[test]
+    fn control_plane_classification() {
+        let perform = TcToDc::Perform {
+            tc: TcId(1),
+            req: RequestId::Read(1),
+            op: LogicalOp::Read {
+                table: crate::ids::TableId(1),
+                key: Key::from_u64(1),
+                flavor: ReadFlavor::Latest,
+            },
+        };
+        assert!(!perform.is_control());
+        assert!(TcToDc::EndOfStableLog { tc: TcId(1), eosl: Lsn(1) }.is_control());
+        assert!(TcToDc::RestartBegin { tc: TcId(1), stable_end: Lsn(1) }.is_control());
+    }
+
+    #[test]
+    fn message_addressing() {
+        let m = DcToTc::Reply {
+            dc: DcId(2),
+            tc: TcId(3),
+            req: RequestId::Op(Lsn(4)),
+            result: Ok(OpResult::Done),
+        };
+        assert_eq!(m.tc(), Some(TcId(3)));
+        assert_eq!(m.dc(), DcId(2));
+        assert_eq!(DcToTc::Crashed { dc: DcId(9) }.tc(), None);
+    }
+
+    #[test]
+    fn tc_extraction() {
+        assert_eq!(TcToDc::RestartEnd { tc: TcId(7) }.tc(), TcId(7));
+        assert_eq!(TcToDc::LowWaterMark { tc: TcId(8), lwm: Lsn(1) }.tc(), TcId(8));
+    }
+}

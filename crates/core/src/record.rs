@@ -1,0 +1,231 @@
+//! Stored record representation, including the *versioned data* scheme of
+//! Section 6.2.2.
+//!
+//! For unversioned tables a record is just its payload (plus the owning
+//! TC's id, the "link" of Section 6.1.2 that associates each record with
+//! the single per-TC abLSN on the page so a failed TC's records can be
+//! selectively reset).
+//!
+//! For versioned tables, an update produces a new *uncommitted* version
+//! while retaining the *before* version; an insert installs a "null"
+//! before version. When the updating TC commits it sends operations that
+//! eliminate the before versions (promote); on abort it sends operations
+//! that remove the new versions (revert). Readers from other TCs read the
+//! before version when present — committed data, with no blocking and no
+//! two-phase commit.
+
+use crate::codec::{Decoder, Encoder};
+use crate::error::CoreError;
+use crate::ids::TcId;
+
+/// The retained committed state underneath an uncommitted update.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BeforeVersion {
+    /// The record did not exist before (the pending update is an insert);
+    /// read-committed readers treat the record as absent.
+    Absent,
+    /// The committed payload before the pending update.
+    Value(Vec<u8>),
+}
+
+/// A record as stored in a DC.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoredRecord {
+    /// Latest payload (committed for unversioned tables; possibly
+    /// uncommitted for versioned tables while `before` is `Some`).
+    pub current: Vec<u8>,
+    /// Retained before-version (versioned tables only).
+    pub before: Option<BeforeVersion>,
+    /// The TC whose update produced `current` (Section 6.1.2).
+    pub owner: TcId,
+}
+
+impl StoredRecord {
+    /// A committed record owned by `owner`.
+    pub fn committed(payload: Vec<u8>, owner: TcId) -> Self {
+        StoredRecord { current: payload, before: None, owner }
+    }
+
+    /// Payload visible to a read-committed reader from *another* TC:
+    /// the before version if one is pending, else the current payload.
+    /// `None` means "record absent" for that reader.
+    pub fn read_committed(&self) -> Option<&[u8]> {
+        match &self.before {
+            Some(BeforeVersion::Absent) => None,
+            Some(BeforeVersion::Value(v)) => Some(v),
+            None => Some(&self.current),
+        }
+    }
+
+    /// Payload visible to the owning TC (its own latest write) and to
+    /// dirty readers (Section 6.2.1 — may be uncommitted but always
+    /// well-formed thanks to operation atomicity).
+    pub fn read_latest(&self) -> &[u8] {
+        &self.current
+    }
+
+    /// True if an uncommitted version is pending.
+    pub fn has_pending(&self) -> bool {
+        self.before.is_some()
+    }
+
+    /// Apply a versioned update: keep the committed state as the before
+    /// version (first update wins the slot — later updates by the same
+    /// transaction must not overwrite the original committed state).
+    pub fn versioned_update(&mut self, new_payload: Vec<u8>, owner: TcId) {
+        if self.before.is_none() {
+            self.before = Some(BeforeVersion::Value(std::mem::take(&mut self.current)));
+        }
+        self.current = new_payload;
+        self.owner = owner;
+    }
+
+    /// Commit the pending version: drop the before version.
+    pub fn promote(&mut self) {
+        self.before = None;
+    }
+
+    /// Abort the pending version: restore the before version. Returns
+    /// `false` if the record should be removed entirely (the pending
+    /// update was an insert).
+    #[must_use]
+    pub fn revert(&mut self) -> bool {
+        match self.before.take() {
+            Some(BeforeVersion::Absent) => false,
+            Some(BeforeVersion::Value(v)) => {
+                self.current = v;
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// Encoded size in a page image.
+    pub fn encoded_size(&self) -> usize {
+        let before = match &self.before {
+            None => 1,
+            Some(BeforeVersion::Absent) => 1,
+            Some(BeforeVersion::Value(v)) => 1 + 4 + v.len(),
+        };
+        2 + 4 + self.current.len() + before
+    }
+
+    /// Serialize into a page image.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.u16(self.owner.0);
+        enc.bytes(&self.current);
+        match &self.before {
+            None => enc.u8(0),
+            Some(BeforeVersion::Absent) => enc.u8(1),
+            Some(BeforeVersion::Value(v)) => {
+                enc.u8(2);
+                enc.bytes(v);
+            }
+        }
+    }
+
+    /// Deserialize from a page image.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, CoreError> {
+        let owner = TcId(dec.u16()?);
+        let current = dec.bytes()?.to_vec();
+        let before = match dec.u8()? {
+            0 => None,
+            1 => Some(BeforeVersion::Absent),
+            2 => Some(BeforeVersion::Value(dec.bytes()?.to_vec())),
+            _ => return Err(CoreError::Codec { what: "bad before-version tag", at: 0 }),
+        };
+        Ok(StoredRecord { current, before, owner })
+    }
+}
+
+/// Static description of a table hosted by a DC.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TableSpec {
+    /// Table identifier (agreed between TC and DC at deployment time).
+    pub id: crate::ids::TableId,
+    /// Human-readable name.
+    pub name: String,
+    /// Whether the table keeps before-versions for cross-TC
+    /// read-committed sharing (Section 6.2.2).
+    pub versioned: bool,
+}
+
+impl TableSpec {
+    /// Convenience constructor for an unversioned table.
+    pub fn plain(id: crate::ids::TableId, name: &str) -> Self {
+        TableSpec { id, name: name.to_string(), versioned: false }
+    }
+
+    /// Convenience constructor for a versioned table.
+    pub fn versioned(id: crate::ids::TableId, name: &str) -> Self {
+        TableSpec { id, name: name.to_string(), versioned: true }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_record_reads_same_everywhere() {
+        let r = StoredRecord::committed(b"v1".to_vec(), TcId(1));
+        assert_eq!(r.read_committed(), Some(&b"v1"[..]));
+        assert_eq!(r.read_latest(), b"v1");
+        assert!(!r.has_pending());
+    }
+
+    #[test]
+    fn versioned_update_exposes_before_to_readers() {
+        let mut r = StoredRecord::committed(b"old".to_vec(), TcId(1));
+        r.versioned_update(b"new".to_vec(), TcId(1));
+        assert_eq!(r.read_latest(), b"new", "owner sees its own update");
+        assert_eq!(r.read_committed(), Some(&b"old"[..]), "readers see committed");
+        r.promote();
+        assert_eq!(r.read_committed(), Some(&b"new"[..]));
+    }
+
+    #[test]
+    fn double_update_preserves_original_before() {
+        let mut r = StoredRecord::committed(b"v0".to_vec(), TcId(1));
+        r.versioned_update(b"v1".to_vec(), TcId(1));
+        r.versioned_update(b"v2".to_vec(), TcId(1));
+        assert_eq!(r.read_committed(), Some(&b"v0"[..]));
+        assert!(r.revert());
+        assert_eq!(r.read_latest(), b"v0");
+    }
+
+    #[test]
+    fn versioned_insert_is_absent_to_readers_until_commit() {
+        let mut r = StoredRecord {
+            current: b"new".to_vec(),
+            before: Some(BeforeVersion::Absent),
+            owner: TcId(2),
+        };
+        assert_eq!(r.read_committed(), None);
+        assert!(!r.revert(), "revert of an insert removes the record");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for r in [
+            StoredRecord::committed(b"abc".to_vec(), TcId(3)),
+            StoredRecord {
+                current: b"x".to_vec(),
+                before: Some(BeforeVersion::Absent),
+                owner: TcId(1),
+            },
+            StoredRecord {
+                current: b"y".to_vec(),
+                before: Some(BeforeVersion::Value(b"z".to_vec())),
+                owner: TcId(9),
+            },
+        ] {
+            let mut e = Encoder::new();
+            r.encode(&mut e);
+            let bytes = e.finish();
+            assert_eq!(bytes.len(), r.encoded_size());
+            let back = StoredRecord::decode(&mut Decoder::new(&bytes)).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+}

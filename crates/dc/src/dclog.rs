@@ -1,0 +1,276 @@
+//! The DC's private log: system-transaction records (paper Section 5.2).
+//!
+//! Structure modifications (page splits, page deletes/consolidations,
+//! root changes) are encapsulated in *system transactions* that are
+//! unrelated to any user transaction: the TC neither sees nor logs them.
+//! The DC logs them here and replays them during DC restart **before**
+//! any TC redo arrives, so that the search structures are well-formed
+//! when logical redo executes (Section 4.2, "Recovery").
+//!
+//! Logging discipline (Section 5.2.2):
+//!
+//! * **Page split** — a *physical* image of the new page (which captures
+//!   the page's abLSN at split time) plus a *logical* record for the
+//!   pre-split page carrying only the split key: whatever version of the
+//!   pre-split page is on stable storage, its own abLSN correctly
+//!   describes it.
+//! * **Page delete / consolidation** — a *logical* free of the deleted
+//!   page plus a *physical* image of the consolidated page whose abLSN is
+//!   the merge (per-TC max/union) of the two pages' abLSNs; this pins the
+//!   delete's position w.r.t. TC operations on the affected key range at
+//!   the cost of extra log space (measured by experiment E6).
+//!
+//! A page may be flushed only when every system transaction it reflects
+//! is complete and **stable** in this log; incomplete system transactions
+//! therefore never have effects on disk, making DC restart redo-only.
+
+use std::sync::Arc;
+use unbundled_core::{DLsn, Key, PageId, SysTxnId, TableId};
+use unbundled_storage::LogStore;
+
+/// One DC-log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum DcLogRecord {
+    /// Start of a system transaction.
+    SysTxnBegin {
+        /// System transaction id.
+        stx: SysTxnId,
+    },
+    /// A page allocated by the system transaction (logical).
+    AllocPage {
+        /// System transaction id.
+        stx: SysTxnId,
+        /// The allocated page.
+        page: PageId,
+    },
+    /// Full physical image of a page (new page of a split; consolidated
+    /// page of a merge; new root). Applied at recovery if the stable
+    /// version is older (dLSN test).
+    PageImage {
+        /// System transaction id.
+        stx: SysTxnId,
+        /// Page the image belongs to.
+        page: PageId,
+        /// Encoded page (see [`crate::page::Page::encode`]).
+        image: Vec<u8>,
+    },
+    /// Logical record for the pre-split page: keys ≥ `split_key` moved
+    /// out; the page's high fence becomes `split_key`.
+    SplitTruncate {
+        /// System transaction id.
+        stx: SysTxnId,
+        /// The pre-split page.
+        page: PageId,
+        /// Split point.
+        split_key: Key,
+        /// New right sibling (becomes `next_leaf`).
+        new_page: PageId,
+    },
+    /// Logical branch-entry insertion (separator → child).
+    BranchInsert {
+        /// System transaction id.
+        stx: SysTxnId,
+        /// Branch page.
+        page: PageId,
+        /// Separator key.
+        sep: Key,
+        /// Child page id.
+        child: PageId,
+    },
+    /// Logical branch-entry removal.
+    BranchRemove {
+        /// System transaction id.
+        stx: SysTxnId,
+        /// Branch page.
+        page: PageId,
+        /// Separator key.
+        sep: Key,
+    },
+    /// Logical page free (the page's key range was consolidated away).
+    FreePage {
+        /// System transaction id.
+        stx: SysTxnId,
+        /// Freed page.
+        page: PageId,
+    },
+    /// A table's root changed (root split or first allocation).
+    RootChanged {
+        /// System transaction id.
+        stx: SysTxnId,
+        /// Table whose root changed.
+        table: TableId,
+        /// New root page.
+        root: PageId,
+    },
+    /// End (commit) of a system transaction.
+    SysTxnEnd {
+        /// System transaction id.
+        stx: SysTxnId,
+    },
+}
+
+impl DcLogRecord {
+    /// The system transaction this record belongs to.
+    pub fn stx(&self) -> SysTxnId {
+        match self {
+            DcLogRecord::SysTxnBegin { stx }
+            | DcLogRecord::AllocPage { stx, .. }
+            | DcLogRecord::PageImage { stx, .. }
+            | DcLogRecord::SplitTruncate { stx, .. }
+            | DcLogRecord::BranchInsert { stx, .. }
+            | DcLogRecord::BranchRemove { stx, .. }
+            | DcLogRecord::FreePage { stx, .. }
+            | DcLogRecord::RootChanged { stx, .. }
+            | DcLogRecord::SysTxnEnd { stx } => *stx,
+        }
+    }
+
+    /// The page this record touches, if any.
+    pub fn page(&self) -> Option<PageId> {
+        match self {
+            DcLogRecord::AllocPage { page, .. }
+            | DcLogRecord::PageImage { page, .. }
+            | DcLogRecord::SplitTruncate { page, .. }
+            | DcLogRecord::BranchInsert { page, .. }
+            | DcLogRecord::BranchRemove { page, .. }
+            | DcLogRecord::FreePage { page, .. } => Some(*page),
+            _ => None,
+        }
+    }
+
+    /// Approximate encoded size (drives the E6 log-space comparison of
+    /// physical consolidation images vs. logical records).
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            DcLogRecord::SysTxnBegin { .. } | DcLogRecord::SysTxnEnd { .. } => 9,
+            DcLogRecord::AllocPage { .. } | DcLogRecord::FreePage { .. } => 17,
+            DcLogRecord::PageImage { image, .. } => 17 + image.len(),
+            DcLogRecord::SplitTruncate { split_key, .. } => 25 + split_key.len() + 8,
+            DcLogRecord::BranchInsert { sep, .. } => 25 + sep.len() + 8,
+            DcLogRecord::BranchRemove { sep, .. } => 21 + sep.len(),
+            DcLogRecord::RootChanged { .. } => 21,
+        }
+    }
+}
+
+/// Handle to a DC's log. The sequence numbers returned by
+/// [`DcLog::append`] are the dLSNs stamped on pages.
+pub struct DcLog {
+    store: Arc<LogStore<DcLogRecord>>,
+}
+
+impl DcLog {
+    /// Wrap a (possibly crash-surviving) log store.
+    pub fn new(store: Arc<LogStore<DcLogRecord>>) -> Self {
+        DcLog { store }
+    }
+
+    /// Append a record; returns its dLSN.
+    pub fn append(&self, rec: DcLogRecord) -> DLsn {
+        let size = rec.encoded_size();
+        DLsn(self.store.append(rec, size))
+    }
+
+    /// Force the log; returns the stable dLSN.
+    pub fn force(&self) -> DLsn {
+        DLsn(self.store.force())
+    }
+
+    /// Last stable dLSN.
+    pub fn stable(&self) -> DLsn {
+        DLsn(self.store.stable_seq())
+    }
+
+    /// Underlying store (shared with crash/reboot plumbing).
+    pub fn store(&self) -> &Arc<LogStore<DcLogRecord>> {
+        &self.store
+    }
+
+    /// Stable records of *complete* system transactions, in log order:
+    /// the replay set for DC restart. Records of system transactions
+    /// whose `SysTxnEnd` did not reach the stable log are excluded —
+    /// causality guarantees their effects never reached disk.
+    pub fn complete_stable_records(&self) -> Vec<(DLsn, DcLogRecord)> {
+        let all = self.store.read_all_stable();
+        let mut complete: std::collections::HashSet<SysTxnId> = std::collections::HashSet::new();
+        for (_, rec) in &all {
+            if let DcLogRecord::SysTxnEnd { stx } = rec {
+                complete.insert(*stx);
+            }
+        }
+        all.into_iter()
+            .filter(|(_, rec)| complete.contains(&rec.stx()))
+            .map(|(seq, rec)| (DLsn(seq), rec))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(stx: u64) -> DcLogRecord {
+        DcLogRecord::SysTxnBegin { stx: SysTxnId(stx) }
+    }
+    fn end(stx: u64) -> DcLogRecord {
+        DcLogRecord::SysTxnEnd { stx: SysTxnId(stx) }
+    }
+
+    #[test]
+    fn append_returns_monotonic_dlsn() {
+        let log = DcLog::new(Arc::new(LogStore::new()));
+        assert_eq!(log.append(begin(1)), DLsn(1));
+        assert_eq!(log.append(end(1)), DLsn(2));
+    }
+
+    #[test]
+    fn incomplete_systxns_filtered_after_crash() {
+        let store = Arc::new(LogStore::new());
+        let log = DcLog::new(store.clone());
+        log.append(begin(1));
+        log.append(DcLogRecord::FreePage { stx: SysTxnId(1), page: PageId(9) });
+        log.append(end(1));
+        log.force();
+        log.append(begin(2));
+        log.append(DcLogRecord::AllocPage { stx: SysTxnId(2), page: PageId(10) });
+        // crash before SysTxnEnd{2} is forced
+        store.crash();
+        let recs = log.complete_stable_records();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|(_, r)| r.stx() == SysTxnId(1)));
+    }
+
+    #[test]
+    fn complete_but_unforced_end_excluded() {
+        let store = Arc::new(LogStore::new());
+        let log = DcLog::new(store.clone());
+        log.append(begin(1));
+        log.force();
+        log.append(end(1)); // end appended but not forced
+        store.crash();
+        assert!(log.complete_stable_records().is_empty());
+    }
+
+    #[test]
+    fn physical_image_dominates_log_space() {
+        let img = DcLogRecord::PageImage {
+            stx: SysTxnId(1),
+            page: PageId(1),
+            image: vec![0u8; 4096],
+        };
+        let free = DcLogRecord::FreePage { stx: SysTxnId(1), page: PageId(1) };
+        assert!(img.encoded_size() > 100 * free.encoded_size());
+    }
+
+    #[test]
+    fn record_page_extraction() {
+        let r = DcLogRecord::BranchInsert {
+            stx: SysTxnId(1),
+            page: PageId(5),
+            sep: Key::from_u64(1),
+            child: PageId(6),
+        };
+        assert_eq!(r.page(), Some(PageId(5)));
+        assert_eq!(begin(1).page(), None);
+    }
+}

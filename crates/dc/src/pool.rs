@@ -1,0 +1,217 @@
+//! The DC's buffer pool ("cache management … staging the data pages to
+//! and from the disk as needed", paper Section 4.1.2(3)).
+//!
+//! The pool only manages frames; *flush eligibility* — the causality/WAL
+//! check against the TC's end-of-stable-log and the page-sync policies of
+//! Section 5.1.2 — is decided by the engine, which owns the per-TC state.
+
+use crate::page::Page;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unbundled_core::PageId;
+use unbundled_storage::SimDisk;
+
+/// How abstract LSNs are made stable with a page (Section 5.1.2, "Page
+/// Sync"). The policy gates when a dirty page may be written.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncPolicy {
+    /// Algorithm 1: refuse new operations on the page and wait until the
+    /// TC's low-water mark covers every in-set entry, then write a scalar
+    /// LSN. Delays the flush; costs no page space.
+    WaitForLwm,
+    /// Algorithm 2: write the entire abstract LSN into the page. Never
+    /// delays; costs page space proportional to the in-set.
+    FullAbLsn,
+    /// Algorithm 3: wait until the total in-set size shrinks to at most
+    /// this bound, then write the (small) abstract LSN.
+    Bounded(usize),
+}
+
+struct Frame {
+    page: Arc<RwLock<Page>>,
+    last_used: AtomicU64,
+}
+
+/// Page frames with LRU bookkeeping. Misses load from the disk.
+pub struct BufferPool {
+    frames: Mutex<HashMap<PageId, Arc<Frame>>>,
+    clock: AtomicU64,
+    disk: SimDisk,
+}
+
+impl BufferPool {
+    /// A pool over `disk`.
+    pub fn new(disk: SimDisk) -> Self {
+        BufferPool { frames: Mutex::new(HashMap::new()), clock: AtomicU64::new(0), disk }
+    }
+
+    /// The backing disk.
+    pub fn disk(&self) -> &SimDisk {
+        &self.disk
+    }
+
+    fn touch(&self, f: &Frame) {
+        f.last_used.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Fetch a page, loading (and caching) the disk version on a miss.
+    /// `None` if the page exists neither in cache nor on disk.
+    pub fn get(&self, id: PageId) -> Option<Arc<RwLock<Page>>> {
+        let mut frames = self.frames.lock();
+        if let Some(f) = frames.get(&id) {
+            self.touch(f);
+            return Some(f.page.clone());
+        }
+        let image = self.disk.read_page(id)?;
+        let page = Page::decode(&image).ok()?;
+        let frame = Arc::new(Frame {
+            page: Arc::new(RwLock::new(page)),
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+        });
+        let arc = frame.page.clone();
+        frames.insert(id, frame);
+        Some(arc)
+    }
+
+    /// Fetch only if cached (reset and checkpoint walk the cache without
+    /// faulting pages in).
+    pub fn get_cached(&self, id: PageId) -> Option<Arc<RwLock<Page>>> {
+        let frames = self.frames.lock();
+        frames.get(&id).map(|f| {
+            self.touch(f);
+            f.page.clone()
+        })
+    }
+
+    /// Install a new page (fresh allocation or recovery image), replacing
+    /// any cached version.
+    pub fn install(&self, page: Page) -> Arc<RwLock<Page>> {
+        let id = page.id;
+        let frame = Arc::new(Frame {
+            page: Arc::new(RwLock::new(page)),
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+        });
+        let arc = frame.page.clone();
+        let old = self.frames.lock().insert(id, frame);
+        if let Some(o) = old {
+            o.page.write().evicted = true;
+        }
+        arc
+    }
+
+    /// Drop a page from the cache (eviction after flush, or page free).
+    /// The frame is marked `evicted` so latch-holders retry.
+    pub fn remove(&self, id: PageId) {
+        if let Some(f) = self.frames.lock().remove(&id) {
+            f.page.write().evicted = true;
+        }
+    }
+
+    /// Ids of all cached pages.
+    pub fn cached_ids(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> = self.frames.lock().keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of cached pages.
+    pub fn len(&self) -> usize {
+        self.frames.lock().len()
+    }
+
+    /// True if no pages are cached.
+    pub fn is_empty(&self) -> bool {
+        self.frames.lock().is_empty()
+    }
+
+    /// Cached page ids in least-recently-used order (eviction candidates).
+    pub fn lru_order(&self) -> Vec<PageId> {
+        let frames = self.frames.lock();
+        let mut v: Vec<(u64, PageId)> =
+            frames.iter().map(|(id, f)| (f.last_used.load(Ordering::Relaxed), *id)).collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, id)| id).collect()
+    }
+
+    /// Drop every frame (complete DC crash: volatile state dies).
+    pub fn clear(&self) {
+        let mut frames = self.frames.lock();
+        for (_, f) in frames.drain() {
+            f.page.write().evicted = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unbundled_core::{Key, TableId};
+
+    fn mk_page(id: u64) -> Page {
+        Page::new_leaf(PageId(id), TableId(1), Key::empty(), None)
+    }
+
+    #[test]
+    fn install_and_get() {
+        let pool = BufferPool::new(SimDisk::new());
+        pool.install(mk_page(2));
+        assert!(pool.get(PageId(2)).is_some());
+        assert!(pool.get(PageId(3)).is_none());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn miss_loads_from_disk() {
+        let disk = SimDisk::new();
+        let mut p = mk_page(2);
+        p.dirty = false;
+        disk.write_page(PageId(2), p.encode());
+        let pool = BufferPool::new(disk);
+        assert!(pool.is_empty());
+        let arc = pool.get(PageId(2)).unwrap();
+        assert_eq!(arc.read().id, PageId(2));
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn remove_marks_evicted() {
+        let pool = BufferPool::new(SimDisk::new());
+        let arc = pool.install(mk_page(2));
+        pool.remove(PageId(2));
+        assert!(arc.read().evicted);
+        assert!(pool.get_cached(PageId(2)).is_none());
+    }
+
+    #[test]
+    fn reinstall_evicts_old_frame() {
+        let pool = BufferPool::new(SimDisk::new());
+        let old = pool.install(mk_page(2));
+        let new = pool.install(mk_page(2));
+        assert!(old.read().evicted);
+        assert!(!new.read().evicted);
+    }
+
+    #[test]
+    fn lru_order_tracks_access() {
+        let pool = BufferPool::new(SimDisk::new());
+        pool.install(mk_page(2));
+        pool.install(mk_page(3));
+        pool.install(mk_page(4));
+        // touch 2 so it becomes most recent
+        pool.get(PageId(2));
+        let order = pool.lru_order();
+        assert_eq!(*order.last().unwrap(), PageId(2));
+    }
+
+    #[test]
+    fn clear_evicts_everything() {
+        let pool = BufferPool::new(SimDisk::new());
+        let a = pool.install(mk_page(2));
+        pool.install(mk_page(3));
+        pool.clear();
+        assert!(pool.is_empty());
+        assert!(a.read().evicted);
+    }
+}

@@ -1,0 +1,200 @@
+//! The DC as a message-handling server: the concrete implementation of
+//! the TC/DC API of Section 4.2.1.
+
+use crate::dclog::DcLogRecord;
+use crate::engine::{DcConfig, DcEngine};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use unbundled_core::{DataComponentApi, DcId, DcToTc, TableSpec, TcId, TcToDc};
+use unbundled_storage::{LogStore, SimDisk};
+
+/// A Data Component bound to its stable storage, exposed through the
+/// message API. Wraps a [`DcEngine`]; the engine can be swapped on
+/// reboot while the stable parts (disk, log) persist.
+pub struct DcServer {
+    engine: Arc<DcEngine>,
+    /// TCs currently in the restart conversation.
+    restarting: Mutex<HashSet<TcId>>,
+}
+
+impl DcServer {
+    /// Create a freshly formatted DC.
+    pub fn format(id: DcId, cfg: DcConfig, disk: SimDisk, log: Arc<LogStore<DcLogRecord>>) -> Self {
+        DcServer {
+            engine: DcEngine::format(id, cfg, disk, log),
+            restarting: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// Boot a DC from surviving stable storage (after a crash).
+    pub fn recover(id: DcId, cfg: DcConfig, disk: SimDisk, log: Arc<LogStore<DcLogRecord>>) -> Self {
+        DcServer {
+            engine: DcEngine::recover(id, cfg, disk, log),
+            restarting: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// The engine (tests/experiments).
+    pub fn engine(&self) -> &Arc<DcEngine> {
+        &self.engine
+    }
+
+    /// Create a table (administrative).
+    pub fn create_table(&self, spec: TableSpec) {
+        self.engine.create_table(spec).expect("create_table");
+    }
+}
+
+impl DataComponentApi for DcServer {
+    fn dc_id(&self) -> DcId {
+        self.engine.id()
+    }
+
+    fn handle(&self, msg: TcToDc, out: &mut Vec<DcToTc>) {
+        match msg {
+            TcToDc::Perform { tc, req, op } => {
+                let result = self
+                    .engine
+                    .validate_versioning(&op)
+                    .and_then(|()| self.engine.perform(tc, req, &op));
+                out.push(DcToTc::Reply { dc: self.dc_id(), tc, req, result });
+            }
+            TcToDc::EndOfStableLog { tc, eosl } => {
+                self.engine.handle_eosl(tc, eosl);
+            }
+            TcToDc::LowWaterMark { tc, lwm } => {
+                self.engine.handle_lwm(tc, lwm);
+            }
+            TcToDc::Checkpoint { tc, new_rssp } => {
+                let granted = self.engine.handle_checkpoint(tc, new_rssp);
+                out.push(DcToTc::CheckpointDone { dc: self.dc_id(), tc, rssp: granted });
+            }
+            TcToDc::RestartBegin { tc, stable_end } => {
+                self.restarting.lock().insert(tc);
+                self.engine.reset_for_tc(tc, stable_end);
+                out.push(DcToTc::RestartReady { dc: self.dc_id(), tc });
+            }
+            TcToDc::RestartEnd { tc } => {
+                self.restarting.lock().remove(&tc);
+                out.push(DcToTc::RestartDone { dc: self.dc_id(), tc });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unbundled_core::{Key, LogicalOp, Lsn, OpResult, ReadFlavor, RequestId, TableId};
+
+    fn setup() -> DcServer {
+        let server = DcServer::format(
+            DcId(1),
+            DcConfig::default(),
+            SimDisk::new(),
+            Arc::new(LogStore::new()),
+        );
+        server.create_table(TableSpec::plain(TableId(1), "t"));
+        server
+    }
+
+    fn perform(server: &DcServer, tc: TcId, req: RequestId, op: LogicalOp) -> DcToTc {
+        let mut out = Vec::new();
+        server.handle(TcToDc::Perform { tc, req, op }, &mut out);
+        out.pop().expect("reply")
+    }
+
+    #[test]
+    fn insert_then_read_roundtrip() {
+        let s = setup();
+        let r = perform(
+            &s,
+            TcId(1),
+            RequestId::Op(Lsn(1)),
+            LogicalOp::Insert { table: TableId(1), key: Key::from_u64(1), value: b"v".to_vec() },
+        );
+        match r {
+            DcToTc::Reply { result, .. } => assert_eq!(result.unwrap(), OpResult::Done),
+            other => panic!("unexpected {other:?}"),
+        }
+        let r = perform(
+            &s,
+            TcId(1),
+            RequestId::Read(1),
+            LogicalOp::Read { table: TableId(1), key: Key::from_u64(1), flavor: ReadFlavor::Latest },
+        );
+        match r {
+            DcToTc::Reply { result, .. } => {
+                assert_eq!(result.unwrap(), OpResult::Value(Some(b"v".to_vec())))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_request_suppressed() {
+        let s = setup();
+        let op =
+            LogicalOp::Insert { table: TableId(1), key: Key::from_u64(2), value: b"v".to_vec() };
+        perform(&s, TcId(1), RequestId::Op(Lsn(5)), op.clone());
+        // Resend with the same request id: must be suppressed, not error.
+        let r = perform(&s, TcId(1), RequestId::Op(Lsn(5)), op);
+        match r {
+            DcToTc::Reply { result, .. } => assert_eq!(result.unwrap(), OpResult::Done),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(s.engine().stats().snapshot().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn restart_conversation_acks() {
+        let s = setup();
+        let mut out = Vec::new();
+        s.handle(TcToDc::RestartBegin { tc: TcId(1), stable_end: Lsn(0) }, &mut out);
+        assert!(matches!(out[0], DcToTc::RestartReady { .. }));
+        out.clear();
+        s.handle(TcToDc::RestartEnd { tc: TcId(1) }, &mut out);
+        assert!(matches!(out[0], DcToTc::RestartDone { .. }));
+    }
+
+    #[test]
+    fn checkpoint_replies_with_granted_rssp() {
+        let s = setup();
+        perform(
+            &s,
+            TcId(1),
+            RequestId::Op(Lsn(1)),
+            LogicalOp::Insert { table: TableId(1), key: Key::from_u64(1), value: b"v".to_vec() },
+        );
+        let mut out = Vec::new();
+        s.handle(TcToDc::EndOfStableLog { tc: TcId(1), eosl: Lsn(1) }, &mut out);
+        s.handle(TcToDc::LowWaterMark { tc: TcId(1), lwm: Lsn(1) }, &mut out);
+        s.handle(TcToDc::Checkpoint { tc: TcId(1), new_rssp: Lsn(2) }, &mut out);
+        match &out[0] {
+            DcToTc::CheckpointDone { rssp, .. } => assert_eq!(*rssp, Lsn(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn versioning_mismatch_rejected() {
+        let s = setup();
+        let r = perform(
+            &s,
+            TcId(1),
+            RequestId::Op(Lsn(1)),
+            LogicalOp::VersionedWrite {
+                table: TableId(1),
+                key: Key::from_u64(1),
+                value: b"v".to_vec(),
+            },
+        );
+        match r {
+            DcToTc::Reply { result, .. } => {
+                assert!(matches!(result, Err(unbundled_core::DcError::VersioningMismatch(_))))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

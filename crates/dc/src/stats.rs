@@ -1,0 +1,112 @@
+//! DC-side counters backing the experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic DC counters (lock-free; snapshot with [`DcStats::snapshot`]).
+#[derive(Default, Debug)]
+pub struct DcStats {
+    /// Mutations applied (first delivery).
+    pub ops_applied: AtomicU64,
+    /// Duplicate deliveries suppressed by the abLSN test.
+    pub duplicates_suppressed: AtomicU64,
+    /// Mutations that arrived with an LSN below the page's max included
+    /// LSN (out-of-order executions, Section 5.1).
+    pub out_of_order: AtomicU64,
+    /// Reads served.
+    pub reads: AtomicU64,
+    /// Page splits (system transactions).
+    pub splits: AtomicU64,
+    /// Page consolidations (system transactions).
+    pub consolidations: AtomicU64,
+    /// Pages flushed.
+    pub flushes: AtomicU64,
+    /// Flushes that had to wait for a low-water-mark advance
+    /// (page-sync policies 1/3).
+    pub flush_waits: AtomicU64,
+    /// Operations that backed off from a sync-frozen page.
+    pub freeze_backoffs: AtomicU64,
+    /// Pages evicted from the cache.
+    pub evictions: AtomicU64,
+    /// Pages reset after a TC crash.
+    pub pages_reset: AtomicU64,
+    /// Records selectively reset after a TC crash (Section 6.1.2).
+    pub records_reset: AtomicU64,
+    /// Bytes of abstract-LSN state written into flushed page images.
+    pub ablsn_bytes_flushed: AtomicU64,
+}
+
+/// Point-in-time copy of [`DcStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DcSnapshot {
+    /// Mutations applied.
+    pub ops_applied: u64,
+    /// Duplicates suppressed.
+    pub duplicates_suppressed: u64,
+    /// Out-of-order arrivals.
+    pub out_of_order: u64,
+    /// Reads served.
+    pub reads: u64,
+    /// Page splits.
+    pub splits: u64,
+    /// Page consolidations.
+    pub consolidations: u64,
+    /// Pages flushed.
+    pub flushes: u64,
+    /// Flush waits.
+    pub flush_waits: u64,
+    /// Freeze backoffs.
+    pub freeze_backoffs: u64,
+    /// Evictions.
+    pub evictions: u64,
+    /// Pages reset.
+    pub pages_reset: u64,
+    /// Records reset.
+    pub records_reset: u64,
+    /// abLSN bytes flushed.
+    pub ablsn_bytes_flushed: u64,
+}
+
+impl DcStats {
+    /// Copy the current values.
+    pub fn snapshot(&self) -> DcSnapshot {
+        DcSnapshot {
+            ops_applied: self.ops_applied.load(Ordering::Relaxed),
+            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
+            out_of_order: self.out_of_order.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+            consolidations: self.consolidations.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            flush_waits: self.flush_waits.load(Ordering::Relaxed),
+            freeze_backoffs: self.freeze_backoffs.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            pages_reset: self.pages_reset.load(Ordering::Relaxed),
+            records_reset: self.records_reset.load(Ordering::Relaxed),
+            ablsn_bytes_flushed: self.ablsn_bytes_flushed.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = DcStats::default();
+        DcStats::bump(&s.splits);
+        DcStats::add(&s.ablsn_bytes_flushed, 32);
+        let snap = s.snapshot();
+        assert_eq!(snap.splits, 1);
+        assert_eq!(snap.ablsn_bytes_flushed, 32);
+        assert_eq!(snap.ops_applied, 0);
+    }
+}

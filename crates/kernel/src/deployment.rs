@@ -1,0 +1,297 @@
+//! Deployment topologies and crash orchestration.
+//!
+//! A [`Deployment`] owns TCs, DCs and the transports between them, and
+//! can inject the paper's partial failures (Section 5.3): crash a DC
+//! (volatile cache + unforced DC-log tail lost), crash a TC (transaction
+//! state + unforced TC-log tail lost), or both — then drive the restart
+//! conversations and resume.
+
+use crate::transport::{DcSlot, FaultModel, InlineLink, QueuedLink, ReplySink};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use unbundled_core::{DcId, DcToTc, TableId, TableSpec, TcId};
+use unbundled_dc::{DcConfig, DcLogRecord, DcServer};
+use unbundled_storage::{LogStore, SimDisk};
+use unbundled_tc::{DcLink, TableRoute, Tc, TcConfig, TcLogRecord};
+
+/// Which transport connects a TC to a DC.
+#[derive(Clone)]
+pub enum TransportKind {
+    /// Synchronous call (multi-core / shared memory deployment).
+    Inline,
+    /// Worker threads + channel, with fault injection (cloud deployment).
+    Queued {
+        /// Fault model for operation traffic.
+        faults: FaultModel,
+        /// DC worker threads serving this link.
+        workers: usize,
+    },
+}
+
+struct DcNode {
+    cfg: DcConfig,
+    disk: SimDisk,
+    log: Arc<LogStore<DcLogRecord>>,
+    slot: Arc<DcSlot>,
+    server: Mutex<Arc<DcServer>>,
+    tables: Mutex<Vec<TableSpec>>,
+}
+
+struct TcNode {
+    cfg: TcConfig,
+    log: Arc<LogStore<TcLogRecord>>,
+    tc: Mutex<Arc<Tc>>,
+    sink: Arc<ReplySink>,
+    connections: Mutex<Vec<(DcId, TransportKind)>>,
+    routes: Mutex<Vec<(TableId, TableRoute)>>,
+    queued_links: Mutex<Vec<Arc<QueuedLink>>>,
+}
+
+/// A running unbundled-kernel deployment.
+pub struct Deployment {
+    dcs: HashMap<DcId, DcNode>,
+    tcs: HashMap<TcId, TcNode>,
+}
+
+impl Deployment {
+    /// Empty deployment.
+    pub fn new() -> Self {
+        Deployment { dcs: HashMap::new(), tcs: HashMap::new() }
+    }
+
+    /// Add a freshly formatted DC.
+    pub fn add_dc(&mut self, id: DcId, cfg: DcConfig) {
+        let disk = SimDisk::new();
+        let log = Arc::new(LogStore::new());
+        let server = Arc::new(DcServer::format(id, cfg.clone(), disk.clone(), log.clone()));
+        let slot = DcSlot::new(server.clone());
+        self.dcs.insert(
+            id,
+            DcNode {
+                cfg,
+                disk,
+                log,
+                slot,
+                server: Mutex::new(server),
+                tables: Mutex::new(Vec::new()),
+            },
+        );
+    }
+
+    /// Add a TC.
+    pub fn add_tc(&mut self, id: TcId, cfg: TcConfig) {
+        let log = Arc::new(LogStore::new());
+        let tc = Tc::new(id, cfg.clone(), log.clone());
+        let sink = ReplySink::new(tc.clone());
+        self.tcs.insert(
+            id,
+            TcNode {
+                cfg,
+                log,
+                tc: Mutex::new(tc),
+                sink,
+                connections: Mutex::new(Vec::new()),
+                routes: Mutex::new(Vec::new()),
+                queued_links: Mutex::new(Vec::new()),
+            },
+        );
+    }
+
+    /// Connect a TC to a DC over a transport.
+    pub fn connect(&self, tc: TcId, dc: DcId, kind: TransportKind) {
+        let tnode = &self.tcs[&tc];
+        let dnode = &self.dcs[&dc];
+        let link = self.make_link(tnode, dnode, &kind);
+        tnode.tc.lock().register_dc(dc, link);
+        tnode.connections.lock().push((dc, kind));
+    }
+
+    fn make_link(&self, tnode: &TcNode, dnode: &DcNode, kind: &TransportKind) -> Arc<dyn DcLink> {
+        match kind {
+            TransportKind::Inline => InlineLink::new(dnode.slot.clone(), tnode.sink.clone()),
+            TransportKind::Queued { faults, workers } => {
+                let link = QueuedLink::new(
+                    dnode.slot.clone(),
+                    tnode.sink.clone(),
+                    faults.clone(),
+                    *workers,
+                );
+                tnode.queued_links.lock().push(link.clone());
+                link
+            }
+        }
+    }
+
+    /// Create a table at a DC and record it for experiments.
+    pub fn create_table(&self, dc: DcId, spec: TableSpec) {
+        let node = &self.dcs[&dc];
+        node.server.lock().create_table(spec.clone());
+        node.tables.lock().push(spec);
+    }
+
+    /// Declare a table route at a TC.
+    pub fn route(&self, tc: TcId, table: TableId, route: TableRoute) {
+        let node = &self.tcs[&tc];
+        node.tc.lock().register_table(table, route.clone());
+        node.routes.lock().push((table, route));
+    }
+
+    /// The current TC instance.
+    pub fn tc(&self, id: TcId) -> Arc<Tc> {
+        self.tcs[&id].tc.lock().clone()
+    }
+
+    /// The current DC server instance.
+    pub fn dc(&self, id: DcId) -> Arc<DcServer> {
+        self.dcs[&id].server.lock().clone()
+    }
+
+    /// The DC's stable disk (experiment accounting).
+    pub fn dc_disk(&self, id: DcId) -> &SimDisk {
+        &self.dcs[&id].disk
+    }
+
+    /// The DC's log store (experiment accounting).
+    pub fn dc_log(&self, id: DcId) -> &Arc<LogStore<DcLogRecord>> {
+        &self.dcs[&id].log
+    }
+
+    /// The TC's log store (experiment accounting).
+    pub fn tc_log(&self, id: TcId) -> &Arc<LogStore<TcLogRecord>> {
+        &self.tcs[&id].log
+    }
+
+    /// All TC ids.
+    pub fn tc_ids(&self) -> Vec<TcId> {
+        let mut v: Vec<TcId> = self.tcs.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All DC ids.
+    pub fn dc_ids(&self) -> Vec<DcId> {
+        let mut v: Vec<DcId> = self.dcs.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    // ------------------------------------------------------------------
+    // Partial failures (Section 5.3)
+    // ------------------------------------------------------------------
+
+    /// Crash a DC: volatile cache and unforced DC-log tail are lost;
+    /// messages to it are dropped until [`Deployment::reboot_dc`].
+    pub fn crash_dc(&self, id: DcId) {
+        let node = &self.dcs[&id];
+        node.slot.take_down();
+        node.server.lock().engine().crash_volatile();
+    }
+
+    /// Reboot a DC from stable state: DC-local recovery runs first
+    /// (structures made well-formed), the crash prompt is delivered to
+    /// every connected TC, and each TC drives redo (`recover_dc`).
+    pub fn reboot_dc(&self, id: DcId) {
+        let node = &self.dcs[&id];
+        let server =
+            Arc::new(DcServer::recover(id, node.cfg.clone(), node.disk.clone(), node.log.clone()));
+        *node.server.lock() = server.clone();
+        node.slot.install(server);
+        // Out-of-band prompt (Section 4.2.1) + TC-driven redo.
+        for (tcid, tnode) in &self.tcs {
+            let connected = tnode.connections.lock().iter().any(|(d, _)| *d == id);
+            if connected {
+                let tc = tnode.tc.lock().clone();
+                tc.deliver(DcToTc::Crashed { dc: id });
+                for prompted in tc.take_crash_prompts() {
+                    tc.recover_dc(prompted).unwrap_or_else(|e| {
+                        panic!("TC {tcid} failed to recover DC {prompted}: {e}")
+                    });
+                }
+            }
+        }
+    }
+
+    /// Crash a TC: its transaction state and unforced log tail are lost.
+    pub fn crash_tc(&self, id: TcId) {
+        let node = &self.tcs[&id];
+        node.tc.lock().crash_volatile();
+        // A rebooted TC opens fresh connections: drain and drop the old
+        // queued links so no pre-crash operation can straggle in later.
+        for l in node.queued_links.lock().drain(..) {
+            l.shutdown();
+        }
+    }
+
+    /// Reboot a TC from its stable log: rebuild, re-wire, re-register
+    /// tables, and run restart (reset conversations + logical redo +
+    /// loser rollback).
+    pub fn reboot_tc(&self, id: TcId) {
+        let node = &self.tcs[&id];
+        let tc = Tc::new(id, node.cfg.clone(), node.log.clone());
+        node.sink.rebind(tc.clone());
+        for (dc, kind) in node.connections.lock().iter() {
+            let link = self.make_link(node, &self.dcs[dc], kind);
+            tc.register_dc(*dc, link);
+        }
+        for (table, route) in node.routes.lock().iter() {
+            tc.register_table(*table, route.clone());
+        }
+        *node.tc.lock() = tc.clone();
+        tc.run_recovery().expect("TC recovery");
+    }
+
+    /// Crash and reboot both components ("complete failure": the
+    /// fail-together case needing no new techniques, Section 5.3.2).
+    pub fn crash_all(&self) {
+        for id in self.dc_ids() {
+            self.crash_dc(id);
+        }
+        for id in self.tc_ids() {
+            self.crash_tc(id);
+        }
+    }
+
+    /// Reboot everything: DCs first (structures), then TCs (redo+undo).
+    pub fn reboot_all(&self) {
+        for id in self.dc_ids() {
+            let node = &self.dcs[&id];
+            let server = Arc::new(DcServer::recover(
+                id,
+                node.cfg.clone(),
+                node.disk.clone(),
+                node.log.clone(),
+            ));
+            *node.server.lock() = server.clone();
+            node.slot.install(server);
+        }
+        for id in self.tc_ids() {
+            self.reboot_tc(id);
+        }
+    }
+}
+
+impl Default for Deployment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convenience: the simplest 1-TC / 1-DC deployment over a given
+/// transport, with tables created and routed.
+pub fn single(
+    tc_cfg: TcConfig,
+    dc_cfg: DcConfig,
+    kind: TransportKind,
+    tables: &[TableSpec],
+) -> Deployment {
+    let mut d = Deployment::new();
+    d.add_dc(DcId(1), dc_cfg);
+    d.add_tc(TcId(1), tc_cfg);
+    d.connect(TcId(1), DcId(1), kind);
+    for spec in tables {
+        d.create_table(DcId(1), spec.clone());
+        d.route(TcId(1), spec.id, TableRoute::Single(DcId(1)));
+    }
+    d
+}

@@ -1,0 +1,25 @@
+//! # unbundled-kernel
+//!
+//! Deployment glue for the unbundled database kernel: this crate
+//! assembles TCs and DCs into the topologies of the paper's Figure 1
+//! (heterogeneous DCs under multiple TCs) and Figure 2 (the partitioned
+//! movie site), wires them with synchronous or cloud-style faulty
+//! transports, and injects the partial failures of Section 5.3.
+//!
+//! * [`transport`] — inline (multi-core) and queued (cloud) transports;
+//!   the queued transport can delay, reorder and drop operation traffic
+//!   to exercise the resend/idempotence contracts.
+//! * [`deployment`] — build topologies, crash/reboot components, drive
+//!   the restart conversations.
+//! * [`scenarios`] — the Section 6.3 movie site (workloads W1–W4).
+//! * [`harness`] — measurement utilities for the experiments.
+
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod harness;
+pub mod scenarios;
+pub mod transport;
+
+pub use deployment::{single, Deployment, TransportKind};
+pub use transport::{DcSlot, FaultModel, InlineLink, QueuedLink, ReplySink};

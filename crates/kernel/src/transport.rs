@@ -1,0 +1,249 @@
+//! Transports between TC and DC.
+//!
+//! The paper (Section 4.2.1) deliberately leaves the implementation
+//! technology open: "in a cloud environment asynchronous messages might
+//! be used … while signals and shared variables might be more suited for
+//! a multi-core design". Both are provided:
+//!
+//! * [`InlineLink`] — synchronous call on the caller's thread (the
+//!   multi-core / shared-memory deployment).
+//! * [`QueuedLink`] — messages cross a channel to DC worker threads, with
+//!   configurable **delay, reordering and loss** for `Perform` traffic
+//!   (the cloud deployment). Loss and reordering exercise the
+//!   resend/idempotence contracts exactly the way a real network would.
+//!   Control-plane messages (EOSL, LWM, checkpoint, restart) are
+//!   reliable and ordered, as the paper assumes for the recovery
+//!   conversations.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use unbundled_core::{DataComponentApi, TcToDc};
+use unbundled_tc::{DcLink, Tc};
+
+/// Reply sink: delivers DC→TC messages to the owning TC.
+/// A small indirection so a rebooted TC can be re-wired.
+pub struct ReplySink {
+    tc: Mutex<Arc<Tc>>,
+}
+
+impl ReplySink {
+    /// Sink delivering to `tc`.
+    pub fn new(tc: Arc<Tc>) -> Arc<Self> {
+        Arc::new(ReplySink { tc: Mutex::new(tc) })
+    }
+
+    /// Re-point the sink (after a TC reboot).
+    pub fn rebind(&self, tc: Arc<Tc>) {
+        *self.tc.lock() = tc;
+    }
+
+    fn deliver(&self, msg: unbundled_core::DcToTc) {
+        let tc = self.tc.lock().clone();
+        tc.deliver(msg);
+    }
+}
+
+/// A swap-able DC endpoint: crash injection replaces the inner server
+/// while links keep pointing at the same slot.
+pub struct DcSlot {
+    inner: Mutex<Option<Arc<dyn DataComponentApi>>>,
+}
+
+impl DcSlot {
+    /// Slot over an initial DC.
+    pub fn new(dc: Arc<dyn DataComponentApi>) -> Arc<Self> {
+        Arc::new(DcSlot { inner: Mutex::new(Some(dc)) })
+    }
+
+    /// Take the DC down (messages are dropped while down).
+    pub fn take_down(&self) -> Option<Arc<dyn DataComponentApi>> {
+        self.inner.lock().take()
+    }
+
+    /// Install a (rebooted) DC.
+    pub fn install(&self, dc: Arc<dyn DataComponentApi>) {
+        *self.inner.lock() = Some(dc);
+    }
+
+    /// Current DC, if up.
+    pub fn get(&self) -> Option<Arc<dyn DataComponentApi>> {
+        self.inner.lock().clone()
+    }
+}
+
+/// Synchronous transport: the DC handler runs on the caller's thread.
+pub struct InlineLink {
+    slot: Arc<DcSlot>,
+    sink: Arc<ReplySink>,
+}
+
+impl InlineLink {
+    /// Wire a slot to a sink.
+    pub fn new(slot: Arc<DcSlot>, sink: Arc<ReplySink>) -> Arc<Self> {
+        Arc::new(InlineLink { slot, sink })
+    }
+}
+
+impl DcLink for InlineLink {
+    fn send(&self, msg: TcToDc) {
+        if let Some(dc) = self.slot.get() {
+            let mut out = Vec::new();
+            dc.handle(msg, &mut out);
+            for m in out {
+                self.sink.deliver(m);
+            }
+        }
+        // DC down: message silently lost — the resend contract covers it.
+    }
+}
+
+/// Fault model for [`QueuedLink`] `Perform` traffic.
+#[derive(Clone, Debug)]
+pub struct FaultModel {
+    /// Probability a `Perform` (or its reply) is dropped.
+    pub loss: f64,
+    /// Probability a `Perform` is delayed behind later traffic
+    /// (reordering).
+    pub reorder: f64,
+    /// Fixed extra delay per message.
+    pub delay: Duration,
+    /// RNG seed (deterministic experiments).
+    pub seed: u64,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel { loss: 0.0, reorder: 0.0, delay: Duration::ZERO, seed: 42 }
+    }
+}
+
+enum QueuedMsg {
+    ToDc(TcToDc),
+    Stop,
+}
+
+/// Channel transport with worker threads and fault injection.
+pub struct QueuedLink {
+    tx: Sender<QueuedMsg>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    dropped: AtomicU64,
+    reordered: AtomicU64,
+}
+
+impl QueuedLink {
+    /// Spawn `workers` DC threads processing messages from the queue.
+    pub fn new(
+        slot: Arc<DcSlot>,
+        sink: Arc<ReplySink>,
+        faults: FaultModel,
+        workers: usize,
+    ) -> Arc<Self> {
+        let (tx, rx) = unbounded::<QueuedMsg>();
+        let link = Arc::new(QueuedLink {
+            tx,
+            workers: Mutex::new(Vec::new()),
+            dropped: AtomicU64::new(0),
+            reordered: AtomicU64::new(0),
+        });
+        let mut handles = Vec::new();
+        for w in 0..workers.max(1) {
+            let rx = rx.clone();
+            let slot = slot.clone();
+            let sink = sink.clone();
+            let faults = faults.clone();
+            let link2 = Arc::downgrade(&link);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(faults.seed ^ (w as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                // Reorder buffer: a deferred message is processed after
+                // the next one.
+                let mut held: Option<TcToDc> = None;
+                loop {
+                    let msg = match rx.recv() {
+                        Ok(QueuedMsg::ToDc(m)) => m,
+                        Ok(QueuedMsg::Stop) | Err(_) => break,
+                    };
+                    let process = |m: TcToDc| {
+                        if let Some(dc) = slot.get() {
+                            let mut out = Vec::new();
+                            dc.handle(m, &mut out);
+                            for reply in out {
+                                sink.deliver(reply);
+                            }
+                        }
+                    };
+                    let faultable = !msg.is_control();
+                    if faults.delay > Duration::ZERO {
+                        std::thread::sleep(faults.delay);
+                    }
+                    if faultable && rng.gen_bool(faults.loss.clamp(0.0, 1.0)) {
+                        if let Some(l) = link2.upgrade() {
+                            l.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        continue; // lost in transit
+                    }
+                    if faultable && held.is_none() && rng.gen_bool(faults.reorder.clamp(0.0, 1.0)) {
+                        if let Some(l) = link2.upgrade() {
+                            l.reordered.fetch_add(1, Ordering::Relaxed);
+                        }
+                        held = Some(msg); // deliver after the next message
+                        continue;
+                    }
+                    process(msg);
+                    if let Some(h) = held.take() {
+                        process(h);
+                    }
+                }
+                if let Some(h) = held.take() {
+                    if let Some(dc) = slot.get() {
+                        let mut out = Vec::new();
+                        dc.handle(h, &mut out);
+                        for reply in out {
+                            sink.deliver(reply);
+                        }
+                    }
+                }
+            }));
+        }
+        *link.workers.lock() = handles;
+        link
+    }
+
+    /// Messages dropped so far (experiment accounting).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages reordered so far.
+    pub fn reordered(&self) -> u64 {
+        self.reordered.load(Ordering::Relaxed)
+    }
+
+    /// Stop the workers (drains the queue first).
+    pub fn shutdown(&self) {
+        let n = self.workers.lock().len();
+        for _ in 0..n {
+            let _ = self.tx.send(QueuedMsg::Stop);
+        }
+        for h in self.workers.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl DcLink for QueuedLink {
+    fn send(&self, msg: TcToDc) {
+        let _ = self.tx.send(QueuedMsg::ToDc(msg));
+    }
+}
+
+impl Drop for QueuedLink {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,265 @@
+//! An append-only log device with explicit force semantics.
+//!
+//! [`LogStore`] is generic over the record type: the TC stores logical
+//! redo/undo records, the DC stores system-transaction records, the
+//! monolithic baseline stores physiological records. What they share is
+//! the durability contract:
+//!
+//! * `append` buffers a record and returns its sequence number (1-based);
+//! * `force` makes every buffered record stable;
+//! * `crash` loses exactly the unforced tail — the stable prefix
+//!   survives, and sequence numbering resumes from the stable end
+//!   (exactly what happens when a real log device loses its volatile
+//!   buffer).
+//!
+//! Byte accounting is explicit (`append` takes the encoded size) so
+//! experiments can compare log-space costs — e.g. the paper's observation
+//! that physically logging a consolidated page costs more log space than
+//! a logical page-delete record (Section 5.2.2).
+
+use crate::stats::IoStats;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Convenience alias used by components that share a log handle.
+pub type SeqLog<R> = Arc<LogStore<R>>;
+
+struct LogInner<R> {
+    /// Records with sequence numbers `base + 1 ..= base + records.len()`.
+    records: Vec<(R, u32)>,
+    /// Sequence number of the last truncated-away record.
+    base: u64,
+    /// Number of records (from the front of `records`) that are stable.
+    stable: usize,
+}
+
+/// Append-only log with force/crash semantics. Cheap to clone behind an
+/// [`Arc`]; a rebooted component reattaches to the same store.
+pub struct LogStore<R> {
+    inner: Mutex<LogInner<R>>,
+    stats: Arc<IoStats>,
+}
+
+impl<R: Clone> LogStore<R> {
+    /// An empty log.
+    pub fn new() -> Self {
+        LogStore {
+            inner: Mutex::new(LogInner { records: Vec::new(), base: 0, stable: 0 }),
+            stats: Arc::new(IoStats::new()),
+        }
+    }
+
+    /// Append a record of `encoded_size` bytes; returns its sequence
+    /// number (1-based, monotonically increasing).
+    pub fn append(&self, rec: R, encoded_size: usize) -> u64 {
+        let mut g = self.inner.lock();
+        g.records.push((rec, encoded_size as u32));
+        self.stats.log_append(encoded_size as u64);
+        g.base + g.records.len() as u64
+    }
+
+    /// Make every appended record stable. Returns the new stable end.
+    pub fn force(&self) -> u64 {
+        let mut g = self.inner.lock();
+        if g.stable < g.records.len() {
+            g.stable = g.records.len();
+            self.stats.log_force();
+        }
+        g.base + g.stable as u64
+    }
+
+    /// Sequence number of the last stable record (0 if none).
+    pub fn stable_seq(&self) -> u64 {
+        let g = self.inner.lock();
+        g.base + g.stable as u64
+    }
+
+    /// Sequence number of the last appended record (0 if none).
+    pub fn last_seq(&self) -> u64 {
+        let g = self.inner.lock();
+        g.base + g.records.len() as u64
+    }
+
+    /// Number of appended-but-unforced records.
+    pub fn unforced_len(&self) -> usize {
+        let g = self.inner.lock();
+        g.records.len() - g.stable
+    }
+
+    /// Crash: lose the unforced tail. Returns the surviving stable end.
+    pub fn crash(&self) -> u64 {
+        let mut g = self.inner.lock();
+        let stable = g.stable;
+        g.records.truncate(stable);
+        g.base + g.stable as u64
+    }
+
+    /// Read the stable record with sequence number `seq`, if it exists
+    /// and has not been truncated away.
+    pub fn read(&self, seq: u64) -> Option<R> {
+        let g = self.inner.lock();
+        if seq <= g.base || seq > g.base + g.stable as u64 {
+            return None;
+        }
+        Some(g.records[(seq - g.base - 1) as usize].0.clone())
+    }
+
+    /// Copy the stable records with sequence numbers in `[from, to]`
+    /// (clamped to the stable, untruncated range), with their sequence
+    /// numbers.
+    pub fn read_range(&self, from: u64, to: u64) -> Vec<(u64, R)> {
+        let g = self.inner.lock();
+        let lo = from.max(g.base + 1);
+        let hi = to.min(g.base + g.stable as u64);
+        let mut out = Vec::new();
+        let mut seq = lo;
+        while seq <= hi {
+            out.push((seq, g.records[(seq - g.base - 1) as usize].0.clone()));
+            seq += 1;
+        }
+        out
+    }
+
+    /// Copy every stable record (with sequence numbers).
+    pub fn read_all_stable(&self) -> Vec<(u64, R)> {
+        self.read_range(1, u64::MAX)
+    }
+
+    /// Copy every record *including the unforced tail*. Only a live
+    /// component may use this on its own log (its buffer is intact); a
+    /// rebooted component must use [`LogStore::read_all_stable`].
+    pub fn read_all_volatile(&self) -> Vec<(u64, R)> {
+        let g = self.inner.lock();
+        g.records
+            .iter()
+            .enumerate()
+            .map(|(i, (r, _))| (g.base + i as u64 + 1, r.clone()))
+            .collect()
+    }
+
+    /// Discard the prefix up to and including `seq` (checkpoint
+    /// truncation / contract termination). Only stable records may be
+    /// truncated; requests beyond the stable point are clamped.
+    pub fn truncate_prefix(&self, seq: u64) {
+        let mut g = self.inner.lock();
+        let upto = seq.min(g.base + g.stable as u64);
+        if upto <= g.base {
+            return;
+        }
+        let n = (upto - g.base) as usize;
+        g.records.drain(..n);
+        g.base = upto;
+        g.stable -= n;
+    }
+
+    /// Total bytes of live (untruncated) records.
+    pub fn live_bytes(&self) -> u64 {
+        let g = self.inner.lock();
+        g.records.iter().map(|(_, s)| *s as u64).sum()
+    }
+
+    /// Shared I/O statistics.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+}
+
+impl<R: Clone> Default for LogStore<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_returns_monotonic_seq() {
+        let log = LogStore::new();
+        assert_eq!(log.append("a", 1), 1);
+        assert_eq!(log.append("b", 1), 2);
+        assert_eq!(log.last_seq(), 2);
+        assert_eq!(log.stable_seq(), 0);
+    }
+
+    #[test]
+    fn force_advances_stable() {
+        let log = LogStore::new();
+        log.append("a", 1);
+        assert_eq!(log.force(), 1);
+        log.append("b", 1);
+        assert_eq!(log.stable_seq(), 1);
+        assert_eq!(log.unforced_len(), 1);
+    }
+
+    #[test]
+    fn crash_loses_exactly_the_unforced_tail() {
+        let log = LogStore::new();
+        log.append("a", 1);
+        log.append("b", 1);
+        log.force();
+        log.append("c", 1);
+        log.append("d", 1);
+        assert_eq!(log.crash(), 2);
+        assert_eq!(log.last_seq(), 2);
+        assert_eq!(log.read(1), Some("a"));
+        assert_eq!(log.read(2), Some("b"));
+        assert_eq!(log.read(3), None);
+        // Sequence numbering resumes from the stable end.
+        assert_eq!(log.append("e", 1), 3);
+    }
+
+    #[test]
+    fn unforced_records_not_readable() {
+        let log = LogStore::new();
+        log.append("a", 1);
+        assert_eq!(log.read(1), None, "reads only see the stable prefix");
+        log.force();
+        assert_eq!(log.read(1), Some("a"));
+    }
+
+    #[test]
+    fn read_range_clamps() {
+        let log = LogStore::new();
+        for i in 0..5 {
+            log.append(i, 1);
+        }
+        log.force();
+        let r = log.read_range(2, 100);
+        assert_eq!(r, vec![(2, 1), (3, 2), (4, 3), (5, 4)]);
+    }
+
+    #[test]
+    fn truncate_prefix_keeps_numbering() {
+        let log = LogStore::new();
+        for i in 0..6 {
+            log.append(i, 10);
+        }
+        log.force();
+        log.truncate_prefix(3);
+        assert_eq!(log.read(3), None);
+        assert_eq!(log.read(4), Some(3));
+        assert_eq!(log.append(9, 10), 7);
+        assert_eq!(log.live_bytes(), 40);
+        // Truncation beyond stable is clamped.
+        log.truncate_prefix(100);
+        assert_eq!(log.read(6), None);
+    }
+
+    #[test]
+    fn force_on_empty_is_noop() {
+        let log: LogStore<&str> = LogStore::new();
+        assert_eq!(log.force(), 0);
+        assert_eq!(log.stats().snapshot().log_forces, 0);
+    }
+
+    #[test]
+    fn double_force_counts_once() {
+        let log = LogStore::new();
+        log.append("a", 1);
+        log.force();
+        log.force();
+        assert_eq!(log.stats().snapshot().log_forces, 1);
+    }
+}

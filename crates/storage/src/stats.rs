@@ -1,0 +1,120 @@
+//! I/O statistics counters shared by the simulated devices.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic I/O counters. All methods are lock-free and callable from
+/// any thread; experiments snapshot them with [`IoStats::snapshot`].
+#[derive(Default, Debug)]
+pub struct IoStats {
+    /// Pages written to the page store.
+    pub page_writes: AtomicU64,
+    /// Pages read from the page store.
+    pub page_reads: AtomicU64,
+    /// Bytes appended to logs (before forcing).
+    pub log_bytes: AtomicU64,
+    /// Log force (synchronous flush) operations.
+    pub log_forces: AtomicU64,
+    /// Log records appended.
+    pub log_records: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Pages written.
+    pub page_writes: u64,
+    /// Pages read.
+    pub page_reads: u64,
+    /// Log bytes appended.
+    pub log_bytes: u64,
+    /// Log forces issued.
+    pub log_forces: u64,
+    /// Log records appended.
+    pub log_records: u64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a page write.
+    pub fn page_write(&self) {
+        self.page_writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a page read.
+    pub fn page_read(&self) {
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a log append of `bytes`.
+    pub fn log_append(&self, bytes: u64) {
+        self.log_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.log_records.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a log force.
+    pub fn log_force(&self) {
+        self.log_forces.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the current values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            log_bytes: self.log_bytes.load(Ordering::Relaxed),
+            log_forces: self.log_forces.load(Ordering::Relaxed),
+            log_records: self.log_records.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl IoSnapshot {
+    /// Difference between two snapshots (self - earlier).
+    pub fn delta(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            page_writes: self.page_writes - earlier.page_writes,
+            page_reads: self.page_reads - earlier.page_reads,
+            log_bytes: self.log_bytes - earlier.log_bytes,
+            log_forces: self.log_forces - earlier.log_forces,
+            log_records: self.log_records - earlier.log_records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.page_write();
+        s.page_write();
+        s.page_read();
+        s.log_append(100);
+        s.log_force();
+        let snap = s.snapshot();
+        assert_eq!(snap.page_writes, 2);
+        assert_eq!(snap.page_reads, 1);
+        assert_eq!(snap.log_bytes, 100);
+        assert_eq!(snap.log_records, 1);
+        assert_eq!(snap.log_forces, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.page_write();
+        let a = s.snapshot();
+        s.page_write();
+        s.log_append(7);
+        let b = s.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.page_writes, 1);
+        assert_eq!(d.log_bytes, 7);
+    }
+}

@@ -1,0 +1,111 @@
+//! Ack tracking: computing the low-water mark the TC sends to DCs
+//! (Section 5.1.2, "Establishing LSNlw").
+//!
+//! The DC cannot know by itself which LSNs below some point are all
+//! applied — multithreading delivers operations out of LSN order. The TC
+//! can: the LWM is the largest LSN such that every operation with a
+//! lower-or-equal LSN has been replied to. Non-operation log records
+//! (Begin/Commit/…) also consume LSNs; they count as instantly "acked".
+
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use unbundled_core::Lsn;
+
+/// Tracks outstanding (sent, unacknowledged) operation LSNs.
+#[derive(Default)]
+pub struct AckTracker {
+    inner: Mutex<AckInner>,
+}
+
+#[derive(Default)]
+struct AckInner {
+    /// LSNs sent but not yet acked.
+    outstanding: BTreeSet<u64>,
+    /// Highest LSN ever assigned (by anyone — ops or bookkeeping).
+    highest: u64,
+}
+
+impl AckTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note that `lsn` was assigned to an operation now in flight.
+    pub fn sent(&self, lsn: Lsn) {
+        let mut g = self.inner.lock();
+        g.outstanding.insert(lsn.0);
+        g.highest = g.highest.max(lsn.0);
+    }
+
+    /// Note a non-operation LSN (instantly complete).
+    pub fn bookkeeping(&self, lsn: Lsn) {
+        let mut g = self.inner.lock();
+        g.highest = g.highest.max(lsn.0);
+    }
+
+    /// Note that `lsn` was acknowledged.
+    pub fn acked(&self, lsn: Lsn) {
+        self.inner.lock().outstanding.remove(&lsn.0);
+    }
+
+    /// The low-water mark: all operations ≤ this LSN have replies.
+    pub fn lwm(&self) -> Lsn {
+        let g = self.inner.lock();
+        match g.outstanding.first() {
+            Some(&min) => Lsn(min - 1),
+            None => Lsn(g.highest),
+        }
+    }
+
+    /// Number of in-flight operations.
+    pub fn outstanding(&self) -> usize {
+        self.inner.lock().outstanding.len()
+    }
+
+    /// Forget everything (TC restart).
+    pub fn reset(&self, highest: Lsn) {
+        let mut g = self.inner.lock();
+        g.outstanding.clear();
+        g.highest = highest.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lwm_is_contiguous_acked_prefix() {
+        let t = AckTracker::new();
+        t.sent(Lsn(1));
+        t.sent(Lsn(2));
+        t.sent(Lsn(3));
+        assert_eq!(t.lwm(), Lsn(0));
+        t.acked(Lsn(2)); // gap at 1 remains
+        assert_eq!(t.lwm(), Lsn(0));
+        t.acked(Lsn(1));
+        assert_eq!(t.lwm(), Lsn(2));
+        t.acked(Lsn(3));
+        assert_eq!(t.lwm(), Lsn(3));
+    }
+
+    #[test]
+    fn bookkeeping_lsns_do_not_block() {
+        let t = AckTracker::new();
+        t.bookkeeping(Lsn(1)); // Begin record
+        t.sent(Lsn(2));
+        t.acked(Lsn(2));
+        t.bookkeeping(Lsn(3)); // Commit record
+        assert_eq!(t.lwm(), Lsn(3));
+    }
+
+    #[test]
+    fn reset_clears_outstanding() {
+        let t = AckTracker::new();
+        t.sent(Lsn(5));
+        t.reset(Lsn(10));
+        assert_eq!(t.outstanding(), 0);
+        assert_eq!(t.lwm(), Lsn(10));
+    }
+}

@@ -1,0 +1,39 @@
+//! # unbundled-tc
+//!
+//! The **Transactional Component** of the unbundled kernel (paper
+//! Section 4.1.1): transactional locking without knowledge of pages,
+//! logical undo/redo logging, log forcing for durability, transaction
+//! atomicity via inverse operations, checkpointing (redo scan start
+//! point) and restart.
+//!
+//! The TC is a *client* of one or more Data Components, speaking the
+//! message API in `unbundled-core` under the interaction contracts:
+//! unique LSN-based request ids, resend-until-ack, end-of-stable-log
+//! (causality / cross-component WAL), low-water marks (abLSN pruning)
+//! and the checkpoint/restart conversations.
+//!
+//! Modules:
+//! * [`tclog`] — the logical log (redo ops + inverse undo ops; OPSR
+//!   order by lock-before-log).
+//! * [`acks`] — ack tracking → low-water mark computation.
+//! * [`routing`] — table→DC routing and the Section 3.1 range-locking
+//!   protocols (fetch-ahead / static range locks).
+//! * [`tc`] — the transaction API: begin/read/scan/insert/update/delete/
+//!   versioned-write/commit/abort, plus lock-free committed and dirty
+//!   reads for cross-TC sharing (Section 6.2).
+//! * [`recovery`] — TC restart and DC-crash recovery.
+
+#![warn(missing_docs)]
+
+pub mod acks;
+pub mod recovery;
+pub mod routing;
+pub mod stats;
+pub mod tc;
+pub mod tclog;
+
+pub use acks::AckTracker;
+pub use routing::{DcLink, RangePartitioner, ScanProtocol, TableRoute};
+pub use stats::{TcSnapshot, TcStats};
+pub use tc::{Tc, TcConfig};
+pub use tclog::{TcLogHandle, TcLogRecord};

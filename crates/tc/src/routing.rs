@@ -1,0 +1,206 @@
+//! Routing and range-locking configuration.
+//!
+//! The TC addresses DCs purely logically: a table is either hosted by a
+//! single DC or logically partitioned across several (Figure 2 partitions
+//! `Movies`/`Reviews` by `MId` across DC1/DC2 and `Users`/`MyReviews` by
+//! `UId` on DC3). Partitioning is by the key's leading `u64` component,
+//! which is how all of the paper's example schemas cluster.
+
+use std::sync::Arc;
+use unbundled_core::{DcId, Key, TcToDc};
+
+/// Transport-facing half: something that can carry a message to a DC.
+/// Replies flow back through `Tc::deliver`.
+pub trait DcLink: Send + Sync {
+    /// Fire-and-forget send (the transport may delay / reorder / drop
+    /// `Perform` messages; control messages are reliable).
+    fn send(&self, msg: TcToDc);
+}
+
+/// Where a table's records live.
+#[derive(Clone)]
+pub enum TableRoute {
+    /// Entire table on one DC.
+    Single(DcId),
+    /// Partitioned by the key's leading u64: entry `(upper, dc)` covers
+    /// prefixes `< upper`; entries sorted ascending, last must be
+    /// `u64::MAX`.
+    Partitioned(Arc<Vec<(u64, DcId)>>),
+}
+
+impl TableRoute {
+    /// DC hosting `key`.
+    pub fn dc_for(&self, key: &Key) -> DcId {
+        match self {
+            TableRoute::Single(dc) => *dc,
+            TableRoute::Partitioned(parts) => {
+                let p = key.u64_prefix().unwrap_or(0);
+                for (upper, dc) in parts.iter() {
+                    if p < *upper {
+                        return *dc;
+                    }
+                }
+                parts.last().expect("non-empty partitioning").1
+            }
+        }
+    }
+
+    /// DCs whose ranges intersect `[low, high)`, in key order.
+    pub fn dcs_for_range(&self, low: &Key, high: Option<&Key>) -> Vec<DcId> {
+        match self {
+            TableRoute::Single(dc) => vec![*dc],
+            TableRoute::Partitioned(parts) => {
+                let lo = low.u64_prefix().unwrap_or(0);
+                let hi = high.and_then(|h| h.u64_prefix()).unwrap_or(u64::MAX);
+                let mut out = Vec::new();
+                let mut lower = 0u64;
+                for (upper, dc) in parts.iter() {
+                    // partition covers [lower, upper)
+                    if lo < *upper && hi >= lower {
+                        out.push(*dc);
+                    }
+                    lower = *upper;
+                }
+                if out.is_empty() {
+                    out.push(parts.last().expect("non-empty").1);
+                }
+                out
+            }
+        }
+    }
+}
+
+/// A static partitioning of a table's key space for the range-lock
+/// protocol of Section 3.1 ("Range locks: Introduce explicit range locks
+/// that partition the keys of any table").
+#[derive(Clone, Debug)]
+pub struct RangePartitioner {
+    /// Sorted exclusive upper bounds; partition `i` covers
+    /// `[bounds[i-1], bounds[i])`, the last partition is open-ended.
+    bounds: Vec<Key>,
+}
+
+impl RangePartitioner {
+    /// Build from sorted exclusive upper bounds (the last partition is
+    /// everything at or beyond the final bound).
+    pub fn new(bounds: Vec<Key>) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        RangePartitioner { bounds }
+    }
+
+    /// Evenly partition the `u64` key space into `n` ranges.
+    pub fn even_u64(n: u32) -> Self {
+        let n = n.max(1) as u64;
+        let step = u64::MAX / n;
+        let bounds = (1..n).map(|i| Key::from_u64(i * step)).collect();
+        RangePartitioner::new(bounds)
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> u32 {
+        self.bounds.len() as u32 + 1
+    }
+
+    /// The partition containing `key`.
+    pub fn partition_of(&self, key: &Key) -> u32 {
+        match self.bounds.binary_search(key) {
+            Ok(i) => i as u32 + 1,
+            Err(i) => i as u32,
+        }
+    }
+
+    /// All partitions intersecting `[low, high)` (`high = None` = +∞).
+    pub fn partitions_overlapping(&self, low: &Key, high: Option<&Key>) -> std::ops::RangeInclusive<u32> {
+        let first = self.partition_of(low);
+        let last = match high {
+            None => self.partitions() - 1,
+            Some(h) => {
+                // high is exclusive; the partition containing the last
+                // relevant key.
+                let p = self.partition_of(h);
+                // if h is exactly a bound, partition_of gives the next
+                // partition, which the range does not touch.
+                if self.bounds.binary_search(h).is_ok() && p > 0 {
+                    p - 1
+                } else {
+                    p
+                }
+            }
+        };
+        first..=last.max(first)
+    }
+}
+
+/// Which Section 3.1 protocol guards range scans.
+#[derive(Clone)]
+pub enum ScanProtocol {
+    /// Fetch-ahead: speculative key probes, lock the returned keys (plus
+    /// the range-edge key), verify, re-probe on mismatch.
+    FetchAhead {
+        /// Keys probed (and locked) per round trip.
+        batch: usize,
+    },
+    /// Static range locks over a fixed partitioning of the key space.
+    StaticRanges(Arc<RangePartitioner>),
+}
+
+impl ScanProtocol {
+    /// Default fetch-ahead with a sensible batch.
+    pub fn fetch_ahead() -> Self {
+        ScanProtocol::FetchAhead { batch: 32 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_route() {
+        let r = TableRoute::Single(DcId(3));
+        assert_eq!(r.dc_for(&Key::from_u64(1)), DcId(3));
+        assert_eq!(r.dcs_for_range(&Key::empty(), None), vec![DcId(3)]);
+    }
+
+    #[test]
+    fn partitioned_route_by_prefix() {
+        let r = TableRoute::Partitioned(Arc::new(vec![(100, DcId(1)), (u64::MAX, DcId(2))]));
+        assert_eq!(r.dc_for(&Key::from_u64(5)), DcId(1));
+        assert_eq!(r.dc_for(&Key::from_pair(99, 7)), DcId(1));
+        assert_eq!(r.dc_for(&Key::from_u64(100)), DcId(2));
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(50), Some(&Key::from_u64(150))),
+            vec![DcId(1), DcId(2)]
+        );
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(100), None),
+            vec![DcId(2)]
+        );
+    }
+
+    #[test]
+    fn partitioner_assigns_in_order() {
+        let p = RangePartitioner::new(vec![Key::from_u64(10), Key::from_u64(20)]);
+        assert_eq!(p.partitions(), 3);
+        assert_eq!(p.partition_of(&Key::from_u64(5)), 0);
+        assert_eq!(p.partition_of(&Key::from_u64(10)), 1);
+        assert_eq!(p.partition_of(&Key::from_u64(15)), 1);
+        assert_eq!(p.partition_of(&Key::from_u64(25)), 2);
+    }
+
+    #[test]
+    fn partitions_overlapping_ranges() {
+        let p = RangePartitioner::new(vec![Key::from_u64(10), Key::from_u64(20)]);
+        assert_eq!(p.partitions_overlapping(&Key::from_u64(5), Some(&Key::from_u64(15))), 0..=1);
+        assert_eq!(p.partitions_overlapping(&Key::from_u64(12), Some(&Key::from_u64(20))), 1..=1);
+        assert_eq!(p.partitions_overlapping(&Key::from_u64(0), None), 0..=2);
+    }
+
+    #[test]
+    fn even_u64_partitioning() {
+        let p = RangePartitioner::even_u64(8);
+        assert_eq!(p.partitions(), 8);
+        assert_eq!(p.partition_of(&Key::from_u64(0)), 0);
+        assert_eq!(p.partition_of(&Key::from_u64(u64::MAX)), 7);
+    }
+}

@@ -1,0 +1,96 @@
+//! TC-side counters backing the experiments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic TC counters.
+#[derive(Default, Debug)]
+pub struct TcStats {
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions aborted (user abort, deadlock, operation failure).
+    pub aborts: AtomicU64,
+    /// Aborts caused by deadlock victims.
+    pub deadlock_aborts: AtomicU64,
+    /// Logged operations sent (first sends).
+    pub ops_sent: AtomicU64,
+    /// Resends of operations (lost/late replies).
+    pub resends: AtomicU64,
+    /// Unlogged reads/probes/scans sent.
+    pub reads_sent: AtomicU64,
+    /// Replies that arrived after their waiter gave up (duplicates).
+    pub stale_replies: AtomicU64,
+    /// Checkpoints taken.
+    pub checkpoints: AtomicU64,
+    /// Operations resent during recovery (redo).
+    pub redo_resends: AtomicU64,
+    /// Inverse operations sent during rollback/recovery (undo).
+    pub undo_ops: AtomicU64,
+    /// DC-crash recoveries driven.
+    pub dc_recoveries: AtomicU64,
+}
+
+/// Point-in-time copy of [`TcStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcSnapshot {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+    /// Deadlock-victim aborts.
+    pub deadlock_aborts: u64,
+    /// Logged operations sent.
+    pub ops_sent: u64,
+    /// Operation resends.
+    pub resends: u64,
+    /// Unlogged reads sent.
+    pub reads_sent: u64,
+    /// Stale replies.
+    pub stale_replies: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Redo resends during recovery.
+    pub redo_resends: u64,
+    /// Undo operations sent.
+    pub undo_ops: u64,
+    /// DC recoveries driven.
+    pub dc_recoveries: u64,
+}
+
+impl TcStats {
+    /// Copy current values.
+    pub fn snapshot(&self) -> TcSnapshot {
+        TcSnapshot {
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            deadlock_aborts: self.deadlock_aborts.load(Ordering::Relaxed),
+            ops_sent: self.ops_sent.load(Ordering::Relaxed),
+            resends: self.resends.load(Ordering::Relaxed),
+            reads_sent: self.reads_sent.load(Ordering::Relaxed),
+            stale_replies: self.stale_replies.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            redo_resends: self.redo_resends.load(Ordering::Relaxed),
+            undo_ops: self.undo_ops.load(Ordering::Relaxed),
+            dc_recoveries: self.dc_recoveries.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_tracks_bumps() {
+        let s = TcStats::default();
+        TcStats::bump(&s.commits);
+        TcStats::bump(&s.resends);
+        TcStats::bump(&s.resends);
+        let snap = s.snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.resends, 2);
+    }
+}

@@ -1,0 +1,952 @@
+//! The Transactional Component (paper Section 4.1.1).
+//!
+//! The TC wraps all requests from the application stack: it performs
+//! transactional locking *before* any request reaches a DC (so the DC
+//! never sees two conflicting operations concurrently — the invariant
+//! that makes OPSR logical logging sound), logs logical redo+undo, forces
+//! the log for durability, and guarantees atomicity by driving inverse
+//! operations on abort.
+//!
+//! The TC knows tables, keys and key ranges — never pages.
+
+use crate::acks::AckTracker;
+use crate::routing::{DcLink, ScanProtocol, TableRoute};
+use crate::stats::TcStats;
+use crate::tclog::{TcLogHandle, TcLogRecord};
+use parking_lot::{Condvar, Mutex, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use unbundled_core::{
+    DcError, DcId, DcToTc, Key, LogicalOp, Lsn, OpResult, ReadFlavor, RequestId, TableId, TcError,
+    TcId, TcToDc, TxnId,
+};
+use unbundled_lockmgr::{LockError, LockManager, LockMode, LockName, LockToken};
+use unbundled_storage::LogStore;
+
+/// TC configuration.
+#[derive(Clone)]
+pub struct TcConfig {
+    /// Resend interval for unacknowledged operations.
+    pub resend_interval: Duration,
+    /// Give up after this many resends (the DC is declared unreachable).
+    pub max_resends: u32,
+    /// Lock wait bound (None = wait forever, deadlock detection only).
+    pub lock_timeout: Option<Duration>,
+    /// Range-scan locking protocol (Section 3.1).
+    pub scan_protocol: ScanProtocol,
+    /// Background force threshold: force + publish EOSL/LWM after this
+    /// many appended records even without a commit (keeps the DC's
+    /// causality frontier moving for long transactions).
+    pub force_every: usize,
+}
+
+impl Default for TcConfig {
+    fn default() -> Self {
+        TcConfig {
+            resend_interval: Duration::from_millis(25),
+            max_resends: 400,
+            lock_timeout: Some(Duration::from_secs(2)),
+            scan_protocol: ScanProtocol::fetch_ahead(),
+            force_every: 64,
+        }
+    }
+}
+
+pub(crate) struct ReplySlot {
+    pub(crate) val: Mutex<Option<Result<OpResult, DcError>>>,
+    pub(crate) cv: Condvar,
+}
+
+pub(crate) struct LsnSlot {
+    pub(crate) val: Mutex<Option<Lsn>>,
+    pub(crate) cv: Condvar,
+}
+
+pub(crate) struct FlagSlot {
+    pub(crate) val: Mutex<bool>,
+    pub(crate) cv: Condvar,
+}
+
+/// Per-transaction state.
+pub(crate) struct TxnState {
+    pub(crate) id: TxnId,
+    /// LSN of the Begin record (log truncation floor).
+    pub(crate) first_lsn: Lsn,
+    /// Inverse operations in forward order (rollback walks it backwards).
+    pub(crate) undo: Vec<(DcId, LogicalOp)>,
+    /// DCs touched by this transaction.
+    pub(crate) touched: HashSet<DcId>,
+    /// Values known under lock: (table, key) → payload (None = absent).
+    /// This is where undo information for updates/deletes comes from.
+    pub(crate) cache: HashMap<(TableId, Key), Option<Vec<u8>>>,
+    /// Versioned writes requiring post-commit promotion.
+    pub(crate) promotes: Vec<(DcId, TableId, Key)>,
+}
+
+/// The Transactional Component. Thread-safe; share via [`Arc`].
+pub struct Tc {
+    id: TcId,
+    /// Configuration (public for experiment harnesses).
+    pub cfg: TcConfig,
+    pub(crate) log: TcLogHandle,
+    pub(crate) locks: Arc<LockManager>,
+    pub(crate) links: RwLock<HashMap<DcId, Arc<dyn DcLink>>>,
+    routes: RwLock<HashMap<TableId, TableRoute>>,
+    pub(crate) txns: Mutex<HashMap<TxnId, Arc<Mutex<TxnState>>>>,
+    pub(crate) pending: Mutex<HashMap<RequestId, Arc<ReplySlot>>>,
+    pub(crate) ckpt_waiters: Mutex<HashMap<DcId, Arc<LsnSlot>>>,
+    pub(crate) restart_ready: Mutex<HashMap<DcId, Arc<FlagSlot>>>,
+    pub(crate) restart_done: Mutex<HashMap<DcId, Arc<FlagSlot>>>,
+    /// Out-of-band crash prompts received (kernel drains these).
+    crashed_prompts: Mutex<Vec<DcId>>,
+    pub(crate) acks: AckTracker,
+    /// Serializes LSN allocation with ack-tracker registration: the
+    /// low-water mark must never be computed between an append (which
+    /// fixes the LSN order) and the `sent`/`bookkeeping` registration of
+    /// that LSN — otherwise a concurrent committer could publish an LWM
+    /// covering an in-flight operation, and the DC would suppress its
+    /// first delivery as a duplicate.
+    alloc: Mutex<()>,
+    next_txn: AtomicU64,
+    next_read: AtomicU64,
+    pub(crate) rssp: AtomicU64,
+    appends_since_force: AtomicU64,
+    /// DCs currently being recovered: normal sends wait.
+    gated: Mutex<HashSet<DcId>>,
+    gate_cv: Condvar,
+    available: AtomicBool,
+    stats: TcStats,
+}
+
+impl Tc {
+    /// Create a TC over a (possibly crash-surviving) log store. For a
+    /// rebooted TC, call [`Tc::run_recovery`] after registering DCs and
+    /// tables.
+    pub fn new(id: TcId, cfg: TcConfig, log: Arc<LogStore<TcLogRecord>>) -> Arc<Tc> {
+        Arc::new(Tc {
+            id,
+            cfg,
+            log: TcLogHandle::new(log),
+            locks: Arc::new(LockManager::new()),
+            links: RwLock::new(HashMap::new()),
+            routes: RwLock::new(HashMap::new()),
+            txns: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            ckpt_waiters: Mutex::new(HashMap::new()),
+            restart_ready: Mutex::new(HashMap::new()),
+            restart_done: Mutex::new(HashMap::new()),
+            crashed_prompts: Mutex::new(Vec::new()),
+            acks: AckTracker::new(),
+            alloc: Mutex::new(()),
+            next_txn: AtomicU64::new(1),
+            next_read: AtomicU64::new(1),
+            rssp: AtomicU64::new(1),
+            appends_since_force: AtomicU64::new(0),
+            gated: Mutex::new(HashSet::new()),
+            gate_cv: Condvar::new(),
+            available: AtomicBool::new(true),
+            stats: TcStats::default(),
+        })
+    }
+
+    /// This TC's identity.
+    pub fn id(&self) -> TcId {
+        self.id
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &TcStats {
+        &self.stats
+    }
+
+    /// The TC's lock manager (experiment introspection).
+    pub fn lock_manager(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    /// The TC's log handle (experiment introspection).
+    pub fn log_handle(&self) -> &TcLogHandle {
+        &self.log
+    }
+
+    /// Wire a DC.
+    pub fn register_dc(&self, dc: DcId, link: Arc<dyn DcLink>) {
+        self.links.write().insert(dc, link);
+    }
+
+    /// Declare where a table lives.
+    pub fn register_table(&self, table: TableId, route: TableRoute) {
+        self.routes.write().insert(table, route);
+    }
+
+    pub(crate) fn route(&self, table: TableId) -> Result<TableRoute, TcError> {
+        self.routes.read().get(&table).cloned().ok_or(TcError::NoSuchDc(DcId(u16::MAX)))
+    }
+
+    pub(crate) fn link(&self, dc: DcId) -> Result<Arc<dyn DcLink>, TcError> {
+        self.links.read().get(&dc).cloned().ok_or(TcError::NoSuchDc(dc))
+    }
+
+    fn ensure_available(&self) -> Result<(), TcError> {
+        if self.available.load(Ordering::Acquire) {
+            Ok(())
+        } else {
+            Err(TcError::Unavailable(self.id))
+        }
+    }
+
+    pub(crate) fn set_available(&self, v: bool) {
+        self.available.store(v, Ordering::Release);
+    }
+
+    // ------------------------------------------------------------------
+    // Message delivery (transports call this)
+    // ------------------------------------------------------------------
+
+    /// Deliver one DC→TC message.
+    pub fn deliver(&self, msg: DcToTc) {
+        match msg {
+            DcToTc::Reply { req, result, .. } => {
+                if let Some(lsn) = req.lsn() {
+                    self.acks.acked(lsn);
+                }
+                let slot = self.pending.lock().get(&req).cloned();
+                match slot {
+                    Some(slot) => {
+                        let mut v = slot.val.lock();
+                        if v.is_none() {
+                            *v = Some(result);
+                            slot.cv.notify_all();
+                        } else {
+                            TcStats::bump(&self.stats.stale_replies);
+                        }
+                    }
+                    None => TcStats::bump(&self.stats.stale_replies),
+                }
+            }
+            DcToTc::CheckpointDone { dc, rssp, .. } => {
+                if let Some(slot) = self.ckpt_waiters.lock().get(&dc).cloned() {
+                    *slot.val.lock() = Some(rssp);
+                    slot.cv.notify_all();
+                }
+            }
+            DcToTc::RsspHint { .. } => {
+                // Advisory only; a checkpoint will pick it up.
+            }
+            DcToTc::Crashed { dc } => {
+                self.crashed_prompts.lock().push(dc);
+            }
+            DcToTc::RestartReady { dc, .. } => {
+                if let Some(slot) = self.restart_ready.lock().get(&dc).cloned() {
+                    *slot.val.lock() = true;
+                    slot.cv.notify_all();
+                }
+            }
+            DcToTc::RestartDone { dc, .. } => {
+                if let Some(slot) = self.restart_done.lock().get(&dc).cloned() {
+                    *slot.val.lock() = true;
+                    slot.cv.notify_all();
+                }
+            }
+        }
+    }
+
+    /// Drain crash prompts (the kernel reacts by driving
+    /// [`Tc::recover_dc`] once the DC has rebooted).
+    pub fn take_crash_prompts(&self) -> Vec<DcId> {
+        std::mem::take(&mut *self.crashed_prompts.lock())
+    }
+
+    // ------------------------------------------------------------------
+    // Sending with resend/ack (the interaction contract)
+    // ------------------------------------------------------------------
+
+    fn gate_wait(&self, dc: DcId) {
+        let mut g = self.gated.lock();
+        while g.contains(&dc) {
+            self.gate_cv.wait(&mut g);
+        }
+    }
+
+    pub(crate) fn gate(&self, dc: DcId) {
+        self.gated.lock().insert(dc);
+    }
+
+    pub(crate) fn ungate(&self, dc: DcId) {
+        self.gated.lock().remove(&dc);
+        self.gate_cv.notify_all();
+    }
+
+    fn slot_for(&self, req: RequestId) -> Arc<ReplySlot> {
+        self.pending
+            .lock()
+            .entry(req)
+            .or_insert_with(|| {
+                Arc::new(ReplySlot { val: Mutex::new(None), cv: Condvar::new() })
+            })
+            .clone()
+    }
+
+    fn drop_slot(&self, req: RequestId, slot: &Arc<ReplySlot>) {
+        let mut p = self.pending.lock();
+        if let Some(cur) = p.get(&req) {
+            if Arc::ptr_eq(cur, slot) {
+                p.remove(&req);
+            }
+        }
+    }
+
+    /// Send an operation and wait for its reply, resending on timeout
+    /// (exactly-once overall thanks to DC idempotence). `bypass_gate` is
+    /// used by recovery, which must talk to a gated DC.
+    pub(crate) fn send_op(
+        &self,
+        dc: DcId,
+        req: RequestId,
+        op: &LogicalOp,
+        bypass_gate: bool,
+    ) -> Result<Result<OpResult, DcError>, TcError> {
+        let link = self.link(dc)?;
+        let slot = self.slot_for(req);
+        let mut attempts: u32 = 0;
+        loop {
+            if !bypass_gate {
+                self.gate_wait(dc);
+            }
+            link.send(TcToDc::Perform { tc: self.id, req, op: op.clone() });
+            if attempts == 0 {
+                if req.lsn().is_some() {
+                    TcStats::bump(&self.stats.ops_sent);
+                } else {
+                    TcStats::bump(&self.stats.reads_sent);
+                }
+            } else {
+                TcStats::bump(&self.stats.resends);
+            }
+            let deadline = std::time::Instant::now() + self.cfg.resend_interval;
+            let mut v = slot.val.lock();
+            while v.is_none() {
+                if slot.cv.wait_until(&mut v, deadline).timed_out() {
+                    break;
+                }
+            }
+            if let Some(result) = v.take() {
+                drop(v);
+                self.drop_slot(req, &slot);
+                return Ok(result);
+            }
+            drop(v);
+            attempts += 1;
+            if attempts > self.cfg.max_resends {
+                self.drop_slot(req, &slot);
+                return Err(TcError::DcUnreachable(dc));
+            }
+        }
+    }
+
+    /// Broadcast a control message to every registered DC.
+    pub(crate) fn broadcast(&self, make: impl Fn(TcId) -> TcToDc) {
+        let links = self.links.read();
+        for link in links.values() {
+            link.send(make(self.id));
+        }
+    }
+
+    /// Force the log and publish the new EOSL + LWM to all DCs (this is
+    /// how write-ahead logging and abLSN pruning work across the
+    /// component boundary).
+    pub fn force_and_publish(&self) {
+        let eosl = self.log.force();
+        let lwm = self.acks.lwm().min(eosl);
+        self.broadcast(|tc| TcToDc::EndOfStableLog { tc, eosl });
+        self.broadcast(|tc| TcToDc::LowWaterMark { tc, lwm });
+        self.appends_since_force.store(0, Ordering::Relaxed);
+    }
+
+    fn maybe_background_force(&self) {
+        let n = self.appends_since_force.fetch_add(1, Ordering::Relaxed) + 1;
+        if n as usize >= self.cfg.force_every {
+            self.force_and_publish();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction API
+    // ------------------------------------------------------------------
+
+    /// Start a transaction.
+    pub fn begin(&self) -> Result<TxnId, TcError> {
+        self.ensure_available()?;
+        let txn = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        let lsn = self.log_bookkeeping(TcLogRecord::Begin { txn });
+        self.maybe_background_force();
+        let st = TxnState {
+            id: txn,
+            first_lsn: lsn,
+            undo: Vec::new(),
+            touched: HashSet::new(),
+            cache: HashMap::new(),
+            promotes: Vec::new(),
+        };
+        self.txns.lock().insert(txn, Arc::new(Mutex::new(st)));
+        Ok(txn)
+    }
+
+    pub(crate) fn txn_state(&self, txn: TxnId) -> Result<Arc<Mutex<TxnState>>, TcError> {
+        self.txns.lock().get(&txn).cloned().ok_or(TcError::NotActive(txn))
+    }
+
+    fn token(txn: TxnId) -> LockToken {
+        LockToken(txn.0)
+    }
+
+    fn lock_or_abort(
+        &self,
+        txn: TxnId,
+        name: LockName,
+        mode: LockMode,
+    ) -> Result<(), TcError> {
+        match self.locks.lock(Self::token(txn), name, mode, self.cfg.lock_timeout) {
+            Ok(()) => Ok(()),
+            Err(LockError::Deadlock) => {
+                TcStats::bump(&self.stats.deadlock_aborts);
+                self.rollback(txn)?;
+                Err(TcError::Deadlock(txn))
+            }
+            Err(LockError::Timeout) => {
+                self.rollback(txn)?;
+                Err(TcError::LockTimeout(txn))
+            }
+        }
+    }
+
+    /// Edge lock name for key-range (phantom) protection: the next
+    /// existing key, or the end-of-table sentinel.
+    fn edge_lock(table: TableId, next_key: Option<&Key>) -> LockName {
+        match next_key {
+            Some(k) => LockName::Record(table, k.clone()),
+            None => LockName::Range(table, u32::MAX),
+        }
+    }
+
+    /// Known value of a key under lock (from the transaction's read
+    /// cache, or fetched now — undo information for updates/deletes).
+    fn known_value(
+        &self,
+        st: &Arc<Mutex<TxnState>>,
+        dc: DcId,
+        table: TableId,
+        key: &Key,
+    ) -> Result<Option<Vec<u8>>, TcError> {
+        if let Some(v) = st.lock().cache.get(&(table, key.clone())) {
+            return Ok(v.clone());
+        }
+        let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+        let op = LogicalOp::Read { table, key: key.clone(), flavor: ReadFlavor::Latest };
+        let value = match self.send_op(dc, req, &op, false)? {
+            Ok(OpResult::Value(v)) => v,
+            Ok(other) => panic!("read returned {other:?}"),
+            Err(e) => return Err(TcError::OperationFailed(st.lock().id, e)),
+        };
+        st.lock().cache.insert((table, key.clone()), value.clone());
+        Ok(value)
+    }
+
+    fn mutate(&self, txn: TxnId, op: LogicalOp) -> Result<(), TcError> {
+        self.ensure_available()?;
+        let st = self.txn_state(txn)?;
+        let table = op.table();
+        let key = op.point_key().expect("point mutation").clone();
+        let dc = self.route(table)?.dc_for(&key);
+
+        // --- Locking, always before the LSN is drawn (OPSR).
+        self.lock_or_abort(txn, LockName::Table(table), LockMode::IX)?;
+        match (&self.cfg.scan_protocol, &op) {
+            (ScanProtocol::StaticRanges(p), _) => {
+                // Static range locks: every mutation intends-to-write its
+                // partition; scans take S on partitions, blocking writers.
+                let part = p.partition_of(&key);
+                self.lock_or_abort(txn, LockName::Range(table, part), LockMode::IX)?;
+            }
+            (ScanProtocol::FetchAhead { .. }, LogicalOp::Insert { .. })
+            | (ScanProtocol::FetchAhead { .. }, LogicalOp::VersionedWrite { .. }) => {
+                // Next-key (instant) lock: serializes against scans that
+                // locked the edge of the gap this insert lands in.
+                let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+                let probe =
+                    LogicalOp::ProbeKeys { table, from: key.successor(), count: 1 };
+                let next = match self.send_op(dc, req, &probe, false)? {
+                    Ok(OpResult::Keys(keys)) => keys.into_iter().next(),
+                    Ok(other) => panic!("probe returned {other:?}"),
+                    Err(e) => return Err(TcError::OperationFailed(txn, e)),
+                };
+                let name = Self::edge_lock(table, next.as_ref());
+                self.lock_or_abort(txn, name.clone(), LockMode::X)?;
+                self.locks.unlock(Self::token(txn), &name); // instant duration
+            }
+            _ => {}
+        }
+        self.lock_or_abort(txn, LockName::Record(table, key.clone()), LockMode::X)?;
+
+        // --- Undo information (before logging — see `op.rs` docs).
+        let undo = match &op {
+            LogicalOp::Insert { .. } | LogicalOp::VersionedWrite { .. } => op.inverse(None),
+            LogicalOp::Update { .. } | LogicalOp::Delete { .. } => {
+                match self.known_value(&st, dc, table, &key)? {
+                    Some(prior) => op.inverse(Some(&prior)),
+                    None => None, // record absent: the op will fail deterministically
+                }
+            }
+            _ => None,
+        };
+
+        // --- Log, then send.
+        let lsn = self.log_op_record(TcLogRecord::Op {
+            txn,
+            dc,
+            op: op.clone(),
+            undo: undo.clone(),
+        });
+        self.maybe_background_force();
+        match self.send_op(dc, RequestId::Op(lsn), &op, false)? {
+            Ok(_) => {
+                let mut g = st.lock();
+                if let Some(inv) = undo {
+                    g.undo.push((dc, inv));
+                }
+                g.touched.insert(dc);
+                // Maintain the read cache for later undo info.
+                let cached: Option<Vec<u8>> = match &op {
+                    LogicalOp::Insert { value, .. }
+                    | LogicalOp::Update { value, .. }
+                    | LogicalOp::VersionedWrite { value, .. } => Some(value.clone()),
+                    LogicalOp::Delete { .. } => None,
+                    _ => None,
+                };
+                g.cache.insert((table, key.clone()), cached);
+                if matches!(op, LogicalOp::VersionedWrite { .. }) {
+                    g.promotes.push((dc, table, key));
+                }
+                Ok(())
+            }
+            Err(e) => {
+                drop(st);
+                self.rollback(txn)?;
+                Err(TcError::OperationFailed(txn, e))
+            }
+        }
+    }
+
+    /// Insert a record.
+    pub fn insert(&self, txn: TxnId, table: TableId, key: Key, value: Vec<u8>) -> Result<(), TcError> {
+        self.mutate(txn, LogicalOp::Insert { table, key, value })
+    }
+
+    /// Replace a record's payload.
+    pub fn update(&self, txn: TxnId, table: TableId, key: Key, value: Vec<u8>) -> Result<(), TcError> {
+        self.mutate(txn, LogicalOp::Update { table, key, value })
+    }
+
+    /// Delete a record.
+    pub fn delete(&self, txn: TxnId, table: TableId, key: Key) -> Result<(), TcError> {
+        self.mutate(txn, LogicalOp::Delete { table, key })
+    }
+
+    /// Versioned insert-or-update on a versioned table (cross-TC
+    /// read-committed sharing, Section 6.2.2). Promoted on commit,
+    /// reverted on abort.
+    pub fn versioned_write(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        value: Vec<u8>,
+    ) -> Result<(), TcError> {
+        self.mutate(txn, LogicalOp::VersionedWrite { table, key, value })
+    }
+
+    /// Transactional point read (S lock; serializable).
+    pub fn read(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
+        self.ensure_available()?;
+        let st = self.txn_state(txn)?;
+        let dc = self.route(table)?.dc_for(&key);
+        self.lock_or_abort(txn, LockName::Table(table), LockMode::IS)?;
+        self.lock_or_abort(txn, LockName::Record(table, key.clone()), LockMode::S)?;
+        self.known_value(&st, dc, table, &key)
+    }
+
+    /// Lock-free read of *committed* data via versioning (Section 6.2.2:
+    /// "Readers are never blocked"). Usable from any TC sharing the DC.
+    pub fn read_committed(&self, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
+        self.unlocked_read(table, key, ReadFlavor::Committed)
+    }
+
+    /// Lock-free dirty read (Section 6.2.1): sees uncommitted but always
+    /// operation-atomic ("well formed") data.
+    pub fn read_dirty(&self, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
+        self.unlocked_read(table, key, ReadFlavor::Latest)
+    }
+
+    fn unlocked_read(
+        &self,
+        table: TableId,
+        key: Key,
+        flavor: ReadFlavor,
+    ) -> Result<Option<Vec<u8>>, TcError> {
+        self.ensure_available()?;
+        let dc = self.route(table)?.dc_for(&key);
+        let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+        let op = LogicalOp::Read { table, key, flavor };
+        match self.send_op(dc, req, &op, false)? {
+            Ok(OpResult::Value(v)) => Ok(v),
+            Ok(other) => panic!("read returned {other:?}"),
+            Err(e) => Err(TcError::OperationFailed(TxnId(0), e)),
+        }
+    }
+
+    /// Lock-free committed range scan (used by reader TCs à la Figure 2's
+    /// TC3; `flavor` picks dirty vs read-committed).
+    pub fn scan_unlocked(
+        &self,
+        table: TableId,
+        low: Key,
+        high: Option<Key>,
+        limit: Option<usize>,
+        flavor: ReadFlavor,
+    ) -> Result<Vec<(Key, Vec<u8>)>, TcError> {
+        self.ensure_available()?;
+        let route = self.route(table)?;
+        let mut out = Vec::new();
+        for dc in route.dcs_for_range(&low, high.as_ref()) {
+            let remaining = limit.map(|l| l.saturating_sub(out.len()));
+            if remaining == Some(0) {
+                break;
+            }
+            let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+            let op = LogicalOp::ScanRange {
+                table,
+                low: low.clone(),
+                high: high.clone(),
+                limit: remaining,
+                flavor,
+            };
+            match self.send_op(dc, req, &op, false)? {
+                Ok(OpResult::Entries(e)) => out.extend(e),
+                Ok(other) => panic!("scan returned {other:?}"),
+                Err(e) => return Err(TcError::OperationFailed(TxnId(0), e)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Serializable range scan under the configured Section 3.1
+    /// protocol.
+    pub fn scan(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        low: Key,
+        high: Option<Key>,
+        limit: Option<usize>,
+    ) -> Result<Vec<(Key, Vec<u8>)>, TcError> {
+        self.ensure_available()?;
+        self.txn_state(txn)?;
+        self.lock_or_abort(txn, LockName::Table(table), LockMode::IS)?;
+        match self.cfg.scan_protocol.clone() {
+            ScanProtocol::StaticRanges(p) => {
+                // Lock every partition the range touches, then scan.
+                for part in p.partitions_overlapping(&low, high.as_ref()) {
+                    self.lock_or_abort(txn, LockName::Range(table, part), LockMode::S)?;
+                }
+                self.scan_locked_range(txn, table, &low, high.as_ref(), limit)
+            }
+            ScanProtocol::FetchAhead { batch } => {
+                self.scan_fetch_ahead(txn, table, &low, high.as_ref(), limit, batch)
+            }
+        }
+    }
+
+    fn scan_locked_range(
+        &self,
+        _txn: TxnId,
+        table: TableId,
+        low: &Key,
+        high: Option<&Key>,
+        limit: Option<usize>,
+    ) -> Result<Vec<(Key, Vec<u8>)>, TcError> {
+        let route = self.route(table)?;
+        let mut out = Vec::new();
+        for dc in route.dcs_for_range(low, high) {
+            let remaining = limit.map(|l| l.saturating_sub(out.len()));
+            if remaining == Some(0) {
+                break;
+            }
+            let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+            let op = LogicalOp::ScanRange {
+                table,
+                low: low.clone(),
+                high: high.cloned(),
+                limit: remaining,
+                flavor: ReadFlavor::Latest,
+            };
+            match self.send_op(dc, req, &op, false)? {
+                Ok(OpResult::Entries(e)) => out.extend(e),
+                Ok(other) => panic!("scan returned {other:?}"),
+                Err(e) => return Err(TcError::OperationFailed(TxnId(0), e)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The fetch-ahead protocol (Section 3.1): probe keys speculatively,
+    /// lock them (plus the range edge), verify by re-probing, then read.
+    fn scan_fetch_ahead(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        low: &Key,
+        high: Option<&Key>,
+        limit: Option<usize>,
+        batch: usize,
+    ) -> Result<Vec<(Key, Vec<u8>)>, TcError> {
+        let route = self.route(table)?;
+        let mut out: Vec<(Key, Vec<u8>)> = Vec::new();
+        'dcs: for dc in route.dcs_for_range(low, high) {
+            let mut from = low.clone();
+            loop {
+                if limit.map(|l| out.len() >= l).unwrap_or(false) {
+                    break 'dcs;
+                }
+                // Probe + lock until stable (bounded retries).
+                let mut retries = 0;
+                let keys = loop {
+                    let keys = self.probe(dc, table, &from, batch)?;
+                    for k in &keys {
+                        let in_range = high.map(|h| k < h).unwrap_or(true);
+                        let name = if in_range {
+                            LockName::Record(table, k.clone())
+                        } else {
+                            // First key at/after the bound is the edge.
+                            Self::edge_lock(table, Some(k))
+                        };
+                        self.lock_or_abort(txn, name, LockMode::S)?;
+                        if !in_range {
+                            break;
+                        }
+                    }
+                    if keys.len() < batch {
+                        // End of table: lock the EOT edge.
+                        self.lock_or_abort(txn, Self::edge_lock(table, None), LockMode::S)?;
+                    }
+                    // Verify the speculation: the key set must not have
+                    // changed between probe and locks.
+                    let again = self.probe(dc, table, &from, batch)?;
+                    if again == keys {
+                        break keys;
+                    }
+                    retries += 1;
+                    if retries > 16 {
+                        self.rollback(txn)?;
+                        return Err(TcError::LockTimeout(txn));
+                    }
+                };
+                let in_range: Vec<&Key> = keys
+                    .iter()
+                    .filter(|k| **k >= from && high.map(|h| *k < h).unwrap_or(true))
+                    .collect();
+                if !in_range.is_empty() {
+                    // Read the locked collection in one request.
+                    let upper = in_range.last().unwrap().successor();
+                    let req =
+                        RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+                    let op = LogicalOp::ScanRange {
+                        table,
+                        low: from.clone(),
+                        high: Some(upper.clone()),
+                        limit: None,
+                        flavor: ReadFlavor::Latest,
+                    };
+                    match self.send_op(dc, req, &op, false)? {
+                        Ok(OpResult::Entries(e)) => out.extend(e),
+                        Ok(other) => panic!("scan returned {other:?}"),
+                        Err(e) => return Err(TcError::OperationFailed(txn, e)),
+                    }
+                    from = upper;
+                }
+                if keys.len() < batch
+                    || keys.iter().any(|k| high.map(|h| k >= h).unwrap_or(false))
+                {
+                    break; // exhausted this DC's range
+                }
+            }
+        }
+        if let Some(l) = limit {
+            out.truncate(l);
+        }
+        Ok(out)
+    }
+
+    fn probe(
+        &self,
+        dc: DcId,
+        table: TableId,
+        from: &Key,
+        count: usize,
+    ) -> Result<Vec<Key>, TcError> {
+        let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+        let op = LogicalOp::ProbeKeys { table, from: from.clone(), count };
+        match self.send_op(dc, req, &op, false)? {
+            Ok(OpResult::Keys(keys)) => Ok(keys),
+            Ok(other) => panic!("probe returned {other:?}"),
+            Err(e) => Err(TcError::OperationFailed(TxnId(0), e)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// Commit: force the commit record (durability), then run
+    /// post-commit version promotions, then release locks.
+    pub fn commit(&self, txn: TxnId) -> Result<(), TcError> {
+        self.ensure_available()?;
+        let st = self.txn_state(txn)?;
+        self.log_bookkeeping(TcLogRecord::Commit { txn });
+        self.force_and_publish();
+        // Eliminate before-versions (Section 6.2.2) — logged redo-only so
+        // recovery finishes the job if we crash mid-way. No 2PC anywhere:
+        // once the commit record is stable the transaction IS committed.
+        let promotes = std::mem::take(&mut st.lock().promotes);
+        let had_promotes = !promotes.is_empty();
+        for (dc, table, key) in promotes {
+            let op = LogicalOp::PromoteVersion { table, key };
+            let l = self.log_op_record(TcLogRecord::RedoOnly { txn, dc, op: op.clone() });
+            let _ = self.send_op(dc, RequestId::Op(l), &op, false)?;
+        }
+        if had_promotes {
+            // Make the promotions durable; recovery also re-derives them
+            // from the committed VersionedWrite records, closing the
+            // remaining window.
+            self.force_and_publish();
+        }
+        self.locks.unlock_all(Self::token(txn));
+        self.txns.lock().remove(&txn);
+        TcStats::bump(&self.stats.commits);
+        Ok(())
+    }
+
+    /// Abort: roll back via inverse operations, then release locks.
+    pub fn abort(&self, txn: TxnId) -> Result<(), TcError> {
+        self.ensure_available()?;
+        self.rollback(txn)
+    }
+
+    pub(crate) fn rollback(&self, txn: TxnId) -> Result<(), TcError> {
+        let st = match self.txns.lock().remove(&txn) {
+            Some(st) => st,
+            None => return Err(TcError::NotActive(txn)),
+        };
+        // Inverse operations in reverse chronological order
+        // (Section 4.1.1(2b)), logged redo-only like compensation
+        // records so recovery repeats them but never undoes them.
+        let undo: Vec<(DcId, LogicalOp)> = {
+            let mut g = st.lock();
+            g.promotes.clear();
+            let mut u = std::mem::take(&mut g.undo);
+            u.reverse();
+            u
+        };
+        for (dc, inv) in undo {
+            let l = self.log_op_record(TcLogRecord::RedoOnly { txn, dc, op: inv.clone() });
+            self.maybe_background_force();
+            TcStats::bump(&self.stats.undo_ops);
+            let _ = self.send_op(dc, RequestId::Op(l), &inv, false)?;
+        }
+        self.log_bookkeeping(TcLogRecord::Abort { txn });
+        self.force_and_publish();
+        self.locks.unlock_all(Self::token(txn));
+        TcStats::bump(&self.stats.aborts);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint (contract termination, Section 4.2)
+    // ------------------------------------------------------------------
+
+    /// Advance the redo scan start point: ask every DC to make pages
+    /// containing pre-`target` operations stable, record the granted
+    /// RSSP, and truncate the log prefix no longer needed for redo *or*
+    /// undo. Returns the new RSSP.
+    pub fn checkpoint(&self) -> Result<Lsn, TcError> {
+        self.ensure_available()?;
+        let target = self.log.last().next();
+        self.force_and_publish();
+        let mut granted = target;
+        let dcs: Vec<DcId> = self.links.read().keys().copied().collect();
+        for dc in dcs {
+            let slot = Arc::new(LsnSlot { val: Mutex::new(None), cv: Condvar::new() });
+            self.ckpt_waiters.lock().insert(dc, slot.clone());
+            self.link(dc)?.send(TcToDc::Checkpoint { tc: self.id, new_rssp: target });
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            let mut v = slot.val.lock();
+            while v.is_none() {
+                if slot.cv.wait_until(&mut v, deadline).timed_out() {
+                    break;
+                }
+            }
+            let dc_granted = v.unwrap_or(Lsn(self.rssp.load(Ordering::Relaxed)));
+            drop(v);
+            self.ckpt_waiters.lock().remove(&dc);
+            granted = granted.min(dc_granted);
+        }
+        let active: Vec<TxnId> = self.txns.lock().keys().copied().collect();
+        let rec = TcLogRecord::Checkpoint { rssp: granted, active: active.clone() };
+        self.log_bookkeeping(rec);
+        self.log.force();
+        self.rssp.store(granted.0, Ordering::Relaxed);
+        // Truncation floor: redo needs ≥ RSSP, undo needs every record of
+        // a still-active transaction.
+        let oldest_active = self
+            .txns
+            .lock()
+            .values()
+            .map(|st| st.lock().first_lsn)
+            .min()
+            .unwrap_or(granted);
+        let keep_from = granted.min(oldest_active);
+        if keep_from.0 > 1 {
+            self.log.store().truncate_prefix(keep_from.0 - 1);
+        }
+        TcStats::bump(&self.stats.checkpoints);
+        Ok(granted)
+    }
+
+    /// Current redo scan start point.
+    pub fn rssp(&self) -> Lsn {
+        Lsn(self.rssp.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn bump_txn_counter_to(&self, floor: u64) {
+        self.next_txn.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Append an operation record and register its LSN as outstanding,
+    /// atomically w.r.t. LWM computation.
+    pub(crate) fn log_op_record(&self, rec: TcLogRecord) -> Lsn {
+        let _g = self.alloc.lock();
+        let lsn = self.log.append(rec);
+        self.acks.sent(lsn);
+        lsn
+    }
+
+    /// Append a bookkeeping record (Begin/Commit/Abort/Checkpoint),
+    /// atomically w.r.t. LWM computation.
+    pub(crate) fn log_bookkeeping(&self, rec: TcLogRecord) -> Lsn {
+        let _g = self.alloc.lock();
+        let lsn = self.log.append(rec);
+        self.acks.bookkeeping(lsn);
+        lsn
+    }
+}

@@ -1,0 +1,187 @@
+//! The TC's logical log (paper Section 4.1.1(3)).
+//!
+//! Every state-changing logical operation is logged with both its redo
+//! form (the operation itself — resent verbatim during recovery) and its
+//! undo form (the inverse operation, computed from the prior record
+//! state the TC knows under its locks). Because the TC never sees pages,
+//! no record here contains a page id: redo is *logical* (Section 3.2(1)).
+//!
+//! Lock-before-log discipline gives OPSR (order-preserving serializable)
+//! log order: conflicting operations are serialized by the lock manager
+//! before their LSNs are drawn, so replaying the log in LSN order
+//! reproduces every conflict in its original order even though
+//! non-conflicting operations may have executed out of LSN order.
+
+use std::sync::Arc;
+use unbundled_core::{DcId, LogicalOp, Lsn, TxnId};
+use unbundled_storage::LogStore;
+
+/// One TC-log record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TcLogRecord {
+    /// Transaction start.
+    Begin {
+        /// Starting transaction.
+        txn: TxnId,
+    },
+    /// A logged logical operation (LSN = its sequence number).
+    Op {
+        /// Owning transaction.
+        txn: TxnId,
+        /// Destination DC.
+        dc: DcId,
+        /// The operation (redo form: resent verbatim).
+        op: LogicalOp,
+        /// The inverse operation (undo form), if the operation is
+        /// undoable and succeeded-so-far knowledge allows one.
+        undo: Option<LogicalOp>,
+    },
+    /// Redo-only operation: inverse operations issued during rollback
+    /// (the logical analogue of compensation log records) and
+    /// post-commit version promotions. Never undone.
+    RedoOnly {
+        /// Owning transaction.
+        txn: TxnId,
+        /// Destination DC.
+        dc: DcId,
+        /// The operation.
+        op: LogicalOp,
+    },
+    /// Transaction committed (forced).
+    Commit {
+        /// Committed transaction.
+        txn: TxnId,
+    },
+    /// Transaction aborted (all inverse operations logged before this).
+    Abort {
+        /// Aborted transaction.
+        txn: TxnId,
+    },
+    /// Checkpoint: redo scan start point + active transactions at the
+    /// time (contract termination, Section 4.2).
+    Checkpoint {
+        /// Granted redo scan start point.
+        rssp: Lsn,
+        /// Transactions active at checkpoint time.
+        active: Vec<TxnId>,
+    },
+}
+
+fn op_size(op: &LogicalOp) -> usize {
+    match op {
+        LogicalOp::Insert { key, value, .. }
+        | LogicalOp::Update { key, value, .. }
+        | LogicalOp::VersionedWrite { key, value, .. } => 16 + key.len() + value.len(),
+        LogicalOp::Delete { key, .. }
+        | LogicalOp::PromoteVersion { key, .. }
+        | LogicalOp::RevertVersion { key, .. }
+        | LogicalOp::Read { key, .. } => 16 + key.len(),
+        LogicalOp::ScanRange { low, high, .. } => {
+            16 + low.len() + high.as_ref().map(|h| h.len()).unwrap_or(0)
+        }
+        LogicalOp::ProbeKeys { from, .. } => 16 + from.len(),
+    }
+}
+
+impl TcLogRecord {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            TcLogRecord::Begin { txn }
+            | TcLogRecord::Op { txn, .. }
+            | TcLogRecord::RedoOnly { txn, .. }
+            | TcLogRecord::Commit { txn }
+            | TcLogRecord::Abort { txn } => Some(*txn),
+            TcLogRecord::Checkpoint { .. } => None,
+        }
+    }
+
+    /// Approximate encoded size (log-space accounting).
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            TcLogRecord::Begin { .. } | TcLogRecord::Commit { .. } | TcLogRecord::Abort { .. } => {
+                17
+            }
+            TcLogRecord::Op { op, undo, .. } => {
+                19 + op_size(op) + undo.as_ref().map(op_size).unwrap_or(0)
+            }
+            TcLogRecord::RedoOnly { op, .. } => 19 + op_size(op),
+            TcLogRecord::Checkpoint { active, .. } => 17 + 8 * active.len(),
+        }
+    }
+}
+
+/// Handle around the TC's log store: LSNs are the store's sequence
+/// numbers.
+pub struct TcLogHandle {
+    store: Arc<LogStore<TcLogRecord>>,
+}
+
+impl TcLogHandle {
+    /// Wrap a (possibly crash-surviving) store.
+    pub fn new(store: Arc<LogStore<TcLogRecord>>) -> Self {
+        TcLogHandle { store }
+    }
+
+    /// Append; returns the record's LSN.
+    pub fn append(&self, rec: TcLogRecord) -> Lsn {
+        let size = rec.encoded_size();
+        Lsn(self.store.append(rec, size))
+    }
+
+    /// Force; returns the new end of stable log (EOSL).
+    pub fn force(&self) -> Lsn {
+        Lsn(self.store.force())
+    }
+
+    /// End of stable log.
+    pub fn stable(&self) -> Lsn {
+        Lsn(self.store.stable_seq())
+    }
+
+    /// Last assigned LSN.
+    pub fn last(&self) -> Lsn {
+        Lsn(self.store.last_seq())
+    }
+
+    /// Underlying store.
+    pub fn store(&self) -> &Arc<LogStore<TcLogRecord>> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unbundled_core::{Key, TableId};
+
+    #[test]
+    fn append_force_crash_semantics() {
+        let h = TcLogHandle::new(Arc::new(LogStore::new()));
+        let l1 = h.append(TcLogRecord::Begin { txn: TxnId(1) });
+        assert_eq!(l1, Lsn(1));
+        assert_eq!(h.stable(), Lsn(0));
+        assert_eq!(h.force(), Lsn(1));
+        h.append(TcLogRecord::Commit { txn: TxnId(1) });
+        assert_eq!(h.store().crash(), 1, "unforced commit lost");
+    }
+
+    #[test]
+    fn op_record_sizes_include_undo() {
+        let op = LogicalOp::Update {
+            table: TableId(1),
+            key: Key::from_u64(1),
+            value: vec![0; 100],
+        };
+        let undo = op.inverse(Some(&[0; 50])).unwrap();
+        let with = TcLogRecord::Op { txn: TxnId(1), dc: DcId(1), op: op.clone(), undo: Some(undo) };
+        let without = TcLogRecord::Op { txn: TxnId(1), dc: DcId(1), op, undo: None };
+        assert!(with.encoded_size() > without.encoded_size() + 50);
+    }
+
+    #[test]
+    fn txn_extraction() {
+        assert_eq!(TcLogRecord::Begin { txn: TxnId(3) }.txn(), Some(TxnId(3)));
+        assert_eq!(TcLogRecord::Checkpoint { rssp: Lsn(1), active: vec![] }.txn(), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! # unbundled
+//!
+//! A full reproduction of **"Unbundling Transaction Services in the
+//! Cloud"** (Lomet, Fekete, Weikum, Zwilling — CIDR 2009) as a Rust
+//! workspace: a database kernel factored into a **Transactional
+//! Component** (logical locking + logical undo/redo logging, no knowledge
+//! of pages) and **Data Components** (access methods, caching, atomic
+//! idempotent record operations, no knowledge of transactions), glued by
+//! the paper's interaction contracts.
+//!
+//! This facade crate re-exports the workspace members under stable names;
+//! the `examples/` directory shows end-to-end deployments:
+//!
+//! * `quickstart` — one TC, one DC, transactions with crash recovery.
+//! * `movie_reviews` — the paper's Figure 2 cloud scenario (two updating
+//!   TCs partitioned by user, a read-only TC, three partitioned DCs,
+//!   workloads W1–W4, no two-phase commit).
+//! * `photo_sharing` — Section 2's Web 2.0 application over heterogeneous
+//!   DCs (record store + text index + spatial index) under one TC.
+//! * `partial_failures` — Section 5.3: independent TC and DC crashes.
+
+pub use unbundled_core as core;
+pub use unbundled_customdc as customdc;
+pub use unbundled_dc as dc;
+pub use unbundled_kernel as kernel;
+pub use unbundled_lockmgr as lockmgr;
+pub use unbundled_monolith as monolith;
+pub use unbundled_storage as storage;
+pub use unbundled_tc as tc;

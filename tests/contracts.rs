@@ -1,0 +1,281 @@
+//! Contract-level integration tests: the Section 4.2 interaction
+//! contracts, multi-DC atomicity, and API edge cases.
+
+use std::sync::Arc;
+use unbundled::core::{DcId, Key, ReadFlavor, TableId, TableSpec, TcId};
+use unbundled::dc::DcConfig;
+use unbundled::kernel::{single, Deployment, TransportKind};
+use unbundled::tc::{TableRoute, TcConfig};
+
+const T: TableId = TableId(1);
+const T2: TableId = TableId(2);
+
+/// Two DCs under one TC, one table on each.
+fn two_dcs() -> Deployment {
+    let mut d = Deployment::new();
+    d.add_dc(DcId(1), DcConfig::default());
+    d.add_dc(DcId(2), DcConfig::default());
+    d.add_tc(TcId(1), TcConfig::default());
+    d.connect(TcId(1), DcId(1), TransportKind::Inline);
+    d.connect(TcId(1), DcId(2), TransportKind::Inline);
+    d.create_table(DcId(1), TableSpec::plain(T, "t1"));
+    d.create_table(DcId(2), TableSpec::plain(T2, "t2"));
+    d.route(TcId(1), T, TableRoute::Single(DcId(1)));
+    d.route(TcId(1), T2, TableRoute::Single(DcId(2)));
+    d
+}
+
+#[test]
+fn multi_dc_transaction_commits_atomically_without_2pc() {
+    let d = two_dcs();
+    let tc = d.tc(TcId(1));
+    let txn = tc.begin().unwrap();
+    tc.insert(txn, T, Key::from_u64(1), b"on-dc1".to_vec()).unwrap();
+    tc.insert(txn, T2, Key::from_u64(1), b"on-dc2".to_vec()).unwrap();
+    // No prepare/vote anywhere: commit is one local log force.
+    tc.commit(txn).unwrap();
+    let t = tc.begin().unwrap();
+    assert_eq!(tc.read(t, T, Key::from_u64(1)).unwrap(), Some(b"on-dc1".to_vec()));
+    assert_eq!(tc.read(t, T2, Key::from_u64(1)).unwrap(), Some(b"on-dc2".to_vec()));
+    tc.commit(t).unwrap();
+}
+
+#[test]
+fn multi_dc_abort_undoes_on_both_dcs() {
+    let d = two_dcs();
+    let tc = d.tc(TcId(1));
+    let txn = tc.begin().unwrap();
+    tc.insert(txn, T, Key::from_u64(9), b"a".to_vec()).unwrap();
+    tc.insert(txn, T2, Key::from_u64(9), b"b".to_vec()).unwrap();
+    tc.abort(txn).unwrap();
+    assert_eq!(tc.read_dirty(T, Key::from_u64(9)).unwrap(), None);
+    assert_eq!(tc.read_dirty(T2, Key::from_u64(9)).unwrap(), None);
+}
+
+#[test]
+fn multi_dc_tc_crash_recovers_both_sides() {
+    let d = two_dcs();
+    let tc = d.tc(TcId(1));
+    let t0 = tc.begin().unwrap();
+    tc.insert(t0, T, Key::from_u64(1), b"c1".to_vec()).unwrap();
+    tc.insert(t0, T2, Key::from_u64(1), b"c2".to_vec()).unwrap();
+    tc.commit(t0).unwrap();
+    // Loser spanning both DCs, forced but uncommitted.
+    let loser = tc.begin().unwrap();
+    tc.update(loser, T, Key::from_u64(1), b"x1".to_vec()).unwrap();
+    tc.update(loser, T2, Key::from_u64(1), b"x2".to_vec()).unwrap();
+    tc.force_and_publish();
+    d.crash_tc(TcId(1));
+    d.reboot_tc(TcId(1));
+    let tc = d.tc(TcId(1));
+    let t = tc.begin().unwrap();
+    assert_eq!(tc.read(t, T, Key::from_u64(1)).unwrap(), Some(b"c1".to_vec()));
+    assert_eq!(tc.read(t, T2, Key::from_u64(1)).unwrap(), Some(b"c2".to_vec()));
+    tc.commit(t).unwrap();
+}
+
+#[test]
+fn scan_limit_and_unbounded_high() {
+    let d = single(
+        TcConfig::default(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    let t0 = tc.begin().unwrap();
+    for k in 0..30u64 {
+        tc.insert(t0, T, Key::from_u64(k), b"v".to_vec()).unwrap();
+    }
+    tc.commit(t0).unwrap();
+    let t = tc.begin().unwrap();
+    let limited = tc.scan(t, T, Key::from_u64(5), None, Some(7)).unwrap();
+    assert_eq!(limited.len(), 7);
+    assert_eq!(limited[0].0.as_u64().unwrap(), 5);
+    let unbounded = tc.scan(t, T, Key::from_u64(25), None, None).unwrap();
+    assert_eq!(unbounded.len(), 5);
+    tc.commit(t).unwrap();
+}
+
+#[test]
+fn repeatable_reads_from_transaction_cache() {
+    let d = single(
+        TcConfig::default(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    let t0 = tc.begin().unwrap();
+    tc.insert(t0, T, Key::from_u64(1), b"v".to_vec()).unwrap();
+    tc.commit(t0).unwrap();
+    let t = tc.begin().unwrap();
+    let reads_before = tc.stats().snapshot().reads_sent;
+    let a = tc.read(t, T, Key::from_u64(1)).unwrap();
+    let b = tc.read(t, T, Key::from_u64(1)).unwrap();
+    assert_eq!(a, b);
+    let reads_after = tc.stats().snapshot().reads_sent;
+    assert_eq!(reads_after - reads_before, 1, "second read served from the txn cache");
+    tc.commit(t).unwrap();
+}
+
+#[test]
+fn operations_on_unknown_table_fail_cleanly() {
+    let d = single(
+        TcConfig::default(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    let txn = tc.begin().unwrap();
+    let err = tc.insert(txn, TableId(99), Key::from_u64(1), b"v".to_vec());
+    assert!(err.is_err());
+}
+
+#[test]
+fn commit_of_unknown_txn_errors() {
+    let d = single(
+        TcConfig::default(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    assert!(tc.commit(unbundled::core::TxnId(424242)).is_err());
+    assert!(tc.abort(unbundled::core::TxnId(424242)).is_err());
+}
+
+#[test]
+fn eosl_gates_dc_flushes_end_to_end() {
+    // Causality across the boundary: nothing reaches the DC's disk until
+    // the TC's log is forced past it, even if the DC tries to flush.
+    let d = single(
+        TcConfig { force_every: 1_000_000, ..Default::default() },
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    let txn = tc.begin().unwrap();
+    tc.insert(txn, T, Key::from_u64(1), b"unforced".to_vec()).unwrap();
+    // No commit yet: EOSL has not moved.
+    let server = d.dc(DcId(1));
+    assert_eq!(server.engine().flush_all(), 0, "WAL: nothing flushable before EOSL");
+    tc.commit(txn).unwrap(); // force + EOSL broadcast
+    assert!(server.engine().flush_all() > 0);
+}
+
+#[test]
+fn dirty_read_sees_uncommitted_plain_writes() {
+    let d = single(
+        TcConfig::default(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    let txn = tc.begin().unwrap();
+    tc.insert(txn, T, Key::from_u64(1), b"dirty".to_vec()).unwrap();
+    // Section 6.2.1: dirty reads need no locks and no versioning support.
+    assert_eq!(tc.read_dirty(T, Key::from_u64(1)).unwrap(), Some(b"dirty".to_vec()));
+    tc.abort(txn).unwrap();
+    assert_eq!(tc.read_dirty(T, Key::from_u64(1)).unwrap(), None);
+}
+
+#[test]
+fn checkpoint_truncates_tc_log() {
+    let d = single(
+        TcConfig::default(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    for k in 0..50u64 {
+        let t = tc.begin().unwrap();
+        tc.insert(t, T, Key::from_u64(k), vec![0; 64]).unwrap();
+        tc.commit(t).unwrap();
+    }
+    let before = d.tc_log(TcId(1)).live_bytes();
+    tc.checkpoint().unwrap();
+    let after = d.tc_log(TcId(1)).live_bytes();
+    assert!(
+        after < before / 4,
+        "contract termination must shed the resend obligation (log {before} → {after})"
+    );
+}
+
+#[test]
+fn repeated_crash_recovery_cycles_are_stable() {
+    let d = single(
+        TcConfig::default(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
+    for round in 0..5u64 {
+        let tc = d.tc(TcId(1));
+        let t = tc.begin().unwrap();
+        tc.insert(t, T, Key::from_u64(round), format!("r{round}").into_bytes()).unwrap();
+        tc.commit(t).unwrap();
+        match round % 3 {
+            0 => {
+                d.crash_dc(DcId(1));
+                d.reboot_dc(DcId(1));
+            }
+            1 => {
+                d.crash_tc(TcId(1));
+                d.reboot_tc(TcId(1));
+            }
+            _ => {
+                d.crash_all();
+                d.reboot_all();
+            }
+        }
+    }
+    let tc = d.tc(TcId(1));
+    let t = tc.begin().unwrap();
+    let rows = tc.scan(t, T, Key::empty(), None, None).unwrap();
+    tc.commit(t).unwrap();
+    assert_eq!(rows.len(), 5, "every committed row survives five crash cycles");
+    for (i, (k, v)) in rows.iter().enumerate() {
+        assert_eq!(k.as_u64().unwrap(), i as u64);
+        assert_eq!(v, &format!("r{i}").into_bytes());
+    }
+}
+
+#[test]
+fn read_committed_roundtrip_on_shared_deployment() {
+    let d = Arc::new(single(
+        TcConfig::default(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::versioned(T, "shared")],
+    ));
+    let tc = d.tc(TcId(1));
+    // Writer thread commits versions while a reader polls read-committed:
+    // the reader must only ever observe committed payloads.
+    let writer = {
+        let d = d.clone();
+        std::thread::spawn(move || {
+            let tc = d.tc(TcId(1));
+            for i in 0..50u64 {
+                let t = tc.begin().unwrap();
+                tc.versioned_write(t, T, Key::from_u64(1), format!("committed-{i}").into_bytes())
+                    .unwrap();
+                tc.commit(t).unwrap();
+            }
+        })
+    };
+    let mut observed = 0u64;
+    while !writer.is_finished() {
+        if let Some(v) = tc.read_committed(T, Key::from_u64(1)).unwrap() {
+            let s = String::from_utf8(v).unwrap();
+            assert!(s.starts_with("committed-"), "reader saw uncommitted state: {s}");
+            observed += 1;
+        }
+    }
+    writer.join().unwrap();
+    assert!(observed > 0);
+}

@@ -1,0 +1,270 @@
+//! Property-based tests on the system's core invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use unbundled::core::{
+    AbstractLsn, DcId, Key, LogicalOp, Lsn, OpResult, RequestId, TableId, TableSpec, TcId,
+};
+use unbundled::dc::{DcConfig, DcEngine};
+use unbundled::kernel::{single, FaultModel, TransportKind};
+use unbundled::storage::{LogStore, SimDisk};
+use unbundled::tc::{RangePartitioner, TcConfig};
+
+const T: TableId = TableId(1);
+
+// ---------------------------------------------------------------------
+// abLSN algebra (Section 5.1.2)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `includes` is exactly "recorded or under the low-water mark",
+    /// regardless of the order of record/advance interleavings.
+    #[test]
+    fn ablsn_inclusion_semantics(
+        ops in prop::collection::vec((0u64..200, any::<bool>()), 0..60)
+    ) {
+        let mut ab = AbstractLsn::new();
+        let mut recorded: Vec<u64> = Vec::new();
+        let mut lw = 0u64;
+        for (v, is_record) in ops {
+            if is_record {
+                ab.record(Lsn(v));
+                recorded.push(v);
+            } else {
+                ab.advance_lw(Lsn(v));
+                lw = lw.max(v);
+            }
+        }
+        for probe in 0..200u64 {
+            let expect = probe <= lw || recorded.contains(&probe);
+            prop_assert_eq!(
+                ab.includes(Lsn(probe)), expect,
+                "probe {} lw {} recorded {:?} ab {}", probe, lw, &recorded, ab
+            );
+        }
+        // In-set entries always exceed the low-water mark.
+        prop_assert!(ab.ins().iter().all(|l| *l > ab.lw()));
+        // Sorted and deduplicated.
+        prop_assert!(ab.ins().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Merge (consolidation rule) = union of inclusions.
+    #[test]
+    fn ablsn_merge_is_union(
+        a_rec in prop::collection::vec(0u64..100, 0..20),
+        b_rec in prop::collection::vec(0u64..100, 0..20),
+        a_lw in 0u64..50,
+        b_lw in 0u64..50,
+    ) {
+        let mut a = AbstractLsn::new();
+        a.advance_lw(Lsn(a_lw));
+        for v in &a_rec { a.record(Lsn(*v)); }
+        let mut b = AbstractLsn::new();
+        b.advance_lw(Lsn(b_lw));
+        for v in &b_rec { b.record(Lsn(*v)); }
+        let m = a.merge(&b);
+        for probe in 0..100u64 {
+            prop_assert_eq!(
+                m.includes(Lsn(probe)),
+                a.includes(Lsn(probe)) || b.includes(Lsn(probe)),
+                "probe {}", probe
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// B-tree ≡ model under random operations
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, Vec<u8>),
+    Update(u16, Vec<u8>),
+    Delete(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..40)).prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..40)).prop_map(|(k, v)| Op::Update(k, v)),
+        any::<u16>().prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DC's paginated B-tree behaves exactly like a BTreeMap, across
+    /// splits and consolidations, and keeps its structural invariants.
+    #[test]
+    fn btree_matches_model(ops in prop::collection::vec(op_strategy(), 1..250)) {
+        let engine = DcEngine::format(
+            DcId(1),
+            DcConfig { page_capacity: 256, merge_threshold: 64, ..Default::default() },
+            SimDisk::new(),
+            Arc::new(LogStore::new()),
+        );
+        engine.create_table(TableSpec::plain(T, "t")).unwrap();
+        let tc = TcId(1);
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut lsn = 0u64;
+        for op in ops {
+            lsn += 1;
+            let result = match &op {
+                Op::Insert(k, v) => {
+                    let r = engine.perform(tc, RequestId::Op(Lsn(lsn)), &LogicalOp::Insert {
+                        table: T, key: Key::from_u64(*k as u64), value: v.clone(),
+                    });
+                    match r {
+                        Ok(_) => { prop_assert!(model.insert(*k as u64, v.clone()).is_none()); Ok(()) }
+                        Err(_) => { prop_assert!(model.contains_key(&(*k as u64))); Err(()) }
+                    }
+                }
+                Op::Update(k, v) => {
+                    let r = engine.perform(tc, RequestId::Op(Lsn(lsn)), &LogicalOp::Update {
+                        table: T, key: Key::from_u64(*k as u64), value: v.clone(),
+                    });
+                    match r {
+                        Ok(_) => { prop_assert!(model.insert(*k as u64, v.clone()).is_some()); Ok(()) }
+                        Err(_) => { prop_assert!(!model.contains_key(&(*k as u64))); Err(()) }
+                    }
+                }
+                Op::Delete(k) => {
+                    let r = engine.perform(tc, RequestId::Op(Lsn(lsn)), &LogicalOp::Delete {
+                        table: T, key: Key::from_u64(*k as u64),
+                    });
+                    match r {
+                        Ok(_) => { prop_assert!(model.remove(&(*k as u64)).is_some()); Ok(()) }
+                        Err(_) => { prop_assert!(!model.contains_key(&(*k as u64))); Err(()) }
+                    }
+                }
+            };
+            let _ = result;
+            engine.handle_eosl(tc, Lsn(lsn));
+            engine.handle_lwm(tc, Lsn(lsn));
+        }
+        engine.check_tree(T);
+        let rows = engine.dump_table(T).unwrap();
+        let expect: Vec<(Key, Vec<u8>)> =
+            model.iter().map(|(k, v)| (Key::from_u64(*k), v.clone())).collect();
+        prop_assert_eq!(rows, expect);
+    }
+
+    /// DC crash + recovery at an arbitrary point preserves exactly the
+    /// flushed-or-logged state, and TC redo restores the rest.
+    #[test]
+    fn dc_recovery_equivalence(
+        n_ops in 10usize..120,
+        crash_after in 5usize..100,
+    ) {
+        let disk = SimDisk::new();
+        let log = Arc::new(LogStore::new());
+        let cfg = DcConfig { page_capacity: 256, merge_threshold: 32, ..Default::default() };
+        let engine = DcEngine::format(DcId(1), cfg.clone(), disk.clone(), log.clone());
+        engine.create_table(TableSpec::plain(T, "t")).unwrap();
+        let tc = TcId(1);
+        let mut applied: Vec<(u64, Vec<u8>)> = Vec::new();
+        for i in 0..n_ops {
+            let lsn = (i + 1) as u64;
+            let key = (i as u64 * 37) % 500;
+            let value = format!("v{i}").into_bytes();
+            let _ = engine.perform(tc, RequestId::Op(Lsn(lsn)), &LogicalOp::Insert {
+                table: T, key: Key::from_u64(key), value: value.clone(),
+            }).map(|_| applied.push((key, value)));
+            engine.handle_eosl(tc, Lsn(lsn));
+            engine.handle_lwm(tc, Lsn(lsn));
+            if i == crash_after {
+                break;
+            }
+        }
+        // Crash and recover the DC.
+        engine.crash_volatile();
+        let recovered = DcEngine::recover(DcId(1), cfg, disk, log);
+        recovered.check_tree(T);
+        // TC redo: resend everything (exactly-once via abLSN).
+        for (i, (key, value)) in applied.iter().enumerate() {
+            let lsn = (i + 1) as u64;
+            let r = recovered.perform(tc, RequestId::Op(Lsn(lsn)), &LogicalOp::Insert {
+                table: T, key: Key::from_u64(*key), value: value.clone(),
+            });
+            // Either applied now or suppressed/failed deterministically.
+            let _ = r;
+        }
+        recovered.check_tree(T);
+        let rows = recovered.dump_table(T).unwrap();
+        let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (k, v) in &applied {
+            model.insert(*k, v.clone());
+        }
+        let expect: Vec<(Key, Vec<u8>)> =
+            model.iter().map(|(k, v)| (Key::from_u64(*k), v.clone())).collect();
+        prop_assert_eq!(rows, expect);
+    }
+
+    /// Range partitioner: every key in [low, high) falls in a partition
+    /// reported by partitions_overlapping.
+    #[test]
+    fn partitioner_overlap_covers_keys(
+        bounds in prop::collection::btree_set(1u64..1000, 1..10),
+        low in 0u64..1000,
+        span in 1u64..200,
+    ) {
+        let p = RangePartitioner::new(
+            bounds.iter().map(|b| Key::from_u64(*b)).collect()
+        );
+        let high = low.saturating_add(span);
+        let parts = p.partitions_overlapping(&Key::from_u64(low), Some(&Key::from_u64(high)));
+        for k in (low..high).step_by(7) {
+            let part = p.partition_of(&Key::from_u64(k));
+            prop_assert!(
+                parts.contains(&part),
+                "key {} in partition {} not covered by {:?}", k, part, parts
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Exactly-once end to end under arbitrary loss/reorder seeds.
+    #[test]
+    fn exactly_once_any_seed(seed in any::<u64>()) {
+        let kind = TransportKind::Queued {
+            faults: FaultModel { loss: 0.15, reorder: 0.25, seed, ..Default::default() },
+            workers: 3,
+        };
+        let mut cfg = TcConfig::default();
+        cfg.resend_interval = std::time::Duration::from_millis(3);
+        let d = single(cfg, DcConfig::default(), kind, &[TableSpec::plain(T, "t")]);
+        let tc = d.tc(TcId(1));
+        for k in 0..40u64 {
+            let t = tc.begin().unwrap();
+            tc.insert(t, T, Key::from_u64(k), vec![k as u8]).unwrap();
+            tc.commit(t).unwrap();
+        }
+        let t = tc.begin().unwrap();
+        let rows = tc.scan(t, T, Key::empty(), None, None).unwrap();
+        tc.commit(t).unwrap();
+        prop_assert_eq!(rows.len(), 40);
+        for (i, (k, v)) in rows.iter().enumerate() {
+            prop_assert_eq!(k.as_u64().unwrap(), i as u64);
+            prop_assert_eq!(v.clone(), vec![i as u8]);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic regression guard: OpResult helpers
+// ---------------------------------------------------------------------
+
+#[test]
+fn opresult_helpers() {
+    assert_eq!(OpResult::Value(Some(vec![1])).into_value(), Some(vec![1]));
+    assert!(OpResult::Keys(vec![]).into_keys().is_empty());
+    assert!(OpResult::Entries(vec![]).into_entries().is_empty());
+}
