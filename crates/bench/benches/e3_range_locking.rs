@@ -11,8 +11,7 @@ use unbundled_kernel::TransportKind;
 use unbundled_tc::{RangePartitioner, ScanProtocol, TcConfig};
 
 fn deployment(protocol: ScanProtocol) -> (unbundled_kernel::Deployment, Arc<unbundled_tc::Tc>) {
-    let mut cfg = TcConfig::default();
-    cfg.scan_protocol = protocol;
+    let cfg = TcConfig { scan_protocol: protocol, ..Default::default() };
     let d = unbundled_single(TransportKind::Inline, cfg, DcConfig::default());
     let tc = d.tc(TcId(1));
     load_tc(&tc, 0, 1000, 16);

@@ -41,8 +41,7 @@ fn bench(c: &mut Criterion) {
             faults: FaultModel { reorder: 0.3, ..Default::default() },
             workers: 4,
         };
-        let mut cfg = TcConfig::default();
-        cfg.resend_interval = Duration::from_millis(5);
+        let cfg = TcConfig { resend_interval: Duration::from_millis(5), ..Default::default() };
         let d = unbundled_single(kind, cfg, DcConfig::default());
         let tc = d.tc(TcId(1));
         let mut k = 0u64;

@@ -119,8 +119,7 @@ fn e3() {
         ("static ranges (256)", ScanProtocol::StaticRanges(Arc::new(RangePartitioner::even_u64(256)))),
     ] {
         for scan_len in [10u64, 100] {
-            let mut cfg = TcConfig::default();
-            cfg.scan_protocol = protocol.clone();
+            let cfg = TcConfig { scan_protocol: protocol.clone(), ..Default::default() };
             let d = unbundled_single(TransportKind::Inline, cfg, DcConfig::default());
             let tc = d.tc(TcId(1));
             load_tc(&tc, 0, 1000, 16);
@@ -158,8 +157,7 @@ fn e4() {
         faults: FaultModel { reorder: 0.4, loss: 0.1, ..Default::default() },
         workers: 4,
     };
-    let mut cfg = TcConfig::default();
-    cfg.resend_interval = std::time::Duration::from_millis(3);
+    let cfg = TcConfig { resend_interval: std::time::Duration::from_millis(3), ..Default::default() };
     let d = Arc::new(unbundled_single(kind, cfg, DcConfig::default()));
     let n = 1000u64;
     // Four concurrent clients interleave on the same pages: their
@@ -416,8 +414,7 @@ fn e10() {
             faults: FaultModel { loss, ..Default::default() },
             workers: 4,
         };
-        let mut cfg = TcConfig::default();
-        cfg.resend_interval = std::time::Duration::from_millis(2);
+        let cfg = TcConfig { resend_interval: std::time::Duration::from_millis(2), ..Default::default() };
         let d = unbundled_single(kind, cfg, DcConfig::default());
         let tc = d.tc(TcId(1));
         let n = 300u64;

@@ -38,6 +38,10 @@ use unbundled_core::{
 };
 use unbundled_storage::{LogStore, SimDisk};
 
+/// Rows produced by a scan walk: `None` values are keys whose record is
+/// invisible under the requested read flavor (kept for key probes).
+type ScanRows = Vec<(Key, Option<Vec<u8>>)>;
+
 /// How the DC resets cached pages after a TC crash (Section 5.3.2 / 6.1.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ResetMode {
@@ -464,7 +468,7 @@ impl DcEngine {
         high: Option<&Key>,
         limit: Option<usize>,
         flavor: Option<ReadFlavor>,
-    ) -> Result<Vec<(Key, Option<Vec<u8>>)>, DcError> {
+    ) -> Result<ScanRows, DcError> {
         let table = self.table(table_id)?;
         'restart: loop {
             let _tree = table.tree_latch.read();

@@ -258,9 +258,10 @@ impl DcEngine {
                 continue;
             }
             touched += 1;
-            match basis_entries.binary_search_by(|(bk, _)| bk.cmp(k)) {
-                Ok(i) => kept.push((k.clone(), basis_entries[i].1.clone())),
-                Err(_) => {} // not in stable basis: the record vanishes
+            // Keep only records present in the stable basis; anything
+            // not found there vanishes.
+            if let Ok(i) = basis_entries.binary_search_by(|(bk, _)| bk.cmp(k)) {
+                kept.push((k.clone(), basis_entries[i].1.clone()));
             }
         }
         // Restore failed-TC records that exist in the basis but were

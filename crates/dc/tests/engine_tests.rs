@@ -256,8 +256,7 @@ fn flush_blocked_until_eosl_covers_page() {
 
 #[test]
 fn sync_policy_wait_for_lwm_blocks_until_pruned() {
-    let mut cfg = DcConfig::default();
-    cfg.sync_policy = SyncPolicy::WaitForLwm;
+    let cfg = DcConfig { sync_policy: SyncPolicy::WaitForLwm, ..Default::default() };
     let fx = Fixture::new(cfg);
     fx.engine
         .perform(
@@ -418,8 +417,7 @@ fn tc_crash_reset_drops_exactly_lost_operations() {
 
 #[test]
 fn selective_reset_preserves_other_tcs_records() {
-    let mut cfg = DcConfig::default();
-    cfg.reset_mode = ResetMode::Selective;
+    let cfg = DcConfig { reset_mode: ResetMode::Selective, ..Default::default() };
     let fx = Fixture::new(cfg);
     let tc1 = TcId(1);
     let tc2 = TcId(2);

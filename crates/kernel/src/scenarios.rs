@@ -106,7 +106,7 @@ impl MovieSite {
 
     /// The updating TC responsible for a user (Figure 2: `UId mod 2`).
     pub fn tc_for_user(&self, uid: u64) -> Arc<Tc> {
-        let id = if uid % 2 == 0 { TC_EVEN } else { TC_ODD };
+        let id = if uid.is_multiple_of(2) { TC_EVEN } else { TC_ODD };
         self.deployment.tc(id)
     }
 

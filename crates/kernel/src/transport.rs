@@ -163,11 +163,7 @@ impl QueuedLink {
                 // Reorder buffer: a deferred message is processed after
                 // the next one.
                 let mut held: Option<TcToDc> = None;
-                loop {
-                    let msg = match rx.recv() {
-                        Ok(QueuedMsg::ToDc(m)) => m,
-                        Ok(QueuedMsg::Stop) | Err(_) => break,
-                    };
+                while let Ok(QueuedMsg::ToDc(msg)) = rx.recv() {
                     let process = |m: TcToDc| {
                         if let Some(dc) = slot.get() {
                             let mut out = Vec::new();

@@ -60,14 +60,10 @@ impl LockMode {
     /// The standard compatibility matrix.
     pub fn compatible(self, other: LockMode) -> bool {
         use LockMode::*;
-        match (self, other) {
-            (IS, X) | (X, IS) => false,
-            (IX, S) | (S, IX) => false,
-            (IX, X) | (X, IX) => false,
-            (S, X) | (X, S) => false,
-            (X, X) => false,
-            _ => true,
-        }
+        !matches!(
+            (self, other),
+            (IS, X) | (X, IS) | (IX, S) | (S, IX) | (IX, X) | (X, IX) | (S, X) | (X, S) | (X, X)
+        )
     }
 
     /// True if `self` already covers a request for `other`
@@ -567,11 +563,11 @@ impl LockManager {
         let mut seen: HashSet<LockToken> = HashSet::new();
         while let Some(t) = stack.pop() {
             if t == owner {
-                g.get_mut(&owner).map(|e| {
+                if let Some(e) = g.get_mut(&owner) {
                     for b in blockers {
                         e.remove(b);
                     }
-                });
+                }
                 return true;
             }
             if !seen.insert(t) {

@@ -117,7 +117,7 @@ impl Tc {
                 undo_work.push((*lsn, *txn, *dc, inv.clone()));
             }
         }
-        undo_work.sort_by(|a, b| b.0.cmp(&a.0));
+        undo_work.sort_by_key(|w| std::cmp::Reverse(w.0));
         for (_, txn, dc, inv) in undo_work {
             let l = self.log_op_record(TcLogRecord::RedoOnly { txn, dc, op: inv.clone() });
             TcStats::bump(&self.stats().undo_ops);

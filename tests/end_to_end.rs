@@ -91,10 +91,12 @@ fn serializable_scan_fetch_ahead() {
 
 #[test]
 fn serializable_scan_static_ranges() {
-    let mut cfg = TcConfig::default();
-    cfg.scan_protocol = ScanProtocol::StaticRanges(std::sync::Arc::new(
-        RangePartitioner::even_u64(16),
-    ));
+    let cfg = TcConfig {
+        scan_protocol: ScanProtocol::StaticRanges(std::sync::Arc::new(
+            RangePartitioner::even_u64(16),
+        )),
+        ..Default::default()
+    };
     let d = single(cfg, DcConfig::default(), TransportKind::Inline, &[TableSpec::plain(T, "t")]);
     let tc = d.tc(TcId(1));
     let t0 = tc.begin().unwrap();
@@ -192,8 +194,10 @@ fn exactly_once_under_loss_and_reordering() {
         faults: FaultModel { loss: 0.2, reorder: 0.3, ..Default::default() },
         workers: 4,
     };
-    let mut cfg = TcConfig::default();
-    cfg.resend_interval = std::time::Duration::from_millis(5);
+    let cfg = TcConfig {
+        resend_interval: std::time::Duration::from_millis(5),
+        ..Default::default()
+    };
     let d = single(cfg, DcConfig::default(), kind, &[TableSpec::plain(T, "t")]);
     let tc = d.tc(TcId(1));
     for k in 0..100u64 {
@@ -410,8 +414,10 @@ fn concurrent_clients_exactly_once_under_reordering() {
         faults: FaultModel { reorder: 0.4, loss: 0.1, ..Default::default() },
         workers: 4,
     };
-    let mut cfg = TcConfig::default();
-    cfg.resend_interval = std::time::Duration::from_millis(3);
+    let cfg = TcConfig {
+        resend_interval: std::time::Duration::from_millis(3),
+        ..Default::default()
+    };
     let d = Arc::new(single(cfg, DcConfig::default(), kind, &[TableSpec::plain(T, "t")]));
     let n_threads = 4u64;
     let per_thread = 100u64;

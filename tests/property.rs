@@ -238,8 +238,10 @@ proptest! {
             faults: FaultModel { loss: 0.15, reorder: 0.25, seed, ..Default::default() },
             workers: 3,
         };
-        let mut cfg = TcConfig::default();
-        cfg.resend_interval = std::time::Duration::from_millis(3);
+        let cfg = TcConfig {
+            resend_interval: std::time::Duration::from_millis(3),
+            ..Default::default()
+        };
         let d = single(cfg, DcConfig::default(), kind, &[TableSpec::plain(T, "t")]);
         let tc = d.tc(TcId(1));
         for k in 0..40u64 {

@@ -1,0 +1,338 @@
+//! Offline shim for the subset of `parking_lot` this workspace uses.
+//!
+//! The build environment has no registry access, so this crate
+//! re-implements the API surface (`Mutex`, `RwLock`, `Condvar` with
+//! non-poisoning guards) on top of `std::sync`. Lock poisoning is
+//! absorbed: a panic while holding a lock does not poison it for later
+//! users, matching `parking_lot` semantics.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::time::{Duration, Instant};
+
+/// A mutual exclusion primitive (non-poisoning).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can temporarily take the std guard out
+    // and put the post-wait guard back in place.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consume the mutex, returning the underlying data.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until it is available.
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+    }
+
+    /// Attempt to acquire the mutex without blocking.
+    #[inline]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(MutexGuard { inner: Some(e.into_inner()) })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken during wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken during wait")
+    }
+}
+
+/// Result of a timed condition-variable wait.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    #[inline]
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// A condition variable usable with [`Mutex`] (parking_lot-style `&mut`
+/// guard API).
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    #[inline]
+    pub const fn new() -> Self {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard taken during wait");
+        let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+    }
+
+    /// Block until notified or `timeout` has passed.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard taken during wait");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, res)) => (g, res),
+            Err(e) => {
+                let (g, res) = e.into_inner();
+                (g, res)
+            }
+        };
+        guard.inner = Some(g);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+
+    /// Block until notified or the deadline `until` is reached.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        until: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        let timeout = until.saturating_duration_since(now);
+        if timeout.is_zero() {
+            return WaitTimeoutResult { timed_out: true };
+        }
+        self.wait_for(guard, timeout)
+    }
+
+    /// Wake one waiter.
+    #[inline]
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    #[inline]
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+/// A reader-writer lock (non-poisoning).
+pub struct RwLock<T: ?Sized> {
+    // std::sync::RwLock has no portable upgrade or recursive-read story;
+    // nothing here needs one, so plain delegation suffices.
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read RAII guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+}
+
+/// Exclusive-write RAII guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    #[inline]
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Consume the lock, returning the underlying data.
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
+    }
+
+    /// Acquire exclusive write access.
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
+    }
+
+    /// Attempt shared read access without blocking.
+    #[inline]
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(RwLockReadGuard { inner: e.into_inner() })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempt exclusive write access without blocking.
+    #[inline]
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => {
+                Some(RwLockWriteGuard { inner: e.into_inner() })
+            }
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    #[inline]
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwLock").field("data", &*g).finish(),
+            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
+
+    #[test]
+    fn condvar_wait_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(5);
+        assert_eq!(*l.read(), 5);
+        *l.write() = 6;
+        assert_eq!(*l.read(), 6);
+    }
+}

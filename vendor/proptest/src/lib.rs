@@ -1,0 +1,489 @@
+//! Offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Provides the `proptest!` macro, `Strategy` (with `prop_map`,
+//! `boxed`), `any::<T>()`, integer-range and tuple strategies,
+//! `prop::collection::{vec, btree_set}`, `prop_oneof!`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are sampled from a fixed
+//! deterministic seed sequence (reproducible across runs), there is no
+//! shrinking, and `prop_assert*` panics immediately (the `proptest!`
+//! wrapper prints the failing case's inputs before propagating the
+//! panic).
+
+/// Deterministic test RNG and runner configuration.
+pub mod test_runner {
+    /// Runner configuration (`cases` = number of sampled cases per test).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases each `#[test]` inside `proptest!` runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// splitmix64-based deterministic RNG.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG seeded with `seed`.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9E3779B97F4A7C15 }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Sample one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: Box::new(self) }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.inner.sample(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (used by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Union over `arms` (must be non-empty).
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    /// Always produce a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as u64).checked_sub(self.start as u64)
+                        .filter(|s| *s > 0)
+                        .expect("empty or reversed range strategy");
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! signed_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i64).checked_sub(self.start as i64)
+                        .filter(|s| *s > 0)
+                        .expect("empty or reversed range strategy") as u64;
+                    self.start + rng.below(span) as $t
+                }
+            }
+        )*};
+    }
+    signed_range_strategy!(i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+        (A/0, B/1, C/2, D/3, E/4)
+    }
+
+    /// Strategy for any value of an [`Arbitrary`](crate::arbitrary::Arbitrary) type.
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Make an [`Any`] strategy (the engine behind `any::<T>()`).
+    pub fn any_with_marker<T>() -> Any<T> {
+        Any { _marker: std::marker::PhantomData }
+    }
+
+    /// Sample a `BTreeSet` via repeated insertion (see `collection::btree_set`).
+    pub(crate) fn sample_btree_set<S>(
+        elem: &S,
+        size: &crate::collection::SizeRange,
+        rng: &mut TestRng,
+    ) -> BTreeSet<S::Value>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        let target = size.sample(rng);
+        let mut out = BTreeSet::new();
+        // Duplicates shrink the set; bound the attempts so a narrow
+        // element domain cannot loop forever.
+        for _ in 0..target.saturating_mul(10).max(8) {
+            if out.len() >= target {
+                break;
+            }
+            out.insert(elem.sample(rng));
+        }
+        out
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample an arbitrary value of this type.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> crate::strategy::Any<T> {
+        crate::strategy::any_with_marker::<T>()
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A size range for generated collections.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        start: usize,
+        end: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+            if self.end <= self.start + 1 {
+                return self.start;
+            }
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty collection size range");
+            SizeRange { start: r.start, end: r.end }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { start: n, end: n + 1 }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Generate vectors of `elem` values.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>` with target size drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            crate::strategy::sample_btree_set(&self.elem, &self.size, rng)
+        }
+    }
+
+    /// Generate ordered sets of `elem` values.
+    pub fn btree_set<S>(elem: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size: size.into() }
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` namespace.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` runs its
+/// body over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    0x5EED_0000_u64 ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || $body),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed with inputs: {}",
+                        __case + 1,
+                        __config.cases,
+                        stringify!($name),
+                        __inputs
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in 5u64..10, w in 0u8..3) {
+            prop_assert!((5..10).contains(&v));
+            prop_assert!(w < 3);
+        }
+
+        #[test]
+        fn vec_sizes_respected(xs in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+        }
+
+        #[test]
+        fn btree_set_within_size(s in prop::collection::btree_set(0u64..1000, 1..10)) {
+            prop_assert!(!s.is_empty() && s.len() < 10);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![
+                (0u64..10).prop_map(|v| v * 2),
+                (100u64..110).prop_map(|v| v + 1),
+            ]
+        ) {
+            prop_assert!(x < 20 || (101..111).contains(&x), "x = {}", x);
+        }
+    }
+}

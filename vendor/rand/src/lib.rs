@@ -1,0 +1,133 @@
+//! Offline shim for the subset of `rand` this workspace uses:
+//! `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `Rng` methods
+//! `gen_bool` / `gen_range` / `next_u64`.
+//!
+//! The generator is xoshiro256** seeded via splitmix64 — deterministic
+//! across platforms, which is exactly what the fault-injection
+//! transports need for reproducible experiments.
+
+use std::ops::Range;
+
+/// A random number generator seedable from integers.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers layered over a core generator.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform float in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli sample with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        self.gen_f64() < p
+    }
+
+    /// Uniform integer in `[range.start, range.end)`.
+    fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        let span = range.end.checked_sub(range.start).expect("empty range");
+        assert!(span > 0, "cannot sample from empty range");
+        // Multiply-shift rejection-free mapping (Lemire); bias is
+        // negligible for the simulation workloads here.
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi
+    }
+}
+
+/// Namespaces mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard deterministic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+    }
+
+    #[test]
+    fn gen_bool_rate_roughly_matches_p() {
+        let mut r = StdRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20);
+            assert!((10..20).contains(&v));
+        }
+    }
+}
