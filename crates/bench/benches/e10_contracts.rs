@@ -18,6 +18,7 @@ fn bench(c: &mut Criterion) {
             let kind = TransportKind::Queued {
                 faults: FaultModel { loss, ..Default::default() },
                 workers: 4,
+                batch: 1,
             };
             let cfg = TcConfig { resend_interval: Duration::from_millis(2), ..Default::default() };
             let d = unbundled_single(kind, cfg, DcConfig::default());

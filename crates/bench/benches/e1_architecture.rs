@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("unbundled_queued_insert_txn", |b| {
-        let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2 };
+        let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch: 1 };
         let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
         let tc = d.tc(TcId(1));
         let mut k = 0u64;

@@ -40,6 +40,7 @@ fn bench(c: &mut Criterion) {
         let kind = TransportKind::Queued {
             faults: FaultModel { reorder: 0.3, ..Default::default() },
             workers: 4,
+            batch: 1,
         };
         let cfg = TcConfig { resend_interval: Duration::from_millis(5), ..Default::default() };
         let d = unbundled_single(kind, cfg, DcConfig::default());

@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("rmw_unbundled_separate_threads", |b| {
-        let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2 };
+        let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch: 1 };
         let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
         let tc = d.tc(TcId(1));
         load_tc(&tc, 0, 500, 16);

@@ -57,7 +57,7 @@ fn e1() {
     let inline = ops_per_sec(n, t0.elapsed());
     println!("{:<36} {:>14.0} {:>11.2}x", "unbundled, inline (multi-core)", inline, mono / inline);
 
-    let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2 };
+    let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch: 1 };
     let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
     let tc = d.tc(TcId(1));
     let t0 = Instant::now();
@@ -156,6 +156,7 @@ fn e4() {
     let kind = TransportKind::Queued {
         faults: FaultModel { reorder: 0.4, loss: 0.1, ..Default::default() },
         workers: 4,
+        batch: 1,
     };
     let cfg = TcConfig { resend_interval: std::time::Duration::from_millis(3), ..Default::default() };
     let d = Arc::new(unbundled_single(kind, cfg, DcConfig::default()));
@@ -391,7 +392,7 @@ fn e9() {
     rmw_tc(&tc, iters, 500);
     println!("{:<40} {:>12.0}", "unbundled TC+DC colocated (inline)", ops_per_sec(iters, t0.elapsed()));
 
-    let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2 };
+    let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch: 1 };
     let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
     let tc = d.tc(TcId(1));
     load_tc(&tc, 0, 500, 16);
@@ -413,6 +414,7 @@ fn e10() {
         let kind = TransportKind::Queued {
             faults: FaultModel { loss, ..Default::default() },
             workers: 4,
+            batch: 1,
         };
         let cfg = TcConfig { resend_interval: std::time::Duration::from_millis(2), ..Default::default() };
         let d = unbundled_single(kind, cfg, DcConfig::default());

@@ -43,6 +43,19 @@ pub enum TcToDc {
         /// The logical operation.
         op: LogicalOp,
     },
+    /// A batch of `perform_operation` requests coalesced by the
+    /// transport (the cloud deployment amortizes per-message cost over
+    /// many operations). Each element keeps its own [`RequestId`] —
+    /// mutations keep their TC-log LSNs — and the DC replies to every
+    /// contained operation individually, so resend, idempotence and
+    /// low-water-mark bookkeeping are exactly as for [`TcToDc::Perform`].
+    /// A faulty transport drops or reorders the batch as a whole.
+    PerformBatch {
+        /// Sending TC.
+        tc: TcId,
+        /// The batched operations, each with its own request id.
+        ops: Vec<(RequestId, LogicalOp)>,
+    },
     /// `end_of_stable_log`: every operation with LSN ≤ `eosl` is stable
     /// in the TC log and may therefore be made stable by the DC (this is
     /// how write-ahead logging is enforced in an unbundled engine).
@@ -97,6 +110,7 @@ impl TcToDc {
     pub fn tc(&self) -> TcId {
         match self {
             TcToDc::Perform { tc, .. }
+            | TcToDc::PerformBatch { tc, .. }
             | TcToDc::EndOfStableLog { tc, .. }
             | TcToDc::LowWaterMark { tc, .. }
             | TcToDc::Checkpoint { tc, .. }
@@ -110,7 +124,7 @@ impl TcToDc {
     /// restart/checkpoint conversation is reliable; only operation
     /// traffic needs the resend/idempotence machinery).
     pub fn is_control(&self) -> bool {
-        !matches!(self, TcToDc::Perform { .. })
+        !matches!(self, TcToDc::Perform { .. } | TcToDc::PerformBatch { .. })
     }
 }
 
@@ -254,5 +268,18 @@ mod tests {
     fn tc_extraction() {
         assert_eq!(TcToDc::RestartEnd { tc: TcId(7) }.tc(), TcId(7));
         assert_eq!(TcToDc::LowWaterMark { tc: TcId(8), lwm: Lsn(1) }.tc(), TcId(8));
+    }
+
+    #[test]
+    fn perform_batch_is_faultable_operation_traffic() {
+        let batch = TcToDc::PerformBatch {
+            tc: TcId(4),
+            ops: vec![(
+                RequestId::Op(Lsn(9)),
+                LogicalOp::Delete { table: crate::ids::TableId(1), key: Key::from_u64(1) },
+            )],
+        };
+        assert!(!batch.is_control(), "a batch is operation traffic: loss/reorder applies");
+        assert_eq!(batch.tc(), TcId(4));
     }
 }

@@ -315,6 +315,12 @@ impl DataComponentApi for SimpleDc {
                 let result = self.perform(tc, req, &op);
                 out.push(DcToTc::Reply { dc: self.id, tc, req, result });
             }
+            TcToDc::PerformBatch { tc, ops } => {
+                for (req, op) in ops {
+                    let result = self.perform(tc, req, &op);
+                    out.push(DcToTc::Reply { dc: self.id, tc, req, result });
+                }
+            }
             TcToDc::EndOfStableLog { tc, eosl } => {
                 let mut g = self.eosl.lock();
                 match g.iter_mut().find(|(t, _)| *t == tc) {

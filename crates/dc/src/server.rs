@@ -60,6 +60,18 @@ impl DataComponentApi for DcServer {
                     .and_then(|()| self.engine.perform(tc, req, &op));
                 out.push(DcToTc::Reply { dc: self.dc_id(), tc, req, result });
             }
+            TcToDc::PerformBatch { tc, ops } => {
+                // Apply in order, acking each contained request id
+                // individually: the TC's resend and low-water-mark
+                // machinery never sees the batching.
+                for (req, op) in ops {
+                    let result = self
+                        .engine
+                        .validate_versioning(&op)
+                        .and_then(|()| self.engine.perform(tc, req, &op));
+                    out.push(DcToTc::Reply { dc: self.dc_id(), tc, req, result });
+                }
+            }
             TcToDc::EndOfStableLog { tc, eosl } => {
                 self.engine.handle_eosl(tc, eosl);
             }
@@ -145,6 +157,53 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(s.engine().stats().snapshot().duplicates_suppressed, 1);
+    }
+
+    #[test]
+    fn perform_batch_acks_every_op_and_replay_is_idempotent() {
+        let s = setup();
+        let ops: Vec<(RequestId, LogicalOp)> = (1..=3u64)
+            .map(|l| {
+                (
+                    RequestId::Op(Lsn(l)),
+                    LogicalOp::Insert {
+                        table: TableId(1),
+                        key: Key::from_u64(l),
+                        value: format!("v{l}").into_bytes(),
+                    },
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        s.handle(TcToDc::PerformBatch { tc: TcId(1), ops: ops.clone() }, &mut out);
+        assert_eq!(out.len(), 3, "one individual ack per batched op");
+        for (i, reply) in out.iter().enumerate() {
+            match reply {
+                DcToTc::Reply { req, result, .. } => {
+                    assert_eq!(*req, RequestId::Op(Lsn(i as u64 + 1)));
+                    assert_eq!(result.clone().unwrap(), OpResult::Done);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // The whole batch resent (a lost batch looks exactly like this):
+        // every op suppressed as a duplicate, every op acked again.
+        out.clear();
+        s.handle(TcToDc::PerformBatch { tc: TcId(1), ops }, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(s.engine().stats().snapshot().duplicates_suppressed, 3);
+        let r = perform(
+            &s,
+            TcId(1),
+            RequestId::Read(1),
+            LogicalOp::Read { table: TableId(1), key: Key::from_u64(2), flavor: ReadFlavor::Latest },
+        );
+        match r {
+            DcToTc::Reply { result, .. } => {
+                assert_eq!(result.unwrap(), OpResult::Value(Some(b"v2".to_vec())))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum TransportKind {
         faults: FaultModel,
         /// DC worker threads serving this link.
         workers: usize,
+        /// Max queued `Perform` messages coalesced into one
+        /// `PerformBatch` per delivery (≤ 1 disables batching).
+        batch: usize,
     },
 }
 
@@ -110,12 +113,13 @@ impl Deployment {
     fn make_link(&self, tnode: &TcNode, dnode: &DcNode, kind: &TransportKind) -> Arc<dyn DcLink> {
         match kind {
             TransportKind::Inline => InlineLink::new(dnode.slot.clone(), tnode.sink.clone()),
-            TransportKind::Queued { faults, workers } => {
+            TransportKind::Queued { faults, workers, batch } => {
                 let link = QueuedLink::new(
                     dnode.slot.clone(),
                     tnode.sink.clone(),
                     faults.clone(),
                     *workers,
+                    *batch,
                 );
                 tnode.queued_links.lock().push(link.clone());
                 link
@@ -160,6 +164,12 @@ impl Deployment {
     /// The TC's log store (experiment accounting).
     pub fn tc_log(&self, id: TcId) -> &Arc<LogStore<TcLogRecord>> {
         &self.tcs[&id].log
+    }
+
+    /// The TC's live queued links (transport accounting: drops,
+    /// reorders, batches formed).
+    pub fn queued_links(&self, id: TcId) -> Vec<Arc<QueuedLink>> {
+        self.tcs[&id].queued_links.lock().clone()
     }
 
     /// All TC ids.

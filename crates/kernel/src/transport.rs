@@ -134,15 +134,22 @@ pub struct QueuedLink {
     workers: Mutex<Vec<JoinHandle<()>>>,
     dropped: AtomicU64,
     reordered: AtomicU64,
+    batches: AtomicU64,
+    batched_ops: AtomicU64,
 }
 
 impl QueuedLink {
     /// Spawn `workers` DC threads processing messages from the queue.
+    /// `max_batch` > 1 lets a worker coalesce up to that many queued
+    /// `Perform` messages into one [`TcToDc::PerformBatch`] per delivery
+    /// — the fault model (loss, reordering, delay) then applies to the
+    /// batch as a whole, exactly like a single oversized datagram.
     pub fn new(
         slot: Arc<DcSlot>,
         sink: Arc<ReplySink>,
         faults: FaultModel,
         workers: usize,
+        max_batch: usize,
     ) -> Arc<Self> {
         let (tx, rx) = unbounded::<QueuedMsg>();
         let link = Arc::new(QueuedLink {
@@ -150,6 +157,8 @@ impl QueuedLink {
             workers: Mutex::new(Vec::new()),
             dropped: AtomicU64::new(0),
             reordered: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_ops: AtomicU64::new(0),
         });
         let mut handles = Vec::new();
         for w in 0..workers.max(1) {
@@ -163,7 +172,55 @@ impl QueuedLink {
                 // Reorder buffer: a deferred message is processed after
                 // the next one.
                 let mut held: Option<TcToDc> = None;
-                while let Ok(QueuedMsg::ToDc(msg)) = rx.recv() {
+                // A non-Perform message pulled out of the queue while
+                // coalescing a batch; processed on the next iteration.
+                let mut pending: Option<QueuedMsg> = None;
+                loop {
+                    let next = match pending.take() {
+                        Some(m) => m,
+                        None => match rx.recv() {
+                            Ok(m) => m,
+                            Err(_) => break,
+                        },
+                    };
+                    let msg = match next {
+                        QueuedMsg::ToDc(m) => m,
+                        QueuedMsg::Stop => break,
+                    };
+                    // Coalesce queued operation traffic into one batch.
+                    let msg = if max_batch > 1 {
+                        if let TcToDc::Perform { tc, req, op } = msg {
+                            let mut ops = vec![(req, op)];
+                            while ops.len() < max_batch {
+                                match rx.try_recv() {
+                                    Ok(QueuedMsg::ToDc(TcToDc::Perform { tc: t, req, op }))
+                                        if t == tc =>
+                                    {
+                                        ops.push((req, op));
+                                    }
+                                    Ok(other) => {
+                                        pending = Some(other);
+                                        break;
+                                    }
+                                    Err(_) => break,
+                                }
+                            }
+                            if ops.len() == 1 {
+                                let (req, op) = ops.pop().expect("one element");
+                                TcToDc::Perform { tc, req, op }
+                            } else {
+                                if let Some(l) = link2.upgrade() {
+                                    l.batches.fetch_add(1, Ordering::Relaxed);
+                                    l.batched_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
+                                }
+                                TcToDc::PerformBatch { tc, ops }
+                            }
+                        } else {
+                            msg
+                        }
+                    } else {
+                        msg
+                    };
                     let process = |m: TcToDc| {
                         if let Some(dc) = slot.get() {
                             let mut out = Vec::new();
@@ -181,7 +238,7 @@ impl QueuedLink {
                         if let Some(l) = link2.upgrade() {
                             l.dropped.fetch_add(1, Ordering::Relaxed);
                         }
-                        continue; // lost in transit
+                        continue; // lost in transit (a batch is lost whole)
                     }
                     if faultable && held.is_none() && rng.gen_bool(faults.reorder.clamp(0.0, 1.0)) {
                         if let Some(l) = link2.upgrade() {
@@ -218,6 +275,16 @@ impl QueuedLink {
     /// Messages reordered so far.
     pub fn reordered(&self) -> u64 {
         self.reordered.load(Ordering::Relaxed)
+    }
+
+    /// `PerformBatch` messages formed by coalescing so far.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Operations carried inside those batches.
+    pub fn batched_ops(&self) -> u64 {
+        self.batched_ops.load(Ordering::Relaxed)
     }
 
     /// Stop the workers (drains the queue first).

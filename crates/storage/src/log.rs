@@ -16,10 +16,21 @@
 //! experiments can compare log-space costs — e.g. the paper's observation
 //! that physically logging a consolidated page costs more log space than
 //! a logical page-delete record (Section 5.2.2).
+//!
+//! Two force paths exist:
+//!
+//! * [`LogStore::force`] — the classic synchronous flush: the caller
+//!   stalls the log (and every appender) for the device latency.
+//! * [`LogStore::group_force`] — the group-commit path: one caller
+//!   *leads* a flush covering every record appended so far while the
+//!   log stays open for appends; concurrent callers whose target the
+//!   in-flight flush covers *piggyback* on it via the force-epoch
+//!   condvar instead of issuing their own.
 
 use crate::stats::IoStats;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Convenience alias used by components that share a log handle.
 pub type SeqLog<R> = Arc<LogStore<R>>;
@@ -31,12 +42,40 @@ struct LogInner<R> {
     base: u64,
     /// Number of records (from the front of `records`) that are stable.
     stable: usize,
+    /// Simulated device latency per flush (zero = instantaneous).
+    force_latency: Duration,
+    /// A group-force leader's flush is in flight.
+    forcing: bool,
+    /// Completed flushes (group leaders bump it; piggybackers wake on it).
+    force_epoch: u64,
+    /// Crash generation: bumped by [`LogStore::crash`]. A group-force
+    /// leader that started its flush before a crash must not mark
+    /// anything stable afterwards — the device lost what it was writing,
+    /// and records appended post-crash were never part of its snapshot.
+    crashes: u64,
+    /// Group-force callers (leader included) whose target is not yet
+    /// stable — the size of the commit group a gathering leader counts.
+    pending: usize,
+}
+
+impl<R> LogInner<R> {
+    fn stable_seq(&self) -> u64 {
+        self.base + self.stable as u64
+    }
+
+    fn last_seq(&self) -> u64 {
+        self.base + self.records.len() as u64
+    }
 }
 
 /// Append-only log with force/crash semantics. Cheap to clone behind an
 /// [`Arc`]; a rebooted component reattaches to the same store.
 pub struct LogStore<R> {
     inner: Mutex<LogInner<R>>,
+    /// Signalled when a flush completes (piggybackers wait here).
+    force_done: Condvar,
+    /// Signalled when a waiter joins (a gathering leader waits here).
+    gather: Condvar,
     stats: Arc<IoStats>,
 }
 
@@ -44,9 +83,27 @@ impl<R: Clone> LogStore<R> {
     /// An empty log.
     pub fn new() -> Self {
         LogStore {
-            inner: Mutex::new(LogInner { records: Vec::new(), base: 0, stable: 0 }),
+            inner: Mutex::new(LogInner {
+                records: Vec::new(),
+                base: 0,
+                stable: 0,
+                force_latency: Duration::ZERO,
+                forcing: false,
+                force_epoch: 0,
+                crashes: 0,
+                pending: 0,
+            }),
+            force_done: Condvar::new(),
+            gather: Condvar::new(),
             stats: Arc::new(IoStats::new()),
         }
+    }
+
+    /// Set the simulated device latency charged per flush. Zero (the
+    /// default) keeps forces instantaneous; benches set a realistic
+    /// fsync cost to expose the group-commit amortization.
+    pub fn set_force_latency(&self, latency: Duration) {
+        self.inner.lock().force_latency = latency;
     }
 
     /// Append a record of `encoded_size` bytes; returns its sequence
@@ -58,14 +115,107 @@ impl<R: Clone> LogStore<R> {
         g.base + g.records.len() as u64
     }
 
-    /// Make every appended record stable. Returns the new stable end.
+    /// Make every appended record stable with a synchronous flush: the
+    /// log (including appenders) stalls for the device latency. Returns
+    /// the new stable end.
     pub fn force(&self) -> u64 {
         let mut g = self.inner.lock();
         if g.stable < g.records.len() {
+            if g.force_latency > Duration::ZERO {
+                std::thread::sleep(g.force_latency);
+            }
             g.stable = g.records.len();
+            g.force_epoch += 1;
             self.stats.log_force();
+            self.force_done.notify_all();
         }
-        g.base + g.stable as u64
+        g.stable_seq()
+    }
+
+    /// Group-commit force: make the record at sequence number `target`
+    /// (and everything before it) stable, issuing as few flushes as
+    /// possible across concurrent callers.
+    ///
+    /// If no flush is in flight the caller becomes the *leader*: it may
+    /// first wait up to `window` for more committers to join (cut short
+    /// once `max_waiters` are in the group), then flushes everything
+    /// appended so far — the log stays open for appends during the
+    /// device latency. Callers that find a flush in flight *piggyback*:
+    /// they block on the force-epoch condvar and return once a completed
+    /// flush covers their target (leading the next flush themselves if
+    /// theirs arrived too late for the in-flight one).
+    ///
+    /// Returns the stable end, which covers `target` unless a concurrent
+    /// [`LogStore::crash`] discarded it.
+    pub fn group_force(&self, target: u64, window: Duration, max_waiters: usize) -> u64 {
+        let mut g = self.inner.lock();
+        if g.stable_seq() >= target {
+            return g.stable_seq();
+        }
+        // After a crash the caller's record is gone and `target` would
+        // denote whatever gets appended in its place — give up rather
+        // than flush records that are not ours.
+        let entry_generation = g.crashes;
+        // This caller is now an uncovered member of the commit group; it
+        // leaves `pending` (waking any gathering leader) as soon as a
+        // flush covers it.
+        g.pending += 1;
+        self.gather.notify_all();
+        loop {
+            if g.crashes != entry_generation || g.stable_seq() >= target {
+                g.pending -= 1;
+                self.gather.notify_all();
+                return g.stable_seq();
+            }
+            if g.forcing {
+                // Piggyback on the in-flight flush.
+                self.force_done.wait(&mut g);
+                continue;
+            }
+            // Lead. Optionally hold the flush back to gather a group.
+            g.forcing = true;
+            if window > Duration::ZERO && max_waiters > 1 {
+                let deadline = std::time::Instant::now() + window;
+                while g.pending < max_waiters {
+                    if self.gather.wait_until(&mut g, deadline).timed_out() {
+                        break;
+                    }
+                }
+            }
+            if g.crashes != entry_generation {
+                // Crashed while gathering: don't flush at all.
+                g.forcing = false;
+                self.force_done.notify_all();
+                continue;
+            }
+            let covers = g.last_seq();
+            let latency = g.force_latency;
+            drop(g);
+            if latency > Duration::ZERO {
+                std::thread::sleep(latency);
+            }
+            g = self.inner.lock();
+            // A crash during the flush loses the records it was writing;
+            // the flush must not touch anything appended afterwards.
+            let new_stable = covers.min(g.last_seq());
+            if g.crashes == entry_generation && new_stable > g.stable_seq() {
+                g.stable = (new_stable - g.base) as usize;
+                self.stats.log_force();
+            }
+            g.forcing = false;
+            g.force_epoch += 1;
+            self.force_done.notify_all();
+        }
+    }
+
+    /// Number of completed flushes (group-force coalescing accounting).
+    pub fn force_epoch(&self) -> u64 {
+        self.inner.lock().force_epoch
+    }
+
+    /// Whether a group-force flush is currently in flight.
+    pub fn force_in_flight(&self) -> bool {
+        self.inner.lock().forcing
     }
 
     /// Sequence number of the last stable record (0 if none).
@@ -91,6 +241,7 @@ impl<R: Clone> LogStore<R> {
         let mut g = self.inner.lock();
         let stable = g.stable;
         g.records.truncate(stable);
+        g.crashes += 1;
         g.base + g.stable as u64
     }
 
@@ -261,5 +412,173 @@ mod tests {
         log.force();
         log.force();
         assert_eq!(log.stats().snapshot().log_forces, 1);
+    }
+
+    #[test]
+    fn group_force_with_no_contention_flushes_once() {
+        let log = LogStore::new();
+        let s1 = log.append("a", 1);
+        assert_eq!(log.group_force(s1, Duration::ZERO, usize::MAX), 1);
+        assert_eq!(log.stable_seq(), 1);
+        assert_eq!(log.stats().snapshot().log_forces, 1);
+        // Already-covered target: no second flush.
+        assert_eq!(log.group_force(s1, Duration::ZERO, usize::MAX), 1);
+        assert_eq!(log.stats().snapshot().log_forces, 1);
+    }
+
+    #[test]
+    fn group_force_leader_covers_followers_in_one_flush() {
+        let log = Arc::new(LogStore::new());
+        log.set_force_latency(Duration::from_millis(2));
+        let committers = 8;
+        let barrier = Arc::new(std::sync::Barrier::new(committers));
+        let handles: Vec<_> = (0..committers)
+            .map(|i| {
+                let log = log.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    let seq = log.append(i, 1);
+                    // Everyone appends before anyone forces: the first
+                    // leader's snapshot covers the whole group.
+                    barrier.wait();
+                    log.group_force(seq, Duration::ZERO, usize::MAX)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap() >= committers as u64);
+        }
+        assert_eq!(log.stable_seq(), committers as u64);
+        assert_eq!(
+            log.stats().snapshot().log_forces,
+            1,
+            "one leader flush must cover all {committers} committers"
+        );
+    }
+
+    #[test]
+    fn group_force_count_stays_under_commit_count_under_concurrency() {
+        let log = Arc::new(LogStore::new());
+        log.set_force_latency(Duration::from_millis(1));
+        let committers = 4;
+        let commits_each = 16u64;
+        let barrier = Arc::new(std::sync::Barrier::new(committers));
+        let handles: Vec<_> = (0..committers)
+            .map(|i| {
+                let log = log.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for j in 0..commits_each {
+                        let seq = log.append(i as u64 * 1000 + j, 1);
+                        let end = log.group_force(seq, Duration::ZERO, usize::MAX);
+                        assert!(end >= seq, "commit {seq} not durable after group force");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let commits = committers as u64 * commits_each;
+        let forces = log.stats().snapshot().log_forces;
+        assert_eq!(log.stable_seq(), commits);
+        assert!(
+            forces < commits,
+            "group commit must coalesce: {forces} forces for {commits} commits"
+        );
+    }
+
+    #[test]
+    fn group_force_appends_during_flush_need_the_next_flush() {
+        let log = Arc::new(LogStore::new());
+        log.set_force_latency(Duration::from_millis(20));
+        let s1 = log.append("a", 1);
+        let leader = {
+            let log = log.clone();
+            std::thread::spawn(move || log.group_force(s1, Duration::ZERO, usize::MAX))
+        };
+        while !log.force_in_flight() {
+            std::thread::yield_now();
+        }
+        // Appended after the in-flight flush snapshot: needs flush #2.
+        let s2 = log.append("b", 1);
+        assert_eq!(log.group_force(s2, Duration::ZERO, usize::MAX), 2);
+        assert_eq!(leader.join().unwrap(), 1);
+        assert_eq!(log.stats().snapshot().log_forces, 2);
+        assert_eq!(log.force_epoch(), 2);
+    }
+
+    #[test]
+    fn gather_window_is_cut_short_by_max_waiters() {
+        let log = Arc::new(LogStore::new());
+        let s1 = log.append("a", 1);
+        let leader = {
+            let log = log.clone();
+            // A generous window so the test would hang past its
+            // timeout if max_waiters did not cut it short.
+            std::thread::spawn(move || log.group_force(s1, Duration::from_secs(30), 2))
+        };
+        while !log.force_in_flight() {
+            std::thread::yield_now();
+        }
+        let s2 = log.append("b", 1);
+        assert_eq!(log.group_force(s2, Duration::ZERO, usize::MAX), 2);
+        assert_eq!(leader.join().unwrap(), 2, "leader's gathered flush covers the joiner");
+        assert_eq!(log.stats().snapshot().log_forces, 1);
+    }
+
+    #[test]
+    fn crash_mid_group_force_loses_exactly_the_unforced_tail() {
+        let log: Arc<LogStore<&str>> = Arc::new(LogStore::new());
+        log.append("stable", 1);
+        log.force();
+        log.set_force_latency(Duration::from_millis(20));
+        let s2 = log.append("in-group", 1);
+        let leader = {
+            let log = log.clone();
+            std::thread::spawn(move || log.group_force(s2, Duration::ZERO, usize::MAX))
+        };
+        while !log.force_in_flight() {
+            std::thread::yield_now();
+        }
+        log.append("after-snapshot", 1);
+        // Crash while the leader's flush is in flight: everything
+        // unforced is gone, including what the flush was writing.
+        assert_eq!(log.crash(), 1);
+        assert_eq!(leader.join().unwrap(), 1, "mid-flush records must not resurrect");
+        assert_eq!(log.stable_seq(), 1);
+        assert_eq!(log.last_seq(), 1);
+        assert_eq!(log.read(1), Some("stable"));
+        assert_eq!(log.read(2), None);
+        // Numbering resumes from the surviving stable end.
+        assert_eq!(log.append("next", 1), 2);
+    }
+
+    #[test]
+    fn flush_spanning_a_crash_cannot_stabilize_post_crash_appends() {
+        let log: Arc<LogStore<&str>> = Arc::new(LogStore::new());
+        log.append("stable", 1);
+        log.force();
+        log.set_force_latency(Duration::from_millis(20));
+        let s2 = log.append("lost-in-crash", 1);
+        let leader = {
+            let log = log.clone();
+            std::thread::spawn(move || log.group_force(s2, Duration::ZERO, usize::MAX))
+        };
+        while !log.force_in_flight() {
+            std::thread::yield_now();
+        }
+        log.crash();
+        // A rebooted component appends fresh (unforced!) records while
+        // the pre-crash flush is still in flight; its completion must
+        // not mark them stable — no flush has covered them.
+        log.append("recovery-1", 1);
+        log.append("recovery-2", 1);
+        assert_eq!(leader.join().unwrap(), 1);
+        assert_eq!(log.stable_seq(), 1, "post-crash appends stay unforced");
+        assert_eq!(log.read(2), None);
+        assert_eq!(log.force(), 3, "a real flush stabilizes them");
+        assert_eq!(log.read(2), Some("recovery-1"));
     }
 }

@@ -108,4 +108,124 @@ mod tests {
         assert_eq!(t.outstanding(), 0);
         assert_eq!(t.lwm(), Lsn(10));
     }
+
+    #[test]
+    fn fully_out_of_order_acks_advance_only_at_the_end() {
+        let t = AckTracker::new();
+        for l in 1..=5 {
+            t.sent(Lsn(l));
+        }
+        // Ack in strictly reverse order: the gap at the front pins the
+        // LWM until the very first LSN is acked.
+        for l in (2..=5).rev() {
+            t.acked(Lsn(l));
+            assert_eq!(t.lwm(), Lsn(0), "gap at LSN 1 must pin the LWM");
+        }
+        t.acked(Lsn(1));
+        assert_eq!(t.lwm(), Lsn(5));
+    }
+
+    #[test]
+    fn gap_at_the_very_first_lsn_yields_lwm_zero() {
+        let t = AckTracker::new();
+        t.sent(Lsn(1));
+        assert_eq!(t.lwm(), Lsn(0), "nothing acked: LWM is the null LSN");
+        t.sent(Lsn(2));
+        t.acked(Lsn(2));
+        assert_eq!(t.lwm(), Lsn(0), "LSN 1 still outstanding");
+        t.acked(Lsn(1));
+        assert_eq!(t.lwm(), Lsn(2));
+    }
+
+    #[test]
+    fn acking_an_unknown_lsn_is_harmless() {
+        let t = AckTracker::new();
+        t.sent(Lsn(3));
+        t.acked(Lsn(99)); // stale/duplicate reply for something long done
+        assert_eq!(t.lwm(), Lsn(2));
+        assert_eq!(t.outstanding(), 1);
+    }
+
+    #[test]
+    fn bookkeeping_lsns_interleaved_with_ops() {
+        let t = AckTracker::new();
+        t.bookkeeping(Lsn(1)); // Begin
+        t.sent(Lsn(2)); // op
+        t.bookkeeping(Lsn(3)); // Begin of a second txn
+        t.sent(Lsn(4)); // op
+        t.bookkeeping(Lsn(5)); // Commit
+        assert_eq!(t.lwm(), Lsn(1), "ops at 2 and 4 outstanding");
+        t.acked(Lsn(4));
+        assert_eq!(t.lwm(), Lsn(1), "op at 2 still outstanding");
+        t.acked(Lsn(2));
+        assert_eq!(t.lwm(), Lsn(5), "bookkeeping LSNs fill every gap");
+    }
+
+    #[test]
+    fn lwm_is_monotone_under_concurrent_assign_and_ack() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{mpsc, Arc};
+
+        let t = Arc::new(AckTracker::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<u64>();
+
+        // Assigner: sequential LSNs, mixing ops and bookkeeping (this is
+        // what the TC's alloc lock guarantees in production).
+        let assigner = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                for lsn in 1..=4000u64 {
+                    if lsn % 3 == 0 {
+                        t.bookkeeping(Lsn(lsn));
+                    } else {
+                        t.sent(Lsn(lsn));
+                        tx.send(lsn).unwrap();
+                    }
+                }
+            })
+        };
+        // Acker: acks out of order within a sliding window of 8.
+        let acker = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                let mut window: Vec<u64> = Vec::new();
+                let mut state = 0x9E3779B97F4A7C15u64;
+                let mut drain = |w: &mut Vec<u64>, all: bool| {
+                    while w.len() >= 8 || (all && !w.is_empty()) {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let i = (state >> 33) as usize % w.len();
+                        t.acked(Lsn(w.swap_remove(i)));
+                    }
+                };
+                while let Ok(lsn) = rx.recv() {
+                    window.push(lsn);
+                    drain(&mut window, false);
+                }
+                drain(&mut window, true);
+            })
+        };
+        // Observer: the published low-water mark must never move
+        // backwards while sends and acks race.
+        let observer = {
+            let t = t.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut last = Lsn(0);
+                while !done.load(Ordering::Acquire) {
+                    let now = t.lwm();
+                    assert!(now >= last, "LWM regressed: {last:?} -> {now:?}");
+                    last = now;
+                }
+                last
+            })
+        };
+        assigner.join().unwrap();
+        acker.join().unwrap();
+        done.store(true, Ordering::Release);
+        let final_seen = observer.join().unwrap();
+        assert_eq!(t.lwm(), Lsn(4000), "everything acked: LWM is the highest LSN");
+        assert!(final_seen <= Lsn(4000));
+        assert_eq!(t.outstanding(), 0);
+    }
 }

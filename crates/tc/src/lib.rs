@@ -35,5 +35,5 @@ pub mod tclog;
 pub use acks::AckTracker;
 pub use routing::{DcLink, RangePartitioner, ScanProtocol, TableRoute};
 pub use stats::{TcSnapshot, TcStats};
-pub use tc::{Tc, TcConfig};
+pub use tc::{GroupCommitCfg, Tc, TcConfig};
 pub use tclog::{TcLogHandle, TcLogRecord};

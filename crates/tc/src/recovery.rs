@@ -126,7 +126,7 @@ impl Tc {
         for txn in losers.keys() {
             self.log_bookkeeping(TcLogRecord::Abort { txn: *txn });
         }
-        self.log.force();
+        self.force_log();
 
         // --- Restart conversation, half two: done; resume.
         for &dc in &dcs {

@@ -27,6 +27,9 @@ pub struct TcStats {
     pub undo_ops: AtomicU64,
     /// DC-crash recoveries driven.
     pub dc_recoveries: AtomicU64,
+    /// EOSL/LWM publications skipped because a group-commit leader's
+    /// broadcast already covered this committer's frontier.
+    pub publishes_coalesced: AtomicU64,
 }
 
 /// Point-in-time copy of [`TcStats`].
@@ -54,6 +57,8 @@ pub struct TcSnapshot {
     pub undo_ops: u64,
     /// DC recoveries driven.
     pub dc_recoveries: u64,
+    /// Coalesced (skipped) EOSL/LWM publications.
+    pub publishes_coalesced: u64,
 }
 
 impl TcStats {
@@ -71,6 +76,7 @@ impl TcStats {
             redo_resends: self.redo_resends.load(Ordering::Relaxed),
             undo_ops: self.undo_ops.load(Ordering::Relaxed),
             dc_recoveries: self.dc_recoveries.load(Ordering::Relaxed),
+            publishes_coalesced: self.publishes_coalesced.load(Ordering::Relaxed),
         }
     }
 

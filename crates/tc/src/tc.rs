@@ -25,6 +25,25 @@ use unbundled_core::{
 use unbundled_lockmgr::{LockError, LockManager, LockMode, LockName, LockToken};
 use unbundled_storage::LogStore;
 
+/// Group-commit tuning (see [`TcConfig::group_commit`]).
+#[derive(Clone, Debug)]
+pub struct GroupCommitCfg {
+    /// Gather window: how long a force leader may hold the flush back
+    /// to let more concurrent committers join its group. Zero disables
+    /// the deliberate wait — coalescing then comes only from committers
+    /// piggybacking while a flush is in flight.
+    pub window: Duration,
+    /// Cut the gather window short once this many committers (leader
+    /// included) are in the group.
+    pub max_waiters: usize,
+}
+
+impl Default for GroupCommitCfg {
+    fn default() -> Self {
+        GroupCommitCfg { window: Duration::ZERO, max_waiters: 32 }
+    }
+}
+
 /// TC configuration.
 #[derive(Clone)]
 pub struct TcConfig {
@@ -40,6 +59,12 @@ pub struct TcConfig {
     /// many appended records even without a commit (keeps the DC's
     /// causality frontier moving for long transactions).
     pub force_every: usize,
+    /// Group commit: `None` forces the log (and publishes EOSL/LWM) once
+    /// per committing transaction; `Some` routes commits through the
+    /// log's group-force path, where one leader's flush covers every
+    /// concurrent committer and EOSL/LWM publication is coalesced to one
+    /// broadcast per flush.
+    pub group_commit: Option<GroupCommitCfg>,
 }
 
 impl Default for TcConfig {
@@ -50,6 +75,7 @@ impl Default for TcConfig {
             lock_timeout: Some(Duration::from_secs(2)),
             scan_protocol: ScanProtocol::fetch_ahead(),
             force_every: 64,
+            group_commit: None,
         }
     }
 }
@@ -109,6 +135,11 @@ pub struct Tc {
     /// covering an in-flight operation, and the DC would suppress its
     /// first delivery as a duplicate.
     alloc: Mutex<()>,
+    /// Highest EOSL published so far. Group committers whose force was
+    /// led by another committer skip the broadcast when the leader's
+    /// publication already covers them; holding this lock across the
+    /// broadcast keeps publications monotone per DC.
+    published: Mutex<Lsn>,
     next_txn: AtomicU64,
     next_read: AtomicU64,
     pub(crate) rssp: AtomicU64,
@@ -140,6 +171,7 @@ impl Tc {
             crashed_prompts: Mutex::new(Vec::new()),
             acks: AckTracker::new(),
             alloc: Mutex::new(()),
+            published: Mutex::new(Lsn(0)),
             next_txn: AtomicU64::new(1),
             next_read: AtomicU64::new(1),
             rssp: AtomicU64::new(1),
@@ -354,11 +386,54 @@ impl Tc {
         }
     }
 
+    /// Force everything appended so far. With group commit on, even
+    /// control-path forces (abort, checkpoint, background, recovery) go
+    /// through the group path with no gather window: they piggyback on
+    /// any in-flight flush instead of stalling the log — and every
+    /// appender with it — for the device latency.
+    pub(crate) fn force_log(&self) -> Lsn {
+        match &self.cfg.group_commit {
+            None => self.log.force(),
+            Some(_) => Lsn(self.log.store().group_force(self.log.last().0, Duration::ZERO, 1)),
+        }
+    }
+
     /// Force the log and publish the new EOSL + LWM to all DCs (this is
     /// how write-ahead logging and abLSN pruning work across the
     /// component boundary).
     pub fn force_and_publish(&self) {
-        let eosl = self.log.force();
+        let eosl = self.force_log();
+        let mut published = self.published.lock();
+        self.publish_locked(&mut published, eosl);
+    }
+
+    /// Make the commit record at `lsn` durable and publish the frontier:
+    /// a solo force + broadcast when group commit is off, otherwise the
+    /// log's group-force path (lead or piggyback) with one EOSL/LWM
+    /// publication per flush instead of per committer.
+    fn force_commit(&self, lsn: Lsn) {
+        match self.cfg.group_commit.clone() {
+            None => self.force_and_publish(),
+            Some(gc) => {
+                let eosl = Lsn(self.log.store().group_force(lsn.0, gc.window, gc.max_waiters));
+                // Coalesce: only the first committer per flush publishes.
+                let mut published = self.published.lock();
+                if *published >= eosl {
+                    TcStats::bump(&self.stats.publishes_coalesced);
+                    return;
+                }
+                self.publish_locked(&mut published, eosl);
+            }
+        }
+    }
+
+    /// Broadcast the EOSL/LWM frontier. The caller holds the `published`
+    /// lock, which serializes broadcasts so the frontier reaches every
+    /// DC monotonically — and a frontier that raced past us is never
+    /// un-published: we always broadcast the furthest known stable end.
+    fn publish_locked(&self, published: &mut Lsn, eosl: Lsn) {
+        let eosl = (*published).max(eosl);
+        *published = eosl;
         let lwm = self.acks.lwm().min(eosl);
         self.broadcast(|tc| TcToDc::EndOfStableLog { tc, eosl });
         self.broadcast(|tc| TcToDc::LowWaterMark { tc, lwm });
@@ -808,13 +883,14 @@ impl Tc {
     // Commit / abort
     // ------------------------------------------------------------------
 
-    /// Commit: force the commit record (durability), then run
-    /// post-commit version promotions, then release locks.
+    /// Commit: force the commit record (durability) — solo or via group
+    /// commit — then run post-commit version promotions, then release
+    /// locks.
     pub fn commit(&self, txn: TxnId) -> Result<(), TcError> {
         self.ensure_available()?;
         let st = self.txn_state(txn)?;
-        self.log_bookkeeping(TcLogRecord::Commit { txn });
-        self.force_and_publish();
+        let commit_lsn = self.log_bookkeeping(TcLogRecord::Commit { txn });
+        self.force_commit(commit_lsn);
         // Eliminate before-versions (Section 6.2.2) — logged redo-only so
         // recovery finishes the job if we crash mid-way. No 2PC anywhere:
         // once the commit record is stable the transaction IS committed.
@@ -829,7 +905,7 @@ impl Tc {
             // Make the promotions durable; recovery also re-derives them
             // from the committed VersionedWrite records, closing the
             // remaining window.
-            self.force_and_publish();
+            self.force_commit(self.log.last());
         }
         self.locks.unlock_all(Self::token(txn));
         self.txns.lock().remove(&txn);
@@ -904,7 +980,7 @@ impl Tc {
         let active: Vec<TxnId> = self.txns.lock().keys().copied().collect();
         let rec = TcLogRecord::Checkpoint { rssp: granted, active: active.clone() };
         self.log_bookkeeping(rec);
-        self.log.force();
+        self.force_log();
         self.rssp.store(granted.0, Ordering::Relaxed);
         // Truncation floor: redo needs ≥ RSSP, undo needs every record of
         // a still-active transaction.

@@ -1,11 +1,16 @@
 //! Contract-level integration tests: the Section 4.2 interaction
-//! contracts, multi-DC atomicity, and API edge cases.
+//! contracts, multi-DC atomicity, batched operation transport, and API
+//! edge cases.
 
 use std::sync::Arc;
-use unbundled::core::{DcId, Key, TableId, TableSpec, TcId};
-use unbundled::dc::DcConfig;
-use unbundled::kernel::{single, Deployment, TransportKind};
-use unbundled::tc::{TableRoute, TcConfig};
+use unbundled::core::{
+    DataComponentApi, DcId, DcToTc, Key, LogicalOp, Lsn, RequestId, TableId, TableSpec, TcId,
+    TcToDc,
+};
+use unbundled::dc::{DcConfig, DcServer};
+use unbundled::kernel::{single, Deployment, FaultModel, TransportKind};
+use unbundled::storage::LogStore;
+use unbundled::tc::{AckTracker, TableRoute, TcConfig};
 
 const T: TableId = TableId(1);
 const T2: TableId = TableId(2);
@@ -243,6 +248,127 @@ fn repeated_crash_recovery_cycles_are_stable() {
         assert_eq!(k.as_u64().unwrap(), i as u64);
         assert_eq!(v, &format!("r{i}").into_bytes());
     }
+}
+
+#[test]
+fn lost_perform_batches_are_fully_resent_and_replayed_idempotently() {
+    // Lossy batching transport: whole batches vanish in transit (the
+    // batch is one datagram), and the per-message delay builds up queue
+    // depth so batches actually form under the concurrent writers.
+    let kind = TransportKind::Queued {
+        faults: FaultModel {
+            loss: 0.2,
+            delay: std::time::Duration::from_micros(200),
+            seed: 11,
+            ..FaultModel::default()
+        },
+        workers: 1,
+        batch: 4,
+    };
+    let d = Arc::new(single(
+        TcConfig {
+            resend_interval: std::time::Duration::from_millis(5),
+            ..Default::default()
+        },
+        DcConfig::default(),
+        kind,
+        &[TableSpec::plain(T, "t")],
+    ));
+    let writers = 4u64;
+    let per_writer = 10u64;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let tc = d.tc(TcId(1));
+                for i in 0..per_writer {
+                    let t = tc.begin().unwrap();
+                    for j in 0..3u64 {
+                        let k = (w << 32) | (i * 3 + j);
+                        tc.insert(t, T, Key::from_u64(k), format!("w{w}-{i}-{j}").into_bytes())
+                            .unwrap();
+                    }
+                    tc.commit(t).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let tc = d.tc(TcId(1));
+    let t = tc.begin().unwrap();
+    let rows = tc.scan(t, T, Key::empty(), None, None).unwrap();
+    tc.commit(t).unwrap();
+    assert_eq!(
+        rows.len() as u64,
+        writers * per_writer * 3,
+        "every committed row present exactly once despite lost batches"
+    );
+    for (k, v) in rows {
+        let k = k.as_u64().unwrap();
+        let (w, i, j) = (k >> 32, (k & u32::MAX as u64) / 3, (k & u32::MAX as u64) % 3);
+        assert_eq!(v, format!("w{w}-{i}-{j}").into_bytes());
+    }
+    let links = d.queued_links(TcId(1));
+    let batches: u64 = links.iter().map(|l| l.batches()).sum();
+    let dropped: u64 = links.iter().map(|l| l.dropped()).sum();
+    assert!(batches > 0, "the transport must actually have coalesced batches");
+    assert!(dropped > 0, "the fault model must actually have lost messages");
+    assert!(
+        tc.stats().snapshot().resends > 0,
+        "lost batches are recovered by resending every contained op"
+    );
+}
+
+#[test]
+fn lwm_never_exceeds_lowest_unacked_op_of_a_partially_acked_batch() {
+    // A batch of three mutations reaches the DC, but only the acks for
+    // the two *later* LSNs make it back: the low-water mark must stay
+    // pinned below the batch until the first op's ack arrives, or a DC
+    // could prune the in-set entry that still guards its redo.
+    let server = DcServer::format(
+        DcId(1),
+        DcConfig::default(),
+        unbundled::storage::SimDisk::new(),
+        Arc::new(LogStore::new()),
+    );
+    server.create_table(TableSpec::plain(T, "t"));
+    let tracker = AckTracker::new();
+    tracker.bookkeeping(Lsn(1)); // Begin
+    let ops: Vec<(RequestId, LogicalOp)> = (2..=4u64)
+        .map(|l| {
+            tracker.sent(Lsn(l));
+            (
+                RequestId::Op(Lsn(l)),
+                LogicalOp::Insert {
+                    table: T,
+                    key: Key::from_u64(l),
+                    value: b"v".to_vec(),
+                },
+            )
+        })
+        .collect();
+    let mut out = Vec::new();
+    server.handle(TcToDc::PerformBatch { tc: TcId(1), ops }, &mut out);
+    assert_eq!(out.len(), 3, "each op in the batch is acked individually");
+    // Deliver the acks for LSNs 3 and 4 only; the ack for 2 is "lost".
+    for reply in &out {
+        if let DcToTc::Reply { req, result, .. } = reply {
+            assert!(result.is_ok());
+            let lsn = req.lsn().unwrap();
+            if lsn != Lsn(2) {
+                tracker.acked(lsn);
+            }
+        }
+    }
+    assert_eq!(
+        tracker.lwm(),
+        Lsn(1),
+        "partially acked batch: the LWM stops right below the unacked op"
+    );
+    tracker.acked(Lsn(2));
+    assert_eq!(tracker.lwm(), Lsn(4), "batch fully acked: the LWM covers it");
 }
 
 #[test]

@@ -193,6 +193,7 @@ fn exactly_once_under_loss_and_reordering() {
     let kind = TransportKind::Queued {
         faults: FaultModel { loss: 0.2, reorder: 0.3, ..Default::default() },
         workers: 4,
+        batch: 1,
     };
     let cfg = TcConfig {
         resend_interval: std::time::Duration::from_millis(5),
@@ -367,6 +368,7 @@ fn works_across_queued_transport_with_delay() {
     let kind = TransportKind::Queued {
         faults: FaultModel { delay: std::time::Duration::from_micros(100), ..Default::default() },
         workers: 2,
+        batch: 4,
     };
     let d = single(TcConfig::default(), DcConfig::default(), kind, &[TableSpec::plain(T, "t")]);
     let tc = d.tc(TcId(1));
@@ -413,6 +415,7 @@ fn concurrent_clients_exactly_once_under_reordering() {
     let kind = TransportKind::Queued {
         faults: FaultModel { reorder: 0.4, loss: 0.1, ..Default::default() },
         workers: 4,
+        batch: 1,
     };
     let cfg = TcConfig {
         resend_interval: std::time::Duration::from_millis(3),

@@ -237,6 +237,9 @@ proptest! {
         let kind = TransportKind::Queued {
             faults: FaultModel { loss: 0.15, reorder: 0.25, seed, ..Default::default() },
             workers: 3,
+            // Batching on: loss and reordering then apply to whole
+            // batches, which the resend/idempotence contracts must absorb.
+            batch: 3,
         };
         let cfg = TcConfig {
             resend_interval: std::time::Duration::from_millis(3),
