@@ -11,24 +11,36 @@ use unbundled_tc::TcConfig;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e10_contracts");
-    g.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(1000))
+        .warm_up_time(Duration::from_millis(300));
 
     for loss in [0.0f64, 0.1] {
-        g.bench_with_input(BenchmarkId::new("txn_insert_loss", format!("{loss}")), &loss, |b, &loss| {
-            let kind = TransportKind::Queued {
-                faults: FaultModel { loss, ..Default::default() },
-                workers: 4,
-                batch: 1,
-            };
-            let cfg = TcConfig { resend_interval: Duration::from_millis(2), ..Default::default() };
-            let d = unbundled_single(kind, cfg, DcConfig::default());
-            let tc = d.tc(TcId(1));
-            let mut k = 0u64;
-            b.iter(|| {
-                k += 1;
-                load_tc(&tc, k, 1, 16)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("txn_insert_loss", format!("{loss}")),
+            &loss,
+            |b, &loss| {
+                let kind = TransportKind::Queued {
+                    faults: FaultModel {
+                        loss,
+                        ..Default::default()
+                    },
+                    workers: 4,
+                    batch: 1,
+                };
+                let cfg = TcConfig {
+                    resend_interval: Duration::from_millis(2),
+                    ..Default::default()
+                };
+                let d = unbundled_single(kind, cfg, DcConfig::default());
+                let tc = d.tc(TcId(1));
+                let mut k = 0u64;
+                b.iter(|| {
+                    k += 1;
+                    load_tc(&tc, k, 1, 16)
+                })
+            },
+        );
     }
     g.finish();
 }

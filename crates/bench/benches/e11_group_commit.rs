@@ -1,150 +1,25 @@
-//! E11: group commit + batched TC→DC transport.
+//! E11: group commit + batched transport on both wire directions.
 //!
-//! The unbundling tax of E9 has two hot components on the commit path:
-//! a log force per committing transaction and a message per operation.
-//! This experiment measures both amortizations under a realistic log
-//! device latency: per-commit force vs. the group-force path at 1/8/32
-//! concurrent committers (commits/sec and log forces per commit), on
-//! the synchronous transport and on the queued transport with and
-//! without operation batching.
+//! The unbundling tax of E9 has three hot components on the commit
+//! path: a log force per committing transaction, a request datagram per
+//! operation, and an ack datagram per operation reply. This experiment
+//! measures all three amortizations under a realistic log-device
+//! latency — per-commit force vs. group force, per-op requests vs.
+//! `PerformBatch`, per-ack replies vs. `ReplyBatch` — plus a sweep of
+//! fixed gather windows against the adaptive controller.
+//!
+//! The harness itself lives in `unbundled_bench::e11` and is shared
+//! with the report binary, which serializes the same rows as
+//! `BENCH_e11.json` for the CI perf trajectory.
 //!
 //! Run modes: full (default) or smoke (`E11_SMOKE=1`, used by CI as a
-//! regression gate — the run fails if group commit loses its edge).
-
-use std::sync::Arc;
-use std::time::{Duration, Instant};
-use unbundled_bench::*;
-use unbundled_core::{Key, TcId};
-use unbundled_dc::DcConfig;
-use unbundled_kernel::{FaultModel, TransportKind};
-use unbundled_tc::{GroupCommitCfg, TcConfig};
-
-/// Simulated log-device flush latency (NVMe-class fsync).
-const FORCE_LATENCY: Duration = Duration::from_micros(150);
-
-struct Row {
-    label: String,
-    threads: usize,
-    commits_per_sec: f64,
-    forces_per_commit: f64,
-    coalesced_publishes: u64,
-    batches: u64,
-}
-
-fn run(label: &str, threads: usize, per_thread: u64, group: bool, kind: TransportKind) -> Row {
-    let tc_cfg = TcConfig {
-        // Keep the background force out of the measurement: only the
-        // commit path may force.
-        force_every: usize::MAX,
-        group_commit: group.then(GroupCommitCfg::default),
-        ..TcConfig::default()
-    };
-    let d = unbundled_single(kind, tc_cfg, DcConfig::default());
-    let tc = d.tc(TcId(1));
-    // Preload one key per committer (latency-free), then charge the
-    // device latency for the measured phase.
-    for t in 0..threads as u64 {
-        let txn = tc.begin().expect("begin");
-        tc.insert(txn, TABLE, Key::from_pair(t + 1, 0), vec![7u8; 16]).expect("insert");
-        tc.commit(txn).expect("commit");
-    }
-    let log = d.tc_log(TcId(1));
-    log.set_force_latency(FORCE_LATENCY);
-    let before = log.stats().snapshot();
-    let start = Instant::now();
-    std::thread::scope(|s| {
-        for t in 0..threads as u64 {
-            let tc = Arc::clone(&tc);
-            s.spawn(move || {
-                let key = Key::from_pair(t + 1, 0);
-                for i in 0..per_thread {
-                    let txn = tc.begin().expect("begin");
-                    tc.update(txn, TABLE, key.clone(), vec![(i % 251) as u8; 16])
-                        .expect("update");
-                    tc.commit(txn).expect("commit");
-                }
-            });
-        }
-    });
-    let wall = start.elapsed();
-    log.set_force_latency(Duration::ZERO);
-    let after = log.stats().snapshot();
-    let commits = threads as u64 * per_thread;
-    let batches: u64 = d.queued_links(TcId(1)).iter().map(|l| l.batches()).sum();
-    Row {
-        label: label.to_string(),
-        threads,
-        commits_per_sec: commits as f64 / wall.as_secs_f64(),
-        forces_per_commit: (after.log_forces - before.log_forces) as f64 / commits as f64,
-        coalesced_publishes: tc.stats().snapshot().publishes_coalesced,
-        batches,
-    }
-}
-
-fn queued(batch: usize) -> TransportKind {
-    TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch }
-}
+//! regression gate — the run fails if group commit loses its edge, the
+//! adaptive window loses to a fixed one, or reply batching stops
+//! paying).
 
 fn main() {
     let smoke = std::env::var("E11_SMOKE").is_ok();
-    let per_thread: u64 = if smoke { 25 } else { 150 };
-    println!(
-        "e11_group_commit ({} mode, force latency {:?}, {} commits/committer)",
-        if smoke { "smoke" } else { "full" },
-        FORCE_LATENCY,
-        per_thread
-    );
-    println!(
-        "{:<34} {:>8} {:>12} {:>14} {:>11} {:>9}",
-        "config", "threads", "commits/s", "forces/commit", "coalesced", "batches"
-    );
-
-    let mut rows = Vec::new();
-    for threads in [1usize, 8, 32] {
-        rows.push(run("inline per-commit force", threads, per_thread, false, TransportKind::Inline));
-        rows.push(run("inline group commit", threads, per_thread, true, TransportKind::Inline));
-    }
-    rows.push(run("queued per-commit force", 32, per_thread, false, queued(1)));
-    rows.push(run("queued group commit + batch=16", 32, per_thread, true, queued(16)));
-    for r in &rows {
-        println!(
-            "{:<34} {:>8} {:>12.0} {:>14.3} {:>11} {:>9}",
-            r.label, r.threads, r.commits_per_sec, r.forces_per_commit, r.coalesced_publishes,
-            r.batches
-        );
-    }
-
-    // Regression gates (the acceptance bar of the experiment): at 32
-    // concurrent committers, group commit must at least double the
-    // committed throughput of the per-commit force baseline and must
-    // issue well under one flush per commit.
-    let base = rows.iter().find(|r| r.label == "inline per-commit force" && r.threads == 32);
-    let grp = rows.iter().find(|r| r.label == "inline group commit" && r.threads == 32);
-    let (base, grp) = (base.expect("baseline row"), grp.expect("group row"));
-    let speedup = grp.commits_per_sec / base.commits_per_sec;
-    assert!(
-        speedup >= 2.0,
-        "group commit speedup at 32 committers is {speedup:.2}x, expected >= 2x \
-         ({:.0} vs {:.0} commits/s)",
-        grp.commits_per_sec,
-        base.commits_per_sec
-    );
-    assert!(
-        grp.forces_per_commit < 1.0,
-        "group commit must amortize flushes: {:.3} forces/commit",
-        grp.forces_per_commit
-    );
-    let qbase = rows.iter().find(|r| r.label == "queued per-commit force").expect("queued base");
-    let qgrp =
-        rows.iter().find(|r| r.label == "queued group commit + batch=16").expect("queued group");
-    let qspeedup = qgrp.commits_per_sec / qbase.commits_per_sec;
-    assert!(
-        qspeedup >= 2.0,
-        "group commit + batching speedup over the queued transport is {qspeedup:.2}x, \
-         expected >= 2x"
-    );
-    assert!(qgrp.forces_per_commit < 1.0);
-    println!(
-        "gate: inline {speedup:.1}x, queued+batched {qspeedup:.1}x over per-commit force — OK"
-    );
+    let report = unbundled_bench::e11::run_e11(smoke);
+    report.print();
+    report.assert_gates();
 }

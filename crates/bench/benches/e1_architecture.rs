@@ -11,7 +11,9 @@ use unbundled_tc::TcConfig;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_architecture");
-    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
 
     g.bench_function("monolith_insert_txn", |b| {
         let m = monolith();
@@ -23,7 +25,11 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("unbundled_inline_insert_txn", |b| {
-        let d = unbundled_single(TransportKind::Inline, TcConfig::default(), DcConfig::default());
+        let d = unbundled_single(
+            TransportKind::Inline,
+            TcConfig::default(),
+            DcConfig::default(),
+        );
         let tc = d.tc(TcId(1));
         let mut k = 0u64;
         b.iter(|| {
@@ -33,7 +39,11 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("unbundled_queued_insert_txn", |b| {
-        let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch: 1 };
+        let kind = TransportKind::Queued {
+            faults: FaultModel::default(),
+            workers: 2,
+            batch: 1,
+        };
         let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
         let tc = d.tc(TcId(1));
         let mut k = 0u64;

@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
         }
     }
     let mut g = c.benchmark_group("e2_movie_site");
-    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
 
     let mut i = 0u64;
     g.bench_function("w2_add_review_two_dcs_no_2pc", |b| {
@@ -24,7 +26,8 @@ fn bench(c: &mut Criterion) {
             i += 1;
             // Unique (user, movie) pair per iteration; movie ids above the
             // split land on DC2, exercising both partitions.
-            site.w2_add_review(i % 20, 10_000 + i, b"bench review").unwrap();
+            site.w2_add_review(i % 20, 10_000 + i, b"bench review")
+                .unwrap();
         })
     });
     g.bench_function("w1_reviews_for_movie_read_committed", |b| {

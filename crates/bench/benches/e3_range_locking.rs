@@ -11,7 +11,10 @@ use unbundled_kernel::TransportKind;
 use unbundled_tc::{RangePartitioner, ScanProtocol, TcConfig};
 
 fn deployment(protocol: ScanProtocol) -> (unbundled_kernel::Deployment, Arc<unbundled_tc::Tc>) {
-    let cfg = TcConfig { scan_protocol: protocol, ..Default::default() };
+    let cfg = TcConfig {
+        scan_protocol: protocol,
+        ..Default::default()
+    };
     let d = unbundled_single(TransportKind::Inline, cfg, DcConfig::default());
     let tc = d.tc(TcId(1));
     load_tc(&tc, 0, 1000, 16);
@@ -20,27 +23,55 @@ fn deployment(protocol: ScanProtocol) -> (unbundled_kernel::Deployment, Arc<unbu
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3_range_locking");
-    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
 
     for scan_len in [10u64, 100] {
         let (_d, tc) = deployment(ScanProtocol::FetchAhead { batch: 32 });
-        g.bench_with_input(BenchmarkId::new("scan_fetch_ahead", scan_len), &scan_len, |b, &len| {
-            b.iter(|| {
-                let t = tc.begin().unwrap();
-                let rows = tc.scan(t, TABLE, Key::from_u64(100), Some(Key::from_u64(100 + len)), None).unwrap();
-                tc.commit(t).unwrap();
-                rows
-            })
-        });
-        let (_d, tc) = deployment(ScanProtocol::StaticRanges(Arc::new(RangePartitioner::even_u64(64))));
-        g.bench_with_input(BenchmarkId::new("scan_static_ranges", scan_len), &scan_len, |b, &len| {
-            b.iter(|| {
-                let t = tc.begin().unwrap();
-                let rows = tc.scan(t, TABLE, Key::from_u64(100), Some(Key::from_u64(100 + len)), None).unwrap();
-                tc.commit(t).unwrap();
-                rows
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("scan_fetch_ahead", scan_len),
+            &scan_len,
+            |b, &len| {
+                b.iter(|| {
+                    let t = tc.begin().unwrap();
+                    let rows = tc
+                        .scan(
+                            t,
+                            TABLE,
+                            Key::from_u64(100),
+                            Some(Key::from_u64(100 + len)),
+                            None,
+                        )
+                        .unwrap();
+                    tc.commit(t).unwrap();
+                    rows
+                })
+            },
+        );
+        let (_d, tc) = deployment(ScanProtocol::StaticRanges(Arc::new(
+            RangePartitioner::even_u64(64),
+        )));
+        g.bench_with_input(
+            BenchmarkId::new("scan_static_ranges", scan_len),
+            &scan_len,
+            |b, &len| {
+                b.iter(|| {
+                    let t = tc.begin().unwrap();
+                    let rows = tc
+                        .scan(
+                            t,
+                            TABLE,
+                            Key::from_u64(100),
+                            Some(Key::from_u64(100 + len)),
+                            None,
+                        )
+                        .unwrap();
+                    tc.commit(t).unwrap();
+                    rows
+                })
+            },
+        );
     }
 
     // Insert overhead: fetch-ahead pays a next-key probe + instant lock.
@@ -52,7 +83,9 @@ fn bench(c: &mut Criterion) {
             load_tc(&tc, k, 1, 16)
         })
     });
-    let (_d, tc) = deployment(ScanProtocol::StaticRanges(Arc::new(RangePartitioner::even_u64(64))));
+    let (_d, tc) = deployment(ScanProtocol::StaticRanges(Arc::new(
+        RangePartitioner::even_u64(64),
+    )));
     let mut k = 2_000_000u64;
     g.bench_function("insert_static_ranges", |b| {
         b.iter(|| {

@@ -11,7 +11,9 @@ use unbundled_tc::TcConfig;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e4_ablsn");
-    g.sample_size(10).measurement_time(Duration::from_millis(700)).warm_up_time(Duration::from_millis(200));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(700))
+        .warm_up_time(Duration::from_millis(200));
 
     // Micro: the generalized <= test with a populated in-set vs scalar.
     g.bench_function("ablsn_includes_test", |b| {
@@ -38,11 +40,17 @@ fn bench(c: &mut Criterion) {
     // machinery keeps execution exactly-once.
     g.bench_function("txn_insert_reordering_transport", |b| {
         let kind = TransportKind::Queued {
-            faults: FaultModel { reorder: 0.3, ..Default::default() },
+            faults: FaultModel {
+                reorder: 0.3,
+                ..Default::default()
+            },
             workers: 4,
             batch: 1,
         };
-        let cfg = TcConfig { resend_interval: Duration::from_millis(5), ..Default::default() };
+        let cfg = TcConfig {
+            resend_interval: Duration::from_millis(5),
+            ..Default::default()
+        };
         let d = unbundled_single(kind, cfg, DcConfig::default());
         let tc = d.tc(TcId(1));
         let mut k = 0u64;

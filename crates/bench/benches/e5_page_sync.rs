@@ -10,29 +10,39 @@ use unbundled_tc::TcConfig;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_page_sync");
-    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
 
     for (name, policy) in [
         ("wait_for_lwm", SyncPolicy::WaitForLwm),
         ("full_ablsn", SyncPolicy::FullAbLsn),
         ("bounded_8", SyncPolicy::Bounded(8)),
     ] {
-        g.bench_with_input(BenchmarkId::new("load_then_flush_all", name), &policy, |b, &policy| {
-            b.iter_with_setup(
-                || {
-                    let dc_cfg = DcConfig { sync_policy: policy, ..Default::default() };
-                    let d = unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
-                    let tc = d.tc(TcId(1));
-                    load_tc(&tc, 0, 200, 16);
-                    tc.force_and_publish(); // EOSL + LWM current
-                    d
-                },
-                |d| {
-                    let dc = d.dc(unbundled_core::DcId(1));
-                    criterion::black_box(dc.engine().flush_all())
-                },
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("load_then_flush_all", name),
+            &policy,
+            |b, &policy| {
+                b.iter_with_setup(
+                    || {
+                        let dc_cfg = DcConfig {
+                            sync_policy: policy,
+                            ..Default::default()
+                        };
+                        let d =
+                            unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
+                        let tc = d.tc(TcId(1));
+                        load_tc(&tc, 0, 200, 16);
+                        tc.force_and_publish(); // EOSL + LWM current
+                        d
+                    },
+                    |d| {
+                        let dc = d.dc(unbundled_core::DcId(1));
+                        criterion::black_box(dc.engine().flush_all())
+                    },
+                )
+            },
+        );
     }
     g.finish();
 }

@@ -11,26 +11,44 @@ use unbundled_tc::TcConfig;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e6_systxn");
-    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
 
-    for (name, page_capacity) in [("smo_heavy_512B_pages", 512usize), ("smo_light_16KB_pages", 16384)] {
-        g.bench_with_input(BenchmarkId::new("insert_300", name), &page_capacity, |b, &cap| {
-            b.iter_with_setup(
-                || {
-                    let dc_cfg = DcConfig { page_capacity: cap, merge_threshold: cap / 4, ..Default::default() };
-                    let d = unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
-                    (d.tc(TcId(1)), d)
-                },
-                |(tc, _d)| load_tc(&tc, 0, 300, 32),
-            )
-        });
+    for (name, page_capacity) in [
+        ("smo_heavy_512B_pages", 512usize),
+        ("smo_light_16KB_pages", 16384),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("insert_300", name),
+            &page_capacity,
+            |b, &cap| {
+                b.iter_with_setup(
+                    || {
+                        let dc_cfg = DcConfig {
+                            page_capacity: cap,
+                            merge_threshold: cap / 4,
+                            ..Default::default()
+                        };
+                        let d =
+                            unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
+                        (d.tc(TcId(1)), d)
+                    },
+                    |(tc, _d)| load_tc(&tc, 0, 300, 32),
+                )
+            },
+        );
     }
 
     // DC restart with system transactions in the log.
     g.bench_function("dc_recovery_after_splits", |b| {
         b.iter_with_setup(
             || {
-                let dc_cfg = DcConfig { page_capacity: 512, merge_threshold: 128, ..Default::default() };
+                let dc_cfg = DcConfig {
+                    page_capacity: 512,
+                    merge_threshold: 128,
+                    ..Default::default()
+                };
                 let d = unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
                 let tc = d.tc(TcId(1));
                 load_tc(&tc, 0, 300, 32);

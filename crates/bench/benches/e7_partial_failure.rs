@@ -11,42 +11,69 @@ use unbundled_tc::TcConfig;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e7_partial_failure");
-    g.sample_size(10).measurement_time(Duration::from_millis(900)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(900))
+        .warm_up_time(Duration::from_millis(300));
 
     for ops in [100u64, 1000] {
-        g.bench_with_input(BenchmarkId::new("dc_crash_recovery", ops), &ops, |b, &ops| {
-            b.iter_with_setup(
-                || {
-                    let d = unbundled_single(TransportKind::Inline, TcConfig::default(), DcConfig::default());
-                    let tc = d.tc(TcId(1));
-                    load_tc(&tc, 0, 20, 16);
-                    tc.checkpoint().unwrap();
-                    load_tc(&tc, 100_000, ops, 16); // post-checkpoint redo work
-                    d.crash_dc(DcId(1));
-                    d
-                },
-                |d| d.reboot_dc(DcId(1)),
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("dc_crash_recovery", ops),
+            &ops,
+            |b, &ops| {
+                b.iter_with_setup(
+                    || {
+                        let d = unbundled_single(
+                            TransportKind::Inline,
+                            TcConfig::default(),
+                            DcConfig::default(),
+                        );
+                        let tc = d.tc(TcId(1));
+                        load_tc(&tc, 0, 20, 16);
+                        tc.checkpoint().unwrap();
+                        load_tc(&tc, 100_000, ops, 16); // post-checkpoint redo work
+                        d.crash_dc(DcId(1));
+                        d
+                    },
+                    |d| d.reboot_dc(DcId(1)),
+                )
+            },
+        );
     }
 
-    for (name, mode) in [("full_drop", ResetMode::FullDrop), ("selective", ResetMode::Selective)] {
-        g.bench_with_input(BenchmarkId::new("tc_crash_recovery", name), &mode, |b, &mode| {
-            b.iter_with_setup(
-                || {
-                    let dc_cfg = DcConfig { reset_mode: mode, ..Default::default() };
-                    let d = unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
-                    let tc = d.tc(TcId(1));
-                    load_tc(&tc, 0, 200, 16);
-                    // Unforced tail that will be lost:
-                    let t = tc.begin().unwrap();
-                    tc.insert(t, TABLE, unbundled_core::Key::from_u64(999_999), vec![1; 16]).unwrap();
-                    d.crash_tc(TcId(1));
-                    d
-                },
-                |d| d.reboot_tc(TcId(1)),
-            )
-        });
+    for (name, mode) in [
+        ("full_drop", ResetMode::FullDrop),
+        ("selective", ResetMode::Selective),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("tc_crash_recovery", name),
+            &mode,
+            |b, &mode| {
+                b.iter_with_setup(
+                    || {
+                        let dc_cfg = DcConfig {
+                            reset_mode: mode,
+                            ..Default::default()
+                        };
+                        let d =
+                            unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
+                        let tc = d.tc(TcId(1));
+                        load_tc(&tc, 0, 200, 16);
+                        // Unforced tail that will be lost:
+                        let t = tc.begin().unwrap();
+                        tc.insert(
+                            t,
+                            TABLE,
+                            unbundled_core::Key::from_u64(999_999),
+                            vec![1; 16],
+                        )
+                        .unwrap();
+                        d.crash_tc(TcId(1));
+                        d
+                    },
+                    |d| d.reboot_tc(TcId(1)),
+                )
+            },
+        );
     }
     g.finish();
 }

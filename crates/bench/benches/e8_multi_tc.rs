@@ -1,30 +1,44 @@
 //! E8 (§6): multiple TCs sharing one DC — scaling over disjoint
 //! partitions and never-blocking shared reads.
+//!
+//! `E8_SMOKE=1` skips the Criterion measurements and runs a fast
+//! sharded-TC regression gate instead (used by CI next to the e11
+//! gate): disjoint partitions must stay disjoint and complete, rows
+//! must be visible across TCs, and concurrent TCs must actually run in
+//! parallel rather than collapsing behind a hidden global serialization
+//! point.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::Duration;
 use unbundled_bench::*;
-use unbundled_core::{Key, TcId};
+use unbundled_core::{DcId, Key, TcId};
 use unbundled_dc::DcConfig;
 use unbundled_kernel::harness::run_concurrent;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e8_multi_tc");
-    g.sample_size(10).measurement_time(Duration::from_millis(1200)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(1200))
+        .warm_up_time(Duration::from_millis(300));
 
     for n_tcs in [1u16, 2, 4] {
-        g.bench_with_input(BenchmarkId::new("parallel_load_60_txns_per_tc", n_tcs), &n_tcs, |b, &n| {
-            b.iter_with_setup(
-                || std::sync::Arc::new(multi_tc_deployment(n, DcConfig::default())),
-                |d| {
-                    run_concurrent(n as usize, move |i| {
-                        let tcid = TcId(i as u16 + 1);
-                        let tc = d.tc(tcid);
-                        load_tc(&tc, tc_partition_base(tcid.0) + 1, 60, 16);
-                    })
-                },
-            )
-        });
+        g.bench_with_input(
+            BenchmarkId::new("parallel_load_60_txns_per_tc", n_tcs),
+            &n_tcs,
+            |b, &n| {
+                b.iter_with_setup(
+                    || std::sync::Arc::new(multi_tc_deployment(n, DcConfig::default())),
+                    |d| {
+                        run_concurrent(n as usize, move |i| {
+                            let tcid = TcId(i as u16 + 1);
+                            let tc = d.tc(tcid);
+                            load_tc(&tc, tc_partition_base(tcid.0) + 1, 60, 16);
+                        })
+                    },
+                )
+            },
+        );
     }
 
     // Shared reads while another TC writes: dirty + read-committed.
@@ -36,11 +50,114 @@ fn bench(c: &mut Criterion) {
         let mut k = 0u64;
         b.iter(|| {
             k = (k + 1) % 100;
-            reader.read_dirty(TABLE, Key::from_u64(tc_partition_base(1) + k)).unwrap()
+            reader
+                .read_dirty(TABLE, Key::from_u64(tc_partition_base(1) + k))
+                .unwrap()
         })
     });
     g.finish();
 }
 
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+/// The CI gate: correctness and liveness of multiple TCs sharing a DC,
+/// in a few hundred milliseconds.
+fn smoke() {
+    const N_TCS: u16 = 4;
+    let per_tc = 800u64;
+    println!("e8_multi_tc smoke ({N_TCS} TCs, {per_tc} txns each)");
+
+    // Liveness is a timing ratio, so both sides keep their best of
+    // three runs (noise on a shared CI runner is one-sided).
+    let best = |f: &dyn Fn() -> Duration| (0..3).map(|_| f()).min().expect("three runs");
+
+    // Single-TC baseline doing the same total work.
+    let el1 = best(&|| {
+        let d1 = Arc::new(multi_tc_deployment(1, DcConfig::default()));
+        run_concurrent(1, move |_| {
+            let tc = d1.tc(TcId(1));
+            load_tc(&tc, tc_partition_base(1) + 1, per_tc * N_TCS as u64, 16);
+        })
+    });
+
+    // Sharded: each TC loads its own partition concurrently (fresh
+    // deployment per round, symmetric with the baseline).
+    let sharded_round = || {
+        let d = Arc::new(multi_tc_deployment(N_TCS, DcConfig::default()));
+        let el = run_concurrent(N_TCS as usize, {
+            let d = d.clone();
+            move |i| {
+                let tcid = TcId(i as u16 + 1);
+                let tc = d.tc(tcid);
+                load_tc(&tc, tc_partition_base(tcid.0) + 1, per_tc, 16);
+            }
+        });
+        (d, el)
+    };
+    let el4 = best(&|| sharded_round().1);
+
+    // Correctness on one more (untimed) sharded round: every partition
+    // complete, nothing leaked across partitions.
+    let (d, _) = sharded_round();
+    let rows = d
+        .dc(DcId(1))
+        .engine()
+        .dump_table(TABLE)
+        .expect("dump")
+        .len() as u64;
+    assert_eq!(
+        rows,
+        per_tc * N_TCS as u64,
+        "all partitions fully loaded, no cross-talk"
+    );
+    for i in 1..=N_TCS {
+        let tc = d.tc(TcId(i));
+        let txn = tc.begin().expect("begin");
+        let base = tc_partition_base(i);
+        let got = tc
+            .scan(
+                txn,
+                TABLE,
+                Key::from_u64(base + 1),
+                Some(Key::from_u64(base + per_tc + 1)),
+                None,
+            )
+            .expect("scan");
+        tc.commit(txn).expect("commit");
+        assert_eq!(got.len() as u64, per_tc, "TC {i}'s partition is complete");
+    }
+    // Cross-TC visibility: TC 1 reads a row TC 2 wrote, lock-free.
+    let peek = d
+        .tc(TcId(1))
+        .read_dirty(TABLE, Key::from_u64(tc_partition_base(2) + 1))
+        .expect("cross-TC read");
+    assert!(
+        peek.is_some(),
+        "rows written by one TC are readable from another"
+    );
+
+    // Liveness: real parallel speedup depends on the runner's core
+    // count (CI runners are small), so the wall-clock ratio is recorded
+    // rather than gated — except against pathological collapse: four
+    // TCs doing the same total work as one TC must never be *much*
+    // slower than it, which is what a cross-TC livelock, a resend
+    // storm, or a poisoned shared-DC latch looks like.
+    let speedup = el1.as_secs_f64() / el4.as_secs_f64();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("single TC: {el1:?}, {N_TCS} TCs: {el4:?} — speedup {speedup:.2}x on {cores} core(s)");
+    assert!(
+        el4 <= el1.saturating_mul(3),
+        "multi-TC collapse: {N_TCS} sharded TCs took {el4:?} for work one TC does in {el1:?}"
+    );
+    println!("e8 smoke OK");
+}
+
+fn main() {
+    if std::env::var("E8_SMOKE").is_ok() {
+        smoke();
+    } else {
+        benches();
+    }
+}

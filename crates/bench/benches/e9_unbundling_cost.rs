@@ -12,7 +12,9 @@ use unbundled_tc::TcConfig;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e9_unbundling_cost");
-    g.sample_size(10).measurement_time(Duration::from_millis(1000)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_millis(1000))
+        .warm_up_time(Duration::from_millis(300));
 
     g.bench_function("rmw_monolith", |b| {
         let m = monolith();
@@ -22,14 +24,22 @@ fn bench(c: &mut Criterion) {
             i += 1;
             let k = (i * 2654435761) % 500;
             let t = m.begin();
-            let v = m.read(t, TABLE, unbundled_core::Key::from_u64(k)).unwrap().unwrap_or_default();
-            m.update(t, TABLE, unbundled_core::Key::from_u64(k), v).unwrap();
+            let v = m
+                .read(t, TABLE, unbundled_core::Key::from_u64(k))
+                .unwrap()
+                .unwrap_or_default();
+            m.update(t, TABLE, unbundled_core::Key::from_u64(k), v)
+                .unwrap();
             m.commit(t).unwrap();
         })
     });
 
     g.bench_function("rmw_unbundled_inline", |b| {
-        let d = unbundled_single(TransportKind::Inline, TcConfig::default(), DcConfig::default());
+        let d = unbundled_single(
+            TransportKind::Inline,
+            TcConfig::default(),
+            DcConfig::default(),
+        );
         let tc = d.tc(TcId(1));
         load_tc(&tc, 0, 500, 16);
         let mut i = 0u64;
@@ -40,7 +50,11 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("rmw_unbundled_separate_threads", |b| {
-        let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch: 1 };
+        let kind = TransportKind::Queued {
+            faults: FaultModel::default(),
+            workers: 2,
+            batch: 1,
+        };
         let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
         let tc = d.tc(TcId(1));
         load_tc(&tc, 0, 500, 16);

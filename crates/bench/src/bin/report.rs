@@ -1,12 +1,22 @@
 //! Experiment report: prints the measured rows for every experiment
-//! E1–E10 (one section per figure/claim of the paper). This complements
+//! E1–E11 (one section per figure/claim of the paper). This complements
 //! the Criterion benches with counter-based measurements — lock counts,
 //! message counts, log bytes, reset sizes — that wall-clock timing alone
 //! cannot show.
 //!
 //! ```sh
-//! cargo run -p unbundled-bench --bin report --release
+//! cargo run -p unbundled_bench --bin report --release
 //! ```
+//!
+//! The commit-path experiment (E11) can run alone and serialize its
+//! rows and regression gates as machine-readable telemetry — CI uploads
+//! this on every run so the perf trajectory is recorded, not discarded:
+//!
+//! ```sh
+//! cargo run -p unbundled_bench --bin report --release -- e11 --json BENCH_e11.json
+//! ```
+//!
+//! `E11_SMOKE=1` shrinks the e11 workload exactly like the bench gate.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,23 +35,45 @@ fn header(s: &str) {
 }
 
 fn main() {
-    e1();
-    e2();
-    e3();
-    e4();
-    e5();
-    e6();
-    e7();
-    e8();
-    e9();
-    e10();
+    // `report [e11] [--json PATH]`: an optional section filter and an
+    // optional path for the e11 JSON telemetry.
+    let mut only: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            json = Some(args.next().expect("--json needs a path"));
+        } else {
+            only = Some(arg);
+        }
+    }
+    match only.as_deref() {
+        Some("e11") => e11(json.as_deref()),
+        Some(other) => panic!("unknown section {other:?} (only \"e11\" can run alone)"),
+        None => {
+            e1();
+            e2();
+            e3();
+            e4();
+            e5();
+            e6();
+            e7();
+            e8();
+            e9();
+            e10();
+            e11(json.as_deref());
+        }
+    }
     println!("\nreport complete.");
 }
 
 /// E1 — Figure 1: architecture composition / per-op layer cost.
 fn e1() {
     header("E1 (Figure 1): unbundled architecture — per-transaction cost by deployment");
-    println!("{:<36} {:>14} {:>12}", "deployment", "txns/s", "vs monolith");
+    println!(
+        "{:<36} {:>14} {:>12}",
+        "deployment", "txns/s", "vs monolith"
+    );
     let n = 3000u64;
 
     let m = monolith();
@@ -50,20 +82,38 @@ fn e1() {
     let mono = ops_per_sec(n, t0.elapsed());
     println!("{:<36} {:>14.0} {:>11.2}x", "monolith (bundled)", mono, 1.0);
 
-    let d = unbundled_single(TransportKind::Inline, TcConfig::default(), DcConfig::default());
+    let d = unbundled_single(
+        TransportKind::Inline,
+        TcConfig::default(),
+        DcConfig::default(),
+    );
     let tc = d.tc(TcId(1));
     let t0 = Instant::now();
     load_tc(&tc, 0, n, 32);
     let inline = ops_per_sec(n, t0.elapsed());
-    println!("{:<36} {:>14.0} {:>11.2}x", "unbundled, inline (multi-core)", inline, mono / inline);
+    println!(
+        "{:<36} {:>14.0} {:>11.2}x",
+        "unbundled, inline (multi-core)",
+        inline,
+        mono / inline
+    );
 
-    let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch: 1 };
+    let kind = TransportKind::Queued {
+        faults: FaultModel::default(),
+        workers: 2,
+        batch: 1,
+    };
     let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
     let tc = d.tc(TcId(1));
     let t0 = Instant::now();
     load_tc(&tc, 0, n, 32);
     let queued = ops_per_sec(n, t0.elapsed());
-    println!("{:<36} {:>14.0} {:>11.2}x", "unbundled, queued (cloud)", queued, mono / queued);
+    println!(
+        "{:<36} {:>14.0} {:>11.2}x",
+        "unbundled, queued (cloud)",
+        queued,
+        mono / queued
+    );
     println!("paper claim: unbundling has longer code paths (§7) — factor above quantifies it.");
 }
 
@@ -78,32 +128,50 @@ fn e2() {
     let mut w2 = 0u64;
     for u in 0..40u64 {
         for m in 0..25u64 {
-            site.w2_add_review(u, (m * 7 + u) % 100, b"review body ***").unwrap();
+            site.w2_add_review(u, (m * 7 + u) % 100, b"review body ***")
+                .unwrap();
             w2 += 1;
         }
     }
-    println!("W2 add-review (2 DCs, 1 TC, 0 × 2PC): {:>10.0} txns/s", ops_per_sec(w2, t0.elapsed()));
+    println!(
+        "W2 add-review (2 DCs, 1 TC, 0 × 2PC): {:>10.0} txns/s",
+        ops_per_sec(w2, t0.elapsed())
+    );
 
     let t0 = Instant::now();
     let mut reviews = 0u64;
     for m in 0..100u64 {
-        reviews += site.w1_reviews_for_movie(m, ReadFlavor::Committed).unwrap().len() as u64;
+        reviews += site
+            .w1_reviews_for_movie(m, ReadFlavor::Committed)
+            .unwrap()
+            .len() as u64;
     }
-    println!("W1 reviews-per-movie (read committed):  {:>10.0} queries/s ({reviews} rows)", ops_per_sec(100, t0.elapsed()));
+    println!(
+        "W1 reviews-per-movie (read committed):  {:>10.0} queries/s ({reviews} rows)",
+        ops_per_sec(100, t0.elapsed())
+    );
 
     let t0 = Instant::now();
     for u in 0..40u64 {
         site.w3_update_profile(u, b"bio v2").unwrap();
     }
-    println!("W3 profile update (1 DC):               {:>10.0} txns/s", ops_per_sec(40, t0.elapsed()));
+    println!(
+        "W3 profile update (1 DC):               {:>10.0} txns/s",
+        ops_per_sec(40, t0.elapsed())
+    );
 
     let t0 = Instant::now();
     let mut mine = 0u64;
     for u in 0..40u64 {
         mine += site.w4_reviews_by_user(u).unwrap().len() as u64;
     }
-    println!("W4 reviews-by-user (1 DC, clustered):   {:>10.0} queries/s ({mine} rows)", ops_per_sec(40, t0.elapsed()));
-    println!("paper claim: each query touches ≤ 2 machines; readers never block (verified in tests).");
+    println!(
+        "W4 reviews-by-user (1 DC, clustered):   {:>10.0} queries/s ({mine} rows)",
+        ops_per_sec(40, t0.elapsed())
+    );
+    println!(
+        "paper claim: each query touches ≤ 2 machines; readers never block (verified in tests)."
+    );
 }
 
 /// E3 — §3.1: the two range-locking protocols.
@@ -114,12 +182,24 @@ fn e3() {
         "protocol", "scan len", "scans/s", "locks/scan", "msgs/scan"
     );
     for (name, protocol) in [
-        ("fetch-ahead (batch 32)", ScanProtocol::FetchAhead { batch: 32 }),
-        ("static ranges (16)", ScanProtocol::StaticRanges(Arc::new(RangePartitioner::even_u64(16)))),
-        ("static ranges (256)", ScanProtocol::StaticRanges(Arc::new(RangePartitioner::even_u64(256)))),
+        (
+            "fetch-ahead (batch 32)",
+            ScanProtocol::FetchAhead { batch: 32 },
+        ),
+        (
+            "static ranges (16)",
+            ScanProtocol::StaticRanges(Arc::new(RangePartitioner::even_u64(16))),
+        ),
+        (
+            "static ranges (256)",
+            ScanProtocol::StaticRanges(Arc::new(RangePartitioner::even_u64(256))),
+        ),
     ] {
         for scan_len in [10u64, 100] {
-            let cfg = TcConfig { scan_protocol: protocol.clone(), ..Default::default() };
+            let cfg = TcConfig {
+                scan_protocol: protocol.clone(),
+                ..Default::default()
+            };
             let d = unbundled_single(TransportKind::Inline, cfg, DcConfig::default());
             let tc = d.tc(TcId(1));
             load_tc(&tc, 0, 1000, 16);
@@ -130,7 +210,14 @@ fn e3() {
             for i in 0..iters {
                 let start = (i * 13) % 800;
                 let t = tc.begin().unwrap();
-                tc.scan(t, TABLE, Key::from_u64(start), Some(Key::from_u64(start + scan_len)), None).unwrap();
+                tc.scan(
+                    t,
+                    TABLE,
+                    Key::from_u64(start),
+                    Some(Key::from_u64(start + scan_len)),
+                    None,
+                )
+                .unwrap();
                 tc.commit(t).unwrap();
             }
             let el = t0.elapsed();
@@ -154,11 +241,18 @@ fn e3() {
 fn e4() {
     header("E4 (§5.1): out-of-order execution — abLSN keeps replay exactly-once");
     let kind = TransportKind::Queued {
-        faults: FaultModel { reorder: 0.4, loss: 0.1, ..Default::default() },
+        faults: FaultModel {
+            reorder: 0.4,
+            loss: 0.1,
+            ..Default::default()
+        },
         workers: 4,
         batch: 1,
     };
-    let cfg = TcConfig { resend_interval: std::time::Duration::from_millis(3), ..Default::default() };
+    let cfg = TcConfig {
+        resend_interval: std::time::Duration::from_millis(3),
+        ..Default::default()
+    };
     let d = Arc::new(unbundled_single(kind, cfg, DcConfig::default()));
     let n = 1000u64;
     // Four concurrent clients interleave on the same pages: their
@@ -179,8 +273,14 @@ fn e4() {
     println!("operations committed:        {n}");
     println!("out-of-order page arrivals:  {}", snap.out_of_order);
     println!("resends by TC:               {}", tc_snap.resends);
-    println!("duplicates suppressed by DC: {}", snap.duplicates_suppressed);
-    println!("ops applied at DC:           {} (== committed: exactly-once)", snap.ops_applied);
+    println!(
+        "duplicates suppressed by DC: {}",
+        snap.duplicates_suppressed
+    );
+    println!(
+        "ops applied at DC:           {} (== committed: exactly-once)",
+        snap.ops_applied
+    );
     let rows = d.dc(DcId(1)).engine().dump_table(TABLE).unwrap().len();
     println!("rows at DC:                  {rows}");
     // Space comparison (paper: record-level LSNs "very expensive in space").
@@ -208,10 +308,13 @@ fn e5() {
         // Drive the DC engine directly: EOSL covers every operation but
         // no low-water mark ever arrives, so in-sets stay populated —
         // exactly the state the three algorithms handle differently.
-        use unbundled_core::{LogicalOp, Lsn, RequestId, TableSpec, TableId};
+        use unbundled_core::{LogicalOp, Lsn, RequestId, TableId, TableSpec};
         let engine = unbundled_dc::DcEngine::format(
             DcId(1),
-            DcConfig { sync_policy: policy, ..Default::default() },
+            DcConfig {
+                sync_policy: policy,
+                ..Default::default()
+            },
             unbundled_storage::SimDisk::new(),
             Arc::new(unbundled_storage::LogStore::new()),
         );
@@ -219,11 +322,15 @@ fn e5() {
         engine.create_table(TableSpec::plain(t1, "t")).unwrap();
         for k in 0..200u64 {
             engine
-                .perform(TcId(1), RequestId::Op(Lsn(k + 1)), &LogicalOp::Insert {
-                    table: t1,
-                    key: Key::from_u64(k),
-                    value: vec![1; 16],
-                })
+                .perform(
+                    TcId(1),
+                    RequestId::Op(Lsn(k + 1)),
+                    &LogicalOp::Insert {
+                        table: t1,
+                        key: Key::from_u64(k),
+                        value: vec![1; 16],
+                    },
+                )
                 .unwrap();
         }
         engine.handle_eosl(TcId(1), Lsn(200));
@@ -248,7 +355,11 @@ fn e5() {
 /// E6 — §5.2: system transactions and their log cost.
 fn e6() {
     header("E6 (§5.2): system transactions — splits/consolidations and log space");
-    let dc_cfg = DcConfig { page_capacity: 512, merge_threshold: 128, ..Default::default() };
+    let dc_cfg = DcConfig {
+        page_capacity: 512,
+        merge_threshold: 128,
+        ..Default::default()
+    };
     let d = unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
     let tc = d.tc(TcId(1));
     load_tc(&tc, 0, 800, 24);
@@ -278,7 +389,10 @@ fn e6() {
     d.crash_dc(DcId(1));
     let t0 = Instant::now();
     d.reboot_dc(DcId(1));
-    println!("DC restart (systxn replay before TC redo): {:?}", t0.elapsed());
+    println!(
+        "DC restart (systxn replay before TC redo): {:?}",
+        t0.elapsed()
+    );
     d.dc(DcId(1)).engine().check_tree(TABLE);
     println!("tree well-formed after recovery: yes");
 }
@@ -286,9 +400,16 @@ fn e6() {
 /// E7 — §5.3: partial failures.
 fn e7() {
     header("E7 (§5.3): partial failures — recovery work vs checkpoint distance");
-    println!("{:<30} {:>14} {:>14}", "scenario", "redo resends", "recovery time");
+    println!(
+        "{:<30} {:>14} {:>14}",
+        "scenario", "redo resends", "recovery time"
+    );
     for ops in [100u64, 500, 2000] {
-        let d = unbundled_single(TransportKind::Inline, TcConfig::default(), DcConfig::default());
+        let d = unbundled_single(
+            TransportKind::Inline,
+            TcConfig::default(),
+            DcConfig::default(),
+        );
         let tc = d.tc(TcId(1));
         load_tc(&tc, 0, 50, 16);
         tc.checkpoint().unwrap();
@@ -299,26 +420,46 @@ fn e7() {
         d.reboot_dc(DcId(1));
         let el = t0.elapsed();
         let after = tc.stats().snapshot().redo_resends;
-        println!("{:<30} {:>14} {:>14?}", format!("DC crash, {ops} ops past ckpt"), after - before, el);
+        println!(
+            "{:<30} {:>14} {:>14?}",
+            format!("DC crash, {ops} ops past ckpt"),
+            after - before,
+            el
+        );
     }
     println!();
-    println!("{:<30} {:>12} {:>14} {:>14}", "TC crash reset mode", "pages reset", "records reset", "time");
-    for (name, mode) in [("full drop", ResetMode::FullDrop), ("selective", ResetMode::Selective)] {
-        let dc_cfg = DcConfig { reset_mode: mode, ..Default::default() };
+    println!(
+        "{:<30} {:>12} {:>14} {:>14}",
+        "TC crash reset mode", "pages reset", "records reset", "time"
+    );
+    for (name, mode) in [
+        ("full drop", ResetMode::FullDrop),
+        ("selective", ResetMode::Selective),
+    ] {
+        let dc_cfg = DcConfig {
+            reset_mode: mode,
+            ..Default::default()
+        };
         let d = unbundled_single(TransportKind::Inline, TcConfig::default(), dc_cfg);
         let tc = d.tc(TcId(1));
         load_tc(&tc, 0, 500, 16);
         // Lost tail:
         let t = tc.begin().unwrap();
-        tc.insert(t, TABLE, Key::from_u64(999_999), vec![1; 16]).unwrap();
+        tc.insert(t, TABLE, Key::from_u64(999_999), vec![1; 16])
+            .unwrap();
         d.crash_tc(TcId(1));
         let t0 = Instant::now();
         d.reboot_tc(TcId(1));
         let el = t0.elapsed();
         let snap = d.dc(DcId(1)).engine().stats().snapshot();
-        println!("{:<30} {:>12} {:>14} {:>14?}", name, snap.pages_reset, snap.records_reset, el);
+        println!(
+            "{:<30} {:>12} {:>14} {:>14?}",
+            name, snap.pages_reset, snap.records_reset, el
+        );
     }
-    println!("paper claim: only pages whose abLSN includes post-stable-log operations are dropped.");
+    println!(
+        "paper claim: only pages whose abLSN includes post-stable-log operations are dropped."
+    );
 }
 
 /// E8 — §6: multiple TCs per DC.
@@ -348,7 +489,8 @@ fn e8() {
         // Interleave all four TCs on the same key region → shared pages.
         for k in 0..50u64 {
             let t = tc.begin().unwrap();
-            tc.insert(t, TABLE, Key::from_u64(k * 4 + i as u64), vec![1; 8]).unwrap();
+            tc.insert(t, TABLE, Key::from_u64(k * 4 + i as u64), vec![1; 8])
+                .unwrap();
             tc.commit(t).unwrap();
         }
     }
@@ -379,26 +521,49 @@ fn e9() {
     for i in 0..iters {
         let k = (i * 2654435761) % 500;
         let t = m.begin();
-        let v = m.read(t, TABLE, Key::from_u64(k)).unwrap().unwrap_or_default();
+        let v = m
+            .read(t, TABLE, Key::from_u64(k))
+            .unwrap()
+            .unwrap_or_default();
         m.update(t, TABLE, Key::from_u64(k), v).unwrap();
         m.commit(t).unwrap();
     }
-    println!("{:<40} {:>12.0}", "monolith (bundled)", ops_per_sec(iters, t0.elapsed()));
+    println!(
+        "{:<40} {:>12.0}",
+        "monolith (bundled)",
+        ops_per_sec(iters, t0.elapsed())
+    );
 
-    let d = unbundled_single(TransportKind::Inline, TcConfig::default(), DcConfig::default());
+    let d = unbundled_single(
+        TransportKind::Inline,
+        TcConfig::default(),
+        DcConfig::default(),
+    );
     let tc = d.tc(TcId(1));
     load_tc(&tc, 0, 500, 16);
     let t0 = Instant::now();
     rmw_tc(&tc, iters, 500);
-    println!("{:<40} {:>12.0}", "unbundled TC+DC colocated (inline)", ops_per_sec(iters, t0.elapsed()));
+    println!(
+        "{:<40} {:>12.0}",
+        "unbundled TC+DC colocated (inline)",
+        ops_per_sec(iters, t0.elapsed())
+    );
 
-    let kind = TransportKind::Queued { faults: FaultModel::default(), workers: 2, batch: 1 };
+    let kind = TransportKind::Queued {
+        faults: FaultModel::default(),
+        workers: 2,
+        batch: 1,
+    };
     let d = unbundled_single(kind, TcConfig::default(), DcConfig::default());
     let tc = d.tc(TcId(1));
     load_tc(&tc, 0, 500, 16);
     let t0 = Instant::now();
     rmw_tc(&tc, iters, 500);
-    println!("{:<40} {:>12.0}", "unbundled TC/DC separate threads", ops_per_sec(iters, t0.elapsed()));
+    println!(
+        "{:<40} {:>12.0}",
+        "unbundled TC/DC separate threads",
+        ops_per_sec(iters, t0.elapsed())
+    );
     println!("paper hypothesis: longer code paths, offset by deployment flexibility and");
     println!("per-component parallelism (see E8 scaling).");
 }
@@ -412,11 +577,17 @@ fn e10() {
     );
     for loss in [0.0f64, 0.05, 0.1, 0.2, 0.3] {
         let kind = TransportKind::Queued {
-            faults: FaultModel { loss, ..Default::default() },
+            faults: FaultModel {
+                loss,
+                ..Default::default()
+            },
             workers: 4,
             batch: 1,
         };
-        let cfg = TcConfig { resend_interval: std::time::Duration::from_millis(2), ..Default::default() };
+        let cfg = TcConfig {
+            resend_interval: std::time::Duration::from_millis(2),
+            ..Default::default()
+        };
         let d = unbundled_single(kind, cfg, DcConfig::default());
         let tc = d.tc(TcId(1));
         let n = 300u64;
@@ -436,4 +607,22 @@ fn e10() {
         );
     }
     println!("paper claim: TC resend + DC idempotence ⇒ exactly-once regardless of loss.");
+}
+
+/// E11 — the commit path: group commit (fixed vs adaptive gather
+/// window) and batching on both wire directions. Shares its harness
+/// with `benches/e11_group_commit.rs`; optionally serializes the rows
+/// and gates as JSON bench telemetry. The regression gates are
+/// enforced here too (telemetry is written first, so a failing run
+/// still leaves its numbers behind for the CI artifact).
+fn e11(json: Option<&str>) {
+    header("E11: commit path — group commit, adaptive gather window, reply batching");
+    let smoke = std::env::var("E11_SMOKE").is_ok();
+    let report = unbundled_bench::e11::run_e11(smoke);
+    report.print();
+    if let Some(path) = json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("e11 telemetry written to {path}");
+    }
+    report.assert_gates();
 }

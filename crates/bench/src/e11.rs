@@ -1,0 +1,530 @@
+//! E11 harness: group commit + batched transport, both directions.
+//!
+//! Shared by `benches/e11_group_commit.rs` (the CI regression gate) and
+//! `src/bin/report.rs` (which serializes the same rows as
+//! `BENCH_e11.json` telemetry), so the gate and the recorded trajectory
+//! can never drift apart.
+//!
+//! The experiment measures the three commit-path amortizations under a
+//! realistic log-device latency:
+//!
+//! * **group commit** — per-commit force vs. the group-force path at
+//!   1/8/32 concurrent committers;
+//! * **gather window** — a sweep of fixed windows against the adaptive
+//!   controller at 1 and 32 committers (the controller must track the
+//!   best fixed setting at both extremes);
+//! * **reply batching** — the queued transport with coalesced
+//!   `ReplyBatch` acks vs. forced per-ack replies, under a
+//!   per-datagram wire delay (the cost batching amortizes).
+
+use crate::{unbundled_single, TABLE};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unbundled_core::{Key, TcId};
+use unbundled_dc::DcConfig;
+use unbundled_kernel::{FaultModel, TransportKind};
+use unbundled_tc::{GatherWindow, GroupCommitCfg, TcConfig};
+
+/// Simulated log-device flush latency (NVMe-class fsync).
+pub const FORCE_LATENCY: Duration = Duration::from_micros(150);
+
+/// Simulated per-datagram wire delay for the reply-path comparison.
+pub const WIRE_DELAY: Duration = Duration::from_micros(25);
+
+/// One measured configuration.
+pub struct E11Row {
+    /// Configuration label.
+    pub label: String,
+    /// Concurrent committers.
+    pub threads: usize,
+    /// Committed transactions per second.
+    pub commits_per_sec: f64,
+    /// Log flushes per committed transaction.
+    pub forces_per_commit: f64,
+    /// EOSL/LWM publications skipped by group-commit coalescing.
+    pub coalesced_publishes: u64,
+    /// `PerformBatch` datagrams formed on the request direction.
+    pub batches: u64,
+    /// `ReplyBatch` datagrams formed on the reply direction.
+    pub reply_batches: u64,
+    /// Gather window the adaptive controller settled on (µs; zero for
+    /// fixed windows or idle logs).
+    pub chosen_window_us: f64,
+    /// Mean committers covered per led flush.
+    pub group_size: f64,
+}
+
+/// One pass/fail regression gate.
+pub struct E11Gate {
+    /// What the gate checks.
+    pub name: String,
+    /// Measured value (a ratio).
+    pub value: f64,
+    /// Minimum acceptable value.
+    pub threshold: f64,
+    /// Whether the gate held.
+    pub pass: bool,
+}
+
+/// The full experiment output.
+pub struct E11Report {
+    /// `smoke` (CI) or `full`.
+    pub mode: String,
+    /// Commits per committer thread.
+    pub per_thread: u64,
+    /// All measured rows.
+    pub rows: Vec<E11Row>,
+    /// Regression gates over the rows.
+    pub gates: Vec<E11Gate>,
+}
+
+struct RunCfg<'a> {
+    label: &'a str,
+    threads: usize,
+    per_thread: u64,
+    /// Untimed commits per thread before measurement starts, with the
+    /// device latency already charged — steadies the scheduler and lets
+    /// the adaptive controller converge outside the measured window.
+    warmup: u64,
+    group_commit: Option<GroupCommitCfg>,
+    kind: TransportKind,
+    /// Reply-direction batch override (`Some(1)` = per-ack ablation).
+    reply_batch: Option<usize>,
+}
+
+fn run(cfg: RunCfg<'_>) -> E11Row {
+    let tc_cfg = TcConfig {
+        // Keep the background force out of the measurement: only the
+        // commit path may force.
+        force_every: usize::MAX,
+        group_commit: cfg.group_commit,
+        ..TcConfig::default()
+    };
+    let d = unbundled_single(cfg.kind, tc_cfg, DcConfig::default());
+    if let Some(rb) = cfg.reply_batch {
+        for link in d.queued_links(TcId(1)) {
+            link.set_reply_batch(rb);
+        }
+    }
+    let tc = d.tc(TcId(1));
+    // Preload one key per committer (latency-free), then charge the
+    // device latency for the measured phase.
+    for t in 0..cfg.threads as u64 {
+        let txn = tc.begin().expect("begin");
+        tc.insert(txn, TABLE, Key::from_pair(t + 1, 0), vec![7u8; 16])
+            .expect("insert");
+        tc.commit(txn).expect("commit");
+    }
+    let log = d.tc_log(TcId(1));
+    log.set_force_latency(FORCE_LATENCY);
+    let commit_loop = |n: u64| {
+        std::thread::scope(|s| {
+            for t in 0..cfg.threads as u64 {
+                let tc = Arc::clone(&tc);
+                s.spawn(move || {
+                    let key = Key::from_pair(t + 1, 0);
+                    for i in 0..n {
+                        let txn = tc.begin().expect("begin");
+                        tc.update(txn, TABLE, key.clone(), vec![(i % 251) as u8; 16])
+                            .expect("update");
+                        tc.commit(txn).expect("commit");
+                    }
+                });
+            }
+        });
+    };
+    if cfg.warmup > 0 {
+        commit_loop(cfg.warmup);
+    }
+    // Every reported counter is a measured-phase delta — preload and
+    // warmup traffic must not leak into the telemetry rows.
+    let links = d.queued_links(TcId(1));
+    let before = log.stats().snapshot();
+    let gf_before = log.group_force_stats();
+    let batches_before: u64 = links.iter().map(|l| l.batches()).sum();
+    let reply_batches_before: u64 = links.iter().map(|l| l.reply_batches()).sum();
+    let publishes_before = tc.stats().snapshot().publishes_coalesced;
+    let per_thread = cfg.per_thread;
+    let start = Instant::now();
+    commit_loop(per_thread);
+    let wall = start.elapsed();
+    let chosen_window = log.gather_window();
+    log.set_force_latency(Duration::ZERO);
+    let after = log.stats().snapshot();
+    let gf = log.group_force_stats();
+    let commits = cfg.threads as u64 * per_thread;
+    let batches: u64 = links.iter().map(|l| l.batches()).sum::<u64>() - batches_before;
+    let reply_batches: u64 =
+        links.iter().map(|l| l.reply_batches()).sum::<u64>() - reply_batches_before;
+    let led = gf.led_flushes - gf_before.led_flushes;
+    let gathered = gf.gathered_waiters - gf_before.gathered_waiters;
+    E11Row {
+        label: cfg.label.to_string(),
+        threads: cfg.threads,
+        commits_per_sec: commits as f64 / wall.as_secs_f64(),
+        forces_per_commit: (after.log_forces - before.log_forces) as f64 / commits as f64,
+        coalesced_publishes: tc.stats().snapshot().publishes_coalesced - publishes_before,
+        batches,
+        reply_batches,
+        chosen_window_us: chosen_window.as_secs_f64() * 1e6,
+        group_size: if led == 0 {
+            0.0
+        } else {
+            gathered as f64 / led as f64
+        },
+    }
+}
+
+fn group(window: GatherWindow) -> Option<GroupCommitCfg> {
+    Some(GroupCommitCfg {
+        window,
+        ..GroupCommitCfg::default()
+    })
+}
+
+fn queued(batch: usize, delay: Duration) -> TransportKind {
+    TransportKind::Queued {
+        faults: FaultModel {
+            delay,
+            ..FaultModel::default()
+        },
+        workers: if delay > Duration::ZERO { 1 } else { 2 },
+        batch,
+    }
+}
+
+fn fixed_sweep_label(threads: usize, win: Duration) -> String {
+    format!("inline group fixed={}us @{}", win.as_micros(), threads)
+}
+
+/// Best of `reps` repetitions by commits/sec. Wall-clock noise on a CI
+/// runner is one-sided (interference only slows a run down), so the
+/// fastest repetition is the least-biased estimate of a configuration's
+/// capability — and using it on *both* sides of a ratio gate keeps the
+/// winner's-curse bias from the multi-config sweep out of the
+/// denominator.
+fn best_of(reps: usize, f: impl Fn() -> E11Row) -> E11Row {
+    (0..reps.max(1))
+        .map(|_| f())
+        .max_by(|a, b| a.commits_per_sec.total_cmp(&b.commits_per_sec))
+        .expect("at least one rep")
+}
+
+/// Run the full experiment. `smoke` shrinks the per-committer commit
+/// counts for CI; the gates are identical in both modes.
+pub fn run_e11(smoke: bool) -> E11Report {
+    let per_thread: u64 = if smoke { 25 } else { 150 };
+    let mut rows = Vec::new();
+
+    // --- Group commit vs per-commit force (PR 2's core comparison).
+    for threads in [1usize, 8, 32] {
+        rows.push(run(RunCfg {
+            label: "inline per-commit force",
+            threads,
+            per_thread,
+            warmup: 0,
+            group_commit: None,
+            kind: TransportKind::Inline,
+            reply_batch: None,
+        }));
+        rows.push(run(RunCfg {
+            label: "inline group adaptive",
+            threads,
+            per_thread,
+            warmup: 0,
+            group_commit: group(GatherWindow::adaptive()),
+            kind: TransportKind::Inline,
+            reply_batch: None,
+        }));
+    }
+
+    // --- Gather-window sweep: fixed settings the adaptive controller
+    // must not lose to, at both extremes of commit concurrency. These
+    // rows feed a tight ±10% gate, so each configuration runs longer
+    // than the headline rows and keeps its best of three repetitions.
+    let sweep_windows = [
+        Duration::ZERO,
+        Duration::from_micros(50),
+        Duration::from_micros(150),
+        Duration::from_micros(300),
+    ];
+    const SWEEP_REPS: usize = 3;
+    for threads in [1usize, 32] {
+        let n = if threads == 1 {
+            per_thread.max(200)
+        } else {
+            per_thread.max(50)
+        };
+        for win in sweep_windows {
+            let label = fixed_sweep_label(threads, win);
+            rows.push(best_of(SWEEP_REPS, || {
+                run(RunCfg {
+                    label: &label,
+                    threads,
+                    per_thread: n,
+                    warmup: n / 2,
+                    group_commit: group(GatherWindow::Fixed(win)),
+                    kind: TransportKind::Inline,
+                    reply_batch: None,
+                })
+            }));
+        }
+        let label = format!("inline group adaptive @{threads} (sweep)");
+        rows.push(best_of(SWEEP_REPS, || {
+            run(RunCfg {
+                label: &label,
+                threads,
+                per_thread: n,
+                warmup: n / 2,
+                group_commit: group(GatherWindow::adaptive()),
+                kind: TransportKind::Inline,
+                reply_batch: None,
+            })
+        }));
+    }
+
+    // --- Queued transport: request batching (PR 2's gate).
+    rows.push(run(RunCfg {
+        label: "queued per-commit force",
+        threads: 32,
+        per_thread,
+        warmup: 0,
+        group_commit: None,
+        kind: queued(1, Duration::ZERO),
+        reply_batch: None,
+    }));
+    rows.push(run(RunCfg {
+        label: "queued group commit + batch=16",
+        threads: 32,
+        per_thread,
+        warmup: 0,
+        group_commit: group(GatherWindow::adaptive()),
+        kind: queued(16, Duration::ZERO),
+        reply_batch: None,
+    }));
+
+    // --- Reply path: coalesced ReplyBatch acks vs forced per-ack
+    // replies, under a per-datagram wire delay. Also gate rows: best of
+    // three repetitions each.
+    rows.push(best_of(SWEEP_REPS, || {
+        run(RunCfg {
+            label: "queued wire-delay per-ack replies",
+            threads: 32,
+            per_thread,
+            warmup: per_thread / 2,
+            group_commit: group(GatherWindow::adaptive()),
+            kind: queued(16, WIRE_DELAY),
+            reply_batch: Some(1),
+        })
+    }));
+    rows.push(best_of(SWEEP_REPS, || {
+        run(RunCfg {
+            label: "queued wire-delay reply batching",
+            threads: 32,
+            per_thread,
+            warmup: per_thread / 2,
+            group_commit: group(GatherWindow::adaptive()),
+            kind: queued(16, WIRE_DELAY),
+            reply_batch: None,
+        })
+    }));
+
+    let gates = gates(&rows);
+    E11Report {
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        per_thread,
+        rows,
+        gates,
+    }
+}
+
+fn find<'a>(rows: &'a [E11Row], label: &str, threads: usize) -> &'a E11Row {
+    rows.iter()
+        .find(|r| r.label == label && r.threads == threads)
+        .unwrap_or_else(|| panic!("missing row {label} @{threads}"))
+}
+
+fn gates(rows: &[E11Row]) -> Vec<E11Gate> {
+    let mut gates = Vec::new();
+    let mut gate = |name: String, value: f64, threshold: f64| {
+        gates.push(E11Gate {
+            name,
+            value,
+            threshold,
+            pass: value >= threshold,
+        });
+    };
+
+    // The PR 2 regression bars: group commit must keep its edge.
+    let base = find(rows, "inline per-commit force", 32);
+    let grp = find(rows, "inline group adaptive", 32);
+    gate(
+        "inline group commit speedup @32 committers".into(),
+        grp.commits_per_sec / base.commits_per_sec,
+        2.0,
+    );
+    gate(
+        "inline group commit flush amortization @32 (1/forces-per-commit)".into(),
+        1.0 / grp.forces_per_commit.max(f64::EPSILON),
+        1.0 + f64::EPSILON,
+    );
+    let qbase = find(rows, "queued per-commit force", 32);
+    let qgrp = find(rows, "queued group commit + batch=16", 32);
+    gate(
+        "queued group commit + request batching speedup @32".into(),
+        qgrp.commits_per_sec / qbase.commits_per_sec,
+        2.0,
+    );
+    gate(
+        "queued group commit flush amortization @32 (1/forces-per-commit)".into(),
+        1.0 / qgrp.forces_per_commit.max(f64::EPSILON),
+        1.0 + f64::EPSILON,
+    );
+
+    // Adaptive window within 10% of the best fixed window, both at a
+    // solo committer (best fixed is zero wait) and at 32 (best fixed is
+    // a real gather window).
+    for threads in [1usize, 32] {
+        let best_fixed = [0u64, 50, 150, 300]
+            .iter()
+            .map(|us| {
+                find(
+                    rows,
+                    &fixed_sweep_label(threads, Duration::from_micros(*us)),
+                    threads,
+                )
+                .commits_per_sec
+            })
+            .fold(f64::MIN, f64::max);
+        let adaptive = find(
+            rows,
+            &format!("inline group adaptive @{threads} (sweep)"),
+            threads,
+        )
+        .commits_per_sec;
+        gate(
+            format!("adaptive window vs best fixed @{threads} committers"),
+            adaptive / best_fixed,
+            0.9,
+        );
+    }
+
+    // Reply batching must amortize the per-datagram wire cost.
+    let per_ack = find(rows, "queued wire-delay per-ack replies", 32);
+    let batched = find(rows, "queued wire-delay reply batching", 32);
+    gate(
+        "reply batching speedup over per-ack replies @32, batch=16".into(),
+        batched.commits_per_sec / per_ack.commits_per_sec,
+        1.5,
+    );
+    gates
+}
+
+impl E11Report {
+    /// Print the rows and gates as the bench's human-readable table.
+    pub fn print(&self) {
+        println!(
+            "e11_group_commit ({} mode, force latency {:?}, wire delay {:?}, {} commits/committer)",
+            self.mode, FORCE_LATENCY, WIRE_DELAY, self.per_thread
+        );
+        println!(
+            "{:<38} {:>8} {:>12} {:>14} {:>9} {:>9} {:>9} {:>10} {:>8}",
+            "config",
+            "threads",
+            "commits/s",
+            "forces/commit",
+            "coalesced",
+            "batches",
+            "rbatches",
+            "window_us",
+            "group"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<38} {:>8} {:>12.0} {:>14.3} {:>9} {:>9} {:>9} {:>10.1} {:>8.1}",
+                r.label,
+                r.threads,
+                r.commits_per_sec,
+                r.forces_per_commit,
+                r.coalesced_publishes,
+                r.batches,
+                r.reply_batches,
+                r.chosen_window_us,
+                r.group_size
+            );
+        }
+        for g in &self.gates {
+            println!(
+                "gate: {:<58} {:>6.2} (>= {:.2}) — {}",
+                g.name,
+                g.value,
+                g.threshold,
+                if g.pass { "OK" } else { "FAIL" }
+            );
+        }
+    }
+
+    /// Panic if any regression gate failed (the CI bar).
+    pub fn assert_gates(&self) {
+        for g in &self.gates {
+            assert!(
+                g.pass,
+                "e11 gate failed: {} — measured {:.3}, need >= {:.3}",
+                g.name, g.value, g.threshold
+            );
+        }
+    }
+
+    /// Serialize the whole report as JSON (no external dependencies:
+    /// labels are plain ASCII and every value is numeric).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"e11_group_commit\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"per_thread_commits\": {},\n", self.per_thread));
+        s.push_str(&format!(
+            "  \"force_latency_us\": {},\n  \"wire_delay_us\": {},\n",
+            FORCE_LATENCY.as_micros(),
+            WIRE_DELAY.as_micros()
+        ));
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": \"{}\", \"threads\": {}, \"commits_per_sec\": {}, \
+                 \"forces_per_commit\": {}, \"coalesced_publishes\": {}, \"batches\": {}, \
+                 \"reply_batches\": {}, \"chosen_window_us\": {}, \"group_size\": {}}}{}\n",
+                r.label,
+                r.threads,
+                num(r.commits_per_sec),
+                num(r.forces_per_commit),
+                r.coalesced_publishes,
+                r.batches,
+                r.reply_batches,
+                num(r.chosen_window_us),
+                num(r.group_size),
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n  \"gates\": [\n");
+        for (i, g) in self.gates.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {}, \"threshold\": {}, \"pass\": {}}}{}\n",
+                g.name,
+                num(g.value),
+                num(g.threshold),
+                g.pass,
+                if i + 1 == self.gates.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}

@@ -2,9 +2,13 @@
 //!
 //! Shared workload builders for the experiment suite. Each experiment
 //! `E1`–`E10` (see `DESIGN.md` §4 and `EXPERIMENTS.md`) has a Criterion
-//! bench under `benches/` and a printable table in `src/bin/report.rs`.
+//! bench under `benches/` and a printable table in `src/bin/report.rs`;
+//! the commit-path experiment E11 lives in [`e11`] so the bench gate and
+//! the report's JSON telemetry share one harness.
 
 #![warn(missing_docs)]
+
+pub mod e11;
 
 use std::sync::Arc;
 use unbundled_core::{DcId, Key, TableId, TableSpec, TcId};
@@ -33,7 +37,8 @@ pub fn monolith() -> Arc<Monolith> {
 pub fn load_tc(tc: &Arc<Tc>, base: u64, n: u64, payload: usize) {
     for k in base..base + n {
         let t = tc.begin().expect("begin");
-        tc.insert(t, TABLE, Key::from_u64(k), vec![7u8; payload]).expect("insert");
+        tc.insert(t, TABLE, Key::from_u64(k), vec![7u8; payload])
+            .expect("insert");
         tc.commit(t).expect("commit");
     }
 }
@@ -42,7 +47,8 @@ pub fn load_tc(tc: &Arc<Tc>, base: u64, n: u64, payload: usize) {
 pub fn load_monolith(m: &Arc<Monolith>, base: u64, n: u64, payload: usize) {
     for k in base..base + n {
         let t = m.begin();
-        m.insert(t, TABLE, Key::from_u64(k), vec![7u8; payload]).expect("insert");
+        m.insert(t, TABLE, Key::from_u64(k), vec![7u8; payload])
+            .expect("insert");
         m.commit(t).expect("commit");
     }
 }
@@ -52,7 +58,10 @@ pub fn rmw_tc(tc: &Arc<Tc>, iterations: u64, key_space: u64) {
     for i in 0..iterations {
         let k = (i.wrapping_mul(2654435761)) % key_space;
         let t = tc.begin().expect("begin");
-        let v = tc.read(t, TABLE, Key::from_u64(k)).expect("read").unwrap_or_default();
+        let v = tc
+            .read(t, TABLE, Key::from_u64(k))
+            .expect("read")
+            .unwrap_or_default();
         let mut v2 = v;
         v2.push(1);
         if v2.len() > 64 {

@@ -21,7 +21,9 @@ impl Encoder {
 
     /// Encoder with pre-reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Encoder { buf: Vec::with_capacity(cap) }
+        Encoder {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -134,7 +136,10 @@ impl<'a> Decoder<'a> {
     /// Fail unless the whole buffer was consumed.
     pub fn expect_end(&self) -> Result<(), CoreError> {
         if self.remaining() != 0 {
-            return Err(CoreError::Codec { what: "trailing bytes", at: self.pos });
+            return Err(CoreError::Codec {
+                what: "trailing bytes",
+                at: self.pos,
+            });
         }
         Ok(())
     }

@@ -87,13 +87,19 @@ pub struct AbstractLsn {
 impl AbstractLsn {
     /// An abstract LSN that includes nothing.
     pub fn new() -> Self {
-        AbstractLsn { lw: Lsn::NULL, ins: Vec::new() }
+        AbstractLsn {
+            lw: Lsn::NULL,
+            ins: Vec::new(),
+        }
     }
 
     /// An abstract LSN equivalent to a scalar page LSN: includes every
     /// operation with LSN ≤ `lw` and nothing else.
     pub fn from_scalar(lw: Lsn) -> Self {
-        AbstractLsn { lw, ins: Vec::new() }
+        AbstractLsn {
+            lw,
+            ins: Vec::new(),
+        }
     }
 
     /// The low-water component `LSNlw`.
@@ -265,7 +271,9 @@ pub struct PerTcAbLsn {
 impl PerTcAbLsn {
     /// Empty map.
     pub fn new() -> Self {
-        PerTcAbLsn { entries: Vec::new() }
+        PerTcAbLsn {
+            entries: Vec::new(),
+        }
     }
 
     /// The abstract LSN for `tc`, if the TC has data on this page.
@@ -331,7 +339,11 @@ impl PerTcAbLsn {
 
     /// Total encoded size of all entries.
     pub fn encoded_size(&self) -> usize {
-        4 + self.entries.iter().map(|(_, a)| 2 + a.encoded_size()).sum::<usize>()
+        4 + self
+            .entries
+            .iter()
+            .map(|(_, a)| 2 + a.encoded_size())
+            .sum::<usize>()
     }
 
     /// Serialize.
@@ -376,7 +388,10 @@ mod tests {
         let mut ab = AbstractLsn::new();
         ab.record(Lsn(12));
         assert!(ab.includes(Lsn(12)));
-        assert!(!ab.includes(Lsn(11)), "abLSN must not claim the skipped LSN");
+        assert!(
+            !ab.includes(Lsn(11)),
+            "abLSN must not claim the skipped LSN"
+        );
         ab.record(Lsn(11));
         assert!(ab.includes(Lsn(11)));
     }

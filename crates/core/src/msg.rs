@@ -142,6 +142,23 @@ pub enum DcToTc {
         /// Outcome.
         result: Result<OpResult, DcError>,
     },
+    /// A batch of replies coalesced on the DC→TC direction — the mirror
+    /// image of [`TcToDc::PerformBatch`]. Each element keeps its own
+    /// [`RequestId`] and outcome, so per-op correlation, resend and
+    /// low-water-mark bookkeeping are exactly as for individual
+    /// [`DcToTc::Reply`] messages; the TC merely unpacks the batch and
+    /// advances its ack frontier once per batch instead of once per ack.
+    /// A faulty transport drops or reorders the batch as a whole — a
+    /// lost batch of acks is recovered by the ordinary resend contract
+    /// (the DC suppresses the resends as duplicates and re-acks).
+    ReplyBatch {
+        /// Replying DC.
+        dc: DcId,
+        /// Destination TC.
+        tc: TcId,
+        /// The batched replies, each with its own request id.
+        replies: Vec<(RequestId, Result<OpResult, DcError>)>,
+    },
     /// Reply to [`TcToDc::Checkpoint`]: everything below `rssp` is
     /// stable; the TC may advance its redo scan start point.
     CheckpointDone {
@@ -193,6 +210,7 @@ impl DcToTc {
     pub fn tc(&self) -> Option<TcId> {
         match self {
             DcToTc::Reply { tc, .. }
+            | DcToTc::ReplyBatch { tc, .. }
             | DcToTc::CheckpointDone { tc, .. }
             | DcToTc::RsspHint { tc, .. }
             | DcToTc::RestartReady { tc, .. }
@@ -205,12 +223,23 @@ impl DcToTc {
     pub fn dc(&self) -> DcId {
         match self {
             DcToTc::Reply { dc, .. }
+            | DcToTc::ReplyBatch { dc, .. }
             | DcToTc::CheckpointDone { dc, .. }
             | DcToTc::RsspHint { dc, .. }
             | DcToTc::Crashed { dc }
             | DcToTc::RestartReady { dc, .. }
             | DcToTc::RestartDone { dc, .. } => *dc,
         }
+    }
+
+    /// True for control-plane replies that must not be dropped or
+    /// reordered by a simulated transport — the mirror of
+    /// [`TcToDc::is_control`]. Only operation acks ([`DcToTc::Reply`] /
+    /// [`DcToTc::ReplyBatch`]) are faultable: their loss is covered by
+    /// the TC's resend machinery, while the checkpoint / restart / crash
+    /// conversations are assumed reliable.
+    pub fn is_control(&self) -> bool {
+        !matches!(self, DcToTc::Reply { .. } | DcToTc::ReplyBatch { .. })
     }
 }
 
@@ -247,8 +276,16 @@ mod tests {
             },
         };
         assert!(!perform.is_control());
-        assert!(TcToDc::EndOfStableLog { tc: TcId(1), eosl: Lsn(1) }.is_control());
-        assert!(TcToDc::RestartBegin { tc: TcId(1), stable_end: Lsn(1) }.is_control());
+        assert!(TcToDc::EndOfStableLog {
+            tc: TcId(1),
+            eosl: Lsn(1)
+        }
+        .is_control());
+        assert!(TcToDc::RestartBegin {
+            tc: TcId(1),
+            stable_end: Lsn(1)
+        }
+        .is_control());
     }
 
     #[test]
@@ -267,7 +304,43 @@ mod tests {
     #[test]
     fn tc_extraction() {
         assert_eq!(TcToDc::RestartEnd { tc: TcId(7) }.tc(), TcId(7));
-        assert_eq!(TcToDc::LowWaterMark { tc: TcId(8), lwm: Lsn(1) }.tc(), TcId(8));
+        assert_eq!(
+            TcToDc::LowWaterMark {
+                tc: TcId(8),
+                lwm: Lsn(1)
+            }
+            .tc(),
+            TcId(8)
+        );
+    }
+
+    #[test]
+    fn reply_batch_addressing_and_faultability() {
+        let batch = DcToTc::ReplyBatch {
+            dc: DcId(2),
+            tc: TcId(3),
+            replies: vec![(RequestId::Op(Lsn(4)), Ok(OpResult::Done))],
+        };
+        assert_eq!(batch.tc(), Some(TcId(3)));
+        assert_eq!(batch.dc(), DcId(2));
+        assert!(
+            !batch.is_control(),
+            "an ack batch is operation traffic: loss/reorder applies"
+        );
+        assert!(!DcToTc::Reply {
+            dc: DcId(1),
+            tc: TcId(1),
+            req: RequestId::Read(1),
+            result: Ok(OpResult::Done),
+        }
+        .is_control());
+        assert!(DcToTc::CheckpointDone {
+            dc: DcId(1),
+            tc: TcId(1),
+            rssp: Lsn(1)
+        }
+        .is_control());
+        assert!(DcToTc::Crashed { dc: DcId(1) }.is_control());
     }
 
     #[test]
@@ -276,10 +349,16 @@ mod tests {
             tc: TcId(4),
             ops: vec![(
                 RequestId::Op(Lsn(9)),
-                LogicalOp::Delete { table: crate::ids::TableId(1), key: Key::from_u64(1) },
+                LogicalOp::Delete {
+                    table: crate::ids::TableId(1),
+                    key: Key::from_u64(1),
+                },
             )],
         };
-        assert!(!batch.is_control(), "a batch is operation traffic: loss/reorder applies");
+        assert!(
+            !batch.is_control(),
+            "a batch is operation traffic: loss/reorder applies"
+        );
         assert_eq!(batch.tc(), TcId(4));
     }
 }

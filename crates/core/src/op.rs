@@ -173,9 +173,10 @@ impl LogicalOp {
     /// (they are redo-only, like compensation records).
     pub fn inverse(&self, prior: Option<&[u8]>) -> Option<LogicalOp> {
         match self {
-            LogicalOp::Insert { table, key, .. } => {
-                Some(LogicalOp::Delete { table: *table, key: key.clone() })
-            }
+            LogicalOp::Insert { table, key, .. } => Some(LogicalOp::Delete {
+                table: *table,
+                key: key.clone(),
+            }),
             LogicalOp::Update { table, key, .. } => Some(LogicalOp::Update {
                 table: *table,
                 key: key.clone(),
@@ -189,9 +190,10 @@ impl LogicalOp {
             // A versioned write is undone by reverting to the retained
             // before-version — the DC holds the prior state, so the TC
             // needs no prior payload.
-            LogicalOp::VersionedWrite { table, key, .. } => {
-                Some(LogicalOp::RevertVersion { table: *table, key: key.clone() })
-            }
+            LogicalOp::VersionedWrite { table, key, .. } => Some(LogicalOp::RevertVersion {
+                table: *table,
+                key: key.clone(),
+            }),
             LogicalOp::PromoteVersion { .. }
             | LogicalOp::RevertVersion { .. }
             | LogicalOp::Read { .. }
@@ -266,64 +268,117 @@ mod tests {
 
     #[test]
     fn inverse_of_insert_is_delete() {
-        let op = LogicalOp::Insert { table: t(), key: Key::from_u64(1), value: b"v".to_vec() };
+        let op = LogicalOp::Insert {
+            table: t(),
+            key: Key::from_u64(1),
+            value: b"v".to_vec(),
+        };
         assert_eq!(
             op.inverse(None),
-            Some(LogicalOp::Delete { table: t(), key: Key::from_u64(1) })
+            Some(LogicalOp::Delete {
+                table: t(),
+                key: Key::from_u64(1)
+            })
         );
     }
 
     #[test]
     fn inverse_of_update_restores_prior() {
-        let op = LogicalOp::Update { table: t(), key: Key::from_u64(1), value: b"new".to_vec() };
+        let op = LogicalOp::Update {
+            table: t(),
+            key: Key::from_u64(1),
+            value: b"new".to_vec(),
+        };
         assert_eq!(
             op.inverse(Some(b"old")),
-            Some(LogicalOp::Update { table: t(), key: Key::from_u64(1), value: b"old".to_vec() })
+            Some(LogicalOp::Update {
+                table: t(),
+                key: Key::from_u64(1),
+                value: b"old".to_vec()
+            })
         );
     }
 
     #[test]
     fn inverse_of_delete_reinserts() {
-        let op = LogicalOp::Delete { table: t(), key: Key::from_u64(2) };
+        let op = LogicalOp::Delete {
+            table: t(),
+            key: Key::from_u64(2),
+        };
         assert_eq!(
             op.inverse(Some(b"old")),
-            Some(LogicalOp::Insert { table: t(), key: Key::from_u64(2), value: b"old".to_vec() })
+            Some(LogicalOp::Insert {
+                table: t(),
+                key: Key::from_u64(2),
+                value: b"old".to_vec()
+            })
         );
     }
 
     #[test]
     fn inverse_of_versioned_write_is_revert() {
-        let op =
-            LogicalOp::VersionedWrite { table: t(), key: Key::from_u64(3), value: b"v".to_vec() };
+        let op = LogicalOp::VersionedWrite {
+            table: t(),
+            key: Key::from_u64(3),
+            value: b"v".to_vec(),
+        };
         assert_eq!(
             op.inverse(None),
-            Some(LogicalOp::RevertVersion { table: t(), key: Key::from_u64(3) })
+            Some(LogicalOp::RevertVersion {
+                table: t(),
+                key: Key::from_u64(3)
+            })
         );
     }
 
     #[test]
     fn reads_and_compensations_have_no_inverse() {
         assert_eq!(
-            LogicalOp::Read { table: t(), key: Key::from_u64(1), flavor: ReadFlavor::Latest }
-                .inverse(None),
+            LogicalOp::Read {
+                table: t(),
+                key: Key::from_u64(1),
+                flavor: ReadFlavor::Latest
+            }
+            .inverse(None),
             None
         );
         assert_eq!(
-            LogicalOp::PromoteVersion { table: t(), key: Key::from_u64(1) }.inverse(None),
+            LogicalOp::PromoteVersion {
+                table: t(),
+                key: Key::from_u64(1)
+            }
+            .inverse(None),
             None
         );
         assert_eq!(
-            LogicalOp::RevertVersion { table: t(), key: Key::from_u64(1) }.inverse(None),
+            LogicalOp::RevertVersion {
+                table: t(),
+                key: Key::from_u64(1)
+            }
+            .inverse(None),
             None
         );
     }
 
     #[test]
     fn mutation_classification() {
-        assert!(LogicalOp::Insert { table: t(), key: Key::from_u64(1), value: vec![] }
-            .is_mutation());
-        assert!(LogicalOp::PromoteVersion { table: t(), key: Key::from_u64(1) }.is_mutation());
-        assert!(!LogicalOp::ProbeKeys { table: t(), from: Key::empty(), count: 4 }.is_mutation());
+        assert!(LogicalOp::Insert {
+            table: t(),
+            key: Key::from_u64(1),
+            value: vec![]
+        }
+        .is_mutation());
+        assert!(LogicalOp::PromoteVersion {
+            table: t(),
+            key: Key::from_u64(1)
+        }
+        .is_mutation());
+        assert!(!LogicalOp::ProbeKeys {
+            table: t(),
+            from: Key::empty(),
+            count: 4
+        }
+        .is_mutation());
         assert!(!LogicalOp::ScanRange {
             table: t(),
             low: Key::empty(),
@@ -336,7 +391,10 @@ mod tests {
 
     #[test]
     fn point_key_extraction() {
-        let op = LogicalOp::Delete { table: t(), key: Key::from_u64(5) };
+        let op = LogicalOp::Delete {
+            table: t(),
+            key: Key::from_u64(5),
+        };
         assert_eq!(op.point_key(), Some(&Key::from_u64(5)));
         let scan = LogicalOp::ScanRange {
             table: t(),

@@ -43,7 +43,11 @@ pub struct StoredRecord {
 impl StoredRecord {
     /// A committed record owned by `owner`.
     pub fn committed(payload: Vec<u8>, owner: TcId) -> Self {
-        StoredRecord { current: payload, before: None, owner }
+        StoredRecord {
+            current: payload,
+            before: None,
+            owner,
+        }
     }
 
     /// Payload visible to a read-committed reader from *another* TC:
@@ -132,9 +136,18 @@ impl StoredRecord {
             0 => None,
             1 => Some(BeforeVersion::Absent),
             2 => Some(BeforeVersion::Value(dec.bytes()?.to_vec())),
-            _ => return Err(CoreError::Codec { what: "bad before-version tag", at: 0 }),
+            _ => {
+                return Err(CoreError::Codec {
+                    what: "bad before-version tag",
+                    at: 0,
+                })
+            }
         };
-        Ok(StoredRecord { current, before, owner })
+        Ok(StoredRecord {
+            current,
+            before,
+            owner,
+        })
     }
 }
 
@@ -153,12 +166,20 @@ pub struct TableSpec {
 impl TableSpec {
     /// Convenience constructor for an unversioned table.
     pub fn plain(id: crate::ids::TableId, name: &str) -> Self {
-        TableSpec { id, name: name.to_string(), versioned: false }
+        TableSpec {
+            id,
+            name: name.to_string(),
+            versioned: false,
+        }
     }
 
     /// Convenience constructor for a versioned table.
     pub fn versioned(id: crate::ids::TableId, name: &str) -> Self {
-        TableSpec { id, name: name.to_string(), versioned: true }
+        TableSpec {
+            id,
+            name: name.to_string(),
+            versioned: true,
+        }
     }
 }
 
@@ -179,7 +200,11 @@ mod tests {
         let mut r = StoredRecord::committed(b"old".to_vec(), TcId(1));
         r.versioned_update(b"new".to_vec(), TcId(1));
         assert_eq!(r.read_latest(), b"new", "owner sees its own update");
-        assert_eq!(r.read_committed(), Some(&b"old"[..]), "readers see committed");
+        assert_eq!(
+            r.read_committed(),
+            Some(&b"old"[..]),
+            "readers see committed"
+        );
         r.promote();
         assert_eq!(r.read_committed(), Some(&b"new"[..]));
     }

@@ -58,7 +58,10 @@ impl SecondaryIndexer for TextIndexer {
                 terms.insert(token.to_lowercase());
             }
         }
-        terms.into_iter().map(|t| Key::from_bytes(t.into_bytes())).collect()
+        terms
+            .into_iter()
+            .map(|t| Key::from_bytes(t.into_bytes()))
+            .collect()
     }
 }
 
@@ -90,7 +93,11 @@ struct Store {
 
 impl Store {
     fn new() -> Store {
-        Store { docs: BTreeMap::new(), index: BTreeMap::new(), ab: PerTcAbLsn::new() }
+        Store {
+            docs: BTreeMap::new(),
+            index: BTreeMap::new(),
+            ab: PerTcAbLsn::new(),
+        }
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -108,12 +115,21 @@ impl Store {
         let mut d = Decoder::new(buf);
         let ab = PerTcAbLsn::decode(&mut d).map_err(|e| DcError::Corrupt(e.to_string()))?;
         let n = d.u32().map_err(|e| DcError::Corrupt(e.to_string()))? as usize;
-        let mut s = Store { docs: BTreeMap::new(), index: BTreeMap::new(), ab };
+        let mut s = Store {
+            docs: BTreeMap::new(),
+            index: BTreeMap::new(),
+            ab,
+        };
         for _ in 0..n {
             let k = Key::from_bytes(
-                d.bytes().map_err(|e| DcError::Corrupt(e.to_string()))?.to_vec(),
+                d.bytes()
+                    .map_err(|e| DcError::Corrupt(e.to_string()))?
+                    .to_vec(),
             );
-            let v = d.bytes().map_err(|e| DcError::Corrupt(e.to_string()))?.to_vec();
+            let v = d
+                .bytes()
+                .map_err(|e| DcError::Corrupt(e.to_string()))?
+                .to_vec();
             s.index_doc(&k, &v, indexer);
             s.docs.insert(k, v);
         }
@@ -260,7 +276,13 @@ impl SimpleDc {
             LogicalOp::Read { table, key, .. } if *table == self.data_table => {
                 Ok(OpResult::Value(store.docs.get(key).cloned()))
             }
-            LogicalOp::ScanRange { table, low, high, limit, .. } => {
+            LogicalOp::ScanRange {
+                table,
+                low,
+                high,
+                limit,
+                ..
+            } => {
                 if *table == self.data_table {
                     let mut out = Vec::new();
                     for (k, v) in store.docs.range(low.clone()..) {
@@ -295,8 +317,12 @@ impl SimpleDc {
                 }
             }
             LogicalOp::ProbeKeys { table, from, count } if *table == self.data_table => {
-                let keys =
-                    store.docs.range(from.clone()..).take(*count).map(|(k, _)| k.clone()).collect();
+                let keys = store
+                    .docs
+                    .range(from.clone()..)
+                    .take(*count)
+                    .map(|(k, _)| k.clone())
+                    .collect();
                 Ok(OpResult::Keys(keys))
             }
             other => Err(DcError::NoSuchTable(other.table())),
@@ -313,12 +339,34 @@ impl DataComponentApi for SimpleDc {
         match msg {
             TcToDc::Perform { tc, req, op } => {
                 let result = self.perform(tc, req, &op);
-                out.push(DcToTc::Reply { dc: self.id, tc, req, result });
+                out.push(DcToTc::Reply {
+                    dc: self.id,
+                    tc,
+                    req,
+                    result,
+                });
             }
             TcToDc::PerformBatch { tc, ops } => {
-                for (req, op) in ops {
-                    let result = self.perform(tc, req, &op);
-                    out.push(DcToTc::Reply { dc: self.id, tc, req, result });
+                // Coalesce the per-op acks into one `ReplyBatch`
+                // datagram, mirroring the batched request direction.
+                let replies: Vec<_> = ops
+                    .into_iter()
+                    .map(|(req, op)| (req, self.perform(tc, req, &op)))
+                    .collect();
+                if replies.len() == 1 {
+                    let (req, result) = replies.into_iter().next().expect("one reply");
+                    out.push(DcToTc::Reply {
+                        dc: self.id,
+                        tc,
+                        req,
+                        result,
+                    });
+                } else {
+                    out.push(DcToTc::ReplyBatch {
+                        dc: self.id,
+                        tc,
+                        replies,
+                    });
                 }
             }
             TcToDc::EndOfStableLog { tc, eosl } => {
@@ -338,7 +386,11 @@ impl DataComponentApi for SimpleDc {
                 } else {
                     Lsn(1) // cannot release the resend obligation yet
                 };
-                out.push(DcToTc::CheckpointDone { dc: self.id, tc, rssp: granted });
+                out.push(DcToTc::CheckpointDone {
+                    dc: self.id,
+                    tc,
+                    rssp: granted,
+                });
             }
             TcToDc::RestartBegin { tc, stable_end } => {
                 // Reset: if this TC's operations beyond its stable log
@@ -382,7 +434,14 @@ mod tests {
 
     fn perform(dc: &SimpleDc, req: RequestId, op: LogicalOp) -> Result<OpResult, DcError> {
         let mut out = Vec::new();
-        dc.handle(TcToDc::Perform { tc: TcId(1), req, op }, &mut out);
+        dc.handle(
+            TcToDc::Perform {
+                tc: TcId(1),
+                req,
+                op,
+            },
+            &mut out,
+        );
         match out.pop() {
             Some(DcToTc::Reply { result, .. }) => result,
             other => panic!("unexpected {other:?}"),
@@ -443,10 +502,17 @@ mod tests {
     #[test]
     fn idempotence_via_ablsn() {
         let dc = text_dc();
-        let op = LogicalOp::Insert { table: DOCS, key: Key::from_u64(1), value: b"abc".to_vec() };
+        let op = LogicalOp::Insert {
+            table: DOCS,
+            key: Key::from_u64(1),
+            value: b"abc".to_vec(),
+        };
         perform(&dc, RequestId::Op(Lsn(1)), op.clone()).unwrap();
         // duplicate delivery suppressed (no DuplicateKey error)
-        assert_eq!(perform(&dc, RequestId::Op(Lsn(1)), op).unwrap(), OpResult::Done);
+        assert_eq!(
+            perform(&dc, RequestId::Op(Lsn(1)), op).unwrap(),
+            OpResult::Done
+        );
         assert_eq!(dc.doc_count(), 1);
     }
 
@@ -456,13 +522,20 @@ mod tests {
         perform(
             &dc,
             RequestId::Op(Lsn(1)),
-            LogicalOp::Insert { table: DOCS, key: Key::from_u64(1), value: b"unique term".to_vec() },
+            LogicalOp::Insert {
+                table: DOCS,
+                key: Key::from_u64(1),
+                value: b"unique term".to_vec(),
+            },
         )
         .unwrap();
         perform(
             &dc,
             RequestId::Op(Lsn(2)),
-            LogicalOp::Delete { table: DOCS, key: Key::from_u64(1) },
+            LogicalOp::Delete {
+                table: DOCS,
+                key: Key::from_u64(1),
+            },
         )
         .unwrap();
         let r = perform(
@@ -487,12 +560,25 @@ mod tests {
         perform(
             &dc,
             RequestId::Op(Lsn(1)),
-            LogicalOp::Insert { table: DOCS, key: Key::from_u64(1), value: b"x".to_vec() },
+            LogicalOp::Insert {
+                table: DOCS,
+                key: Key::from_u64(1),
+                value: b"x".to_vec(),
+            },
         )
         .unwrap();
-        assert!(!dc.try_snapshot(), "EOSL not received: snapshot must refuse");
+        assert!(
+            !dc.try_snapshot(),
+            "EOSL not received: snapshot must refuse"
+        );
         let mut out = Vec::new();
-        dc.handle(TcToDc::EndOfStableLog { tc: TcId(1), eosl: Lsn(1) }, &mut out);
+        dc.handle(
+            TcToDc::EndOfStableLog {
+                tc: TcId(1),
+                eosl: Lsn(1),
+            },
+            &mut out,
+        );
         assert!(dc.try_snapshot());
         // Crash + recover from the snapshot.
         let dc2 = SimpleDc::recover(DcId(5), DOCS, VIEW, Arc::new(TextIndexer), disk);
@@ -502,7 +588,11 @@ mod tests {
             perform(
                 &dc2,
                 RequestId::Op(Lsn(1)),
-                LogicalOp::Insert { table: DOCS, key: Key::from_u64(1), value: b"x".to_vec() },
+                LogicalOp::Insert {
+                    table: DOCS,
+                    key: Key::from_u64(1),
+                    value: b"x".to_vec()
+                },
             )
             .unwrap(),
             OpResult::Done
@@ -526,7 +616,11 @@ mod tests {
             perform(
                 &dc,
                 RequestId::Op(Lsn(id)),
-                LogicalOp::Insert { table: DOCS, key: Key::from_u64(id), value: v },
+                LogicalOp::Insert {
+                    table: DOCS,
+                    key: Key::from_u64(id),
+                    value: v,
+                },
             )
             .unwrap();
         };
@@ -557,19 +651,39 @@ mod tests {
         perform(
             &dc,
             RequestId::Op(Lsn(1)),
-            LogicalOp::Insert { table: DOCS, key: Key::from_u64(1), value: b"a".to_vec() },
+            LogicalOp::Insert {
+                table: DOCS,
+                key: Key::from_u64(1),
+                value: b"a".to_vec(),
+            },
         )
         .unwrap();
-        dc.handle(TcToDc::EndOfStableLog { tc: TcId(1), eosl: Lsn(1) }, &mut out);
+        dc.handle(
+            TcToDc::EndOfStableLog {
+                tc: TcId(1),
+                eosl: Lsn(1),
+            },
+            &mut out,
+        );
         assert!(dc.try_snapshot());
         // Lost op.
         perform(
             &dc,
             RequestId::Op(Lsn(2)),
-            LogicalOp::Insert { table: DOCS, key: Key::from_u64(2), value: b"lost".to_vec() },
+            LogicalOp::Insert {
+                table: DOCS,
+                key: Key::from_u64(2),
+                value: b"lost".to_vec(),
+            },
         )
         .unwrap();
-        dc.handle(TcToDc::RestartBegin { tc: TcId(1), stable_end: Lsn(1) }, &mut out);
+        dc.handle(
+            TcToDc::RestartBegin {
+                tc: TcId(1),
+                stable_end: Lsn(1),
+            },
+            &mut out,
+        );
         assert!(matches!(out.last(), Some(DcToTc::RestartReady { .. })));
         assert_eq!(dc.doc_count(), 1, "lost op discarded, stable op kept");
     }

@@ -34,7 +34,11 @@ pub struct TableState {
 
 impl TableState {
     fn new(spec: TableSpec, root: PageId) -> Arc<Self> {
-        Arc::new(TableState { spec, root: Mutex::new(root), tree_latch: RwLock::new(()) })
+        Arc::new(TableState {
+            spec,
+            root: Mutex::new(root),
+            tree_latch: RwLock::new(()),
+        })
     }
 }
 
@@ -48,7 +52,10 @@ pub struct Catalog {
 impl Catalog {
     /// Empty catalog.
     pub fn new() -> Self {
-        Catalog { tables: RwLock::new(HashMap::new()), dlsn: Mutex::new(DLsn::NULL) }
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            dlsn: Mutex::new(DLsn::NULL),
+        }
     }
 
     /// Look up a table.
@@ -104,8 +111,11 @@ impl Catalog {
             let name = String::from_utf8_lossy(d.bytes()?).into_owned();
             let versioned = d.bool()?;
             let root = PageId(d.u64()?);
-            let spec =
-                TableSpec { id, name, versioned };
+            let spec = TableSpec {
+                id,
+                name,
+                versioned,
+            };
             cat.insert(spec, root);
         }
         d.expect_end()?;

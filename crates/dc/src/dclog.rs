@@ -228,11 +228,17 @@ mod tests {
         let store = Arc::new(LogStore::new());
         let log = DcLog::new(store.clone());
         log.append(begin(1));
-        log.append(DcLogRecord::FreePage { stx: SysTxnId(1), page: PageId(9) });
+        log.append(DcLogRecord::FreePage {
+            stx: SysTxnId(1),
+            page: PageId(9),
+        });
         log.append(end(1));
         log.force();
         log.append(begin(2));
-        log.append(DcLogRecord::AllocPage { stx: SysTxnId(2), page: PageId(10) });
+        log.append(DcLogRecord::AllocPage {
+            stx: SysTxnId(2),
+            page: PageId(10),
+        });
         // crash before SysTxnEnd{2} is forced
         store.crash();
         let recs = log.complete_stable_records();
@@ -258,7 +264,10 @@ mod tests {
             page: PageId(1),
             image: vec![0u8; 4096],
         };
-        let free = DcLogRecord::FreePage { stx: SysTxnId(1), page: PageId(1) };
+        let free = DcLogRecord::FreePage {
+            stx: SysTxnId(1),
+            page: PageId(1),
+        };
         assert!(img.encoded_size() > 100 * free.encoded_size());
     }
 

@@ -118,7 +118,10 @@ pub struct DcEngine {
 }
 
 fn vec_get(v: &[(TcId, Lsn)], tc: TcId) -> Lsn {
-    v.iter().find(|(t, _)| *t == tc).map(|(_, l)| *l).unwrap_or(Lsn::NULL)
+    v.iter()
+        .find(|(t, _)| *t == tc)
+        .map(|(_, l)| *l)
+        .unwrap_or(Lsn::NULL)
 }
 
 fn vec_set(v: &mut Vec<(TcId, Lsn)>, tc: TcId, lsn: Lsn) {
@@ -263,7 +266,8 @@ impl DcEngine {
     }
 
     pub(crate) fn persist_catalog(&self) {
-        self.catalog().persist(self.pool.disk(), self.next_page.load(Ordering::Relaxed));
+        self.catalog()
+            .persist(self.pool.disk(), self.next_page.load(Ordering::Relaxed));
     }
 
     /// `perform_operation`: execute a logical operation with exactly-once
@@ -287,7 +291,10 @@ impl DcEngine {
 
     fn apply_mutation(&self, tc: TcId, lsn: Lsn, op: &LogicalOp) -> Result<OpResult, DcError> {
         let table = self.table(op.table())?;
-        let key = op.point_key().expect("mutations are point operations").clone();
+        let key = op
+            .point_key()
+            .expect("mutations are point operations")
+            .clone();
         loop {
             let smo_request = {
                 let _tree = table.tree_latch.read();
@@ -438,15 +445,26 @@ impl DcEngine {
                     return Ok(OpResult::Value(value));
                 }
             }
-            LogicalOp::ScanRange { low, high, limit, flavor, .. } => {
+            LogicalOp::ScanRange {
+                low,
+                high,
+                limit,
+                flavor,
+                ..
+            } => {
                 let entries = self.scan(op.table(), low, high.as_ref(), *limit, Some(*flavor))?;
                 Ok(OpResult::Entries(
-                    entries.into_iter().map(|(k, v)| (k, v.expect("filtered"))).collect(),
+                    entries
+                        .into_iter()
+                        .map(|(k, v)| (k, v.expect("filtered")))
+                        .collect(),
                 ))
             }
             LogicalOp::ProbeKeys { from, count, .. } => {
                 let entries = self.scan(op.table(), from, None, Some(*count), None)?;
-                Ok(OpResult::Keys(entries.into_iter().map(|(k, _)| k).collect()))
+                Ok(OpResult::Keys(
+                    entries.into_iter().map(|(k, _)| k).collect(),
+                ))
             }
             _ => unreachable!("mutations routed elsewhere"),
         }
@@ -551,7 +569,9 @@ impl DcEngine {
     /// Can an SMO capture this page in a physical image? (All abLSN
     /// entries must be covered by the owning TC's EOSL — see module docs.)
     fn image_capture_allowed(&self, page: &Page) -> bool {
-        page.ab.iter().all(|(tc, ab)| ab.max_included() <= self.eosl(tc))
+        page.ab
+            .iter()
+            .all(|(tc, ab)| ab.max_included() <= self.eosl(tc))
     }
 
     fn request_smo(&self, table: &Arc<TableState>, pid: PageId, is_split: bool) {
@@ -607,9 +627,7 @@ impl DcEngine {
             None => return,
         };
         let mut page = arc.write();
-        if page.evicted
-            || page.content_bytes() <= self.cfg.page_capacity
-            || page.entry_count() < 2
+        if page.evicted || page.content_bytes() <= self.cfg.page_capacity || page.entry_count() < 2
         {
             return;
         }
@@ -625,7 +643,8 @@ impl DcEngine {
         // Split point: halve by bytes.
         let split_idx = Self::split_index(&page);
         let new_pid = self.alloc_page();
-        self.log.append(DcLogRecord::AllocPage { stx, page: new_pid });
+        self.log
+            .append(DcLogRecord::AllocPage { stx, page: new_pid });
 
         let (split_key, mut new_page) = match &mut page.data {
             PageData::Leaf(entries) => {
@@ -735,7 +754,10 @@ impl DcEngine {
         if child_pid == root {
             // Root split: new branch root over the two halves.
             let new_root_pid = self.alloc_page();
-            self.log.append(DcLogRecord::AllocPage { stx, page: new_root_pid });
+            self.log.append(DcLogRecord::AllocPage {
+                stx,
+                page: new_root_pid,
+            });
             let mut new_root = Page::new_branch(
                 new_root_pid,
                 table.spec.id,
@@ -784,8 +806,7 @@ impl DcEngine {
         }
         parent.dlsn = d;
         parent.dirty = true;
-        let oversized =
-            parent.content_bytes() > self.cfg.page_capacity && parent.entry_count() > 2;
+        let oversized = parent.content_bytes() > self.cfg.page_capacity && parent.entry_count() > 2;
         drop(parent);
         if oversized {
             self.split_locked(table, parent_pid);
@@ -885,7 +906,10 @@ impl DcEngine {
         let stx = SysTxnId(self.next_stx.fetch_add(1, Ordering::Relaxed));
         self.log.append(DcLogRecord::SysTxnBegin { stx });
         // Logical free of the page whose space returns to free space…
-        self.log.append(DcLogRecord::FreePage { stx, page: right_pid });
+        self.log.append(DcLogRecord::FreePage {
+            stx,
+            page: right_pid,
+        });
 
         // …and a physical image of the consolidated page with the merged
         // abLSN (per-TC max of low-waters, union of in-sets).
@@ -902,8 +926,11 @@ impl DcEngine {
         left.dlsn = d_img;
         left.dirty = true;
 
-        let d_br =
-            self.log.append(DcLogRecord::BranchRemove { stx, page: parent_pid, sep: right_sep.clone() });
+        let d_br = self.log.append(DcLogRecord::BranchRemove {
+            stx,
+            page: parent_pid,
+            sep: right_sep.clone(),
+        });
         {
             let mut parent = parent_arc.write();
             let entries = parent.branch_entries_mut();
@@ -1010,7 +1037,10 @@ impl DcEngine {
             self.log.force();
         }
         let image = page.encode();
-        DcStats::add(&self.stats.ablsn_bytes_flushed, page.ab.encoded_size() as u64);
+        DcStats::add(
+            &self.stats.ablsn_bytes_flushed,
+            page.ab.encoded_size() as u64,
+        );
         self.pool.disk().write_page(pid, image);
         page.dirty = false;
         page.sync_freeze = false;
@@ -1114,8 +1144,7 @@ impl DcEngine {
                 if Instant::now() >= deadline {
                     // Grant what we can: redo must restart at the oldest
                     // unflushed operation of this TC.
-                    let floor =
-                        pending.iter().map(|(_, l)| *l).min().unwrap_or(new_rssp);
+                    let floor = pending.iter().map(|(_, l)| *l).min().unwrap_or(new_rssp);
                     return floor.min(new_rssp);
                 }
                 std::thread::sleep(Duration::from_micros(50));
@@ -1150,8 +1179,7 @@ impl DcEngine {
     /// Walk a table in key order, returning committed-visible entries
     /// (bypasses the message layer; used by tests and verifiers).
     pub fn dump_table(&self, table: TableId) -> Result<Vec<(Key, Vec<u8>)>, DcError> {
-        let entries =
-            self.scan(table, &Key::empty(), None, None, Some(ReadFlavor::Latest))?;
+        let entries = self.scan(table, &Key::empty(), None, None, Some(ReadFlavor::Latest))?;
         Ok(entries.into_iter().map(|(k, v)| (k, v.unwrap())).collect())
     }
 
@@ -1169,9 +1197,15 @@ impl DcEngine {
     }
 
     fn check_node(&self, pid: PageId, low: &Key, high: Option<&Key>, keys: &mut Vec<Key>) {
-        let arc = self.pool.get(pid).unwrap_or_else(|| panic!("unreachable page {pid}"));
+        let arc = self
+            .pool
+            .get(pid)
+            .unwrap_or_else(|| panic!("unreachable page {pid}"));
         let g = arc.read();
-        assert!(&g.low_fence >= low || g.low_fence.is_empty(), "fence low violated at {pid}");
+        assert!(
+            &g.low_fence >= low || g.low_fence.is_empty(),
+            "fence low violated at {pid}"
+        );
         if let (Some(h), Some(hf)) = (high, g.high_fence.as_ref()) {
             assert!(hf <= h, "fence high violated at {pid}");
         }

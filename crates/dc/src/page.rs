@@ -148,7 +148,10 @@ impl Page {
     /// Find a record in a leaf.
     pub fn find(&self, key: &Key) -> Option<&StoredRecord> {
         let entries = self.leaf_entries();
-        entries.binary_search_by(|(k, _)| k.cmp(key)).ok().map(|i| &entries[i].1)
+        entries
+            .binary_search_by(|(k, _)| k.cmp(key))
+            .ok()
+            .map(|i| &entries[i].1)
     }
 
     /// Mutable record lookup in a leaf.
@@ -211,9 +214,10 @@ impl Page {
     /// page-space experiments).
     pub fn content_bytes(&self) -> usize {
         match &self.data {
-            PageData::Leaf(v) => {
-                v.iter().map(|(k, r)| 4 + k.len() + r.encoded_size()).sum::<usize>()
-            }
+            PageData::Leaf(v) => v
+                .iter()
+                .map(|(k, r)| 4 + k.len() + r.encoded_size())
+                .sum::<usize>(),
             PageData::Branch(v) => v.iter().map(|(k, _)| 4 + k.len() + 8).sum::<usize>(),
         }
     }
@@ -345,7 +349,11 @@ mod tests {
         for k in [9u64, 1, 5, 3, 7] {
             assert!(p.insert(Key::from_u64(k), rec(b"x")));
         }
-        let keys: Vec<u64> = p.leaf_entries().iter().map(|(k, _)| k.as_u64().unwrap()).collect();
+        let keys: Vec<u64> = p
+            .leaf_entries()
+            .iter()
+            .map(|(k, _)| k.as_u64().unwrap())
+            .collect();
         assert_eq!(keys, vec![1, 3, 5, 7, 9]);
     }
 
@@ -404,7 +412,10 @@ mod tests {
             TableId(2),
             Key::from_u64(5),
             Some(Key::from_u64(50)),
-            vec![(Key::from_u64(5), PageId(7)), (Key::from_u64(20), PageId(8))],
+            vec![
+                (Key::from_u64(5), PageId(7)),
+                (Key::from_u64(20), PageId(8)),
+            ],
         );
         let img = b.encode();
         let q = Page::decode(&img).unwrap();

@@ -44,7 +44,11 @@ pub struct BufferPool {
 impl BufferPool {
     /// A pool over `disk`.
     pub fn new(disk: SimDisk) -> Self {
-        BufferPool { frames: Mutex::new(HashMap::new()), clock: AtomicU64::new(0), disk }
+        BufferPool {
+            frames: Mutex::new(HashMap::new()),
+            clock: AtomicU64::new(0),
+            disk,
+        }
     }
 
     /// The backing disk.
@@ -53,7 +57,10 @@ impl BufferPool {
     }
 
     fn touch(&self, f: &Frame) {
-        f.last_used.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        f.last_used.store(
+            self.clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
     }
 
     /// Fetch a page, loading (and caching) the disk version on a miss.
@@ -129,8 +136,10 @@ impl BufferPool {
     /// Cached page ids in least-recently-used order (eviction candidates).
     pub fn lru_order(&self) -> Vec<PageId> {
         let frames = self.frames.lock();
-        let mut v: Vec<(u64, PageId)> =
-            frames.iter().map(|(id, f)| (f.last_used.load(Ordering::Relaxed), *id)).collect();
+        let mut v: Vec<(u64, PageId)> = frames
+            .iter()
+            .map(|(id, f)| (f.last_used.load(Ordering::Relaxed), *id))
+            .collect();
         v.sort_unstable();
         v.into_iter().map(|(_, id)| id).collect()
     }

@@ -83,7 +83,12 @@ impl DcEngine {
                     }
                 }
             }
-            DcLogRecord::SplitTruncate { page, split_key, new_page, .. } => {
+            DcLogRecord::SplitTruncate {
+                page,
+                split_key,
+                new_page,
+                ..
+            } => {
                 if let Some(arc) = self.recovery_page(*page) {
                     let mut g = arc.write();
                     if g.dlsn < dlsn {
@@ -100,7 +105,9 @@ impl DcEngine {
                     }
                 }
             }
-            DcLogRecord::BranchInsert { page, sep, child, .. } => {
+            DcLogRecord::BranchInsert {
+                page, sep, child, ..
+            } => {
                 if let Some(arc) = self.recovery_page(*page) {
                     let mut g = arc.write();
                     if g.dlsn < dlsn {
@@ -271,9 +278,7 @@ impl DcEngine {
                 && page.covers(bk)
                 && kept.binary_search_by(|(k, _)| k.cmp(bk)).is_err()
             {
-                let pos = kept
-                    .binary_search_by(|(k, _)| k.cmp(bk))
-                    .unwrap_err();
+                let pos = kept.binary_search_by(|(k, _)| k.cmp(bk)).unwrap_err();
                 kept.insert(pos, (bk.clone(), brec.clone()));
                 touched += 1;
             }
@@ -314,7 +319,11 @@ impl DcEngine {
                         }
                     }
                 }
-                DcLogRecord::SplitTruncate { split_key, new_page, .. } => {
+                DcLogRecord::SplitTruncate {
+                    split_key,
+                    new_page,
+                    ..
+                } => {
                     if let Some(p) = page.as_mut() {
                         if p.dlsn < *dlsn {
                             match &mut p.data {
@@ -346,7 +355,9 @@ impl DcEngine {
 
     /// Consistency snapshot used by recovery-equivalence tests: map of
     /// table → committed-visible contents.
-    pub fn snapshot_tables(&self) -> HashMap<unbundled_core::TableId, Vec<(unbundled_core::Key, Vec<u8>)>> {
+    pub fn snapshot_tables(
+        &self,
+    ) -> HashMap<unbundled_core::TableId, Vec<(unbundled_core::Key, Vec<u8>)>> {
         let mut out = HashMap::new();
         for t in self.catalog().all() {
             if let Ok(rows) = self.dump_table(t.spec.id) {

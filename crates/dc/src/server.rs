@@ -28,7 +28,12 @@ impl DcServer {
     }
 
     /// Boot a DC from surviving stable storage (after a crash).
-    pub fn recover(id: DcId, cfg: DcConfig, disk: SimDisk, log: Arc<LogStore<DcLogRecord>>) -> Self {
+    pub fn recover(
+        id: DcId,
+        cfg: DcConfig,
+        disk: SimDisk,
+        log: Arc<LogStore<DcLogRecord>>,
+    ) -> Self {
         DcServer {
             engine: DcEngine::recover(id, cfg, disk, log),
             restarting: Mutex::new(HashSet::new()),
@@ -58,18 +63,43 @@ impl DataComponentApi for DcServer {
                     .engine
                     .validate_versioning(&op)
                     .and_then(|()| self.engine.perform(tc, req, &op));
-                out.push(DcToTc::Reply { dc: self.dc_id(), tc, req, result });
+                out.push(DcToTc::Reply {
+                    dc: self.dc_id(),
+                    tc,
+                    req,
+                    result,
+                });
             }
             TcToDc::PerformBatch { tc, ops } => {
                 // Apply in order, acking each contained request id
-                // individually: the TC's resend and low-water-mark
-                // machinery never sees the batching.
-                for (req, op) in ops {
-                    let result = self
-                        .engine
-                        .validate_versioning(&op)
-                        .and_then(|()| self.engine.perform(tc, req, &op));
-                    out.push(DcToTc::Reply { dc: self.dc_id(), tc, req, result });
+                // individually — but coalesce the acks into a single
+                // `ReplyBatch` datagram, mirroring the request batching.
+                // The TC unpacks per-request, so resend and
+                // low-water-mark machinery never see the batching.
+                let replies: Vec<_> = ops
+                    .into_iter()
+                    .map(|(req, op)| {
+                        let result = self
+                            .engine
+                            .validate_versioning(&op)
+                            .and_then(|()| self.engine.perform(tc, req, &op));
+                        (req, result)
+                    })
+                    .collect();
+                if replies.len() == 1 {
+                    let (req, result) = replies.into_iter().next().expect("one reply");
+                    out.push(DcToTc::Reply {
+                        dc: self.dc_id(),
+                        tc,
+                        req,
+                        result,
+                    });
+                } else {
+                    out.push(DcToTc::ReplyBatch {
+                        dc: self.dc_id(),
+                        tc,
+                        replies,
+                    });
                 }
             }
             TcToDc::EndOfStableLog { tc, eosl } => {
@@ -80,16 +110,26 @@ impl DataComponentApi for DcServer {
             }
             TcToDc::Checkpoint { tc, new_rssp } => {
                 let granted = self.engine.handle_checkpoint(tc, new_rssp);
-                out.push(DcToTc::CheckpointDone { dc: self.dc_id(), tc, rssp: granted });
+                out.push(DcToTc::CheckpointDone {
+                    dc: self.dc_id(),
+                    tc,
+                    rssp: granted,
+                });
             }
             TcToDc::RestartBegin { tc, stable_end } => {
                 self.restarting.lock().insert(tc);
                 self.engine.reset_for_tc(tc, stable_end);
-                out.push(DcToTc::RestartReady { dc: self.dc_id(), tc });
+                out.push(DcToTc::RestartReady {
+                    dc: self.dc_id(),
+                    tc,
+                });
             }
             TcToDc::RestartEnd { tc } => {
                 self.restarting.lock().remove(&tc);
-                out.push(DcToTc::RestartDone { dc: self.dc_id(), tc });
+                out.push(DcToTc::RestartDone {
+                    dc: self.dc_id(),
+                    tc,
+                });
             }
         }
     }
@@ -124,7 +164,11 @@ mod tests {
             &s,
             TcId(1),
             RequestId::Op(Lsn(1)),
-            LogicalOp::Insert { table: TableId(1), key: Key::from_u64(1), value: b"v".to_vec() },
+            LogicalOp::Insert {
+                table: TableId(1),
+                key: Key::from_u64(1),
+                value: b"v".to_vec(),
+            },
         );
         match r {
             DcToTc::Reply { result, .. } => assert_eq!(result.unwrap(), OpResult::Done),
@@ -134,7 +178,11 @@ mod tests {
             &s,
             TcId(1),
             RequestId::Read(1),
-            LogicalOp::Read { table: TableId(1), key: Key::from_u64(1), flavor: ReadFlavor::Latest },
+            LogicalOp::Read {
+                table: TableId(1),
+                key: Key::from_u64(1),
+                flavor: ReadFlavor::Latest,
+            },
         );
         match r {
             DcToTc::Reply { result, .. } => {
@@ -147,8 +195,11 @@ mod tests {
     #[test]
     fn duplicate_request_suppressed() {
         let s = setup();
-        let op =
-            LogicalOp::Insert { table: TableId(1), key: Key::from_u64(2), value: b"v".to_vec() };
+        let op = LogicalOp::Insert {
+            table: TableId(1),
+            key: Key::from_u64(2),
+            value: b"v".to_vec(),
+        };
         perform(&s, TcId(1), RequestId::Op(Lsn(5)), op.clone());
         // Resend with the same request id: must be suppressed, not error.
         let r = perform(&s, TcId(1), RequestId::Op(Lsn(5)), op);
@@ -175,28 +226,44 @@ mod tests {
             })
             .collect();
         let mut out = Vec::new();
-        s.handle(TcToDc::PerformBatch { tc: TcId(1), ops: ops.clone() }, &mut out);
-        assert_eq!(out.len(), 3, "one individual ack per batched op");
-        for (i, reply) in out.iter().enumerate() {
-            match reply {
-                DcToTc::Reply { req, result, .. } => {
+        s.handle(
+            TcToDc::PerformBatch {
+                tc: TcId(1),
+                ops: ops.clone(),
+            },
+            &mut out,
+        );
+        assert_eq!(
+            out.len(),
+            1,
+            "acks for one batch coalesce into one reply datagram"
+        );
+        match &out[0] {
+            DcToTc::ReplyBatch { replies, .. } => {
+                assert_eq!(replies.len(), 3, "one individual ack per batched op");
+                for (i, (req, result)) in replies.iter().enumerate() {
                     assert_eq!(*req, RequestId::Op(Lsn(i as u64 + 1)));
                     assert_eq!(result.clone().unwrap(), OpResult::Done);
                 }
-                other => panic!("unexpected {other:?}"),
             }
+            other => panic!("unexpected {other:?}"),
         }
-        // The whole batch resent (a lost batch looks exactly like this):
+        // The whole batch resent (a lost request batch — or a lost
+        // reply batch followed by resends — looks exactly like this):
         // every op suppressed as a duplicate, every op acked again.
         out.clear();
         s.handle(TcToDc::PerformBatch { tc: TcId(1), ops }, &mut out);
-        assert_eq!(out.len(), 3);
+        assert!(matches!(&out[0], DcToTc::ReplyBatch { replies, .. } if replies.len() == 3));
         assert_eq!(s.engine().stats().snapshot().duplicates_suppressed, 3);
         let r = perform(
             &s,
             TcId(1),
             RequestId::Read(1),
-            LogicalOp::Read { table: TableId(1), key: Key::from_u64(2), flavor: ReadFlavor::Latest },
+            LogicalOp::Read {
+                table: TableId(1),
+                key: Key::from_u64(2),
+                flavor: ReadFlavor::Latest,
+            },
         );
         match r {
             DcToTc::Reply { result, .. } => {
@@ -210,7 +277,13 @@ mod tests {
     fn restart_conversation_acks() {
         let s = setup();
         let mut out = Vec::new();
-        s.handle(TcToDc::RestartBegin { tc: TcId(1), stable_end: Lsn(0) }, &mut out);
+        s.handle(
+            TcToDc::RestartBegin {
+                tc: TcId(1),
+                stable_end: Lsn(0),
+            },
+            &mut out,
+        );
         assert!(matches!(out[0], DcToTc::RestartReady { .. }));
         out.clear();
         s.handle(TcToDc::RestartEnd { tc: TcId(1) }, &mut out);
@@ -224,12 +297,34 @@ mod tests {
             &s,
             TcId(1),
             RequestId::Op(Lsn(1)),
-            LogicalOp::Insert { table: TableId(1), key: Key::from_u64(1), value: b"v".to_vec() },
+            LogicalOp::Insert {
+                table: TableId(1),
+                key: Key::from_u64(1),
+                value: b"v".to_vec(),
+            },
         );
         let mut out = Vec::new();
-        s.handle(TcToDc::EndOfStableLog { tc: TcId(1), eosl: Lsn(1) }, &mut out);
-        s.handle(TcToDc::LowWaterMark { tc: TcId(1), lwm: Lsn(1) }, &mut out);
-        s.handle(TcToDc::Checkpoint { tc: TcId(1), new_rssp: Lsn(2) }, &mut out);
+        s.handle(
+            TcToDc::EndOfStableLog {
+                tc: TcId(1),
+                eosl: Lsn(1),
+            },
+            &mut out,
+        );
+        s.handle(
+            TcToDc::LowWaterMark {
+                tc: TcId(1),
+                lwm: Lsn(1),
+            },
+            &mut out,
+        );
+        s.handle(
+            TcToDc::Checkpoint {
+                tc: TcId(1),
+                new_rssp: Lsn(2),
+            },
+            &mut out,
+        );
         match &out[0] {
             DcToTc::CheckpointDone { rssp, .. } => assert_eq!(*rssp, Lsn(2)),
             other => panic!("unexpected {other:?}"),
@@ -251,7 +346,10 @@ mod tests {
         );
         match r {
             DcToTc::Reply { result, .. } => {
-                assert!(matches!(result, Err(unbundled_core::DcError::VersioningMismatch(_))))
+                assert!(matches!(
+                    result,
+                    Err(unbundled_core::DcError::VersioningMismatch(_))
+                ))
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -25,11 +25,20 @@ impl Fixture {
         let log = Arc::new(LogStore::new());
         let engine = DcEngine::format(unbundled_core::DcId(1), cfg, disk.clone(), log.clone());
         engine.create_table(TableSpec::plain(T, "t")).unwrap();
-        Fixture { disk, log, engine, next_lsn: 0 }
+        Fixture {
+            disk,
+            log,
+            engine,
+            next_lsn: 0,
+        }
     }
 
     fn small_pages() -> DcConfig {
-        DcConfig { page_capacity: 256, merge_threshold: 64, ..DcConfig::default() }
+        DcConfig {
+            page_capacity: 256,
+            merge_threshold: 64,
+            ..DcConfig::default()
+        }
     }
 
     fn lsn(&mut self) -> Lsn {
@@ -45,7 +54,11 @@ impl Fixture {
             .perform(
                 TC,
                 RequestId::Op(lsn),
-                &LogicalOp::Insert { table: T, key: Key::from_u64(k), value: v.to_vec() },
+                &LogicalOp::Insert {
+                    table: T,
+                    key: Key::from_u64(k),
+                    value: v.to_vec(),
+                },
             )
             .unwrap();
         self.engine.handle_eosl(TC, lsn);
@@ -56,7 +69,14 @@ impl Fixture {
     fn delete(&mut self, k: u64) {
         let lsn = self.lsn();
         self.engine
-            .perform(TC, RequestId::Op(lsn), &LogicalOp::Delete { table: T, key: Key::from_u64(k) })
+            .perform(
+                TC,
+                RequestId::Op(lsn),
+                &LogicalOp::Delete {
+                    table: T,
+                    key: Key::from_u64(k),
+                },
+            )
             .unwrap();
         self.engine.handle_eosl(TC, lsn);
         self.engine.handle_lwm(TC, lsn);
@@ -68,7 +88,11 @@ impl Fixture {
             .perform(
                 TC,
                 RequestId::Read(k),
-                &LogicalOp::Read { table: T, key: Key::from_u64(k), flavor: ReadFlavor::Latest },
+                &LogicalOp::Read {
+                    table: T,
+                    key: Key::from_u64(k),
+                    flavor: ReadFlavor::Latest,
+                },
             )
             .unwrap()
         {
@@ -94,7 +118,10 @@ fn many_inserts_cause_splits_and_stay_searchable() {
     for k in 0..500u64 {
         fx.insert(k, format!("value-{k}").as_bytes());
     }
-    assert!(fx.engine.stats().snapshot().splits > 5, "small pages must split");
+    assert!(
+        fx.engine.stats().snapshot().splits > 5,
+        "small pages must split"
+    );
     fx.engine.check_tree(T);
     for k in (0..500).step_by(7) {
         assert_eq!(fx.read(k), Some(format!("value-{k}").into_bytes()));
@@ -157,12 +184,19 @@ fn duplicate_lsn_suppressed_after_split_moves_key() {
         .perform(
             TC,
             RequestId::Op(Lsn(150)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(149), value: b"0123456789".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(149),
+                value: b"0123456789".to_vec(),
+            },
         )
         .unwrap();
     assert_eq!(r, OpResult::Done);
     let snap = fx.engine.stats().snapshot();
-    assert!(snap.duplicates_suppressed >= 1, "resend must be suppressed, got {snap:?}");
+    assert!(
+        snap.duplicates_suppressed >= 1,
+        "resend must be suppressed, got {snap:?}"
+    );
     // Value unchanged.
     assert_eq!(fx.read(149), Some(b"0123456789".to_vec()));
 }
@@ -176,25 +210,40 @@ fn out_of_order_delivery_is_exactly_once() {
         .perform(
             TC,
             RequestId::Op(Lsn(2)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(2), value: b"b".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(2),
+                value: b"b".to_vec(),
+            },
         )
         .unwrap();
     fx.engine
         .perform(
             TC,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(1), value: b"a".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(1),
+                value: b"a".to_vec(),
+            },
         )
         .unwrap();
     let snap = fx.engine.stats().snapshot();
-    assert_eq!(snap.out_of_order, 1, "LSN 1 arrived after LSN 2 on the same page");
+    assert_eq!(
+        snap.out_of_order, 1,
+        "LSN 1 arrived after LSN 2 on the same page"
+    );
     // Replays of both are suppressed.
     for l in [1u64, 2] {
         fx.engine
             .perform(
                 TC,
                 RequestId::Op(Lsn(l)),
-                &LogicalOp::Insert { table: T, key: Key::from_u64(l), value: b"x".to_vec() },
+                &LogicalOp::Insert {
+                    table: T,
+                    key: Key::from_u64(l),
+                    value: b"x".to_vec(),
+                },
             )
             .unwrap();
     }
@@ -213,7 +262,11 @@ fn naive_scalar_lsn_would_lose_the_out_of_order_op() {
         .perform(
             TC,
             RequestId::Op(Lsn(2)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(2), value: b"b".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(2),
+                value: b"b".to_vec(),
+            },
         )
         .unwrap();
     // abLSN after applying only LSN 2: max_included = 2, but 1 is NOT
@@ -223,11 +276,19 @@ fn naive_scalar_lsn_would_lose_the_out_of_order_op() {
         .perform(
             TC,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(1), value: b"a".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(1),
+                value: b"a".to_vec(),
+            },
         )
         .unwrap();
     assert_eq!(r, OpResult::Done);
-    assert_eq!(fx.engine.stats().snapshot().ops_applied, 2, "both ops must apply");
+    assert_eq!(
+        fx.engine.stats().snapshot().ops_applied,
+        2,
+        "both ops must apply"
+    );
 }
 
 #[test]
@@ -237,7 +298,11 @@ fn flush_blocked_until_eosl_covers_page() {
         .perform(
             TC,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(1), value: b"a".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(1),
+                value: b"a".to_vec(),
+            },
         )
         .unwrap();
     // Find the (single) leaf: it is dirty and uncovered by EOSL.
@@ -246,23 +311,40 @@ fn flush_blocked_until_eosl_covers_page() {
         .pool()
         .cached_ids()
         .into_iter()
-        .filter(|pid| fx.engine.pool().get_cached(*pid).map(|a| a.read().dirty).unwrap_or(false))
+        .filter(|pid| {
+            fx.engine
+                .pool()
+                .get_cached(*pid)
+                .map(|a| a.read().dirty)
+                .unwrap_or(false)
+        })
         .collect();
     assert_eq!(dirty.len(), 1);
-    assert_eq!(fx.engine.flush_page(dirty[0]), FlushResult::NotEligible, "WAL/causality gate");
+    assert_eq!(
+        fx.engine.flush_page(dirty[0]),
+        FlushResult::NotEligible,
+        "WAL/causality gate"
+    );
     fx.engine.handle_eosl(TC, Lsn(1));
     assert_eq!(fx.engine.flush_page(dirty[0]), FlushResult::Flushed);
 }
 
 #[test]
 fn sync_policy_wait_for_lwm_blocks_until_pruned() {
-    let cfg = DcConfig { sync_policy: SyncPolicy::WaitForLwm, ..Default::default() };
+    let cfg = DcConfig {
+        sync_policy: SyncPolicy::WaitForLwm,
+        ..Default::default()
+    };
     let fx = Fixture::new(cfg);
     fx.engine
         .perform(
             TC,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(1), value: b"a".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(1),
+                value: b"a".to_vec(),
+            },
         )
         .unwrap();
     fx.engine.handle_eosl(TC, Lsn(1));
@@ -271,7 +353,13 @@ fn sync_policy_wait_for_lwm_blocks_until_pruned() {
         .pool()
         .cached_ids()
         .into_iter()
-        .find(|p| fx.engine.pool().get_cached(*p).map(|a| a.read().dirty).unwrap_or(false))
+        .find(|p| {
+            fx.engine
+                .pool()
+                .get_cached(*p)
+                .map(|a| a.read().dirty)
+                .unwrap_or(false)
+        })
         .unwrap();
     // EOSL covers the op but the in-set is non-empty: policy 1 refuses.
     assert_eq!(fx.engine.flush_page(pid), FlushResult::NotEligible);
@@ -288,7 +376,11 @@ fn sync_policy_full_ablsn_never_waits() {
         .perform(
             TC,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(1), value: b"a".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(1),
+                value: b"a".to_vec(),
+            },
         )
         .unwrap();
     fx.engine.handle_eosl(TC, Lsn(1));
@@ -310,7 +402,10 @@ fn dc_crash_loses_cache_recovery_replays_systxns() {
     fx.reboot();
     fx.engine.check_tree(T);
     let after = fx.engine.snapshot_tables();
-    assert_eq!(before, after, "recovered state must equal pre-crash stable state");
+    assert_eq!(
+        before, after,
+        "recovered state must equal pre-crash stable state"
+    );
 }
 
 #[test]
@@ -371,7 +466,11 @@ fn tc_crash_reset_drops_exactly_lost_operations() {
             .perform(
                 TC,
                 RequestId::Op(lsn),
-                &LogicalOp::Insert { table: T, key: Key::from_u64(k), value: b"lost".to_vec() },
+                &LogicalOp::Insert {
+                    table: T,
+                    key: Key::from_u64(k),
+                    value: b"lost".to_vec(),
+                },
             )
             .unwrap();
         // no EOSL/LWM: unstable
@@ -392,7 +491,11 @@ fn tc_crash_reset_drops_exactly_lost_operations() {
             .perform(
                 TC,
                 RequestId::Op(Lsn(k)),
-                &LogicalOp::Insert { table: T, key: Key::from_u64(k), value: b"stable".to_vec() },
+                &LogicalOp::Insert {
+                    table: T,
+                    key: Key::from_u64(k),
+                    value: b"stable".to_vec(),
+                },
             )
             .unwrap();
         assert_eq!(r, OpResult::Done);
@@ -407,7 +510,11 @@ fn tc_crash_reset_drops_exactly_lost_operations() {
             .perform(
                 TC,
                 RequestId::Op(Lsn(stable_end.0 + k - 10)),
-                &LogicalOp::Insert { table: T, key: Key::from_u64(k), value: b"redo".to_vec() },
+                &LogicalOp::Insert {
+                    table: T,
+                    key: Key::from_u64(k),
+                    value: b"redo".to_vec(),
+                },
             )
             .unwrap();
         assert_eq!(r, OpResult::Done);
@@ -417,7 +524,10 @@ fn tc_crash_reset_drops_exactly_lost_operations() {
 
 #[test]
 fn selective_reset_preserves_other_tcs_records() {
-    let cfg = DcConfig { reset_mode: ResetMode::Selective, ..Default::default() };
+    let cfg = DcConfig {
+        reset_mode: ResetMode::Selective,
+        ..Default::default()
+    };
     let fx = Fixture::new(cfg);
     let tc1 = TcId(1);
     let tc2 = TcId(2);
@@ -426,7 +536,11 @@ fn selective_reset_preserves_other_tcs_records() {
         .perform(
             tc1,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(1), value: b"tc1".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(1),
+                value: b"tc1".to_vec(),
+            },
         )
         .unwrap();
     fx.engine.handle_eosl(tc1, Lsn(1));
@@ -434,7 +548,11 @@ fn selective_reset_preserves_other_tcs_records() {
         .perform(
             tc2,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(100), value: b"tc2-stable".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(100),
+                value: b"tc2-stable".to_vec(),
+            },
         )
         .unwrap();
     fx.engine.handle_eosl(tc2, Lsn(1));
@@ -443,7 +561,11 @@ fn selective_reset_preserves_other_tcs_records() {
         .perform(
             tc2,
             RequestId::Op(Lsn(2)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(101), value: b"tc2-lost".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(101),
+                value: b"tc2-lost".to_vec(),
+            },
         )
         .unwrap();
     let (pages, _) = fx.engine.reset_for_tc(tc2, Lsn(1));
@@ -454,7 +576,11 @@ fn selective_reset_preserves_other_tcs_records() {
         .perform(
             tc1,
             RequestId::Read(1),
-            &LogicalOp::Read { table: T, key: Key::from_u64(1), flavor: ReadFlavor::Latest },
+            &LogicalOp::Read {
+                table: T,
+                key: Key::from_u64(1),
+                flavor: ReadFlavor::Latest,
+            },
         )
         .unwrap();
     assert_eq!(r1, OpResult::Value(Some(b"tc1".to_vec())));
@@ -464,7 +590,11 @@ fn selective_reset_preserves_other_tcs_records() {
         .perform(
             tc2,
             RequestId::Read(2),
-            &LogicalOp::Read { table: T, key: Key::from_u64(101), flavor: ReadFlavor::Latest },
+            &LogicalOp::Read {
+                table: T,
+                key: Key::from_u64(101),
+                flavor: ReadFlavor::Latest,
+            },
         )
         .unwrap();
     assert_eq!(r2, OpResult::Value(None));
@@ -475,17 +605,29 @@ fn selective_reset_preserves_other_tcs_records() {
         .perform(
             tc2,
             RequestId::Read(3),
-            &LogicalOp::Read { table: T, key: Key::from_u64(100), flavor: ReadFlavor::Latest },
+            &LogicalOp::Read {
+                table: T,
+                key: Key::from_u64(100),
+                flavor: ReadFlavor::Latest,
+            },
         )
         .unwrap();
-    assert_eq!(r3, OpResult::Value(None), "stable-but-unflushed records need redo resend");
+    assert_eq!(
+        r3,
+        OpResult::Value(None),
+        "stable-but-unflushed records need redo resend"
+    );
     // The TC re-sends it during redo (it is on the stable log):
     let r4 = fx
         .engine
         .perform(
             tc2,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::Insert { table: T, key: Key::from_u64(100), value: b"tc2-stable".to_vec() },
+            &LogicalOp::Insert {
+                table: T,
+                key: Key::from_u64(100),
+                value: b"tc2-stable".to_vec(),
+            },
         )
         .unwrap();
     assert_eq!(r4, OpResult::Done);
@@ -543,7 +685,11 @@ fn scans_and_probes() {
         .perform(
             TC,
             RequestId::Read(2),
-            &LogicalOp::ProbeKeys { table: T, from: Key::from_u64(91), count: 3 },
+            &LogicalOp::ProbeKeys {
+                table: T,
+                from: Key::from_u64(91),
+                count: 3,
+            },
         )
         .unwrap();
     match r {
@@ -563,7 +709,11 @@ fn dc_checkpoint_truncates_log_when_clean() {
     }
     assert!(fx.log.last_seq() > 0);
     assert!(fx.engine.dc_checkpoint());
-    assert_eq!(fx.log.live_bytes(), 0, "clean cache ⇒ DC log fully truncated");
+    assert_eq!(
+        fx.log.live_bytes(),
+        0,
+        "clean cache ⇒ DC log fully truncated"
+    );
     // Still recoverable afterwards.
     fx.reboot();
     fx.engine.check_tree(T);
@@ -574,7 +724,9 @@ fn dc_checkpoint_truncates_log_when_clean() {
 fn versioned_table_lifecycle() {
     let fx = Fixture::new(DcConfig::default());
     let vt = TableId(9);
-    fx.engine.create_table(TableSpec::versioned(vt, "reviews")).unwrap();
+    fx.engine
+        .create_table(TableSpec::versioned(vt, "reviews"))
+        .unwrap();
     let owner = TcId(1);
     let reader = TcId(2);
     let key = Key::from_u64(1);
@@ -583,7 +735,11 @@ fn versioned_table_lifecycle() {
         .perform(
             owner,
             RequestId::Op(Lsn(1)),
-            &LogicalOp::VersionedWrite { table: vt, key: key.clone(), value: b"draft".to_vec() },
+            &LogicalOp::VersionedWrite {
+                table: vt,
+                key: key.clone(),
+                value: b"draft".to_vec(),
+            },
         )
         .unwrap();
     let rc = fx
@@ -591,25 +747,44 @@ fn versioned_table_lifecycle() {
         .perform(
             reader,
             RequestId::Read(1),
-            &LogicalOp::Read { table: vt, key: key.clone(), flavor: ReadFlavor::Committed },
+            &LogicalOp::Read {
+                table: vt,
+                key: key.clone(),
+                flavor: ReadFlavor::Committed,
+            },
         )
         .unwrap();
-    assert_eq!(rc, OpResult::Value(None), "read committed must not see the draft");
+    assert_eq!(
+        rc,
+        OpResult::Value(None),
+        "read committed must not see the draft"
+    );
     let dirty = fx
         .engine
         .perform(
             reader,
             RequestId::Read(2),
-            &LogicalOp::Read { table: vt, key: key.clone(), flavor: ReadFlavor::Latest },
+            &LogicalOp::Read {
+                table: vt,
+                key: key.clone(),
+                flavor: ReadFlavor::Latest,
+            },
         )
         .unwrap();
-    assert_eq!(dirty, OpResult::Value(Some(b"draft".to_vec())), "dirty read sees it");
+    assert_eq!(
+        dirty,
+        OpResult::Value(Some(b"draft".to_vec())),
+        "dirty read sees it"
+    );
     // Commit: promote.
     fx.engine
         .perform(
             owner,
             RequestId::Op(Lsn(2)),
-            &LogicalOp::PromoteVersion { table: vt, key: key.clone() },
+            &LogicalOp::PromoteVersion {
+                table: vt,
+                key: key.clone(),
+            },
         )
         .unwrap();
     let rc = fx
@@ -617,7 +792,11 @@ fn versioned_table_lifecycle() {
         .perform(
             reader,
             RequestId::Read(3),
-            &LogicalOp::Read { table: vt, key: key.clone(), flavor: ReadFlavor::Committed },
+            &LogicalOp::Read {
+                table: vt,
+                key: key.clone(),
+                flavor: ReadFlavor::Committed,
+            },
         )
         .unwrap();
     assert_eq!(rc, OpResult::Value(Some(b"draft".to_vec())));
@@ -626,14 +805,21 @@ fn versioned_table_lifecycle() {
         .perform(
             owner,
             RequestId::Op(Lsn(3)),
-            &LogicalOp::VersionedWrite { table: vt, key: key.clone(), value: b"edit".to_vec() },
+            &LogicalOp::VersionedWrite {
+                table: vt,
+                key: key.clone(),
+                value: b"edit".to_vec(),
+            },
         )
         .unwrap();
     fx.engine
         .perform(
             owner,
             RequestId::Op(Lsn(4)),
-            &LogicalOp::RevertVersion { table: vt, key: key.clone() },
+            &LogicalOp::RevertVersion {
+                table: vt,
+                key: key.clone(),
+            },
         )
         .unwrap();
     let rc = fx
@@ -641,7 +827,11 @@ fn versioned_table_lifecycle() {
         .perform(
             reader,
             RequestId::Read(4),
-            &LogicalOp::Read { table: vt, key, flavor: ReadFlavor::Committed },
+            &LogicalOp::Read {
+                table: vt,
+                key,
+                flavor: ReadFlavor::Committed,
+            },
         )
         .unwrap();
     assert_eq!(rc, OpResult::Value(Some(b"draft".to_vec())));
@@ -670,9 +860,16 @@ fn smo_deferred_until_eosl_covers_page() {
             )
             .unwrap();
     }
-    assert_eq!(fx.engine.stats().snapshot().splits, 0, "split must wait for EOSL");
+    assert_eq!(
+        fx.engine.stats().snapshot().splits,
+        0,
+        "split must wait for EOSL"
+    );
     // EOSL arrives → deferred SMO executes.
     fx.engine.handle_eosl(TC, Lsn(lsn));
-    assert!(fx.engine.stats().snapshot().splits > 0, "EOSL must release the deferred split");
+    assert!(
+        fx.engine.stats().snapshot().splits > 0,
+        "EOSL must release the deferred split"
+    );
     fx.engine.check_tree(T);
 }

@@ -27,7 +27,11 @@ pub enum TransportKind {
         /// DC worker threads serving this link.
         workers: usize,
         /// Max queued `Perform` messages coalesced into one
-        /// `PerformBatch` per delivery (≤ 1 disables batching).
+        /// `PerformBatch` per delivery (≤ 1 disables batching). The
+        /// knob applies symmetrically: the acks for a request batch
+        /// travel back as one `ReplyBatch` datagram, sized by the same
+        /// limit (see [`QueuedLink::set_reply_batch`] to override the
+        /// reply direction alone, e.g. for ablation experiments).
         batch: usize,
     },
 }
@@ -60,7 +64,10 @@ pub struct Deployment {
 impl Deployment {
     /// Empty deployment.
     pub fn new() -> Self {
-        Deployment { dcs: HashMap::new(), tcs: HashMap::new() }
+        Deployment {
+            dcs: HashMap::new(),
+            tcs: HashMap::new(),
+        }
     }
 
     /// Add a freshly formatted DC.
@@ -113,7 +120,11 @@ impl Deployment {
     fn make_link(&self, tnode: &TcNode, dnode: &DcNode, kind: &TransportKind) -> Arc<dyn DcLink> {
         match kind {
             TransportKind::Inline => InlineLink::new(dnode.slot.clone(), tnode.sink.clone()),
-            TransportKind::Queued { faults, workers, batch } => {
+            TransportKind::Queued {
+                faults,
+                workers,
+                batch,
+            } => {
                 let link = QueuedLink::new(
                     dnode.slot.clone(),
                     tnode.sink.clone(),
@@ -203,8 +214,12 @@ impl Deployment {
     /// every connected TC, and each TC drives redo (`recover_dc`).
     pub fn reboot_dc(&self, id: DcId) {
         let node = &self.dcs[&id];
-        let server =
-            Arc::new(DcServer::recover(id, node.cfg.clone(), node.disk.clone(), node.log.clone()));
+        let server = Arc::new(DcServer::recover(
+            id,
+            node.cfg.clone(),
+            node.disk.clone(),
+            node.log.clone(),
+        ));
         *node.server.lock() = server.clone();
         node.slot.install(server);
         // Out-of-band prompt (Section 4.2.1) + TC-driven redo.

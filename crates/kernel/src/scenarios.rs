@@ -101,12 +101,19 @@ impl MovieSite {
                 d.route(tc, MYREVIEWS, TableRoute::Single(DC_USERS));
             }
         }
-        MovieSite { deployment: d, movie_split }
+        MovieSite {
+            deployment: d,
+            movie_split,
+        }
     }
 
     /// The updating TC responsible for a user (Figure 2: `UId mod 2`).
     pub fn tc_for_user(&self, uid: u64) -> Arc<Tc> {
-        let id = if uid.is_multiple_of(2) { TC_EVEN } else { TC_ODD };
+        let id = if uid.is_multiple_of(2) {
+            TC_EVEN
+        } else {
+            TC_ODD
+        };
         self.deployment.tc(id)
     }
 
@@ -136,7 +143,12 @@ impl MovieSite {
         for u in 0..n_users {
             let tc = self.tc_for_user(u);
             let txn = tc.begin()?;
-            tc.insert(txn, USERS, Key::from_u64(u), format!("user-{u}").into_bytes())?;
+            tc.insert(
+                txn,
+                USERS,
+                Key::from_u64(u),
+                format!("user-{u}").into_bytes(),
+            )?;
             tc.commit(txn)?;
         }
         Ok(())

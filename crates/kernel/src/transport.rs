@@ -19,11 +19,11 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use unbundled_core::{DataComponentApi, TcToDc};
+use unbundled_core::{DataComponentApi, DcError, DcId, DcToTc, OpResult, RequestId, TcId, TcToDc};
 use unbundled_tc::{DcLink, Tc};
 
 /// Reply sink: delivers DC→TC messages to the owning TC.
@@ -58,7 +58,9 @@ pub struct DcSlot {
 impl DcSlot {
     /// Slot over an initial DC.
     pub fn new(dc: Arc<dyn DataComponentApi>) -> Arc<Self> {
-        Arc::new(DcSlot { inner: Mutex::new(Some(dc)) })
+        Arc::new(DcSlot {
+            inner: Mutex::new(Some(dc)),
+        })
     }
 
     /// Take the DC down (messages are dropped while down).
@@ -103,15 +105,22 @@ impl DcLink for InlineLink {
     }
 }
 
-/// Fault model for [`QueuedLink`] `Perform` traffic.
+/// Fault model for [`QueuedLink`] operation traffic. Applied
+/// symmetrically: a `Perform`/`PerformBatch` datagram on the request
+/// direction and a `Reply`/`ReplyBatch` datagram on the reply direction
+/// are each independently subject to loss and reordering (a batch is
+/// faulted as a whole, like one oversized datagram). Control-plane
+/// conversations stay reliable in both directions.
 #[derive(Clone, Debug)]
 pub struct FaultModel {
-    /// Probability a `Perform` (or its reply) is dropped.
+    /// Probability an operation datagram (request or reply direction)
+    /// is dropped.
     pub loss: f64,
-    /// Probability a `Perform` is delayed behind later traffic
-    /// (reordering).
+    /// Probability an operation datagram is delayed behind later
+    /// traffic (reordering), per direction.
     pub reorder: f64,
-    /// Fixed extra delay per message.
+    /// Fixed extra delay per datagram (each direction pays it once per
+    /// datagram — which is exactly the cost batching amortizes).
     pub delay: Duration,
     /// RNG seed (deterministic experiments).
     pub seed: u64,
@@ -119,7 +128,12 @@ pub struct FaultModel {
 
 impl Default for FaultModel {
     fn default() -> Self {
-        FaultModel { loss: 0.0, reorder: 0.0, delay: Duration::ZERO, seed: 42 }
+        FaultModel {
+            loss: 0.0,
+            reorder: 0.0,
+            delay: Duration::ZERO,
+            seed: 42,
+        }
     }
 }
 
@@ -136,6 +150,14 @@ pub struct QueuedLink {
     reordered: AtomicU64,
     batches: AtomicU64,
     batched_ops: AtomicU64,
+    reply_dropped: AtomicU64,
+    reply_reordered: AtomicU64,
+    reply_batches: AtomicU64,
+    reply_batched_ops: AtomicU64,
+    /// Max replies per `ReplyBatch` datagram; ≤ 1 splits DC-coalesced
+    /// batches back into per-ack replies. Defaults to the request-side
+    /// `max_batch` (the knob is symmetric).
+    reply_batch: AtomicUsize,
 }
 
 impl QueuedLink {
@@ -143,7 +165,11 @@ impl QueuedLink {
     /// `max_batch` > 1 lets a worker coalesce up to that many queued
     /// `Perform` messages into one [`TcToDc::PerformBatch`] per delivery
     /// — the fault model (loss, reordering, delay) then applies to the
-    /// batch as a whole, exactly like a single oversized datagram.
+    /// batch as a whole, exactly like a single oversized datagram. The
+    /// same knob governs the reply direction: the DC's coalesced
+    /// [`DcToTc::ReplyBatch`] acks travel (and are faulted, and pay the
+    /// per-datagram delay) as one datagram; see
+    /// [`QueuedLink::set_reply_batch`] to override the reply side alone.
     pub fn new(
         slot: Arc<DcSlot>,
         sink: Arc<ReplySink>,
@@ -159,6 +185,11 @@ impl QueuedLink {
             reordered: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_ops: AtomicU64::new(0),
+            reply_dropped: AtomicU64::new(0),
+            reply_reordered: AtomicU64::new(0),
+            reply_batches: AtomicU64::new(0),
+            reply_batched_ops: AtomicU64::new(0),
+            reply_batch: AtomicUsize::new(max_batch),
         });
         let mut handles = Vec::new();
         for w in 0..workers.max(1) {
@@ -168,10 +199,13 @@ impl QueuedLink {
             let faults = faults.clone();
             let link2 = Arc::downgrade(&link);
             handles.push(std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(faults.seed ^ (w as u64).wrapping_mul(0x9E3779B97F4A7C15));
-                // Reorder buffer: a deferred message is processed after
-                // the next one.
+                let mut rng = StdRng::seed_from_u64(
+                    faults.seed ^ (w as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
+                // Reorder buffers: a deferred datagram is delivered after
+                // the next one, independently per direction.
                 let mut held: Option<TcToDc> = None;
+                let mut held_reply: Option<DcToTc> = None;
                 // A non-Perform message pulled out of the queue while
                 // coalescing a batch; processed on the next iteration.
                 let mut pending: Option<QueuedMsg> = None;
@@ -221,15 +255,6 @@ impl QueuedLink {
                     } else {
                         msg
                     };
-                    let process = |m: TcToDc| {
-                        if let Some(dc) = slot.get() {
-                            let mut out = Vec::new();
-                            dc.handle(m, &mut out);
-                            for reply in out {
-                                sink.deliver(reply);
-                            }
-                        }
-                    };
                     let faultable = !msg.is_control();
                     if faults.delay > Duration::ZERO {
                         std::thread::sleep(faults.delay);
@@ -247,24 +272,84 @@ impl QueuedLink {
                         held = Some(msg); // deliver after the next message
                         continue;
                     }
-                    process(msg);
+                    Self::process(
+                        &slot,
+                        &sink,
+                        &link2,
+                        &faults,
+                        &mut rng,
+                        &mut held_reply,
+                        msg,
+                    );
                     if let Some(h) = held.take() {
-                        process(h);
+                        Self::process(&slot, &sink, &link2, &faults, &mut rng, &mut held_reply, h);
                     }
                 }
+                // Drain both reorder buffers on shutdown: nothing may be
+                // silently stranded by a stopping worker.
                 if let Some(h) = held.take() {
-                    if let Some(dc) = slot.get() {
-                        let mut out = Vec::new();
-                        dc.handle(h, &mut out);
-                        for reply in out {
-                            sink.deliver(reply);
-                        }
-                    }
+                    Self::process(&slot, &sink, &link2, &faults, &mut rng, &mut held_reply, h);
+                }
+                if let Some(r) = held_reply.take() {
+                    sink.deliver(r);
                 }
             }));
         }
         *link.workers.lock() = handles;
         link
+    }
+
+    /// Hand one inbound message to the DC and carry its replies back,
+    /// shaping the reply direction (batch or split per the reply-batch
+    /// knob) and subjecting each operation-reply datagram to the fault
+    /// model — loss and reordering apply to a `ReplyBatch` as a whole,
+    /// exactly like the request direction treats a `PerformBatch`.
+    #[allow(clippy::too_many_arguments)]
+    fn process(
+        slot: &Arc<DcSlot>,
+        sink: &Arc<ReplySink>,
+        link: &Weak<QueuedLink>,
+        faults: &FaultModel,
+        rng: &mut StdRng,
+        held_reply: &mut Option<DcToTc>,
+        msg: TcToDc,
+    ) {
+        let Some(dc) = slot.get() else {
+            return; // DC down: message lost — the resend contract covers it.
+        };
+        let mut out = Vec::new();
+        dc.handle(msg, &mut out);
+        let reply_batch = match link.upgrade() {
+            Some(l) => l.reply_batch.load(Ordering::Relaxed),
+            None => 1,
+        };
+        for reply in shape_replies(out, reply_batch, link) {
+            if reply.is_control() {
+                // Control-plane conversations are reliable and ordered.
+                sink.deliver(reply);
+                continue;
+            }
+            if faults.delay > Duration::ZERO {
+                std::thread::sleep(faults.delay);
+            }
+            if rng.gen_bool(faults.loss.clamp(0.0, 1.0)) {
+                if let Some(l) = link.upgrade() {
+                    l.reply_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                continue; // a lost batch loses all its acks at once
+            }
+            if held_reply.is_none() && rng.gen_bool(faults.reorder.clamp(0.0, 1.0)) {
+                if let Some(l) = link.upgrade() {
+                    l.reply_reordered.fetch_add(1, Ordering::Relaxed);
+                }
+                *held_reply = Some(reply); // deliver after the next one
+                continue;
+            }
+            sink.deliver(reply);
+            if let Some(h) = held_reply.take() {
+                sink.deliver(h);
+            }
+        }
     }
 
     /// Messages dropped so far (experiment accounting).
@@ -287,6 +372,35 @@ impl QueuedLink {
         self.batched_ops.load(Ordering::Relaxed)
     }
 
+    /// Reply-direction datagrams dropped so far.
+    pub fn reply_dropped(&self) -> u64 {
+        self.reply_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Reply-direction datagrams reordered so far.
+    pub fn reply_reordered(&self) -> u64 {
+        self.reply_reordered.load(Ordering::Relaxed)
+    }
+
+    /// `ReplyBatch` datagrams formed for the reply direction so far
+    /// (counted when put on the wire, before loss injection).
+    pub fn reply_batches(&self) -> u64 {
+        self.reply_batches.load(Ordering::Relaxed)
+    }
+
+    /// Acks carried inside those reply batches.
+    pub fn reply_batched_ops(&self) -> u64 {
+        self.reply_batched_ops.load(Ordering::Relaxed)
+    }
+
+    /// Override the reply-direction batch limit (the request-side
+    /// `max_batch` by default). `n` ≤ 1 restores per-ack replies —
+    /// DC-coalesced batches are split back into individual `Reply`
+    /// datagrams — which is the ablation the e11 experiment measures.
+    pub fn set_reply_batch(&self, n: usize) {
+        self.reply_batch.store(n.max(1), Ordering::Relaxed);
+    }
+
     /// Stop the workers (drains the queue first).
     pub fn shutdown(&self) {
         let n = self.workers.lock().len();
@@ -297,6 +411,87 @@ impl QueuedLink {
             let _ = h.join();
         }
     }
+}
+
+/// Shape one handler invocation's outbound replies for the wire.
+///
+/// With `reply_batch` ≤ 1 the link runs per-ack: DC-coalesced
+/// [`DcToTc::ReplyBatch`] messages are split back into individual
+/// `Reply` datagrams. With `reply_batch` > 1, adjacent operation replies
+/// to the same TC coalesce into `ReplyBatch` datagrams of at most
+/// `reply_batch` acks (an oversized DC batch is re-chunked). Control
+/// replies pass through unchanged and break a run.
+fn shape_replies(out: Vec<DcToTc>, reply_batch: usize, link: &Weak<QueuedLink>) -> Vec<DcToTc> {
+    type Ack = (RequestId, Result<OpResult, DcError>);
+    let mut shaped = Vec::with_capacity(out.len());
+    if reply_batch <= 1 {
+        for m in out {
+            match m {
+                DcToTc::ReplyBatch { dc, tc, replies } => {
+                    shaped.extend(replies.into_iter().map(|(req, result)| DcToTc::Reply {
+                        dc,
+                        tc,
+                        req,
+                        result,
+                    }))
+                }
+                m => shaped.push(m),
+            }
+        }
+        return shaped;
+    }
+    let mut run: Option<(DcId, TcId, Vec<Ack>)> = None;
+    let flush = |run: &mut Option<(DcId, TcId, Vec<Ack>)>, shaped: &mut Vec<DcToTc>| {
+        if let Some((dc, tc, acks)) = run.take() {
+            for chunk in acks.chunks(reply_batch) {
+                if chunk.len() == 1 {
+                    let (req, result) = chunk[0].clone();
+                    shaped.push(DcToTc::Reply {
+                        dc,
+                        tc,
+                        req,
+                        result,
+                    });
+                } else {
+                    if let Some(l) = link.upgrade() {
+                        l.reply_batches.fetch_add(1, Ordering::Relaxed);
+                        l.reply_batched_ops
+                            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                    }
+                    shaped.push(DcToTc::ReplyBatch {
+                        dc,
+                        tc,
+                        replies: chunk.to_vec(),
+                    });
+                }
+            }
+        }
+    };
+    for m in out {
+        let (dc, tc, acks): (_, _, Vec<Ack>) = match m {
+            DcToTc::Reply {
+                dc,
+                tc,
+                req,
+                result,
+            } => (dc, tc, vec![(req, result)]),
+            DcToTc::ReplyBatch { dc, tc, replies } => (dc, tc, replies),
+            control => {
+                flush(&mut run, &mut shaped);
+                shaped.push(control);
+                continue;
+            }
+        };
+        match &mut run {
+            Some((rdc, rtc, racks)) if *rdc == dc && *rtc == tc => racks.extend(acks),
+            _ => {
+                flush(&mut run, &mut shaped);
+                run = Some((dc, tc, acks));
+            }
+        }
+    }
+    flush(&mut run, &mut shaped);
+    shaped
 }
 
 impl DcLink for QueuedLink {

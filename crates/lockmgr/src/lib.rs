@@ -191,7 +191,9 @@ struct LockEntry {
 
 impl LockEntry {
     fn grant_compatible(&self, owner: LockToken, mode: LockMode) -> bool {
-        self.granted.iter().all(|g| g.owner == owner || g.mode.compatible(mode))
+        self.granted
+            .iter()
+            .all(|g| g.owner == owner || g.mode.compatible(mode))
     }
 
     /// After any change, promote waiters from the front of the queue.
@@ -235,7 +237,11 @@ impl LockEntry {
             g.mode = g.mode.supremum(mode);
             g.count += 1;
         } else {
-            self.granted.push(Granted { owner, mode, count: 1 });
+            self.granted.push(Granted {
+                owner,
+                mode,
+                count: 1,
+            });
         }
     }
 
@@ -273,7 +279,14 @@ impl LockManager {
     pub fn new() -> Self {
         LockManager {
             shards: (0..SHARDS)
-                .map(|_| (Mutex::new(Shard { entries: HashMap::new() }), Condvar::new()))
+                .map(|_| {
+                    (
+                        Mutex::new(Shard {
+                            entries: HashMap::new(),
+                        }),
+                        Condvar::new(),
+                    )
+                })
                 .collect(),
             waits_for: Mutex::new(HashMap::new()),
             held: Mutex::new(HashMap::new()),
@@ -314,8 +327,10 @@ impl LockManager {
                     return Ok(());
                 }
                 // Upgrade: allowed immediately if no *other* holder conflicts.
-                let others_ok =
-                    entry.granted.iter().all(|h| h.owner == owner || h.mode.compatible(mode));
+                let others_ok = entry
+                    .granted
+                    .iter()
+                    .all(|h| h.owner == owner || h.mode.compatible(mode));
                 if others_ok && entry.waiting.iter().all(|w| !w.lock().upgrade) {
                     let g = entry.granted.iter_mut().find(|g| g.owner == owner).unwrap();
                     g.mode = g.mode.supremum(mode);
@@ -444,8 +459,10 @@ impl LockManager {
                 self.note_held(owner, &name);
                 return true;
             }
-            let others_ok =
-                entry.granted.iter().all(|h| h.owner == owner || h.mode.compatible(mode));
+            let others_ok = entry
+                .granted
+                .iter()
+                .all(|h| h.owner == owner || h.mode.compatible(mode));
             if others_ok {
                 let g = entry.granted.iter_mut().find(|g| g.owner == owner).unwrap();
                 g.mode = g.mode.supremum(mode);
@@ -544,7 +561,11 @@ impl LockManager {
     }
 
     fn note_held(&self, owner: LockToken, name: &LockName) {
-        self.held.lock().entry(owner).or_default().push(name.clone());
+        self.held
+            .lock()
+            .entry(owner)
+            .or_default()
+            .push(name.clone());
     }
 
     fn clear_waits(&self, owner: LockToken) {
@@ -694,7 +715,12 @@ mod tests {
     fn timeout_fires() {
         let lm = LockManager::new();
         lm.lock(LockToken(1), rec(1), LockMode::X, None).unwrap();
-        let r = lm.lock(LockToken(2), rec(1), LockMode::S, Some(Duration::from_millis(20)));
+        let r = lm.lock(
+            LockToken(2),
+            rec(1),
+            LockMode::S,
+            Some(Duration::from_millis(20)),
+        );
         assert_eq!(r, Err(LockError::Timeout));
     }
 
@@ -711,7 +737,10 @@ mod tests {
         });
         thread::sleep(Duration::from_millis(20));
         let granted_behind = lm.try_lock(LockToken(3), rec(1), LockMode::S);
-        assert!(!granted_behind, "S must not jump the queue past a waiting X");
+        assert!(
+            !granted_behind,
+            "S must not jump the queue past a waiting X"
+        );
         lm.unlock_all(LockToken(1));
         t2.join().unwrap();
         // Now T3 can get it.
@@ -742,8 +771,10 @@ mod tests {
     fn intention_locks_on_table() {
         let lm = LockManager::new();
         let t = LockName::Table(TableId(1));
-        lm.lock(LockToken(1), t.clone(), LockMode::IX, None).unwrap();
-        lm.lock(LockToken(2), t.clone(), LockMode::IS, None).unwrap();
+        lm.lock(LockToken(1), t.clone(), LockMode::IX, None)
+            .unwrap();
+        lm.lock(LockToken(2), t.clone(), LockMode::IS, None)
+            .unwrap();
         assert!(!lm.try_lock(LockToken(3), t.clone(), LockMode::X));
         assert!(!lm.try_lock(LockToken(2), t.clone(), LockMode::S)); // IX blocks S
     }
@@ -757,7 +788,8 @@ mod tests {
             hs.push(thread::spawn(move || {
                 for i in 0..500u64 {
                     let name = rec(t * 1000 + i);
-                    lm.lock(LockToken(t), name.clone(), LockMode::X, None).unwrap();
+                    lm.lock(LockToken(t), name.clone(), LockMode::X, None)
+                        .unwrap();
                 }
                 lm.unlock_all(LockToken(t));
             }));
@@ -771,7 +803,13 @@ mod tests {
     #[test]
     fn range_and_record_names_are_distinct() {
         let lm = LockManager::new();
-        lm.lock(LockToken(1), LockName::Range(TableId(1), 0), LockMode::X, None).unwrap();
+        lm.lock(
+            LockToken(1),
+            LockName::Range(TableId(1), 0),
+            LockMode::X,
+            None,
+        )
+        .unwrap();
         assert!(lm.try_lock(LockToken(2), rec(0), LockMode::X));
     }
 }

@@ -112,12 +112,17 @@ impl MonoLogRecord {
             MonoLogRecord::RecOp { action, .. } => {
                 25 + match action {
                     RecAction::Insert { key, value } => key.len() + value.len(),
-                    RecAction::Update { key, value, prior } => key.len() + value.len() + prior.len(),
+                    RecAction::Update { key, value, prior } => {
+                        key.len() + value.len() + prior.len()
+                    }
                     RecAction::Delete { key, prior } => key.len() + prior.len(),
                 }
             }
             MonoLogRecord::Smo { images, .. } => {
-                17 + images.iter().map(|(_, k, v)| 12 + k.len() + v.len()).sum::<usize>()
+                17 + images
+                    .iter()
+                    .map(|(_, k, v)| 12 + k.len() + v.len())
+                    .sum::<usize>()
             }
         }
     }
@@ -136,7 +141,10 @@ struct MonoPage {
 
 impl MonoPage {
     fn bytes(&self) -> usize {
-        self.entries.iter().map(|(k, v)| 8 + k.len() + v.len()).sum()
+        self.entries
+            .iter()
+            .map(|(k, v)| 8 + k.len() + v.len())
+            .sum()
     }
 
     fn encode(&self) -> Vec<u8> {
@@ -166,7 +174,14 @@ impl MonoPage {
             let v = d.bytes().ok()?.to_vec();
             entries.push((k, v));
         }
-        Some(MonoPage { id, table, low, lsn, entries, dirty: false })
+        Some(MonoPage {
+            id,
+            table,
+            low,
+            lsn,
+            entries,
+            dirty: false,
+        })
     }
 
     fn encode_entries(entries: &[(Key, Vec<u8>)]) -> Vec<u8> {
@@ -219,7 +234,10 @@ pub struct MonolithConfig {
 
 impl Default for MonolithConfig {
     fn default() -> Self {
-        MonolithConfig { page_capacity: 4096, lock_timeout: Some(Duration::from_secs(2)) }
+        MonolithConfig {
+            page_capacity: 4096,
+            lock_timeout: Some(Duration::from_secs(2)),
+        }
     }
 }
 
@@ -292,7 +310,12 @@ impl Monolith {
                 dirty: true,
             },
         );
-        self.tables.lock().insert(table, MonoTable { dir: vec![(Key::empty(), pid)] });
+        self.tables.lock().insert(
+            table,
+            MonoTable {
+                dir: vec![(Key::empty(), pid)],
+            },
+        );
     }
 
     fn page_for(&self, table: TableId, key: &Key) -> Result<PageId, DcError> {
@@ -315,7 +338,10 @@ impl Monolith {
     }
 
     fn lock(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<(), TcError> {
-        match self.locks.lock(LockToken(txn.0), name, mode, self.cfg.lock_timeout) {
+        match self
+            .locks
+            .lock(LockToken(txn.0), name, mode, self.cfg.lock_timeout)
+        {
             Ok(()) => Ok(()),
             Err(LockError::Deadlock) => {
                 self.abort(txn).ok();
@@ -340,7 +366,9 @@ impl Monolith {
             | RecAction::Update { key, .. }
             | RecAction::Delete { key, .. } => key.clone(),
         };
-        let pid = self.page_for(table, &key).map_err(|e| TcError::OperationFailed(txn, e))?;
+        let pid = self
+            .page_for(table, &key)
+            .map_err(|e| TcError::OperationFailed(txn, e))?;
         // The integrated engine's defining move: LSN assigned while the
         // page is latched; the page LSN is a sound scalar summary.
         let mut pages = self.pages.lock();
@@ -406,7 +434,11 @@ impl Monolith {
         let rec = MonoLogRecord::Smo {
             table,
             images: vec![
-                (pid, page.low.clone(), MonoPage::encode_entries(&page.entries)),
+                (
+                    pid,
+                    page.low.clone(),
+                    MonoPage::encode_entries(&page.entries),
+                ),
                 (new_pid, split_key.clone(), MonoPage::encode_entries(&upper)),
             ],
         };
@@ -434,25 +466,50 @@ impl Monolith {
     }
 
     /// Insert a record.
-    pub fn insert(&self, txn: TxnId, table: TableId, key: Key, value: Vec<u8>) -> Result<(), TcError> {
+    pub fn insert(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        value: Vec<u8>,
+    ) -> Result<(), TcError> {
         self.lock(txn, LockName::Table(table), LockMode::IX)?;
         self.lock(txn, LockName::Record(table, key.clone()), LockMode::X)?;
-        if self.read_raw(table, &key).map_err(|e| TcError::OperationFailed(txn, e))?.is_some() {
+        if self
+            .read_raw(table, &key)
+            .map_err(|e| TcError::OperationFailed(txn, e))?
+            .is_some()
+        {
             self.abort(txn).ok();
-            return Err(TcError::OperationFailed(txn, DcError::DuplicateKey(table, key)));
+            return Err(TcError::OperationFailed(
+                txn,
+                DcError::DuplicateKey(table, key),
+            ));
         }
         self.apply(txn, table, RecAction::Insert { key, value }, false)
     }
 
     /// Update a record.
-    pub fn update(&self, txn: TxnId, table: TableId, key: Key, value: Vec<u8>) -> Result<(), TcError> {
+    pub fn update(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        value: Vec<u8>,
+    ) -> Result<(), TcError> {
         self.lock(txn, LockName::Table(table), LockMode::IX)?;
         self.lock(txn, LockName::Record(table, key.clone()), LockMode::X)?;
-        let prior = match self.read_raw(table, &key).map_err(|e| TcError::OperationFailed(txn, e))? {
+        let prior = match self
+            .read_raw(table, &key)
+            .map_err(|e| TcError::OperationFailed(txn, e))?
+        {
             Some(p) => p,
             None => {
                 self.abort(txn).ok();
-                return Err(TcError::OperationFailed(txn, DcError::KeyNotFound(table, key)));
+                return Err(TcError::OperationFailed(
+                    txn,
+                    DcError::KeyNotFound(table, key),
+                ));
             }
         };
         self.apply(txn, table, RecAction::Update { key, value, prior }, false)
@@ -462,11 +519,17 @@ impl Monolith {
     pub fn delete(&self, txn: TxnId, table: TableId, key: Key) -> Result<(), TcError> {
         self.lock(txn, LockName::Table(table), LockMode::IX)?;
         self.lock(txn, LockName::Record(table, key.clone()), LockMode::X)?;
-        let prior = match self.read_raw(table, &key).map_err(|e| TcError::OperationFailed(txn, e))? {
+        let prior = match self
+            .read_raw(table, &key)
+            .map_err(|e| TcError::OperationFailed(txn, e))?
+        {
             Some(p) => p,
             None => {
                 self.abort(txn).ok();
-                return Err(TcError::OperationFailed(txn, DcError::KeyNotFound(table, key)));
+                return Err(TcError::OperationFailed(
+                    txn,
+                    DcError::KeyNotFound(table, key),
+                ));
             }
         };
         self.apply(txn, table, RecAction::Delete { key, prior }, false)
@@ -475,7 +538,9 @@ impl Monolith {
     fn read_raw(&self, table: TableId, key: &Key) -> Result<Option<Vec<u8>>, DcError> {
         let pid = self.page_for(table, key)?;
         let pages = self.pages.lock();
-        let page = pages.get(&pid).ok_or_else(|| DcError::Corrupt("missing page".into()))?;
+        let page = pages
+            .get(&pid)
+            .ok_or_else(|| DcError::Corrupt("missing page".into()))?;
         Ok(page
             .entries
             .binary_search_by(|(k, _)| k.cmp(key))
@@ -487,7 +552,8 @@ impl Monolith {
     pub fn read(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
         self.lock(txn, LockName::Table(table), LockMode::IS)?;
         self.lock(txn, LockName::Record(table, key.clone()), LockMode::S)?;
-        self.read_raw(table, &key).map_err(|e| TcError::OperationFailed(txn, e))
+        self.read_raw(table, &key)
+            .map_err(|e| TcError::OperationFailed(txn, e))
     }
 
     /// Serializable scan (table-granularity S lock: the integrated
@@ -543,12 +609,18 @@ impl Monolith {
         for (_, table, action) in state.ops.into_iter().rev() {
             let inverse = match action {
                 RecAction::Insert { key, .. } => {
-                    let prior = self.read_raw(table, &key).ok().flatten().unwrap_or_default();
+                    let prior = self
+                        .read_raw(table, &key)
+                        .ok()
+                        .flatten()
+                        .unwrap_or_default();
                     RecAction::Delete { key, prior }
                 }
-                RecAction::Update { key, prior, value } => {
-                    RecAction::Update { key, value: prior, prior: value }
-                }
+                RecAction::Update { key, prior, value } => RecAction::Update {
+                    key,
+                    value: prior,
+                    prior: value,
+                },
                 RecAction::Delete { key, prior } => RecAction::Insert { key, value: prior },
             };
             self.apply(txn, table, inverse, true)?;
@@ -571,7 +643,8 @@ impl Monolith {
         }
         drop(pages);
         let rssp = self.log.last_seq() + 1;
-        self.log.append(MonoLogRecord::Checkpoint { rssp: Lsn(rssp) }, 17);
+        self.log
+            .append(MonoLogRecord::Checkpoint { rssp: Lsn(rssp) }, 17);
         self.log.force();
         self.rssp.store(rssp, Ordering::Relaxed);
         // Undo information for active transactions must stay.
@@ -631,7 +704,13 @@ impl Monolith {
                     max_txn = max_txn.max(txn.0);
                     losers.insert(*txn, Vec::new());
                 }
-                MonoLogRecord::RecOp { txn, table, action, redo_only, .. } => {
+                MonoLogRecord::RecOp {
+                    txn,
+                    table,
+                    action,
+                    redo_only,
+                    ..
+                } => {
                     if !redo_only {
                         if let Some(l) = losers.get_mut(txn) {
                             l.push((*table, action.clone()));
@@ -652,7 +731,12 @@ impl Monolith {
             }
             let lsn = Lsn(*seq);
             match rec {
-                MonoLogRecord::RecOp { page, action, table, .. } => {
+                MonoLogRecord::RecOp {
+                    page,
+                    action,
+                    table,
+                    ..
+                } => {
                     let mut pages = self.pages.lock();
                     // The page may not exist yet (created after the last
                     // checkpoint): a following Smo record carries its
@@ -702,7 +786,8 @@ impl Monolith {
             }
         }
         let max_pid = self.pages.lock().keys().map(|p| p.0).max().unwrap_or(1);
-        self.next_page.store(max_pid.max(max_page) + 1, Ordering::Relaxed);
+        self.next_page
+            .store(max_pid.max(max_page) + 1, Ordering::Relaxed);
 
         // Undo losers with compensation records.
         let mut undo: Vec<(TxnId, TableId, RecAction)> = Vec::new();
@@ -715,12 +800,18 @@ impl Monolith {
         for (txn, table, action) in undo {
             let inverse = match action {
                 RecAction::Insert { key, .. } => {
-                    let prior = self.read_raw(table, &key).ok().flatten().unwrap_or_default();
+                    let prior = self
+                        .read_raw(table, &key)
+                        .ok()
+                        .flatten()
+                        .unwrap_or_default();
                     RecAction::Delete { key, prior }
                 }
-                RecAction::Update { key, prior, value } => {
-                    RecAction::Update { key, value: prior, prior: value }
-                }
+                RecAction::Update { key, prior, value } => RecAction::Update {
+                    key,
+                    value: prior,
+                    prior: value,
+                },
                 RecAction::Delete { key, prior } => RecAction::Insert { key, value: prior },
             };
             let _ = self.apply(txn, table, inverse, true);
@@ -736,7 +827,10 @@ mod tests {
     const T: TableId = TableId(1);
 
     fn engine() -> Arc<Monolith> {
-        let m = Monolith::new(MonolithConfig { page_capacity: 256, ..Default::default() });
+        let m = Monolith::new(MonolithConfig {
+            page_capacity: 256,
+            ..Default::default()
+        });
         m.create_table(T);
         m
     }
@@ -749,12 +843,18 @@ mod tests {
         m.insert(t, T, Key::from_u64(2), b"b".to_vec()).unwrap();
         m.commit(t).unwrap();
         let t2 = m.begin();
-        assert_eq!(m.read(t2, T, Key::from_u64(1)).unwrap(), Some(b"a".to_vec()));
+        assert_eq!(
+            m.read(t2, T, Key::from_u64(1)).unwrap(),
+            Some(b"a".to_vec())
+        );
         m.update(t2, T, Key::from_u64(1), b"a2".to_vec()).unwrap();
         m.delete(t2, T, Key::from_u64(2)).unwrap();
         m.commit(t2).unwrap();
         let t3 = m.begin();
-        assert_eq!(m.read(t3, T, Key::from_u64(1)).unwrap(), Some(b"a2".to_vec()));
+        assert_eq!(
+            m.read(t3, T, Key::from_u64(1)).unwrap(),
+            Some(b"a2".to_vec())
+        );
         assert_eq!(m.read(t3, T, Key::from_u64(2)).unwrap(), None);
         m.commit(t3).unwrap();
     }
@@ -770,7 +870,10 @@ mod tests {
         m.insert(t2, T, Key::from_u64(2), b"y".to_vec()).unwrap();
         m.abort(t2).unwrap();
         let t3 = m.begin();
-        assert_eq!(m.read(t3, T, Key::from_u64(1)).unwrap(), Some(b"keep".to_vec()));
+        assert_eq!(
+            m.read(t3, T, Key::from_u64(1)).unwrap(),
+            Some(b"keep".to_vec())
+        );
         assert_eq!(m.read(t3, T, Key::from_u64(2)).unwrap(), None);
         m.commit(t3).unwrap();
     }
@@ -780,11 +883,14 @@ mod tests {
         let m = engine();
         let t = m.begin();
         for k in 0..200u64 {
-            m.insert(t, T, Key::from_u64(k), b"0123456789".to_vec()).unwrap();
+            m.insert(t, T, Key::from_u64(k), b"0123456789".to_vec())
+                .unwrap();
         }
         m.commit(t).unwrap();
         let t2 = m.begin();
-        let rows = m.scan(t2, T, Key::from_u64(50), Some(Key::from_u64(60))).unwrap();
+        let rows = m
+            .scan(t2, T, Key::from_u64(50), Some(Key::from_u64(60)))
+            .unwrap();
         m.commit(t2).unwrap();
         assert_eq!(rows.len(), 10);
     }
@@ -794,11 +900,13 @@ mod tests {
         let m = engine();
         for k in 0..50u64 {
             let t = m.begin();
-            m.insert(t, T, Key::from_u64(k), format!("v{k}").into_bytes()).unwrap();
+            m.insert(t, T, Key::from_u64(k), format!("v{k}").into_bytes())
+                .unwrap();
             m.commit(t).unwrap();
         }
         let loser = m.begin();
-        m.update(loser, T, Key::from_u64(0), b"loser".to_vec()).unwrap();
+        m.update(loser, T, Key::from_u64(0), b"loser".to_vec())
+            .unwrap();
         m.log().force(); // loser's op is stable, commit record is not
         m.crash();
         m.recover();

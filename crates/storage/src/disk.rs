@@ -23,7 +23,10 @@ pub struct SimDisk {
 impl SimDisk {
     /// An empty disk.
     pub fn new() -> Self {
-        SimDisk { inner: Arc::new(RwLock::new(HashMap::new())), stats: Arc::new(IoStats::new()) }
+        SimDisk {
+            inner: Arc::new(RwLock::new(HashMap::new())),
+            stats: Arc::new(IoStats::new()),
+        }
     }
 
     /// Atomically write a page image.

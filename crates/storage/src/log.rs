@@ -25,12 +25,130 @@
 //!   *leads* a flush covering every record appended so far while the
 //!   log stays open for appends; concurrent callers whose target the
 //!   in-flight flush covers *piggyback* on it via the force-epoch
-//!   condvar instead of issuing their own.
+//!   condvar instead of issuing their own. A leader may first hold the
+//!   flush back for a [`GatherWindow`] — fixed, or chosen by the
+//!   adaptive controller, which grows the window while committers
+//!   arrive faster than the device latency and decays it to zero under
+//!   light load.
 
 use crate::stats::IoStats;
 use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How long a group-force leader may hold its flush back to let more
+/// committers join the group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GatherWindow {
+    /// Wait exactly this long (zero = flush immediately; coalescing then
+    /// comes only from piggybacking on in-flight flushes).
+    Fixed(Duration),
+    /// Let the log's adaptive controller choose, bounded by `cap`. The
+    /// controller hill-climbs on *measured* commit coverage: every few
+    /// led flushes it probes a candidate window — growing (×2, seeded
+    /// at a quarter of the device latency) while committers keep piling
+    /// up faster than the device can flush, shrinking toward zero
+    /// otherwise — and adopts the candidate only if the covered-commits
+    /// rate actually improved. Probes that do not pay back off
+    /// exponentially, so under light load the window decays to (and
+    /// stays at) zero and a solo committer almost never waits.
+    Adaptive {
+        /// Upper bound on the chosen window.
+        cap: Duration,
+    },
+}
+
+impl GatherWindow {
+    /// Default cap for [`GatherWindow::adaptive`].
+    pub const DEFAULT_CAP: Duration = Duration::from_millis(1);
+
+    /// The adaptive controller with the default cap.
+    pub fn adaptive() -> Self {
+        GatherWindow::Adaptive {
+            cap: Self::DEFAULT_CAP,
+        }
+    }
+
+    /// No deliberate gather wait.
+    pub fn none() -> Self {
+        GatherWindow::Fixed(Duration::ZERO)
+    }
+}
+
+impl Default for GatherWindow {
+    fn default() -> Self {
+        Self::adaptive()
+    }
+}
+
+/// Group-force introspection counters (see
+/// [`LogStore::group_force_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupForceStats {
+    /// Flushes led (each may cover many piggybacked committers).
+    pub led_flushes: u64,
+    /// Total committers covered at the moment each led flush started —
+    /// `gathered_waiters / led_flushes` is the mean commit-group size.
+    pub gathered_waiters: u64,
+    /// Candidate windows the adaptive controller probed.
+    pub window_probes: u64,
+    /// Probes adopted as growths of the window.
+    pub window_grows: u64,
+    /// Probes adopted as shrinks of the window.
+    pub window_shrinks: u64,
+}
+
+/// Adaptive gather-window controller state (one per log).
+struct AdaptiveState {
+    /// The adopted window (what non-probe flushes wait).
+    win: Duration,
+    /// A probe epoch is in progress.
+    probing: bool,
+    /// Candidate window under probe.
+    probe_win: Duration,
+    /// Next probe direction; biased toward growth whenever committers
+    /// were observed arriving while a flush was in flight.
+    prefer_grow: bool,
+    /// Epochs to sit out between probes (doubles on failed probes).
+    backoff: u32,
+    /// Epochs since the last probe ended.
+    idle_epochs: u32,
+    /// Measured led flushes in the current epoch (the opener excluded).
+    flushes: u64,
+    /// Waiters covered by the epoch's measured flushes.
+    covered: u64,
+    /// Epoch clock: starts when the epoch's opening flush completes, so
+    /// idle time before a burst is never billed to the measured rate.
+    epoch_start: Option<std::time::Instant>,
+    /// Covered-waiters-per-second of the adopted window's last epoch.
+    base_rate: f64,
+}
+
+impl AdaptiveState {
+    fn new() -> Self {
+        AdaptiveState {
+            win: Duration::ZERO,
+            probing: false,
+            probe_win: Duration::ZERO,
+            prefer_grow: false,
+            backoff: 1,
+            idle_epochs: 0,
+            flushes: 0,
+            covered: 0,
+            epoch_start: None,
+            base_rate: 0.0,
+        }
+    }
+
+    /// The window the next leader should gather for.
+    fn current(&self, cap: Duration) -> Duration {
+        if self.probing {
+            self.probe_win.min(cap)
+        } else {
+            self.win.min(cap)
+        }
+    }
+}
 
 /// Convenience alias used by components that share a log handle.
 pub type SeqLog<R> = Arc<LogStore<R>>;
@@ -56,6 +174,10 @@ struct LogInner<R> {
     /// Group-force callers (leader included) whose target is not yet
     /// stable — the size of the commit group a gathering leader counts.
     pending: usize,
+    /// Adaptive gather controller.
+    adaptive: AdaptiveState,
+    /// Group-force accounting.
+    gf_stats: GroupForceStats,
 }
 
 impl<R> LogInner<R> {
@@ -92,6 +214,8 @@ impl<R: Clone> LogStore<R> {
                 force_epoch: 0,
                 crashes: 0,
                 pending: 0,
+                adaptive: AdaptiveState::new(),
+                gf_stats: GroupForceStats::default(),
             }),
             force_done: Condvar::new(),
             gather: Condvar::new(),
@@ -137,17 +261,18 @@ impl<R: Clone> LogStore<R> {
     /// possible across concurrent callers.
     ///
     /// If no flush is in flight the caller becomes the *leader*: it may
-    /// first wait up to `window` for more committers to join (cut short
-    /// once `max_waiters` are in the group), then flushes everything
-    /// appended so far — the log stays open for appends during the
-    /// device latency. Callers that find a flush in flight *piggyback*:
-    /// they block on the force-epoch condvar and return once a completed
-    /// flush covers their target (leading the next flush themselves if
-    /// theirs arrived too late for the in-flight one).
+    /// first wait out a gather `window` — fixed, or chosen by the
+    /// adaptive controller — for more committers to join (cut short once
+    /// `max_waiters` are in the group), then flushes everything appended
+    /// so far; the log stays open for appends during the device latency.
+    /// Callers that find a flush in flight *piggyback*: they block on
+    /// the force-epoch condvar and return once a completed flush covers
+    /// their target (leading the next flush themselves if theirs arrived
+    /// too late for the in-flight one).
     ///
     /// Returns the stable end, which covers `target` unless a concurrent
     /// [`LogStore::crash`] discarded it.
-    pub fn group_force(&self, target: u64, window: Duration, max_waiters: usize) -> u64 {
+    pub fn group_force(&self, target: u64, window: GatherWindow, max_waiters: usize) -> u64 {
         let mut g = self.inner.lock();
         if g.stable_seq() >= target {
             return g.stable_seq();
@@ -174,8 +299,12 @@ impl<R: Clone> LogStore<R> {
             }
             // Lead. Optionally hold the flush back to gather a group.
             g.forcing = true;
-            if window > Duration::ZERO && max_waiters > 1 {
-                let deadline = std::time::Instant::now() + window;
+            let win = match window {
+                GatherWindow::Fixed(d) => d,
+                GatherWindow::Adaptive { cap } => g.adaptive.current(cap),
+            };
+            if win > Duration::ZERO && max_waiters > 1 {
+                let deadline = std::time::Instant::now() + win;
                 while g.pending < max_waiters {
                     if self.gather.wait_until(&mut g, deadline).timed_out() {
                         break;
@@ -190,6 +319,9 @@ impl<R: Clone> LogStore<R> {
             }
             let covers = g.last_seq();
             let latency = g.force_latency;
+            let group = g.pending as u64;
+            g.gf_stats.led_flushes += 1;
+            g.gf_stats.gathered_waiters += group;
             drop(g);
             if latency > Duration::ZERO {
                 std::thread::sleep(latency);
@@ -202,15 +334,136 @@ impl<R: Clone> LogStore<R> {
                 g.stable = (new_stable - g.base) as usize;
                 self.stats.log_force();
             }
+            if let GatherWindow::Adaptive { cap } = window {
+                // Appends that landed while the device was busy flushing
+                // signal demand a longer window *might* gather more.
+                let arrivals_in_flight = g.last_seq().saturating_sub(covers);
+                Self::adapt(&mut g, group, arrivals_in_flight, latency, cap);
+            }
             g.forcing = false;
             g.force_epoch += 1;
             self.force_done.notify_all();
         }
     }
 
+    /// The adaptive gather controller, run after every led flush in
+    /// adaptive mode. It hill-climbs on the *measured* rate of covered
+    /// committers: flushes are grouped into fixed-size epochs; every
+    /// `backoff` epochs a candidate window is probed for one epoch —
+    /// growth-biased while committers keep arriving faster than the
+    /// device flushes, shrink-biased otherwise — and the candidate is
+    /// adopted only if its epoch covered committers measurably faster
+    /// than the adopted window's did. Failed probes back off
+    /// exponentially and flip the search direction, so the window
+    /// decays to zero (and probing goes quiet) whenever waiting does
+    /// not pay.
+    fn adapt(
+        g: &mut LogInner<R>,
+        group: u64,
+        arrivals_in_flight: u64,
+        latency: Duration,
+        cap: Duration,
+    ) {
+        // Led flushes per measurement epoch.
+        const EPOCH_FLUSHES: u64 = 8;
+        // A probe must beat the adopted rate by this factor. Generous on
+        // purpose: measurement noise between adjacent windows is a few
+        // percent, and a falsely adopted window costs every committer
+        // real latency until a later probe walks it back.
+        const ADOPT_MARGIN: f64 = 1.15;
+        // Max epochs between probes once they keep failing.
+        const PROBE_BACKOFF_MAX: u32 = 16;
+        let seed = (latency / 4).max(Duration::from_micros(5)).min(cap);
+        let now = std::time::Instant::now();
+        let ad = &mut g.adaptive;
+        if arrivals_in_flight > 0 {
+            ad.prefer_grow = true;
+        }
+        let Some(start) = ad.epoch_start else {
+            // This flush *opens* the epoch: the clock starts at its
+            // completion, so an idle stretch before a commit burst is
+            // never billed to the epoch's rate (it would deflate the
+            // measurement and corrupt probe-adoption decisions). The
+            // opener's own group is excluded to match the time window.
+            ad.epoch_start = Some(now);
+            return;
+        };
+        ad.flushes += 1;
+        ad.covered += group;
+        if ad.flushes < EPOCH_FLUSHES {
+            return;
+        }
+        let elapsed = now.duration_since(start).as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            ad.covered as f64 / elapsed
+        } else {
+            f64::MAX
+        };
+        if ad.probing {
+            if rate > ad.base_rate * ADOPT_MARGIN {
+                // The candidate measurably paid: adopt it and keep
+                // exploring the same direction eagerly.
+                if ad.probe_win > ad.win {
+                    g.gf_stats.window_grows += 1;
+                } else {
+                    g.gf_stats.window_shrinks += 1;
+                }
+                ad.win = ad.probe_win;
+                ad.base_rate = rate;
+                ad.backoff = 1;
+            } else {
+                ad.prefer_grow = !ad.prefer_grow;
+                ad.backoff = (ad.backoff * 2).min(PROBE_BACKOFF_MAX);
+            }
+            ad.probing = false;
+            ad.idle_epochs = 0;
+        } else {
+            ad.base_rate = rate;
+            ad.idle_epochs += 1;
+            if ad.idle_epochs >= ad.backoff {
+                let candidate = if ad.prefer_grow {
+                    ad.win.saturating_mul(2).max(seed).min(cap)
+                } else if ad.win > seed.saturating_mul(4) {
+                    ad.win / 2
+                } else {
+                    // Halving a window already below the device latency
+                    // cannot clear the adopt margin; the only shrink
+                    // worth measuring is "don't wait at all".
+                    Duration::ZERO
+                };
+                if candidate != ad.win {
+                    ad.probing = true;
+                    ad.probe_win = candidate;
+                    g.gf_stats.window_probes += 1;
+                } else {
+                    // Nothing to try this way; search the other.
+                    ad.prefer_grow = !ad.prefer_grow;
+                }
+                ad.idle_epochs = 0;
+            }
+        }
+        ad.flushes = 0;
+        ad.covered = 0;
+        ad.epoch_start = None;
+    }
+
     /// Number of completed flushes (group-force coalescing accounting).
     pub fn force_epoch(&self) -> u64 {
         self.inner.lock().force_epoch
+    }
+
+    /// The gather window currently adopted by the adaptive controller
+    /// (zero until a probe measurably pays, and always zero when only
+    /// fixed windows are in use). Transient probe windows under
+    /// evaluation are not reported.
+    pub fn gather_window(&self) -> Duration {
+        self.inner.lock().adaptive.win
+    }
+
+    /// Group-force accounting: led flushes, gathered committers, and
+    /// adaptive-controller activity.
+    pub fn group_force_stats(&self) -> GroupForceStats {
+        self.inner.lock().gf_stats
     }
 
     /// Whether a group-force flush is currently in flight.
@@ -418,11 +671,11 @@ mod tests {
     fn group_force_with_no_contention_flushes_once() {
         let log = LogStore::new();
         let s1 = log.append("a", 1);
-        assert_eq!(log.group_force(s1, Duration::ZERO, usize::MAX), 1);
+        assert_eq!(log.group_force(s1, GatherWindow::none(), usize::MAX), 1);
         assert_eq!(log.stable_seq(), 1);
         assert_eq!(log.stats().snapshot().log_forces, 1);
         // Already-covered target: no second flush.
-        assert_eq!(log.group_force(s1, Duration::ZERO, usize::MAX), 1);
+        assert_eq!(log.group_force(s1, GatherWindow::none(), usize::MAX), 1);
         assert_eq!(log.stats().snapshot().log_forces, 1);
     }
 
@@ -441,7 +694,7 @@ mod tests {
                     // Everyone appends before anyone forces: the first
                     // leader's snapshot covers the whole group.
                     barrier.wait();
-                    log.group_force(seq, Duration::ZERO, usize::MAX)
+                    log.group_force(seq, GatherWindow::none(), usize::MAX)
                 })
             })
             .collect();
@@ -471,7 +724,7 @@ mod tests {
                     barrier.wait();
                     for j in 0..commits_each {
                         let seq = log.append(i as u64 * 1000 + j, 1);
-                        let end = log.group_force(seq, Duration::ZERO, usize::MAX);
+                        let end = log.group_force(seq, GatherWindow::none(), usize::MAX);
                         assert!(end >= seq, "commit {seq} not durable after group force");
                     }
                 })
@@ -496,14 +749,14 @@ mod tests {
         let s1 = log.append("a", 1);
         let leader = {
             let log = log.clone();
-            std::thread::spawn(move || log.group_force(s1, Duration::ZERO, usize::MAX))
+            std::thread::spawn(move || log.group_force(s1, GatherWindow::none(), usize::MAX))
         };
         while !log.force_in_flight() {
             std::thread::yield_now();
         }
         // Appended after the in-flight flush snapshot: needs flush #2.
         let s2 = log.append("b", 1);
-        assert_eq!(log.group_force(s2, Duration::ZERO, usize::MAX), 2);
+        assert_eq!(log.group_force(s2, GatherWindow::none(), usize::MAX), 2);
         assert_eq!(leader.join().unwrap(), 1);
         assert_eq!(log.stats().snapshot().log_forces, 2);
         assert_eq!(log.force_epoch(), 2);
@@ -517,15 +770,135 @@ mod tests {
             let log = log.clone();
             // A generous window so the test would hang past its
             // timeout if max_waiters did not cut it short.
-            std::thread::spawn(move || log.group_force(s1, Duration::from_secs(30), 2))
+            std::thread::spawn(move || {
+                log.group_force(s1, GatherWindow::Fixed(Duration::from_secs(30)), 2)
+            })
         };
         while !log.force_in_flight() {
             std::thread::yield_now();
         }
         let s2 = log.append("b", 1);
-        assert_eq!(log.group_force(s2, Duration::ZERO, usize::MAX), 2);
-        assert_eq!(leader.join().unwrap(), 2, "leader's gathered flush covers the joiner");
+        assert_eq!(log.group_force(s2, GatherWindow::none(), usize::MAX), 2);
+        assert_eq!(
+            leader.join().unwrap(),
+            2,
+            "leader's gathered flush covers the joiner"
+        );
         assert_eq!(log.stats().snapshot().log_forces, 1);
+    }
+
+    #[test]
+    fn adaptive_window_stays_zero_for_a_solo_committer() {
+        let log = LogStore::new();
+        log.set_force_latency(Duration::from_micros(200));
+        for i in 0..20u64 {
+            let seq = log.append(i, 1);
+            log.group_force(seq, GatherWindow::adaptive(), 32);
+        }
+        assert_eq!(
+            log.gather_window(),
+            Duration::ZERO,
+            "no concurrent demand: no probe can pay, so nothing may be adopted"
+        );
+        let gf = log.group_force_stats();
+        assert_eq!(gf.led_flushes, 20, "every solo commit led its own flush");
+        assert_eq!(gf.window_grows, 0);
+        // One flush per commit: the adaptive path adds no gather latency.
+        assert_eq!(log.stats().snapshot().log_forces, 20);
+    }
+
+    #[test]
+    fn adaptive_controller_probes_under_concurrent_demand_and_coalesces() {
+        let log = Arc::new(LogStore::new());
+        log.set_force_latency(Duration::from_micros(300));
+        let committers = 8;
+        let commits_each = 40u64;
+        let barrier = Arc::new(std::sync::Barrier::new(committers));
+        let handles: Vec<_> = (0..committers)
+            .map(|i| {
+                let log = log.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for j in 0..commits_each {
+                        let seq = log.append(i as u64 * 1000 + j, 1);
+                        let end = log.group_force(seq, GatherWindow::adaptive(), committers);
+                        assert!(end >= seq);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let commits = committers as u64 * commits_each;
+        let gf = log.group_force_stats();
+        assert!(
+            gf.window_probes > 0,
+            "sustained concurrent demand must make the controller explore candidate windows"
+        );
+        let forces = log.stats().snapshot().log_forces;
+        assert!(
+            forces * 3 <= commits,
+            "adaptive gather must coalesce well: {forces} forces for {commits} commits"
+        );
+        assert_eq!(log.stable_seq(), commits);
+    }
+
+    #[test]
+    fn adaptive_window_decays_once_demand_stops() {
+        let log = Arc::new(LogStore::new());
+        log.set_force_latency(Duration::from_micros(100));
+        // Phase 1: concurrent demand makes the controller explore (and
+        // possibly adopt) nonzero windows.
+        let committers = 4;
+        let barrier = Arc::new(std::sync::Barrier::new(committers));
+        let handles: Vec<_> = (0..committers)
+            .map(|i| {
+                let log = log.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for j in 0..30u64 {
+                        let seq = log.append(i as u64 * 100 + j, 1);
+                        log.group_force(seq, GatherWindow::adaptive(), committers);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Phase 2: a long stretch of solo commits. Whatever phase 1
+        // adopted, waiting no longer pays, so shrink-probes must walk
+        // the window all the way back down.
+        for j in 0..400u64 {
+            let seq = log.append(10_000 + j, 1);
+            log.group_force(seq, GatherWindow::adaptive(), committers);
+        }
+        assert_eq!(
+            log.gather_window(),
+            Duration::ZERO,
+            "light load: the window must decay back to zero"
+        );
+    }
+
+    #[test]
+    fn fixed_window_never_engages_the_controller() {
+        let log = LogStore::new();
+        log.set_force_latency(Duration::from_micros(50));
+        for i in 0..4u64 {
+            let seq = log.append(i, 1);
+            log.group_force(seq, GatherWindow::Fixed(Duration::from_micros(10)), 4);
+        }
+        let gf = log.group_force_stats();
+        assert_eq!(gf.window_grows + gf.window_shrinks, 0);
+        assert_eq!(log.gather_window(), Duration::ZERO);
+        assert_eq!(gf.led_flushes, 4);
+        assert_eq!(
+            gf.gathered_waiters, 4,
+            "each solo flush covered exactly its leader"
+        );
     }
 
     #[test]
@@ -537,7 +910,7 @@ mod tests {
         let s2 = log.append("in-group", 1);
         let leader = {
             let log = log.clone();
-            std::thread::spawn(move || log.group_force(s2, Duration::ZERO, usize::MAX))
+            std::thread::spawn(move || log.group_force(s2, GatherWindow::none(), usize::MAX))
         };
         while !log.force_in_flight() {
             std::thread::yield_now();
@@ -546,7 +919,11 @@ mod tests {
         // Crash while the leader's flush is in flight: everything
         // unforced is gone, including what the flush was writing.
         assert_eq!(log.crash(), 1);
-        assert_eq!(leader.join().unwrap(), 1, "mid-flush records must not resurrect");
+        assert_eq!(
+            leader.join().unwrap(),
+            1,
+            "mid-flush records must not resurrect"
+        );
         assert_eq!(log.stable_seq(), 1);
         assert_eq!(log.last_seq(), 1);
         assert_eq!(log.read(1), Some("stable"));
@@ -564,7 +941,7 @@ mod tests {
         let s2 = log.append("lost-in-crash", 1);
         let leader = {
             let log = log.clone();
-            std::thread::spawn(move || log.group_force(s2, Duration::ZERO, usize::MAX))
+            std::thread::spawn(move || log.group_force(s2, GatherWindow::none(), usize::MAX))
         };
         while !log.force_in_flight() {
             std::thread::yield_now();

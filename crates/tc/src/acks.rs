@@ -49,6 +49,18 @@ impl AckTracker {
         self.inner.lock().outstanding.remove(&lsn.0);
     }
 
+    /// Note a whole batch of acknowledgements (a [`ReplyBatch`] arrived):
+    /// one lock acquisition — and therefore one low-water-mark frontier
+    /// advance — per batch instead of per ack.
+    ///
+    /// [`ReplyBatch`]: unbundled_core::DcToTc::ReplyBatch
+    pub fn acked_many(&self, lsns: impl IntoIterator<Item = Lsn>) {
+        let mut g = self.inner.lock();
+        for lsn in lsns {
+            g.outstanding.remove(&lsn.0);
+        }
+    }
+
     /// The low-water mark: all operations ≤ this LSN have replies.
     pub fn lwm(&self) -> Lsn {
         let g = self.inner.lock();
@@ -138,6 +150,21 @@ mod tests {
     }
 
     #[test]
+    fn acked_many_advances_like_individual_acks() {
+        let t = AckTracker::new();
+        for l in 1..=6 {
+            t.sent(Lsn(l));
+        }
+        // A batch covering a strict prefix with a gap left at 5.
+        t.acked_many([Lsn(2), Lsn(1), Lsn(4), Lsn(3), Lsn(6)]);
+        assert_eq!(t.lwm(), Lsn(4), "gap at 5 pins the LWM despite the batch");
+        assert_eq!(t.outstanding(), 1);
+        t.acked_many([Lsn(5), Lsn(99)]); // stale entries are harmless
+        assert_eq!(t.lwm(), Lsn(6));
+        assert_eq!(t.outstanding(), 0);
+    }
+
+    #[test]
     fn acking_an_unknown_lsn_is_harmless() {
         let t = AckTracker::new();
         t.sent(Lsn(3));
@@ -224,7 +251,11 @@ mod tests {
         acker.join().unwrap();
         done.store(true, Ordering::Release);
         let final_seen = observer.join().unwrap();
-        assert_eq!(t.lwm(), Lsn(4000), "everything acked: LWM is the highest LSN");
+        assert_eq!(
+            t.lwm(),
+            Lsn(4000),
+            "everything acked: LWM is the highest LSN"
+        );
         assert!(final_seen <= Lsn(4000));
         assert_eq!(t.outstanding(), 0);
     }

@@ -37,3 +37,4 @@ pub use routing::{DcLink, RangePartitioner, ScanProtocol, TableRoute};
 pub use stats::{TcSnapshot, TcStats};
 pub use tc::{GroupCommitCfg, Tc, TcConfig};
 pub use tclog::{TcLogHandle, TcLogRecord};
+pub use unbundled_storage::GatherWindow;

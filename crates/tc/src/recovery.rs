@@ -60,7 +60,10 @@ impl Tc {
                     if let LogicalOp::VersionedWrite { table, key, .. } = op {
                         vwrites.entry(*txn).or_default().push((
                             *dc,
-                            LogicalOp::PromoteVersion { table: *table, key: key.clone() },
+                            LogicalOp::PromoteVersion {
+                                table: *table,
+                                key: key.clone(),
+                            },
                         ));
                     }
                 }
@@ -106,7 +109,11 @@ impl Tc {
         // --- Re-derive winner promotions (idempotent: promoting a
         // record with no pending version is a no-op).
         for (dc, op) in winner_promotes {
-            let l = self.log_op_record(TcLogRecord::RedoOnly { txn: TxnId(0), dc, op: op.clone() });
+            let l = self.log_op_record(TcLogRecord::RedoOnly {
+                txn: TxnId(0),
+                dc,
+                op: op.clone(),
+            });
             let _ = self.send_op(dc, RequestId::Op(l), &op, true)?;
         }
 
@@ -119,7 +126,11 @@ impl Tc {
         }
         undo_work.sort_by_key(|w| std::cmp::Reverse(w.0));
         for (_, txn, dc, inv) in undo_work {
-            let l = self.log_op_record(TcLogRecord::RedoOnly { txn, dc, op: inv.clone() });
+            let l = self.log_op_record(TcLogRecord::RedoOnly {
+                txn,
+                dc,
+                op: inv.clone(),
+            });
             TcStats::bump(&self.stats().undo_ops);
             let _ = self.send_op(dc, RequestId::Op(l), &inv, true)?;
         }
@@ -173,16 +184,25 @@ impl Tc {
     }
 
     fn begin_restart_with(&self, dc: DcId, stable_end: Lsn) -> Result<(), TcError> {
-        let slot = Arc::new(FlagSlot { val: Mutex::new(false), cv: Condvar::new() });
+        let slot = Arc::new(FlagSlot {
+            val: Mutex::new(false),
+            cv: Condvar::new(),
+        });
         self.restart_ready.lock().insert(dc, slot.clone());
-        self.link(dc)?.send(TcToDc::RestartBegin { tc: self.id(), stable_end });
+        self.link(dc)?.send(TcToDc::RestartBegin {
+            tc: self.id(),
+            stable_end,
+        });
         Self::await_flag(&slot);
         self.restart_ready.lock().remove(&dc);
         Ok(())
     }
 
     fn end_restart_with(&self, dc: DcId) -> Result<(), TcError> {
-        let slot = Arc::new(FlagSlot { val: Mutex::new(false), cv: Condvar::new() });
+        let slot = Arc::new(FlagSlot {
+            val: Mutex::new(false),
+            cv: Condvar::new(),
+        });
         self.restart_done.lock().insert(dc, slot.clone());
         self.link(dc)?.send(TcToDc::RestartEnd { tc: self.id() });
         Self::await_flag(&slot);

@@ -110,7 +110,11 @@ impl RangePartitioner {
     }
 
     /// All partitions intersecting `[low, high)` (`high = None` = +∞).
-    pub fn partitions_overlapping(&self, low: &Key, high: Option<&Key>) -> std::ops::RangeInclusive<u32> {
+    pub fn partitions_overlapping(
+        &self,
+        low: &Key,
+        high: Option<&Key>,
+    ) -> std::ops::RangeInclusive<u32> {
         let first = self.partition_of(low);
         let last = match high {
             None => self.partitions() - 1,
@@ -172,9 +176,72 @@ mod tests {
             r.dcs_for_range(&Key::from_u64(50), Some(&Key::from_u64(150))),
             vec![DcId(1), DcId(2)]
         );
+        assert_eq!(r.dcs_for_range(&Key::from_u64(100), None), vec![DcId(2)]);
+    }
+
+    #[test]
+    fn dcs_for_range_u64_max_boundary_reaches_the_last_partition() {
+        let r = TableRoute::Partitioned(Arc::new(vec![
+            (100, DcId(1)),
+            (1000, DcId(2)),
+            (u64::MAX, DcId(3)),
+        ]));
+        // An explicit u64::MAX high bound must cover every partition the
+        // low bound allows, including the open-ended last one.
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(0), Some(&Key::from_u64(u64::MAX))),
+            vec![DcId(1), DcId(2), DcId(3)]
+        );
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(u64::MAX), Some(&Key::from_u64(u64::MAX))),
+            vec![DcId(3)],
+            "a degenerate [MAX, MAX) range still routes to the hosting DC"
+        );
+        // The key exactly at u64::MAX lives in the last partition.
+        assert_eq!(r.dc_for(&Key::from_u64(u64::MAX - 1)), DcId(3));
+    }
+
+    #[test]
+    fn dcs_for_range_open_ended_high_covers_every_partition_from_low() {
+        let r = TableRoute::Partitioned(Arc::new(vec![
+            (100, DcId(1)),
+            (1000, DcId(2)),
+            (u64::MAX, DcId(3)),
+        ]));
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(0), None),
+            vec![DcId(1), DcId(2), DcId(3)]
+        );
         assert_eq!(
             r.dcs_for_range(&Key::from_u64(100), None),
-            vec![DcId(2)]
+            vec![DcId(2), DcId(3)]
+        );
+        assert_eq!(r.dcs_for_range(&Key::from_u64(5000), None), vec![DcId(3)]);
+        // A low bound exactly on a partition edge excludes the partition
+        // below the edge.
+        assert_eq!(r.dcs_for_range(&Key::from_u64(1000), None), vec![DcId(3)]);
+    }
+
+    #[test]
+    fn dcs_for_range_inverted_bounds_yield_a_harmless_fallback() {
+        let r = TableRoute::Partitioned(Arc::new(vec![(100, DcId(1)), (u64::MAX, DcId(2))]));
+        // hi < lo describes an empty range; the router must still return
+        // a DC (callers iterate it and read zero rows) rather than an
+        // empty set, and must never panic.
+        let got = r.dcs_for_range(&Key::from_u64(500), Some(&Key::from_u64(50)));
+        assert_eq!(
+            got,
+            vec![DcId(2)],
+            "empty range falls back to the last partition"
+        );
+        // An inverted range entirely inside one partition degenerates to
+        // that partition.
+        let got = r.dcs_for_range(&Key::from_u64(80), Some(&Key::from_u64(20)));
+        assert_eq!(got, vec![DcId(1)]);
+        let single = TableRoute::Single(DcId(7));
+        assert_eq!(
+            single.dcs_for_range(&Key::from_u64(9), Some(&Key::from_u64(1))),
+            vec![DcId(7)]
         );
     }
 
@@ -191,8 +258,14 @@ mod tests {
     #[test]
     fn partitions_overlapping_ranges() {
         let p = RangePartitioner::new(vec![Key::from_u64(10), Key::from_u64(20)]);
-        assert_eq!(p.partitions_overlapping(&Key::from_u64(5), Some(&Key::from_u64(15))), 0..=1);
-        assert_eq!(p.partitions_overlapping(&Key::from_u64(12), Some(&Key::from_u64(20))), 1..=1);
+        assert_eq!(
+            p.partitions_overlapping(&Key::from_u64(5), Some(&Key::from_u64(15))),
+            0..=1
+        );
+        assert_eq!(
+            p.partitions_overlapping(&Key::from_u64(12), Some(&Key::from_u64(20))),
+            1..=1
+        );
         assert_eq!(p.partitions_overlapping(&Key::from_u64(0), None), 0..=2);
     }
 

@@ -30,6 +30,9 @@ pub struct TcStats {
     /// EOSL/LWM publications skipped because a group-commit leader's
     /// broadcast already covered this committer's frontier.
     pub publishes_coalesced: AtomicU64,
+    /// Coalesced `ReplyBatch` messages received (each advanced the ack
+    /// frontier once for all the acks it carried).
+    pub reply_batches: AtomicU64,
 }
 
 /// Point-in-time copy of [`TcStats`].
@@ -59,6 +62,8 @@ pub struct TcSnapshot {
     pub dc_recoveries: u64,
     /// Coalesced (skipped) EOSL/LWM publications.
     pub publishes_coalesced: u64,
+    /// Coalesced reply batches received.
+    pub reply_batches: u64,
 }
 
 impl TcStats {
@@ -77,6 +82,7 @@ impl TcStats {
             undo_ops: self.undo_ops.load(Ordering::Relaxed),
             dc_recoveries: self.dc_recoveries.load(Ordering::Relaxed),
             publishes_coalesced: self.publishes_coalesced.load(Ordering::Relaxed),
+            reply_batches: self.reply_batches.load(Ordering::Relaxed),
         }
     }
 

@@ -23,16 +23,19 @@ use unbundled_core::{
     TcId, TcToDc, TxnId,
 };
 use unbundled_lockmgr::{LockError, LockManager, LockMode, LockName, LockToken};
-use unbundled_storage::LogStore;
+use unbundled_storage::{GatherWindow, LogStore};
 
 /// Group-commit tuning (see [`TcConfig::group_commit`]).
 #[derive(Clone, Debug)]
 pub struct GroupCommitCfg {
     /// Gather window: how long a force leader may hold the flush back
-    /// to let more concurrent committers join its group. Zero disables
-    /// the deliberate wait — coalescing then comes only from committers
-    /// piggybacking while a flush is in flight.
-    pub window: Duration,
+    /// to let more concurrent committers join its group.
+    /// [`GatherWindow::Fixed`] with zero disables the deliberate wait —
+    /// coalescing then comes only from committers piggybacking while a
+    /// flush is in flight; the default [`GatherWindow::Adaptive`] lets
+    /// the log's controller grow the window under concurrent commit
+    /// pressure and decay it to zero when commits are sparse.
+    pub window: GatherWindow,
     /// Cut the gather window short once this many committers (leader
     /// included) are in the group.
     pub max_waiters: usize,
@@ -40,7 +43,10 @@ pub struct GroupCommitCfg {
 
 impl Default for GroupCommitCfg {
     fn default() -> Self {
-        GroupCommitCfg { window: Duration::ZERO, max_waiters: 32 }
+        GroupCommitCfg {
+            window: GatherWindow::adaptive(),
+            max_waiters: 32,
+        }
     }
 }
 
@@ -203,6 +209,20 @@ impl Tc {
         &self.log
     }
 
+    /// The current low-water mark: every operation with LSN ≤ this has
+    /// been replied to (experiment/test introspection — this is the
+    /// frontier [`TcToDc::LowWaterMark`] publications are derived from).
+    pub fn lwm(&self) -> Lsn {
+        self.acks.lwm()
+    }
+
+    /// Operations sent but not yet acknowledged (experiment/test
+    /// introspection). A lost reply — or a lost reply *batch* — shows up
+    /// here until the resend machinery recovers the acks.
+    pub fn outstanding_ops(&self) -> usize {
+        self.acks.outstanding()
+    }
+
     /// Wire a DC.
     pub fn register_dc(&self, dc: DcId, link: Arc<dyn DcLink>) {
         self.links.write().insert(dc, link);
@@ -214,11 +234,19 @@ impl Tc {
     }
 
     pub(crate) fn route(&self, table: TableId) -> Result<TableRoute, TcError> {
-        self.routes.read().get(&table).cloned().ok_or(TcError::NoSuchDc(DcId(u16::MAX)))
+        self.routes
+            .read()
+            .get(&table)
+            .cloned()
+            .ok_or(TcError::NoSuchDc(DcId(u16::MAX)))
     }
 
     pub(crate) fn link(&self, dc: DcId) -> Result<Arc<dyn DcLink>, TcError> {
-        self.links.read().get(&dc).cloned().ok_or(TcError::NoSuchDc(dc))
+        self.links
+            .read()
+            .get(&dc)
+            .cloned()
+            .ok_or(TcError::NoSuchDc(dc))
     }
 
     fn ensure_available(&self) -> Result<(), TcError> {
@@ -244,18 +272,36 @@ impl Tc {
                 if let Some(lsn) = req.lsn() {
                     self.acks.acked(lsn);
                 }
-                let slot = self.pending.lock().get(&req).cloned();
-                match slot {
-                    Some(slot) => {
-                        let mut v = slot.val.lock();
-                        if v.is_none() {
-                            *v = Some(result);
-                            slot.cv.notify_all();
-                        } else {
-                            TcStats::bump(&self.stats.stale_replies);
+                self.fulfill(req, result);
+            }
+            DcToTc::ReplyBatch { replies, .. } => {
+                // Unpack a coalesced ack batch: the ack frontier (and so
+                // the low-water mark) advances once for the whole batch,
+                // and the pending-slot map is consulted once per batch
+                // instead of once per reply.
+                TcStats::bump(&self.stats.reply_batches);
+                self.acks
+                    .acked_many(replies.iter().filter_map(|(req, _)| req.lsn()));
+                let slots: Vec<_> = {
+                    let pending = self.pending.lock();
+                    replies
+                        .into_iter()
+                        .map(|(req, result)| (pending.get(&req).cloned(), result))
+                        .collect()
+                };
+                for (slot, result) in slots {
+                    match slot {
+                        Some(slot) => {
+                            let mut v = slot.val.lock();
+                            if v.is_none() {
+                                *v = Some(result);
+                                slot.cv.notify_all();
+                            } else {
+                                TcStats::bump(&self.stats.stale_replies);
+                            }
                         }
+                        None => TcStats::bump(&self.stats.stale_replies),
                     }
-                    None => TcStats::bump(&self.stats.stale_replies),
                 }
             }
             DcToTc::CheckpointDone { dc, rssp, .. } => {
@@ -282,6 +328,23 @@ impl Tc {
                     slot.cv.notify_all();
                 }
             }
+        }
+    }
+
+    /// Hand a reply's outcome to whoever is waiting on `req`.
+    fn fulfill(&self, req: RequestId, result: Result<OpResult, DcError>) {
+        let slot = self.pending.lock().get(&req).cloned();
+        match slot {
+            Some(slot) => {
+                let mut v = slot.val.lock();
+                if v.is_none() {
+                    *v = Some(result);
+                    slot.cv.notify_all();
+                } else {
+                    TcStats::bump(&self.stats.stale_replies);
+                }
+            }
+            None => TcStats::bump(&self.stats.stale_replies),
         }
     }
 
@@ -316,7 +379,10 @@ impl Tc {
             .lock()
             .entry(req)
             .or_insert_with(|| {
-                Arc::new(ReplySlot { val: Mutex::new(None), cv: Condvar::new() })
+                Arc::new(ReplySlot {
+                    val: Mutex::new(None),
+                    cv: Condvar::new(),
+                })
             })
             .clone()
     }
@@ -347,7 +413,11 @@ impl Tc {
             if !bypass_gate {
                 self.gate_wait(dc);
             }
-            link.send(TcToDc::Perform { tc: self.id, req, op: op.clone() });
+            link.send(TcToDc::Perform {
+                tc: self.id,
+                req,
+                op: op.clone(),
+            });
             if attempts == 0 {
                 if req.lsn().is_some() {
                     TcStats::bump(&self.stats.ops_sent);
@@ -394,7 +464,12 @@ impl Tc {
     pub(crate) fn force_log(&self) -> Lsn {
         match &self.cfg.group_commit {
             None => self.log.force(),
-            Some(_) => Lsn(self.log.store().group_force(self.log.last().0, Duration::ZERO, 1)),
+            Some(_) => {
+                Lsn(self
+                    .log
+                    .store()
+                    .group_force(self.log.last().0, GatherWindow::none(), 1))
+            }
         }
     }
 
@@ -415,7 +490,10 @@ impl Tc {
         match self.cfg.group_commit.clone() {
             None => self.force_and_publish(),
             Some(gc) => {
-                let eosl = Lsn(self.log.store().group_force(lsn.0, gc.window, gc.max_waiters));
+                let eosl = Lsn(self
+                    .log
+                    .store()
+                    .group_force(lsn.0, gc.window, gc.max_waiters));
                 // Coalesce: only the first committer per flush publishes.
                 let mut published = self.published.lock();
                 if *published >= eosl {
@@ -470,20 +548,22 @@ impl Tc {
     }
 
     pub(crate) fn txn_state(&self, txn: TxnId) -> Result<Arc<Mutex<TxnState>>, TcError> {
-        self.txns.lock().get(&txn).cloned().ok_or(TcError::NotActive(txn))
+        self.txns
+            .lock()
+            .get(&txn)
+            .cloned()
+            .ok_or(TcError::NotActive(txn))
     }
 
     fn token(txn: TxnId) -> LockToken {
         LockToken(txn.0)
     }
 
-    fn lock_or_abort(
-        &self,
-        txn: TxnId,
-        name: LockName,
-        mode: LockMode,
-    ) -> Result<(), TcError> {
-        match self.locks.lock(Self::token(txn), name, mode, self.cfg.lock_timeout) {
+    fn lock_or_abort(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<(), TcError> {
+        match self
+            .locks
+            .lock(Self::token(txn), name, mode, self.cfg.lock_timeout)
+        {
             Ok(()) => Ok(()),
             Err(LockError::Deadlock) => {
                 TcStats::bump(&self.stats.deadlock_aborts);
@@ -519,7 +599,11 @@ impl Tc {
             return Ok(v.clone());
         }
         let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
-        let op = LogicalOp::Read { table, key: key.clone(), flavor: ReadFlavor::Latest };
+        let op = LogicalOp::Read {
+            table,
+            key: key.clone(),
+            flavor: ReadFlavor::Latest,
+        };
         let value = match self.send_op(dc, req, &op, false)? {
             Ok(OpResult::Value(v)) => v,
             Ok(other) => panic!("read returned {other:?}"),
@@ -550,8 +634,11 @@ impl Tc {
                 // Next-key (instant) lock: serializes against scans that
                 // locked the edge of the gap this insert lands in.
                 let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
-                let probe =
-                    LogicalOp::ProbeKeys { table, from: key.successor(), count: 1 };
+                let probe = LogicalOp::ProbeKeys {
+                    table,
+                    from: key.successor(),
+                    count: 1,
+                };
                 let next = match self.send_op(dc, req, &probe, false)? {
                     Ok(OpResult::Keys(keys)) => keys.into_iter().next(),
                     Ok(other) => panic!("probe returned {other:?}"),
@@ -615,12 +702,24 @@ impl Tc {
     }
 
     /// Insert a record.
-    pub fn insert(&self, txn: TxnId, table: TableId, key: Key, value: Vec<u8>) -> Result<(), TcError> {
+    pub fn insert(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        value: Vec<u8>,
+    ) -> Result<(), TcError> {
         self.mutate(txn, LogicalOp::Insert { table, key, value })
     }
 
     /// Replace a record's payload.
-    pub fn update(&self, txn: TxnId, table: TableId, key: Key, value: Vec<u8>) -> Result<(), TcError> {
+    pub fn update(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        value: Vec<u8>,
+    ) -> Result<(), TcError> {
         self.mutate(txn, LogicalOp::Update { table, key, value })
     }
 
@@ -834,8 +933,7 @@ impl Tc {
                 if !in_range.is_empty() {
                     // Read the locked collection in one request.
                     let upper = in_range.last().unwrap().successor();
-                    let req =
-                        RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+                    let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
                     let op = LogicalOp::ScanRange {
                         table,
                         low: from.clone(),
@@ -850,8 +948,7 @@ impl Tc {
                     }
                     from = upper;
                 }
-                if keys.len() < batch
-                    || keys.iter().any(|k| high.map(|h| k >= h).unwrap_or(false))
+                if keys.len() < batch || keys.iter().any(|k| high.map(|h| k >= h).unwrap_or(false))
                 {
                     break; // exhausted this DC's range
                 }
@@ -871,7 +968,11 @@ impl Tc {
         count: usize,
     ) -> Result<Vec<Key>, TcError> {
         let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
-        let op = LogicalOp::ProbeKeys { table, from: from.clone(), count };
+        let op = LogicalOp::ProbeKeys {
+            table,
+            from: from.clone(),
+            count,
+        };
         match self.send_op(dc, req, &op, false)? {
             Ok(OpResult::Keys(keys)) => Ok(keys),
             Ok(other) => panic!("probe returned {other:?}"),
@@ -898,7 +999,11 @@ impl Tc {
         let had_promotes = !promotes.is_empty();
         for (dc, table, key) in promotes {
             let op = LogicalOp::PromoteVersion { table, key };
-            let l = self.log_op_record(TcLogRecord::RedoOnly { txn, dc, op: op.clone() });
+            let l = self.log_op_record(TcLogRecord::RedoOnly {
+                txn,
+                dc,
+                op: op.clone(),
+            });
             let _ = self.send_op(dc, RequestId::Op(l), &op, false)?;
         }
         if had_promotes {
@@ -935,7 +1040,11 @@ impl Tc {
             u
         };
         for (dc, inv) in undo {
-            let l = self.log_op_record(TcLogRecord::RedoOnly { txn, dc, op: inv.clone() });
+            let l = self.log_op_record(TcLogRecord::RedoOnly {
+                txn,
+                dc,
+                op: inv.clone(),
+            });
             self.maybe_background_force();
             TcStats::bump(&self.stats.undo_ops);
             let _ = self.send_op(dc, RequestId::Op(l), &inv, false)?;
@@ -962,9 +1071,15 @@ impl Tc {
         let mut granted = target;
         let dcs: Vec<DcId> = self.links.read().keys().copied().collect();
         for dc in dcs {
-            let slot = Arc::new(LsnSlot { val: Mutex::new(None), cv: Condvar::new() });
+            let slot = Arc::new(LsnSlot {
+                val: Mutex::new(None),
+                cv: Condvar::new(),
+            });
             self.ckpt_waiters.lock().insert(dc, slot.clone());
-            self.link(dc)?.send(TcToDc::Checkpoint { tc: self.id, new_rssp: target });
+            self.link(dc)?.send(TcToDc::Checkpoint {
+                tc: self.id,
+                new_rssp: target,
+            });
             let deadline = std::time::Instant::now() + Duration::from_secs(5);
             let mut v = slot.val.lock();
             while v.is_none() {
@@ -978,7 +1093,10 @@ impl Tc {
             granted = granted.min(dc_granted);
         }
         let active: Vec<TxnId> = self.txns.lock().keys().copied().collect();
-        let rec = TcLogRecord::Checkpoint { rssp: granted, active: active.clone() };
+        let rec = TcLogRecord::Checkpoint {
+            rssp: granted,
+            active: active.clone(),
+        };
         self.log_bookkeeping(rec);
         self.force_log();
         self.rssp.store(granted.0, Ordering::Relaxed);

@@ -174,14 +174,31 @@ mod tests {
             value: vec![0; 100],
         };
         let undo = op.inverse(Some(&[0; 50])).unwrap();
-        let with = TcLogRecord::Op { txn: TxnId(1), dc: DcId(1), op: op.clone(), undo: Some(undo) };
-        let without = TcLogRecord::Op { txn: TxnId(1), dc: DcId(1), op, undo: None };
+        let with = TcLogRecord::Op {
+            txn: TxnId(1),
+            dc: DcId(1),
+            op: op.clone(),
+            undo: Some(undo),
+        };
+        let without = TcLogRecord::Op {
+            txn: TxnId(1),
+            dc: DcId(1),
+            op,
+            undo: None,
+        };
         assert!(with.encoded_size() > without.encoded_size() + 50);
     }
 
     #[test]
     fn txn_extraction() {
         assert_eq!(TcLogRecord::Begin { txn: TxnId(3) }.txn(), Some(TxnId(3)));
-        assert_eq!(TcLogRecord::Checkpoint { rssp: Lsn(1), active: vec![] }.txn(), None);
+        assert_eq!(
+            TcLogRecord::Checkpoint {
+                rssp: Lsn(1),
+                active: vec![]
+            }
+            .txn(),
+            None
+        );
     }
 }

@@ -35,11 +35,15 @@ fn main() {
             }
         }
     }
-    println!("W2: posted {w2} reviews ({:.0} txns/s)", ops_per_sec(w2, start.elapsed()));
+    println!(
+        "W2: posted {w2} reviews ({:.0} txns/s)",
+        ops_per_sec(w2, start.elapsed())
+    );
 
     // W3: profile updates.
     for u in 0..50u64 {
-        site.w3_update_profile(u, format!("bio of {u} v2").as_bytes()).unwrap();
+        site.w3_update_profile(u, format!("bio of {u} v2").as_bytes())
+            .unwrap();
     }
     println!("W3: updated 50 profiles");
 
@@ -47,7 +51,10 @@ fn main() {
     let start = Instant::now();
     let mut read = 0u64;
     for m in 0..100u64 {
-        read += site.w1_reviews_for_movie(m, ReadFlavor::Committed).unwrap().len() as u64;
+        read += site
+            .w1_reviews_for_movie(m, ReadFlavor::Committed)
+            .unwrap()
+            .len() as u64;
     }
     println!(
         "W1: read {read} reviews across 100 movies ({:.0} reviews/s, single-DC each)",
@@ -60,16 +67,26 @@ fn main() {
 
     // Crash the even-user TC mid-flight; the odd TC keeps serving.
     site.deployment.crash_tc(TC_EVEN);
-    site.w2_add_review(1, 3, b"posted while TC1 is down").unwrap();
+    site.w2_add_review(1, 3, b"posted while TC1 is down")
+        .unwrap();
     site.deployment.reboot_tc(TC_EVEN);
-    site.w2_add_review(0, 3, b"posted after TC1 recovered").unwrap();
+    site.w2_add_review(0, 3, b"posted after TC1 recovered")
+        .unwrap();
     println!(
         "after TC1 crash+recovery movie 3 has {} reviews",
-        site.w1_reviews_for_movie(3, ReadFlavor::Committed).unwrap().len()
+        site.w1_reviews_for_movie(3, ReadFlavor::Committed)
+            .unwrap()
+            .len()
     );
 
-    for tc in [unbundled::kernel::scenarios::TC_EVEN, unbundled::kernel::scenarios::TC_ODD] {
+    for tc in [
+        unbundled::kernel::scenarios::TC_EVEN,
+        unbundled::kernel::scenarios::TC_ODD,
+    ] {
         let s = site.deployment.tc(tc).stats().snapshot();
-        println!("{tc:?}: {} commits, {} ops sent, {} resends", s.commits, s.ops_sent, s.resends);
+        println!(
+            "{tc:?}: {} commits, {} ops sent, {} resends",
+            s.commits, s.ops_sent, s.resends
+        );
     }
 }

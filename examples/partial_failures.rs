@@ -16,7 +16,10 @@ const T: TableId = TableId(1);
 fn main() {
     let d = single(
         TcConfig::default(),
-        DcConfig { page_capacity: 1024, ..Default::default() },
+        DcConfig {
+            page_capacity: 1024,
+            ..Default::default()
+        },
         TransportKind::Inline,
         &[TableSpec::plain(T, "t")],
     );
@@ -25,14 +28,16 @@ fn main() {
     // Load committed data.
     for k in 0..200u64 {
         let t = tc.begin().unwrap();
-        tc.insert(t, T, Key::from_u64(k), format!("v{k}").into_bytes()).unwrap();
+        tc.insert(t, T, Key::from_u64(k), format!("v{k}").into_bytes())
+            .unwrap();
         tc.commit(t).unwrap();
     }
     println!("loaded 200 committed rows");
 
     // ---- DC failure (Section 5.3.2, "DC Failure") -------------------
     let active = tc.begin().unwrap();
-    tc.insert(active, T, Key::from_u64(1000), b"in-flight".to_vec()).unwrap();
+    tc.insert(active, T, Key::from_u64(1000), b"in-flight".to_vec())
+        .unwrap();
     d.crash_dc(DcId(1));
     println!("\nDC crashed: cache + unforced DC-log tail lost");
     d.reboot_dc(DcId(1));
@@ -42,13 +47,15 @@ fn main() {
         snap.redo_resends
     );
     // The active transaction simply continues.
-    tc.insert(active, T, Key::from_u64(1001), b"in-flight-2".to_vec()).unwrap();
+    tc.insert(active, T, Key::from_u64(1001), b"in-flight-2".to_vec())
+        .unwrap();
     tc.commit(active).unwrap();
     println!("the in-flight transaction committed after recovery");
 
     // ---- TC failure (Section 5.3.2, "TC Failure") -------------------
     let loser = tc.begin().unwrap();
-    tc.update(loser, T, Key::from_u64(0), b"doomed".to_vec()).unwrap();
+    tc.update(loser, T, Key::from_u64(0), b"doomed".to_vec())
+        .unwrap();
     d.crash_tc(TcId(1));
     println!("\nTC crashed: log tail + transaction state lost");
     d.reboot_tc(TcId(1));
@@ -62,7 +69,10 @@ fn main() {
     let t = tc.begin().unwrap();
     let v = tc.read(t, T, Key::from_u64(0)).unwrap();
     tc.commit(t).unwrap();
-    println!("key 0 after recovery: {:?} (loser update gone)", String::from_utf8_lossy(&v.unwrap()));
+    println!(
+        "key 0 after recovery: {:?} (loser update gone)",
+        String::from_utf8_lossy(&v.unwrap())
+    );
 
     // ---- Complete failure -------------------------------------------
     d.crash_all();
@@ -76,8 +86,10 @@ fn main() {
 
     // ---- Checkpoint bounds future recovery --------------------------
     let rssp = tc.checkpoint().unwrap();
-    println!("\ncheckpoint granted RSSP {rssp}; contract termination: the TC may stop \
-              resending everything below it");
+    println!(
+        "\ncheckpoint granted RSSP {rssp}; contract termination: the TC may stop \
+              resending everything below it"
+    );
     d.crash_all();
     d.reboot_all();
     let tc = d.tc(TcId(1));

@@ -10,10 +10,12 @@
 //! ```
 
 use std::sync::Arc;
-use unbundled::core::{DcId, Key, LogicalOp, OpResult, ReadFlavor, RequestId, TableId, TableSpec, TcId};
+use unbundled::core::{
+    DcId, Key, LogicalOp, OpResult, ReadFlavor, RequestId, TableId, TableSpec, TcId,
+};
 use unbundled::customdc::{GridIndexer, SimpleDc, TextIndexer};
 use unbundled::dc::DcConfig;
-use unbundled::kernel::{Deployment, DcSlot, InlineLink, ReplySink, TransportKind};
+use unbundled::kernel::{DcSlot, Deployment, InlineLink, ReplySink, TransportKind};
 use unbundled::storage::SimDisk;
 use unbundled::tc::{TableRoute, TcConfig};
 
@@ -38,7 +40,13 @@ fn main() {
 
     // Home-grown DCs wired to the *same* TC through the same contract.
     let sink = ReplySink::new(tc.clone());
-    let text_dc = SimpleDc::new(DcId(2), REVIEWS, REVIEW_TERMS, Arc::new(TextIndexer), SimDisk::new());
+    let text_dc = SimpleDc::new(
+        DcId(2),
+        REVIEWS,
+        REVIEW_TERMS,
+        Arc::new(TextIndexer),
+        SimDisk::new(),
+    );
     let text_slot = DcSlot::new(text_dc.clone());
     tc.register_dc(DcId(2), InlineLink::new(text_slot, sink.clone()));
     tc.register_table(REVIEWS, TableRoute::Single(DcId(2)));
@@ -59,8 +67,10 @@ fn main() {
     // One transaction spanning the B-tree DC AND the text DC: a user
     // uploads a photo with a review. Atomic across heterogeneous stores.
     let txn = tc.begin().unwrap();
-    tc.insert(txn, USERS, Key::from_u64(1), b"ann".to_vec()).unwrap();
-    tc.insert(txn, PHOTOS, Key::from_u64(100), b"golden-gate.jpg".to_vec()).unwrap();
+    tc.insert(txn, USERS, Key::from_u64(1), b"ann".to_vec())
+        .unwrap();
+    tc.insert(txn, PHOTOS, Key::from_u64(100), b"golden-gate.jpg".to_vec())
+        .unwrap();
     tc.insert(
         txn,
         REVIEWS,
@@ -79,8 +89,15 @@ fn main() {
 
     // A second photo of the same object, by another user.
     let txn = tc.begin().unwrap();
-    tc.insert(txn, PHOTOS, Key::from_u64(101), b"gg-bridge-2.jpg".to_vec()).unwrap();
-    tc.insert(txn, REVIEWS, Key::from_u64(101), b"foggy golden gate morning".to_vec()).unwrap();
+    tc.insert(txn, PHOTOS, Key::from_u64(101), b"gg-bridge-2.jpg".to_vec())
+        .unwrap();
+    tc.insert(
+        txn,
+        REVIEWS,
+        Key::from_u64(101),
+        b"foggy golden gate morning".to_vec(),
+    )
+    .unwrap();
     let mut shape = Vec::new();
     shape.extend_from_slice(&130u32.to_le_bytes());
     shape.extend_from_slice(&95u32.to_le_bytes());
@@ -90,35 +107,70 @@ fn main() {
 
     // Text search via the virtual term view of the text DC.
     let hits = tc
-        .scan_unlocked(REVIEW_TERMS, Key::from_str_key("golden"), None, None, ReadFlavor::Latest)
+        .scan_unlocked(
+            REVIEW_TERMS,
+            Key::from_str_key("golden"),
+            None,
+            None,
+            ReadFlavor::Latest,
+        )
         .unwrap();
     println!("text search 'golden' → {} reviews", hits.len());
 
     // Spatial search: both photos fall into grid cell (1, 0).
     let near = tc
-        .scan_unlocked(SHAPE_CELLS, Key::from_pair(1, 0), None, None, ReadFlavor::Latest)
+        .scan_unlocked(
+            SHAPE_CELLS,
+            Key::from_pair(1, 0),
+            None,
+            None,
+            ReadFlavor::Latest,
+        )
         .unwrap();
     println!("spatial cell (1,0) → {} shapes (same object!)", near.len());
 
     // An aborted upload leaves no trace in any store — the TC drives
     // inverse operations into the custom DCs too.
     let txn = tc.begin().unwrap();
-    tc.insert(txn, PHOTOS, Key::from_u64(102), b"blurry.jpg".to_vec()).unwrap();
-    tc.insert(txn, REVIEWS, Key::from_u64(102), b"accidental upload golden".to_vec()).unwrap();
+    tc.insert(txn, PHOTOS, Key::from_u64(102), b"blurry.jpg".to_vec())
+        .unwrap();
+    tc.insert(
+        txn,
+        REVIEWS,
+        Key::from_u64(102),
+        b"accidental upload golden".to_vec(),
+    )
+    .unwrap();
     tc.abort(txn).unwrap();
     let hits = tc
-        .scan_unlocked(REVIEW_TERMS, Key::from_str_key("golden"), None, None, ReadFlavor::Latest)
+        .scan_unlocked(
+            REVIEW_TERMS,
+            Key::from_str_key("golden"),
+            None,
+            None,
+            ReadFlavor::Latest,
+        )
         .unwrap();
-    println!("after abort, 'golden' still → {} reviews (unchanged)", hits.len());
+    println!(
+        "after abort, 'golden' still → {} reviews (unchanged)",
+        hits.len()
+    );
 
     // Direct probe of exactly-once behaviour on the custom DC: resend a
     // logical operation verbatim; the per-TC abstract LSN suppresses it.
     let probe = tc.read_dirty(REVIEWS, Key::from_u64(100)).unwrap();
     assert!(probe.is_some());
-    let _ = (RequestId::Read(0), LogicalOp::Read {
-        table: REVIEWS,
-        key: Key::from_u64(100),
-        flavor: ReadFlavor::Latest,
-    }, OpResult::Done); // (types exercised)
-    println!("photo-sharing demo complete; text DC holds {} docs", text_dc.doc_count());
+    let _ = (
+        RequestId::Read(0),
+        LogicalOp::Read {
+            table: REVIEWS,
+            key: Key::from_u64(100),
+            flavor: ReadFlavor::Latest,
+        },
+        OpResult::Done,
+    ); // (types exercised)
+    println!(
+        "photo-sharing demo complete; text DC holds {} docs",
+        text_dc.doc_count()
+    );
 }

@@ -24,14 +24,17 @@ fn main() {
 
     // A transaction: two inserts, committed atomically.
     let txn = tc.begin().unwrap();
-    tc.insert(txn, ACCOUNTS, Key::from_u64(1), b"alice=100".to_vec()).unwrap();
-    tc.insert(txn, ACCOUNTS, Key::from_u64(2), b"bob=50".to_vec()).unwrap();
+    tc.insert(txn, ACCOUNTS, Key::from_u64(1), b"alice=100".to_vec())
+        .unwrap();
+    tc.insert(txn, ACCOUNTS, Key::from_u64(2), b"bob=50".to_vec())
+        .unwrap();
     tc.commit(txn).unwrap();
     println!("committed two accounts");
 
     // A transfer that fails mid-way is rolled back by inverse operations.
     let doomed = tc.begin().unwrap();
-    tc.update(doomed, ACCOUNTS, Key::from_u64(1), b"alice=0".to_vec()).unwrap();
+    tc.update(doomed, ACCOUNTS, Key::from_u64(1), b"alice=0".to_vec())
+        .unwrap();
     tc.abort(doomed).unwrap();
     println!("aborted transfer rolled back");
 

@@ -35,13 +35,21 @@ fn multi_dc_transaction_commits_atomically_without_2pc() {
     let d = two_dcs();
     let tc = d.tc(TcId(1));
     let txn = tc.begin().unwrap();
-    tc.insert(txn, T, Key::from_u64(1), b"on-dc1".to_vec()).unwrap();
-    tc.insert(txn, T2, Key::from_u64(1), b"on-dc2".to_vec()).unwrap();
+    tc.insert(txn, T, Key::from_u64(1), b"on-dc1".to_vec())
+        .unwrap();
+    tc.insert(txn, T2, Key::from_u64(1), b"on-dc2".to_vec())
+        .unwrap();
     // No prepare/vote anywhere: commit is one local log force.
     tc.commit(txn).unwrap();
     let t = tc.begin().unwrap();
-    assert_eq!(tc.read(t, T, Key::from_u64(1)).unwrap(), Some(b"on-dc1".to_vec()));
-    assert_eq!(tc.read(t, T2, Key::from_u64(1)).unwrap(), Some(b"on-dc2".to_vec()));
+    assert_eq!(
+        tc.read(t, T, Key::from_u64(1)).unwrap(),
+        Some(b"on-dc1".to_vec())
+    );
+    assert_eq!(
+        tc.read(t, T2, Key::from_u64(1)).unwrap(),
+        Some(b"on-dc2".to_vec())
+    );
     tc.commit(t).unwrap();
 }
 
@@ -67,15 +75,23 @@ fn multi_dc_tc_crash_recovers_both_sides() {
     tc.commit(t0).unwrap();
     // Loser spanning both DCs, forced but uncommitted.
     let loser = tc.begin().unwrap();
-    tc.update(loser, T, Key::from_u64(1), b"x1".to_vec()).unwrap();
-    tc.update(loser, T2, Key::from_u64(1), b"x2".to_vec()).unwrap();
+    tc.update(loser, T, Key::from_u64(1), b"x1".to_vec())
+        .unwrap();
+    tc.update(loser, T2, Key::from_u64(1), b"x2".to_vec())
+        .unwrap();
     tc.force_and_publish();
     d.crash_tc(TcId(1));
     d.reboot_tc(TcId(1));
     let tc = d.tc(TcId(1));
     let t = tc.begin().unwrap();
-    assert_eq!(tc.read(t, T, Key::from_u64(1)).unwrap(), Some(b"c1".to_vec()));
-    assert_eq!(tc.read(t, T2, Key::from_u64(1)).unwrap(), Some(b"c2".to_vec()));
+    assert_eq!(
+        tc.read(t, T, Key::from_u64(1)).unwrap(),
+        Some(b"c1".to_vec())
+    );
+    assert_eq!(
+        tc.read(t, T2, Key::from_u64(1)).unwrap(),
+        Some(b"c2".to_vec())
+    );
     tc.commit(t).unwrap();
 }
 
@@ -120,7 +136,11 @@ fn repeatable_reads_from_transaction_cache() {
     let b = tc.read(t, T, Key::from_u64(1)).unwrap();
     assert_eq!(a, b);
     let reads_after = tc.stats().snapshot().reads_sent;
-    assert_eq!(reads_after - reads_before, 1, "second read served from the txn cache");
+    assert_eq!(
+        reads_after - reads_before,
+        1,
+        "second read served from the txn cache"
+    );
     tc.commit(t).unwrap();
 }
 
@@ -156,17 +176,25 @@ fn eosl_gates_dc_flushes_end_to_end() {
     // Causality across the boundary: nothing reaches the DC's disk until
     // the TC's log is forced past it, even if the DC tries to flush.
     let d = single(
-        TcConfig { force_every: 1_000_000, ..Default::default() },
+        TcConfig {
+            force_every: 1_000_000,
+            ..Default::default()
+        },
         DcConfig::default(),
         TransportKind::Inline,
         &[TableSpec::plain(T, "t")],
     );
     let tc = d.tc(TcId(1));
     let txn = tc.begin().unwrap();
-    tc.insert(txn, T, Key::from_u64(1), b"unforced".to_vec()).unwrap();
+    tc.insert(txn, T, Key::from_u64(1), b"unforced".to_vec())
+        .unwrap();
     // No commit yet: EOSL has not moved.
     let server = d.dc(DcId(1));
-    assert_eq!(server.engine().flush_all(), 0, "WAL: nothing flushable before EOSL");
+    assert_eq!(
+        server.engine().flush_all(),
+        0,
+        "WAL: nothing flushable before EOSL"
+    );
     tc.commit(txn).unwrap(); // force + EOSL broadcast
     assert!(server.engine().flush_all() > 0);
 }
@@ -181,9 +209,13 @@ fn dirty_read_sees_uncommitted_plain_writes() {
     );
     let tc = d.tc(TcId(1));
     let txn = tc.begin().unwrap();
-    tc.insert(txn, T, Key::from_u64(1), b"dirty".to_vec()).unwrap();
+    tc.insert(txn, T, Key::from_u64(1), b"dirty".to_vec())
+        .unwrap();
     // Section 6.2.1: dirty reads need no locks and no versioning support.
-    assert_eq!(tc.read_dirty(T, Key::from_u64(1)).unwrap(), Some(b"dirty".to_vec()));
+    assert_eq!(
+        tc.read_dirty(T, Key::from_u64(1)).unwrap(),
+        Some(b"dirty".to_vec())
+    );
     tc.abort(txn).unwrap();
     assert_eq!(tc.read_dirty(T, Key::from_u64(1)).unwrap(), None);
 }
@@ -222,7 +254,8 @@ fn repeated_crash_recovery_cycles_are_stable() {
     for round in 0..5u64 {
         let tc = d.tc(TcId(1));
         let t = tc.begin().unwrap();
-        tc.insert(t, T, Key::from_u64(round), format!("r{round}").into_bytes()).unwrap();
+        tc.insert(t, T, Key::from_u64(round), format!("r{round}").into_bytes())
+            .unwrap();
         tc.commit(t).unwrap();
         match round % 3 {
             0 => {
@@ -243,7 +276,11 @@ fn repeated_crash_recovery_cycles_are_stable() {
     let t = tc.begin().unwrap();
     let rows = tc.scan(t, T, Key::empty(), None, None).unwrap();
     tc.commit(t).unwrap();
-    assert_eq!(rows.len(), 5, "every committed row survives five crash cycles");
+    assert_eq!(
+        rows.len(),
+        5,
+        "every committed row survives five crash cycles"
+    );
     for (i, (k, v)) in rows.iter().enumerate() {
         assert_eq!(k.as_u64().unwrap(), i as u64);
         assert_eq!(v, &format!("r{i}").into_bytes());
@@ -307,18 +344,165 @@ fn lost_perform_batches_are_fully_resent_and_replayed_idempotently() {
     );
     for (k, v) in rows {
         let k = k.as_u64().unwrap();
-        let (w, i, j) = (k >> 32, (k & u32::MAX as u64) / 3, (k & u32::MAX as u64) % 3);
+        let (w, i, j) = (
+            k >> 32,
+            (k & u32::MAX as u64) / 3,
+            (k & u32::MAX as u64) % 3,
+        );
         assert_eq!(v, format!("w{w}-{i}-{j}").into_bytes());
     }
     let links = d.queued_links(TcId(1));
     let batches: u64 = links.iter().map(|l| l.batches()).sum();
     let dropped: u64 = links.iter().map(|l| l.dropped()).sum();
-    assert!(batches > 0, "the transport must actually have coalesced batches");
-    assert!(dropped > 0, "the fault model must actually have lost messages");
+    assert!(
+        batches > 0,
+        "the transport must actually have coalesced batches"
+    );
+    assert!(
+        dropped > 0,
+        "the fault model must actually have lost messages"
+    );
     assert!(
         tc.stats().snapshot().resends > 0,
         "lost batches are recovered by resending every contained op"
     );
+}
+
+#[test]
+fn dropped_reply_batches_do_not_stall_the_lwm() {
+    // Reply-direction faults: whole `ReplyBatch` datagrams vanish (all
+    // their acks lost at once) or arrive reordered. The resend contract
+    // must recover every ack — the DC suppresses the resends as
+    // duplicates and re-acks — so the low-water mark ends up at the very
+    // end of the log instead of stalling below the lost batch forever.
+    let kind = TransportKind::Queued {
+        faults: FaultModel {
+            loss: 0.25,
+            reorder: 0.15,
+            delay: std::time::Duration::from_micros(200),
+            seed: 23,
+        },
+        workers: 1,
+        batch: 8,
+    };
+    let d = Arc::new(single(
+        TcConfig {
+            resend_interval: std::time::Duration::from_millis(5),
+            ..Default::default()
+        },
+        DcConfig::default(),
+        kind,
+        &[TableSpec::plain(T, "t")],
+    ));
+    let writers = 4u64;
+    let per_writer = 8u64;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let tc = d.tc(TcId(1));
+                for i in 0..per_writer {
+                    let t = tc.begin().unwrap();
+                    for j in 0..3u64 {
+                        let k = (w << 32) | (i * 3 + j);
+                        tc.insert(t, T, Key::from_u64(k), format!("w{w}-{i}-{j}").into_bytes())
+                            .unwrap();
+                    }
+                    tc.commit(t).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let tc = d.tc(TcId(1));
+    let t = tc.begin().unwrap();
+    let rows = tc.scan(t, T, Key::empty(), None, None).unwrap();
+    tc.commit(t).unwrap();
+    assert_eq!(
+        rows.len() as u64,
+        writers * per_writer * 3,
+        "exactly-once despite lost acks"
+    );
+    let links = d.queued_links(TcId(1));
+    let reply_batches: u64 = links.iter().map(|l| l.reply_batches()).sum();
+    let reply_dropped: u64 = links.iter().map(|l| l.reply_dropped()).sum();
+    assert!(
+        reply_batches > 0,
+        "the reply direction must actually have coalesced ack batches"
+    );
+    assert!(
+        reply_dropped > 0,
+        "the fault model must actually have lost reply datagrams"
+    );
+    assert!(
+        tc.stats().snapshot().resends > 0,
+        "lost acks are recovered by resending the ops"
+    );
+    assert_eq!(
+        tc.outstanding_ops(),
+        0,
+        "no operation may stay unacked forever"
+    );
+    assert_eq!(
+        tc.lwm(),
+        tc.log_handle().last(),
+        "the LWM must reach the end of the log — a dropped ReplyBatch never pins it"
+    );
+}
+
+#[test]
+fn per_ack_reply_mode_splits_coalesced_batches() {
+    // The ablation knob: request batching on, reply batching forced off.
+    // DC-coalesced `ReplyBatch` acks are split back into individual
+    // `Reply` datagrams by the link, and the TC never sees a batch.
+    let kind = TransportKind::Queued {
+        faults: FaultModel {
+            delay: std::time::Duration::from_micros(100),
+            ..FaultModel::default()
+        },
+        workers: 1,
+        batch: 8,
+    };
+    let d = Arc::new(single(
+        TcConfig::default(),
+        DcConfig::default(),
+        kind,
+        &[TableSpec::plain(T, "t")],
+    ));
+    for l in d.queued_links(TcId(1)) {
+        l.set_reply_batch(1);
+    }
+    let writers = 4u64;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let tc = d.tc(TcId(1));
+                for i in 0..6u64 {
+                    let t = tc.begin().unwrap();
+                    tc.insert(t, T, Key::from_u64((w << 32) | i), b"v".to_vec())
+                        .unwrap();
+                    tc.commit(t).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let tc = d.tc(TcId(1));
+    let links = d.queued_links(TcId(1));
+    let req_batches: u64 = links.iter().map(|l| l.batches()).sum();
+    let reply_batches: u64 = links.iter().map(|l| l.reply_batches()).sum();
+    assert!(req_batches > 0, "request batching must still coalesce");
+    assert_eq!(
+        reply_batches, 0,
+        "per-ack mode must never put a ReplyBatch on the wire"
+    );
+    assert_eq!(tc.stats().snapshot().reply_batches, 0);
+    assert_eq!(tc.outstanding_ops(), 0);
 }
 
 #[test]
@@ -351,15 +535,21 @@ fn lwm_never_exceeds_lowest_unacked_op_of_a_partially_acked_batch() {
         .collect();
     let mut out = Vec::new();
     server.handle(TcToDc::PerformBatch { tc: TcId(1), ops }, &mut out);
-    assert_eq!(out.len(), 3, "each op in the batch is acked individually");
+    let replies = match out.pop() {
+        Some(DcToTc::ReplyBatch { replies, .. }) => replies,
+        other => panic!("expected one coalesced ReplyBatch, got {other:?}"),
+    };
+    assert_eq!(
+        replies.len(),
+        3,
+        "each op in the batch is acked individually"
+    );
     // Deliver the acks for LSNs 3 and 4 only; the ack for 2 is "lost".
-    for reply in &out {
-        if let DcToTc::Reply { req, result, .. } = reply {
-            assert!(result.is_ok());
-            let lsn = req.lsn().unwrap();
-            if lsn != Lsn(2) {
-                tracker.acked(lsn);
-            }
+    for (req, result) in &replies {
+        assert!(result.is_ok());
+        let lsn = req.lsn().unwrap();
+        if lsn != Lsn(2) {
+            tracker.acked(lsn);
         }
     }
     assert_eq!(
@@ -368,7 +558,11 @@ fn lwm_never_exceeds_lowest_unacked_op_of_a_partially_acked_batch() {
         "partially acked batch: the LWM stops right below the unacked op"
     );
     tracker.acked(Lsn(2));
-    assert_eq!(tracker.lwm(), Lsn(4), "batch fully acked: the LWM covers it");
+    assert_eq!(
+        tracker.lwm(),
+        Lsn(4),
+        "batch fully acked: the LWM covers it"
+    );
 }
 
 #[test]
@@ -388,8 +582,13 @@ fn read_committed_roundtrip_on_shared_deployment() {
             let tc = d.tc(TcId(1));
             for i in 0..50u64 {
                 let t = tc.begin().unwrap();
-                tc.versioned_write(t, T, Key::from_u64(1), format!("committed-{i}").into_bytes())
-                    .unwrap();
+                tc.versioned_write(
+                    t,
+                    T,
+                    Key::from_u64(1),
+                    format!("committed-{i}").into_bytes(),
+                )
+                .unwrap();
                 tc.commit(t).unwrap();
             }
         })
@@ -397,13 +596,19 @@ fn read_committed_roundtrip_on_shared_deployment() {
     while !writer.is_finished() {
         if let Some(v) = tc.read_committed(T, Key::from_u64(1)).unwrap() {
             let s = String::from_utf8(v).unwrap();
-            assert!(s.starts_with("committed-"), "reader saw uncommitted state: {s}");
+            assert!(
+                s.starts_with("committed-"),
+                "reader saw uncommitted state: {s}"
+            );
         }
     }
     writer.join().unwrap();
     // The concurrent polls above are best-effort (the writer may finish
     // before this thread ever observes a version); the final committed
     // version must be visible unconditionally.
-    let last = tc.read_committed(T, Key::from_u64(1)).unwrap().expect("final version visible");
+    let last = tc
+        .read_committed(T, Key::from_u64(1))
+        .unwrap()
+        .expect("final version visible");
     assert_eq!(last, b"committed-49".to_vec());
 }

@@ -24,7 +24,7 @@ use std::time::Duration;
 use unbundled::core::{DcId, Key, TableId, TableSpec, TcId};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{single, Deployment, FaultModel, TransportKind};
-use unbundled::tc::{GroupCommitCfg, TcConfig};
+use unbundled::tc::{GatherWindow, GroupCommitCfg, TcConfig};
 
 const T: TableId = TableId(1);
 const SEEDS: u64 = 64;
@@ -49,20 +49,33 @@ impl Schedule {
 fn deployment(seed: u64, group_commit: bool, batched: bool) -> Deployment {
     let tc_cfg = TcConfig {
         resend_interval: Duration::from_millis(5),
-        group_commit: group_commit
-            .then_some(GroupCommitCfg { window: Duration::ZERO, max_waiters: 8 }),
+        // The adaptive gather window rides along under crash injection:
+        // a schedule that crashes mid-gather or mid-flush must leave the
+        // controller in a sane state just like the fixed window did.
+        group_commit: group_commit.then_some(GroupCommitCfg {
+            window: GatherWindow::adaptive(),
+            max_waiters: 8,
+        }),
         ..TcConfig::default()
     };
     let kind = if batched {
         TransportKind::Queued {
-            faults: FaultModel { seed, ..FaultModel::default() },
+            faults: FaultModel {
+                seed,
+                ..FaultModel::default()
+            },
             workers: 2,
             batch: 4,
         }
     } else {
         TransportKind::Inline
     };
-    single(tc_cfg, DcConfig::default(), kind, &[TableSpec::plain(T, "t")])
+    single(
+        tc_cfg,
+        DcConfig::default(),
+        kind,
+        &[TableSpec::plain(T, "t")],
+    )
 }
 
 /// One transaction of 1–3 operations chosen to be logically valid
@@ -141,7 +154,10 @@ fn run_txn(d: &Deployment, sched: &mut Schedule, step: u64) {
 /// expected (acknowledged-commits-only) state.
 fn execute_schedule(seed: u64, group_commit: bool, batched: bool) -> (Deployment, Model) {
     let d = deployment(seed, group_commit, batched);
-    let mut sched = Schedule { rng: StdRng::seed_from_u64(0xC0FFEE ^ seed), model: Model::new() };
+    let mut sched = Schedule {
+        rng: StdRng::seed_from_u64(0xC0FFEE ^ seed),
+        model: Model::new(),
+    };
     for step in 0..STEPS {
         match sched.rng.gen_range(0..100) {
             0..=79 => run_txn(&d, &mut sched, step),
@@ -174,7 +190,9 @@ fn run_schedule(seed: u64, group_commit: bool, batched: bool) {
 fn verify(d: &Deployment, model: &Model, seed: u64, group_commit: bool, batched: bool) {
     let tc = d.tc(TcId(1));
     let txn = tc.begin().expect("begin after recovery");
-    let rows = tc.scan(txn, T, Key::empty(), None, None).expect("scan after recovery");
+    let rows = tc
+        .scan(txn, T, Key::empty(), None, None)
+        .expect("scan after recovery");
     tc.commit(txn).expect("commit verification txn");
     let got: Model = rows
         .into_iter()

@@ -9,7 +9,12 @@ use unbundled::tc::{RangePartitioner, ScanProtocol, TcConfig};
 const T: TableId = TableId(1);
 
 fn basic(kind: TransportKind) -> Deployment {
-    single(TcConfig::default(), DcConfig::default(), kind, &[TableSpec::plain(T, "t")])
+    single(
+        TcConfig::default(),
+        DcConfig::default(),
+        kind,
+        &[TableSpec::plain(T, "t")],
+    )
 }
 
 #[test]
@@ -17,18 +22,27 @@ fn txn_commit_roundtrip_inline() {
     let d = basic(TransportKind::Inline);
     let tc = d.tc(TcId(1));
     let txn = tc.begin().unwrap();
-    tc.insert(txn, T, Key::from_u64(1), b"hello".to_vec()).unwrap();
-    tc.insert(txn, T, Key::from_u64(2), b"world".to_vec()).unwrap();
+    tc.insert(txn, T, Key::from_u64(1), b"hello".to_vec())
+        .unwrap();
+    tc.insert(txn, T, Key::from_u64(2), b"world".to_vec())
+        .unwrap();
     tc.commit(txn).unwrap();
 
     let txn2 = tc.begin().unwrap();
-    assert_eq!(tc.read(txn2, T, Key::from_u64(1)).unwrap(), Some(b"hello".to_vec()));
-    tc.update(txn2, T, Key::from_u64(1), b"hi".to_vec()).unwrap();
+    assert_eq!(
+        tc.read(txn2, T, Key::from_u64(1)).unwrap(),
+        Some(b"hello".to_vec())
+    );
+    tc.update(txn2, T, Key::from_u64(1), b"hi".to_vec())
+        .unwrap();
     tc.delete(txn2, T, Key::from_u64(2)).unwrap();
     tc.commit(txn2).unwrap();
 
     let txn3 = tc.begin().unwrap();
-    assert_eq!(tc.read(txn3, T, Key::from_u64(1)).unwrap(), Some(b"hi".to_vec()));
+    assert_eq!(
+        tc.read(txn3, T, Key::from_u64(1)).unwrap(),
+        Some(b"hi".to_vec())
+    );
     assert_eq!(tc.read(txn3, T, Key::from_u64(2)).unwrap(), None);
     tc.commit(txn3).unwrap();
 }
@@ -39,17 +53,23 @@ fn abort_rolls_back_via_inverse_operations() {
     let tc = d.tc(TcId(1));
     // Committed baseline.
     let t0 = tc.begin().unwrap();
-    tc.insert(t0, T, Key::from_u64(1), b"keep".to_vec()).unwrap();
+    tc.insert(t0, T, Key::from_u64(1), b"keep".to_vec())
+        .unwrap();
     tc.commit(t0).unwrap();
     // Aborted transaction touching existing + new keys.
     let t1 = tc.begin().unwrap();
-    tc.update(t1, T, Key::from_u64(1), b"clobber".to_vec()).unwrap();
-    tc.insert(t1, T, Key::from_u64(2), b"phantom".to_vec()).unwrap();
+    tc.update(t1, T, Key::from_u64(1), b"clobber".to_vec())
+        .unwrap();
+    tc.insert(t1, T, Key::from_u64(2), b"phantom".to_vec())
+        .unwrap();
     tc.delete(t1, T, Key::from_u64(1)).unwrap();
     tc.abort(t1).unwrap();
     // State is exactly the baseline again.
     let t2 = tc.begin().unwrap();
-    assert_eq!(tc.read(t2, T, Key::from_u64(1)).unwrap(), Some(b"keep".to_vec()));
+    assert_eq!(
+        tc.read(t2, T, Key::from_u64(1)).unwrap(),
+        Some(b"keep".to_vec())
+    );
     assert_eq!(tc.read(t2, T, Key::from_u64(2)).unwrap(), None);
     tc.commit(t2).unwrap();
     assert_eq!(tc.stats().snapshot().aborts, 1);
@@ -65,7 +85,9 @@ fn failed_operation_aborts_transaction() {
     tc.commit(t0).unwrap();
     let t1 = tc.begin().unwrap();
     tc.insert(t1, T, Key::from_u64(5), b"x".to_vec()).unwrap();
-    let err = tc.insert(t1, T, Key::from_u64(1), b"dup".to_vec()).unwrap_err();
+    let err = tc
+        .insert(t1, T, Key::from_u64(1), b"dup".to_vec())
+        .unwrap_err();
     assert!(matches!(err, TcError::OperationFailed(..)));
     // The transaction was rolled back: key 5 is gone.
     let t2 = tc.begin().unwrap();
@@ -79,11 +101,14 @@ fn serializable_scan_fetch_ahead() {
     let tc = d.tc(TcId(1));
     let t0 = tc.begin().unwrap();
     for k in 0..50u64 {
-        tc.insert(t0, T, Key::from_u64(k * 2), format!("{k}").into_bytes()).unwrap();
+        tc.insert(t0, T, Key::from_u64(k * 2), format!("{k}").into_bytes())
+            .unwrap();
     }
     tc.commit(t0).unwrap();
     let t1 = tc.begin().unwrap();
-    let rows = tc.scan(t1, T, Key::from_u64(10), Some(Key::from_u64(30)), None).unwrap();
+    let rows = tc
+        .scan(t1, T, Key::from_u64(10), Some(Key::from_u64(30)), None)
+        .unwrap();
     let keys: Vec<u64> = rows.iter().map(|(k, _)| k.as_u64().unwrap()).collect();
     assert_eq!(keys, vec![10, 12, 14, 16, 18, 20, 22, 24, 26, 28]);
     tc.commit(t1).unwrap();
@@ -92,12 +117,17 @@ fn serializable_scan_fetch_ahead() {
 #[test]
 fn serializable_scan_static_ranges() {
     let cfg = TcConfig {
-        scan_protocol: ScanProtocol::StaticRanges(std::sync::Arc::new(
-            RangePartitioner::even_u64(16),
-        )),
+        scan_protocol: ScanProtocol::StaticRanges(std::sync::Arc::new(RangePartitioner::even_u64(
+            16,
+        ))),
         ..Default::default()
     };
-    let d = single(cfg, DcConfig::default(), TransportKind::Inline, &[TableSpec::plain(T, "t")]);
+    let d = single(
+        cfg,
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(T, "t")],
+    );
     let tc = d.tc(TcId(1));
     let t0 = tc.begin().unwrap();
     for k in 0..50u64 {
@@ -105,7 +135,9 @@ fn serializable_scan_static_ranges() {
     }
     tc.commit(t0).unwrap();
     let t1 = tc.begin().unwrap();
-    let rows = tc.scan(t1, T, Key::from_u64(5), Some(Key::from_u64(15)), None).unwrap();
+    let rows = tc
+        .scan(t1, T, Key::from_u64(5), Some(Key::from_u64(15)), None)
+        .unwrap();
     assert_eq!(rows.len(), 10);
     tc.commit(t1).unwrap();
     // Far fewer locks than fetch-ahead: partitions, not records.
@@ -127,7 +159,9 @@ fn phantom_protection_blocks_insert_into_scanned_range() {
 
     // Scanner reads [10, 30] and holds its locks.
     let scanner = tc.begin().unwrap();
-    let rows = tc.scan(scanner, T, Key::from_u64(10), Some(Key::from_u64(31)), None).unwrap();
+    let rows = tc
+        .scan(scanner, T, Key::from_u64(10), Some(Key::from_u64(31)), None)
+        .unwrap();
     assert_eq!(rows.len(), 3);
 
     // A concurrent insert into the scanned range must block until the
@@ -136,7 +170,8 @@ fn phantom_protection_blocks_insert_into_scanned_range() {
     let inserter = std::thread::spawn(move || {
         let tc = d2.tc(TcId(1));
         let t = tc.begin().unwrap();
-        tc.insert(t, T, Key::from_u64(15), b"phantom".to_vec()).unwrap();
+        tc.insert(t, T, Key::from_u64(15), b"phantom".to_vec())
+            .unwrap();
         tc.commit(t).unwrap();
         std::time::Instant::now()
     });
@@ -191,7 +226,11 @@ fn deadlock_detected_and_victim_aborted() {
 #[test]
 fn exactly_once_under_loss_and_reordering() {
     let kind = TransportKind::Queued {
-        faults: FaultModel { loss: 0.2, reorder: 0.3, ..Default::default() },
+        faults: FaultModel {
+            loss: 0.2,
+            reorder: 0.3,
+            ..Default::default()
+        },
         workers: 4,
         batch: 1,
     };
@@ -203,7 +242,8 @@ fn exactly_once_under_loss_and_reordering() {
     let tc = d.tc(TcId(1));
     for k in 0..100u64 {
         let t = tc.begin().unwrap();
-        tc.insert(t, T, Key::from_u64(k), format!("v{k}").into_bytes()).unwrap();
+        tc.insert(t, T, Key::from_u64(k), format!("v{k}").into_bytes())
+            .unwrap();
         tc.commit(t).unwrap();
     }
     // Every key exactly once, despite losses and reorders.
@@ -216,7 +256,10 @@ fn exactly_once_under_loss_and_reordering() {
         assert_eq!(v, &format!("v{i}").into_bytes());
     }
     let snap = tc.stats().snapshot();
-    assert!(snap.resends > 0, "losses must have triggered resends: {snap:?}");
+    assert!(
+        snap.resends > 0,
+        "losses must have triggered resends: {snap:?}"
+    );
     let dc_snap = d.dc(DcId(1)).engine().stats().snapshot();
     assert!(
         dc_snap.duplicates_suppressed > 0,
@@ -231,24 +274,36 @@ fn dc_crash_active_transactions_continue_after_redo() {
     // Committed data.
     let t0 = tc.begin().unwrap();
     for k in 0..20u64 {
-        tc.insert(t0, T, Key::from_u64(k), b"committed".to_vec()).unwrap();
+        tc.insert(t0, T, Key::from_u64(k), b"committed".to_vec())
+            .unwrap();
     }
     tc.commit(t0).unwrap();
     // An active transaction with work in flight.
     let t1 = tc.begin().unwrap();
-    tc.insert(t1, T, Key::from_u64(100), b"active".to_vec()).unwrap();
+    tc.insert(t1, T, Key::from_u64(100), b"active".to_vec())
+        .unwrap();
 
     d.crash_dc(DcId(1));
     d.reboot_dc(DcId(1)); // DC-local recovery + TC-driven redo
 
     // The active transaction continues and commits.
-    tc.insert(t1, T, Key::from_u64(101), b"active2".to_vec()).unwrap();
+    tc.insert(t1, T, Key::from_u64(101), b"active2".to_vec())
+        .unwrap();
     tc.commit(t1).unwrap();
 
     let t2 = tc.begin().unwrap();
-    assert_eq!(tc.read(t2, T, Key::from_u64(0)).unwrap(), Some(b"committed".to_vec()));
-    assert_eq!(tc.read(t2, T, Key::from_u64(100)).unwrap(), Some(b"active".to_vec()));
-    assert_eq!(tc.read(t2, T, Key::from_u64(101)).unwrap(), Some(b"active2".to_vec()));
+    assert_eq!(
+        tc.read(t2, T, Key::from_u64(0)).unwrap(),
+        Some(b"committed".to_vec())
+    );
+    assert_eq!(
+        tc.read(t2, T, Key::from_u64(100)).unwrap(),
+        Some(b"active".to_vec())
+    );
+    assert_eq!(
+        tc.read(t2, T, Key::from_u64(101)).unwrap(),
+        Some(b"active2".to_vec())
+    );
     tc.commit(t2).unwrap();
     assert_eq!(tc.stats().snapshot().dc_recoveries, 1);
 }
@@ -258,18 +313,23 @@ fn tc_crash_loses_uncommitted_keeps_committed() {
     let d = basic(TransportKind::Inline);
     let tc = d.tc(TcId(1));
     let t0 = tc.begin().unwrap();
-    tc.insert(t0, T, Key::from_u64(1), b"committed".to_vec()).unwrap();
+    tc.insert(t0, T, Key::from_u64(1), b"committed".to_vec())
+        .unwrap();
     tc.commit(t0).unwrap();
     // Uncommitted transaction: its ops reached the DC cache.
     let t1 = tc.begin().unwrap();
-    tc.insert(t1, T, Key::from_u64(2), b"uncommitted".to_vec()).unwrap();
+    tc.insert(t1, T, Key::from_u64(2), b"uncommitted".to_vec())
+        .unwrap();
 
     d.crash_tc(TcId(1));
     d.reboot_tc(TcId(1));
     let tc = d.tc(TcId(1)); // new incarnation
 
     let t2 = tc.begin().unwrap();
-    assert_eq!(tc.read(t2, T, Key::from_u64(1)).unwrap(), Some(b"committed".to_vec()));
+    assert_eq!(
+        tc.read(t2, T, Key::from_u64(1)).unwrap(),
+        Some(b"committed".to_vec())
+    );
     assert_eq!(
         tc.read(t2, T, Key::from_u64(2)).unwrap(),
         None,
@@ -283,13 +343,16 @@ fn tc_crash_mid_transaction_rolls_back_stable_loser() {
     let d = basic(TransportKind::Inline);
     let tc = d.tc(TcId(1));
     let t0 = tc.begin().unwrap();
-    tc.insert(t0, T, Key::from_u64(1), b"base".to_vec()).unwrap();
+    tc.insert(t0, T, Key::from_u64(1), b"base".to_vec())
+        .unwrap();
     tc.commit(t0).unwrap();
     // A loser whose operations ARE on the stable log (forced but not
     // committed): recovery must repeat history then roll it back.
     let t1 = tc.begin().unwrap();
-    tc.update(t1, T, Key::from_u64(1), b"loser".to_vec()).unwrap();
-    tc.insert(t1, T, Key::from_u64(2), b"loser".to_vec()).unwrap();
+    tc.update(t1, T, Key::from_u64(1), b"loser".to_vec())
+        .unwrap();
+    tc.insert(t1, T, Key::from_u64(2), b"loser".to_vec())
+        .unwrap();
     tc.force_and_publish(); // ops stable, commit record absent
 
     d.crash_tc(TcId(1));
@@ -312,12 +375,14 @@ fn complete_failure_recovers_committed_state() {
     let tc = d.tc(TcId(1));
     for k in 0..50u64 {
         let t = tc.begin().unwrap();
-        tc.insert(t, T, Key::from_u64(k), format!("v{k}").into_bytes()).unwrap();
+        tc.insert(t, T, Key::from_u64(k), format!("v{k}").into_bytes())
+            .unwrap();
         tc.commit(t).unwrap();
     }
     // Loser in flight.
     let loser = tc.begin().unwrap();
-    tc.update(loser, T, Key::from_u64(0), b"loser".to_vec()).unwrap();
+    tc.update(loser, T, Key::from_u64(0), b"loser".to_vec())
+        .unwrap();
 
     d.crash_all();
     d.reboot_all();
@@ -343,7 +408,10 @@ fn checkpoint_bounds_recovery_work() {
         tc.commit(t).unwrap();
     }
     let rssp = tc.checkpoint().unwrap();
-    assert!(rssp.0 > 60, "rssp should cover the pre-checkpoint work, got {rssp}");
+    assert!(
+        rssp.0 > 60,
+        "rssp should cover the pre-checkpoint work, got {rssp}"
+    );
     for k in 30..35u64 {
         let t = tc.begin().unwrap();
         tc.insert(t, T, Key::from_u64(k), b"v".to_vec()).unwrap();
@@ -366,16 +434,27 @@ fn checkpoint_bounds_recovery_work() {
 #[test]
 fn works_across_queued_transport_with_delay() {
     let kind = TransportKind::Queued {
-        faults: FaultModel { delay: std::time::Duration::from_micros(100), ..Default::default() },
+        faults: FaultModel {
+            delay: std::time::Duration::from_micros(100),
+            ..Default::default()
+        },
         workers: 2,
         batch: 4,
     };
-    let d = single(TcConfig::default(), DcConfig::default(), kind, &[TableSpec::plain(T, "t")]);
+    let d = single(
+        TcConfig::default(),
+        DcConfig::default(),
+        kind,
+        &[TableSpec::plain(T, "t")],
+    );
     let tc = d.tc(TcId(1));
     let t = tc.begin().unwrap();
     tc.insert(t, T, Key::from_u64(1), b"v".to_vec()).unwrap();
     tc.commit(t).unwrap();
-    assert_eq!(tc.read_dirty(T, Key::from_u64(1)).unwrap(), Some(b"v".to_vec()));
+    assert_eq!(
+        tc.read_dirty(T, Key::from_u64(1)).unwrap(),
+        Some(b"v".to_vec())
+    );
 }
 
 #[test]
@@ -388,21 +467,36 @@ fn versioned_sharing_read_committed_vs_dirty() {
     );
     let tc = d.tc(TcId(1));
     let t0 = tc.begin().unwrap();
-    tc.versioned_write(t0, T, Key::from_u64(1), b"v1".to_vec()).unwrap();
+    tc.versioned_write(t0, T, Key::from_u64(1), b"v1".to_vec())
+        .unwrap();
     tc.commit(t0).unwrap();
     // Open transaction with a pending update.
     let t1 = tc.begin().unwrap();
-    tc.versioned_write(t1, T, Key::from_u64(1), b"v2-pending".to_vec()).unwrap();
+    tc.versioned_write(t1, T, Key::from_u64(1), b"v2-pending".to_vec())
+        .unwrap();
     // Readers never block; committed sees v1, dirty sees v2.
-    assert_eq!(tc.read_committed(T, Key::from_u64(1)).unwrap(), Some(b"v1".to_vec()));
-    assert_eq!(tc.read_dirty(T, Key::from_u64(1)).unwrap(), Some(b"v2-pending".to_vec()));
+    assert_eq!(
+        tc.read_committed(T, Key::from_u64(1)).unwrap(),
+        Some(b"v1".to_vec())
+    );
+    assert_eq!(
+        tc.read_dirty(T, Key::from_u64(1)).unwrap(),
+        Some(b"v2-pending".to_vec())
+    );
     tc.commit(t1).unwrap();
-    assert_eq!(tc.read_committed(T, Key::from_u64(1)).unwrap(), Some(b"v2-pending".to_vec()));
+    assert_eq!(
+        tc.read_committed(T, Key::from_u64(1)).unwrap(),
+        Some(b"v2-pending".to_vec())
+    );
     // Abort path restores the committed version.
     let t2 = tc.begin().unwrap();
-    tc.versioned_write(t2, T, Key::from_u64(1), b"v3-doomed".to_vec()).unwrap();
+    tc.versioned_write(t2, T, Key::from_u64(1), b"v3-doomed".to_vec())
+        .unwrap();
     tc.abort(t2).unwrap();
-    assert_eq!(tc.read_committed(T, Key::from_u64(1)).unwrap(), Some(b"v2-pending".to_vec()));
+    assert_eq!(
+        tc.read_committed(T, Key::from_u64(1)).unwrap(),
+        Some(b"v2-pending".to_vec())
+    );
 }
 
 #[test]
@@ -413,7 +507,11 @@ fn concurrent_clients_exactly_once_under_reordering() {
     // in-flight operation, which the DC then wrongly suppressed.
     use std::sync::Arc;
     let kind = TransportKind::Queued {
-        faults: FaultModel { reorder: 0.4, loss: 0.1, ..Default::default() },
+        faults: FaultModel {
+            reorder: 0.4,
+            loss: 0.1,
+            ..Default::default()
+        },
         workers: 4,
         batch: 1,
     };
@@ -421,7 +519,12 @@ fn concurrent_clients_exactly_once_under_reordering() {
         resend_interval: std::time::Duration::from_millis(3),
         ..Default::default()
     };
-    let d = Arc::new(single(cfg, DcConfig::default(), kind, &[TableSpec::plain(T, "t")]));
+    let d = Arc::new(single(
+        cfg,
+        DcConfig::default(),
+        kind,
+        &[TableSpec::plain(T, "t")],
+    ));
     let n_threads = 4u64;
     let per_thread = 100u64;
     let d2 = d.clone();
@@ -446,5 +549,9 @@ fn concurrent_clients_exactly_once_under_reordering() {
     let t = tc.begin().unwrap();
     let rows = tc.scan(t, T, Key::empty(), None, None).unwrap();
     tc.commit(t).unwrap();
-    assert_eq!(rows.len(), (n_threads * per_thread) as usize, "every committed insert exactly once");
+    assert_eq!(
+        rows.len(),
+        (n_threads * per_thread) as usize,
+        "every committed insert exactly once"
+    );
 }

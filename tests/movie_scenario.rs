@@ -2,9 +2,7 @@
 //! partitioned TCs and DCs, workloads W1–W4, sharing without 2PC.
 
 use unbundled::core::ReadFlavor;
-use unbundled::kernel::scenarios::{
-    MovieSite, DC_MOVIES_LOW, DC_USERS, TC_EVEN, TC_ODD,
-};
+use unbundled::kernel::scenarios::{MovieSite, DC_MOVIES_LOW, DC_USERS, TC_EVEN, TC_ODD};
 use unbundled::kernel::TransportKind;
 
 fn site() -> MovieSite {
@@ -17,7 +15,8 @@ fn site() -> MovieSite {
 #[test]
 fn w2_add_review_spans_two_dcs_without_2pc() {
     let s = site();
-    s.w2_add_review(4, 7, b"greatest bridge movie ever").unwrap();
+    s.w2_add_review(4, 7, b"greatest bridge movie ever")
+        .unwrap();
     // The review is clustered with its movie (W1 path, DC1)…
     let reviews = s.w1_reviews_for_movie(7, ReadFlavor::Committed).unwrap();
     assert_eq!(reviews.len(), 1);
@@ -32,12 +31,25 @@ fn w2_add_review_spans_two_dcs_without_2pc() {
 fn w1_reads_cluster_on_a_single_dc() {
     let s = site();
     for u in 0..6u64 {
-        s.w2_add_review(u, 3, format!("review from {u}").as_bytes()).unwrap();
+        s.w2_add_review(u, 3, format!("review from {u}").as_bytes())
+            .unwrap();
     }
-    let low_reads_before = s.deployment.dc(DC_MOVIES_LOW).engine().stats().snapshot().reads;
+    let low_reads_before = s
+        .deployment
+        .dc(DC_MOVIES_LOW)
+        .engine()
+        .stats()
+        .snapshot()
+        .reads;
     let reviews = s.w1_reviews_for_movie(3, ReadFlavor::Committed).unwrap();
     assert_eq!(reviews.len(), 6);
-    let low_reads_after = s.deployment.dc(DC_MOVIES_LOW).engine().stats().snapshot().reads;
+    let low_reads_after = s
+        .deployment
+        .dc(DC_MOVIES_LOW)
+        .engine()
+        .stats()
+        .snapshot()
+        .reads;
     assert!(low_reads_after > low_reads_before, "movie 3 lives on DC1");
     // Clustered access: the user DC was not touched by W1.
     let user_dc_reads = s.deployment.dc(DC_USERS).engine().stats().snapshot().reads;
@@ -105,7 +117,10 @@ fn abort_of_review_leaves_no_trace_anywhere() {
     )
     .unwrap();
     tc.abort(txn).unwrap();
-    assert!(s.w1_reviews_for_movie(9, ReadFlavor::Committed).unwrap().is_empty());
+    assert!(s
+        .w1_reviews_for_movie(9, ReadFlavor::Committed)
+        .unwrap()
+        .is_empty());
     assert!(s.w4_reviews_by_user(2).unwrap().is_empty());
 }
 
@@ -136,7 +151,12 @@ fn updating_tc_crash_does_not_disturb_other_tc() {
     assert_eq!(m2[0].0, 3);
     // And the rebooted TC works again.
     s.w2_add_review(0, 2, b"even user back").unwrap();
-    assert_eq!(s.w1_reviews_for_movie(2, ReadFlavor::Committed).unwrap().len(), 2);
+    assert_eq!(
+        s.w1_reviews_for_movie(2, ReadFlavor::Committed)
+            .unwrap()
+            .len(),
+        2
+    );
 }
 
 #[test]

@@ -89,8 +89,10 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..40)).prop_map(|(k, v)| Op::Insert(k, v)),
-        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..40)).prop_map(|(k, v)| Op::Update(k, v)),
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(k, v)| Op::Insert(k, v)),
+        (any::<u16>(), prop::collection::vec(any::<u8>(), 0..40))
+            .prop_map(|(k, v)| Op::Update(k, v)),
         any::<u16>().prop_map(Op::Delete),
     ]
 }

@@ -19,12 +19,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Identifier from a function name and a displayed parameter.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// Identifier from a parameter alone.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -109,7 +113,10 @@ fn run_one(full_name: &str, cfg: &MeasurementConfig, f: &mut dyn FnMut(&mut Benc
     let warm_start = Instant::now();
     let mut warm_iters: u64 = 0;
     while warm_start.elapsed() < cfg.warm_up_time {
-        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         warm_iters += 1;
         if warm_iters >= 1_000 {
@@ -126,7 +133,10 @@ fn run_one(full_name: &str, cfg: &MeasurementConfig, f: &mut dyn FnMut(&mut Benc
     let mut total_iters: u64 = 0;
     let measure_start = Instant::now();
     for _ in 0..cfg.sample_size.max(1) {
-        let mut b = Bencher { iters: iters_per_sample, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         total += b.elapsed;
         total_iters += iters_per_sample;
@@ -203,7 +213,11 @@ pub struct Criterion {}
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), cfg: MeasurementConfig::default(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: MeasurementConfig::default(),
+            _criterion: self,
+        }
     }
 
     /// Measure a stand-alone benchmark with default settings.

@@ -67,7 +67,12 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (Sender { shared: shared.clone() }, Receiver { shared })
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Sender<T> {
@@ -76,7 +81,11 @@ pub mod channel {
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
-            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(value);
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(value);
             self.shared.ready.notify_one();
             Ok(())
         }
@@ -85,7 +94,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.senders.fetch_add(1, Ordering::AcqRel);
-            Sender { shared: self.shared.clone() }
+            Sender {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -114,7 +125,11 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                queue = self.shared.ready.wait(queue).unwrap_or_else(|e| e.into_inner());
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
             }
         }
 
@@ -133,7 +148,11 @@ pub mod channel {
 
         /// Number of queued messages.
         pub fn len(&self) -> usize {
-            self.shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
         }
 
         /// Whether the queue is currently empty.
@@ -145,7 +164,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.shared.receivers.fetch_add(1, Ordering::AcqRel);
-            Receiver { shared: self.shared.clone() }
+            Receiver {
+                shared: self.shared.clone(),
+            }
         }
     }
 

@@ -26,7 +26,9 @@ impl<T> Mutex<T> {
     /// Create a new mutex.
     #[inline]
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the underlying data.
@@ -40,7 +42,9 @@ impl<T: ?Sized> Mutex<T> {
     /// Acquire the mutex, blocking until it is available.
     #[inline]
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     /// Attempt to acquire the mutex without blocking.
@@ -48,9 +52,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { inner: Some(e.into_inner()) })
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -116,7 +120,9 @@ impl Condvar {
     /// Create a new condition variable.
     #[inline]
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Block until notified.
@@ -141,7 +147,9 @@ impl Condvar {
             }
         };
         guard.inner = Some(g);
-        WaitTimeoutResult { timed_out: res.timed_out() }
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 
     /// Block until notified or the deadline `until` is reached.
@@ -198,7 +206,9 @@ impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     #[inline]
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the underlying data.
@@ -212,13 +222,17 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
     #[inline]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Acquire exclusive write access.
     #[inline]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Attempt shared read access without blocking.
@@ -226,9 +240,9 @@ impl<T: ?Sized> RwLock<T> {
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.inner.try_read() {
             Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(RwLockReadGuard { inner: e.into_inner() })
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                inner: e.into_inner(),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -238,9 +252,9 @@ impl<T: ?Sized> RwLock<T> {
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
         match self.inner.try_write() {
             Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(RwLockWriteGuard { inner: e.into_inner() })
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                inner: e.into_inner(),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }

@@ -42,7 +42,9 @@ pub mod test_runner {
     impl TestRng {
         /// RNG seeded with `seed`.
         pub fn new(seed: u64) -> Self {
-            TestRng { state: seed ^ 0x9E3779B97F4A7C15 }
+            TestRng {
+                state: seed ^ 0x9E3779B97F4A7C15,
+            }
         }
 
         /// Next 64 random bits.
@@ -90,7 +92,9 @@ pub mod strategy {
         where
             Self: Sized + 'static,
         {
-            BoxedStrategy { inner: Box::new(self) }
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
         }
     }
 
@@ -217,7 +221,9 @@ pub mod strategy {
 
     /// Make an [`Any`] strategy (the engine behind `any::<T>()`).
     pub fn any_with_marker<T>() -> Any<T> {
-        Any { _marker: std::marker::PhantomData }
+        Any {
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Sample a `BTreeSet` via repeated insertion (see `collection::btree_set`).
@@ -303,13 +309,19 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.end > r.start, "empty collection size range");
-            SizeRange { start: r.start, end: r.end }
+            SizeRange {
+                start: r.start,
+                end: r.end,
+            }
         }
     }
 
     impl From<usize> for SizeRange {
         fn from(n: usize) -> Self {
-            SizeRange { start: n, end: n + 1 }
+            SizeRange {
+                start: n,
+                end: n + 1,
+            }
         }
     }
 
@@ -329,7 +341,10 @@ pub mod collection {
 
     /// Generate vectors of `elem` values.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     /// Strategy for `BTreeSet<S::Value>` with target size drawn from `size`.
@@ -355,7 +370,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { elem, size: size.into() }
+        BTreeSetStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 }
 
