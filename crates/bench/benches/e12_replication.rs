@@ -1,0 +1,26 @@
+//! E12: logical log shipping — read-only replicas, bounded-staleness
+//! reads, failover promotion.
+//!
+//! The TC's purely logical redo log *is* a replication stream: shipping
+//! it to read-only DC replicas scales committed reads across machines.
+//! This experiment measures aggregate read throughput at 0/1/2/4
+//! replicas under a read-heavy mix (each DC modeled as a one-datagram-
+//! at-a-time service channel), sweeps read-your-writes staleness tokens
+//! for violations, and drills a failover promotion with a subsequent
+//! crash of the new primary plus the TC.
+//!
+//! The harness lives in `unbundled_bench::e12` and is shared with the
+//! report binary, which serializes the same rows as `BENCH_e12.json`.
+//!
+//! Run modes: full (default) or smoke (`E12_SMOKE=1`, used by CI as a
+//! regression gate — the run fails if 4 replicas stop delivering ≥ 2×
+//! aggregate reads over primary-only, if any read observes a stale
+//! value under its token, or if a promoted replica loses an
+//! acknowledged commit).
+
+fn main() {
+    let smoke = std::env::var("E12_SMOKE").is_ok();
+    let report = unbundled_bench::e12::run_e12(smoke);
+    report.print();
+    report.assert_gates();
+}

@@ -1,5 +1,5 @@
 //! Experiment report: prints the measured rows for every experiment
-//! E1–E11 (one section per figure/claim of the paper). This complements
+//! E1–E12 (one section per figure/claim of the paper). This complements
 //! the Criterion benches with counter-based measurements — lock counts,
 //! message counts, log bytes, reset sizes — that wall-clock timing alone
 //! cannot show.
@@ -8,15 +8,18 @@
 //! cargo run -p unbundled_bench --bin report --release
 //! ```
 //!
-//! The commit-path experiment (E11) can run alone and serialize its
-//! rows and regression gates as machine-readable telemetry — CI uploads
-//! this on every run so the perf trajectory is recorded, not discarded:
+//! The commit-path (E11) and replication (E12) experiments can run
+//! alone and serialize their rows and regression gates as
+//! machine-readable telemetry — CI uploads these on every run so the
+//! perf trajectory is recorded, not discarded:
 //!
 //! ```sh
 //! cargo run -p unbundled_bench --bin report --release -- e11 --json BENCH_e11.json
+//! cargo run -p unbundled_bench --bin report --release -- e12 --json BENCH_e12.json
 //! ```
 //!
-//! `E11_SMOKE=1` shrinks the e11 workload exactly like the bench gate.
+//! `E11_SMOKE=1` / `E12_SMOKE=1` shrink the workloads exactly like the
+//! bench gates.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -49,7 +52,10 @@ fn main() {
     }
     match only.as_deref() {
         Some("e11") => e11(json.as_deref()),
-        Some(other) => panic!("unknown section {other:?} (only \"e11\" can run alone)"),
+        Some("e12") => e12(json.as_deref()),
+        Some(other) => {
+            panic!("unknown section {other:?} (only \"e11\" / \"e12\" can run alone)")
+        }
         None => {
             e1();
             e2();
@@ -62,6 +68,7 @@ fn main() {
             e9();
             e10();
             e11(json.as_deref());
+            e12(json.as_deref());
         }
     }
     println!("\nreport complete.");
@@ -623,6 +630,18 @@ fn e11(json: Option<&str>) {
     if let Some(path) = json {
         std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("e11 telemetry written to {path}");
+    }
+    report.assert_gates();
+}
+
+fn e12(json: Option<&str>) {
+    header("E12: replication — read-only replicas, bounded staleness, failover promotion");
+    let smoke = std::env::var("E12_SMOKE").is_ok();
+    let report = unbundled_bench::e12::run_e12(smoke);
+    report.print();
+    if let Some(path) = json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("e12 telemetry written to {path}");
     }
     report.assert_gates();
 }

@@ -1,0 +1,462 @@
+//! E12 harness: logical log shipping — read-only replicas, bounded
+//! staleness, failover promotion.
+//!
+//! Shared by `benches/e12_replication.rs` (the CI regression gate) and
+//! `src/bin/report.rs` (which serializes the same rows as
+//! `BENCH_e12.json` telemetry).
+//!
+//! The experiment models each DC as a service channel: a queued link
+//! with one worker and a per-datagram wire delay, so a DC serves at most
+//! one datagram per delay. Read throughput then scales with the number
+//! of DCs serving reads — which is exactly what replication buys:
+//!
+//! * **read scaling** — a read-heavy mix against primary-only
+//!   vs. 1/2/4 replicas (reads routed with a permissive staleness
+//!   bound, writes always on the primary);
+//! * **staleness** — read-your-writes tokens
+//!   ([`ReadConsistency::AtLeast`]) must never observe a value older
+//!   than the committed write the token covers — zero violations at any
+//!   setting;
+//! * **failover** — a promoted replica serves writes, and every
+//!   acknowledged commit survives a post-promotion crash of the new
+//!   primary *and* the TC.
+
+use crate::TABLE;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use unbundled_core::{DcId, Key, TableSpec, TcId};
+use unbundled_dc::DcConfig;
+use unbundled_kernel::{Deployment, FaultModel, TransportKind};
+use unbundled_tc::{GatherWindow, GroupCommitCfg, ReadConsistency, TableRoute, TcConfig};
+
+/// Simulated log-device flush latency (NVMe-class fsync).
+pub const FORCE_LATENCY: Duration = Duration::from_micros(150);
+
+/// Per-datagram wire delay: the per-DC service cost reads amortize by
+/// spreading across replicas.
+pub const WIRE_DELAY: Duration = Duration::from_micros(25);
+
+const PRIMARY: DcId = DcId(1);
+const KEYS: u64 = 64;
+
+/// One measured configuration.
+pub struct E12Row {
+    /// Configuration label.
+    pub label: String,
+    /// Read-only replicas serving reads.
+    pub replicas: usize,
+    /// Aggregate committed reads per second.
+    pub reads_per_sec: f64,
+    /// Reads served by replicas (the rest fell back to the primary).
+    pub replica_reads: u64,
+    /// Replica-eligible reads that fell back to the primary.
+    pub fallbacks: u64,
+    /// Writer transactions committed during the read phase.
+    pub commits: u64,
+    /// `ShipBatch` datagrams shipped.
+    pub ship_batches: u64,
+    /// Read-your-writes staleness violations (must be zero).
+    pub stale_violations: u64,
+}
+
+/// One pass/fail regression gate.
+pub struct E12Gate {
+    /// What the gate checks.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Minimum acceptable value.
+    pub threshold: f64,
+    /// Whether the gate held.
+    pub pass: bool,
+}
+
+/// The full experiment output.
+pub struct E12Report {
+    /// `smoke` (CI) or `full`.
+    pub mode: String,
+    /// Reads per reader thread.
+    pub per_reader: u64,
+    /// All measured rows.
+    pub rows: Vec<E12Row>,
+    /// Regression gates over the rows.
+    pub gates: Vec<E12Gate>,
+}
+
+fn service_channel() -> TransportKind {
+    TransportKind::Queued {
+        faults: FaultModel {
+            delay: WIRE_DELAY,
+            ..FaultModel::default()
+        },
+        workers: 1,
+        batch: 1,
+    }
+}
+
+fn deployment(replicas: usize) -> Deployment {
+    let mut d = Deployment::new();
+    d.add_dc(PRIMARY, DcConfig::default());
+    d.add_tc(
+        TcId(1),
+        TcConfig {
+            resend_interval: Duration::from_millis(10),
+            group_commit: Some(GroupCommitCfg {
+                window: GatherWindow::adaptive(),
+                ..GroupCommitCfg::default()
+            }),
+            force_every: usize::MAX,
+            ..TcConfig::default()
+        },
+    );
+    d.connect(TcId(1), PRIMARY, service_channel());
+    d.create_table(PRIMARY, TableSpec::plain(TABLE, "t"));
+    d.route(TcId(1), TABLE, TableRoute::Single(PRIMARY));
+    for i in 0..replicas {
+        let id = DcId(101 + i as u16);
+        d.add_replica(id, PRIMARY, DcConfig::default());
+        d.connect_replica(TcId(1), id, service_channel());
+    }
+    d
+}
+
+/// Wait until every replica's applied frontier reaches the current ship
+/// frontier (the pump keeps shipping in the background).
+fn wait_converged(d: &Deployment, deadline: Duration) {
+    let tc = d.tc(TcId(1));
+    let until = Instant::now() + deadline;
+    loop {
+        let frontier = d.pump_replication(TcId(1));
+        if tc.replica_lag().iter().all(|l| l.applied >= frontier) {
+            return;
+        }
+        assert!(
+            Instant::now() < until,
+            "replicas failed to converge: {:?}",
+            tc.replica_lag()
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+/// One read-scaling configuration: `readers` threads issue point reads
+/// with a permissive staleness bound while one writer keeps committing;
+/// afterwards a read-your-writes staleness sweep counts violations.
+fn run_read_mix(replicas: usize, readers: usize, per_reader: u64, stale_probes: u64) -> E12Row {
+    let d = Arc::new(deployment(replicas));
+    let tc = d.tc(TcId(1));
+    for k in 0..KEYS {
+        let t = tc.begin().expect("begin");
+        tc.insert(t, TABLE, Key::from_u64(k), vec![0u8; 16])
+            .expect("insert");
+        tc.commit(t).expect("commit");
+    }
+    let _pump = d.start_replication_pump(TcId(1), Duration::from_micros(500));
+    wait_converged(&d, Duration::from_secs(10));
+    d.tc_log(TcId(1)).set_force_latency(FORCE_LATENCY);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let commits = Arc::new(AtomicU64::new(0));
+    let writer = {
+        let d = d.clone();
+        let stop = stop.clone();
+        let commits = commits.clone();
+        std::thread::spawn(move || {
+            let tc = d.tc(TcId(1));
+            let mut i = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                let k = (i.wrapping_mul(2654435761)) % KEYS;
+                let t = tc.begin().expect("begin");
+                tc.update(t, TABLE, Key::from_u64(k), vec![(i % 251) as u8; 16])
+                    .expect("update");
+                tc.commit(t).expect("commit");
+                commits.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        })
+    };
+
+    let reads_before = tc.stats().snapshot();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for r in 0..readers as u64 {
+            let tc = Arc::clone(&tc);
+            s.spawn(move || {
+                for i in 0..per_reader {
+                    let k = (r.wrapping_mul(7919).wrapping_add(i)) % KEYS;
+                    let v = tc
+                        .read_replica(
+                            TABLE,
+                            Key::from_u64(k),
+                            ReadConsistency::BoundedLag(u64::MAX),
+                        )
+                        .expect("read");
+                    assert!(v.is_some(), "preloaded key {k} must exist everywhere");
+                }
+            });
+        }
+    });
+    let wall = start.elapsed();
+    stop.store(true, Ordering::Release);
+    writer.join().expect("writer");
+    d.tc_log(TcId(1)).set_force_latency(Duration::ZERO);
+
+    // Staleness sweep: commit a versioned payload, capture a token,
+    // wait for the frontier to cover it, then a token-routed read must
+    // see a payload at least as new. Routing makes this structural
+    // (stale replicas are skipped; the primary fallback holds an
+    // instant S lock), so any violation is a real bug.
+    let mut violations = 0u64;
+    let probe_key = Key::from_u64(0);
+    for i in 1..=stale_probes {
+        let t = tc.begin().expect("begin");
+        tc.update(t, TABLE, probe_key.clone(), i.to_le_bytes().to_vec())
+            .expect("update");
+        tc.commit(t).expect("commit");
+        let token = tc.read_token();
+        if replicas > 0 {
+            // Let the fleet catch up so replicas (not only the primary
+            // fallback) serve a share of the token reads.
+            let until = Instant::now() + Duration::from_millis(200);
+            while tc.replica_lag().iter().all(|l| l.applied < token) && Instant::now() < until {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+        let v = tc
+            .read_replica(TABLE, probe_key.clone(), ReadConsistency::AtLeast(token))
+            .expect("token read");
+        let seen = v
+            .as_deref()
+            .and_then(|b| b.get(..8))
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .unwrap_or(0);
+        if seen < i {
+            violations += 1;
+        }
+    }
+
+    let snap = tc.stats().snapshot();
+    let reads = readers as u64 * per_reader;
+    E12Row {
+        label: format!("{replicas} replicas, {readers} readers"),
+        replicas,
+        reads_per_sec: reads as f64 / wall.as_secs_f64(),
+        replica_reads: snap.replica_reads - reads_before.replica_reads,
+        fallbacks: snap.replica_read_fallbacks - reads_before.replica_read_fallbacks,
+        commits: commits.load(Ordering::Relaxed),
+        ship_batches: snap.ship_batches,
+        stale_violations: violations,
+    }
+}
+
+/// Failover drill: commit against the primary, promote a replica,
+/// commit against the new primary, then crash the new primary *and* the
+/// TC. Every acknowledged commit must be readable afterwards, and the
+/// deposed primary must stay fenced. Returns true on full durability.
+fn run_failover() -> bool {
+    let d = deployment(2);
+    let tc = d.tc(TcId(1));
+    for k in 0..24u64 {
+        let t = tc.begin().expect("begin");
+        tc.insert(t, TABLE, Key::from_u64(k), format!("pre-{k}").into_bytes())
+            .expect("insert");
+        tc.commit(t).expect("commit");
+    }
+    wait_converged(&d, Duration::from_secs(10));
+    d.promote_replica(TcId(1), PRIMARY, DcId(101));
+    let tc = d.tc(TcId(1));
+    for k in 24..32u64 {
+        let t = tc.begin().expect("begin");
+        tc.insert(t, TABLE, Key::from_u64(k), format!("post-{k}").into_bytes())
+            .expect("insert");
+        tc.commit(t).expect("commit");
+    }
+    // Full storm: the new primary, the deposed one, the surviving
+    // replica and the TC all crash at once; stable state must carry
+    // every acknowledged commit.
+    d.crash_all();
+    d.reboot_all();
+    let tc = d.tc(TcId(1));
+    let t = tc.begin().expect("begin");
+    let rows = tc
+        .scan(t, TABLE, Key::empty(), None, None)
+        .expect("post-failover scan");
+    tc.commit(t).expect("commit");
+    let fenced = d.dc(PRIMARY).is_fenced();
+    rows.len() == 32
+        && (0..32u64).all(|k| {
+            rows.iter().any(|(key, v)| {
+                *key == Key::from_u64(k)
+                    && v == format!("{}-{k}", if k < 24 { "pre" } else { "post" }).as_bytes()
+            })
+        })
+        && fenced
+}
+
+/// Run the full experiment. `smoke` shrinks the workload for CI; the
+/// gates are identical in both modes.
+pub fn run_e12(smoke: bool) -> E12Report {
+    let per_reader: u64 = if smoke { 150 } else { 600 };
+    let stale_probes: u64 = if smoke { 25 } else { 100 };
+    let readers = 8usize;
+    let mut rows = Vec::new();
+    for replicas in [0usize, 1, 2, 4] {
+        rows.push(run_read_mix(replicas, readers, per_reader, stale_probes));
+    }
+    let failover_ok = run_failover();
+    let gates = gates(&rows, failover_ok);
+    E12Report {
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        per_reader,
+        rows,
+        gates,
+    }
+}
+
+fn gates(rows: &[E12Row], failover_ok: bool) -> Vec<E12Gate> {
+    let mut gates = Vec::new();
+    let mut gate = |name: String, value: f64, threshold: f64| {
+        gates.push(E12Gate {
+            name,
+            value,
+            threshold,
+            pass: value >= threshold,
+        });
+    };
+    let base = rows
+        .iter()
+        .find(|r| r.replicas == 0)
+        .expect("primary-only row");
+    let four = rows
+        .iter()
+        .find(|r| r.replicas == 4)
+        .expect("4-replica row");
+    gate(
+        "aggregate read throughput @4 replicas vs primary-only".into(),
+        four.reads_per_sec / base.reads_per_sec,
+        2.0,
+    );
+    gate(
+        "replicas actually serve reads @4 (replica-read share)".into(),
+        four.replica_reads as f64 / (four.replica_reads + four.fallbacks).max(1) as f64,
+        0.5,
+    );
+    let total_violations: u64 = rows.iter().map(|r| r.stale_violations).sum();
+    gate(
+        "zero stale-read violations across all staleness settings".into(),
+        if total_violations == 0 { 1.0 } else { 0.0 },
+        1.0,
+    );
+    gate(
+        "failover: promoted replica serves writes with full durability".into(),
+        if failover_ok { 1.0 } else { 0.0 },
+        1.0,
+    );
+    gates
+}
+
+impl E12Report {
+    /// Print the rows and gates as the bench's human-readable table.
+    pub fn print(&self) {
+        println!(
+            "e12_replication ({} mode, wire delay {:?}, force latency {:?}, {} reads/reader)",
+            self.mode, WIRE_DELAY, FORCE_LATENCY, self.per_reader
+        );
+        println!(
+            "{:<26} {:>9} {:>12} {:>14} {:>10} {:>9} {:>12} {:>11}",
+            "config",
+            "replicas",
+            "reads/s",
+            "replica_reads",
+            "fallbacks",
+            "commits",
+            "ship_batches",
+            "stale_viol"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<26} {:>9} {:>12.0} {:>14} {:>10} {:>9} {:>12} {:>11}",
+                r.label,
+                r.replicas,
+                r.reads_per_sec,
+                r.replica_reads,
+                r.fallbacks,
+                r.commits,
+                r.ship_batches,
+                r.stale_violations
+            );
+        }
+        for g in &self.gates {
+            println!(
+                "gate: {:<58} {:>6.2} (>= {:.2}) — {}",
+                g.name,
+                g.value,
+                g.threshold,
+                if g.pass { "OK" } else { "FAIL" }
+            );
+        }
+    }
+
+    /// Panic if any regression gate failed (the CI bar).
+    pub fn assert_gates(&self) {
+        for g in &self.gates {
+            assert!(
+                g.pass,
+                "e12 gate failed: {} — measured {:.3}, need >= {:.3}",
+                g.name, g.value, g.threshold
+            );
+        }
+    }
+
+    /// Serialize the whole report as JSON (no external dependencies).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"e12_replication\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"per_reader_reads\": {},\n", self.per_reader));
+        s.push_str(&format!(
+            "  \"wire_delay_us\": {},\n  \"force_latency_us\": {},\n",
+            WIRE_DELAY.as_micros(),
+            FORCE_LATENCY.as_micros()
+        ));
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": \"{}\", \"replicas\": {}, \"reads_per_sec\": {}, \
+                 \"replica_reads\": {}, \"fallbacks\": {}, \"commits\": {}, \
+                 \"ship_batches\": {}, \"stale_violations\": {}}}{}\n",
+                r.label,
+                r.replicas,
+                num(r.reads_per_sec),
+                r.replica_reads,
+                r.fallbacks,
+                r.commits,
+                r.ship_batches,
+                r.stale_violations,
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n  \"gates\": [\n");
+        for (i, g) in self.gates.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {}, \"threshold\": {}, \"pass\": {}}}{}\n",
+                g.name,
+                num(g.value),
+                num(g.threshold),
+                g.pass,
+                if i + 1 == self.gates.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}

@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod e11;
+pub mod e12;
 
 use std::sync::Arc;
 use unbundled_core::{DcId, Key, TableId, TableSpec, TcId};

@@ -41,6 +41,9 @@ pub enum DcError {
     VersioningMismatch(TableId),
     /// The DC is restarting and cannot serve normal requests yet.
     Restarting,
+    /// The DC refuses mutations: it is a read-only replica, or an old
+    /// primary fenced off after a failover promotion. Reads still work.
+    Fenced(DcId),
     /// Corrupt stable state encountered.
     Corrupt(String),
 }
@@ -53,6 +56,7 @@ impl fmt::Display for DcError {
             DcError::KeyNotFound(t, k) => write!(f, "key {k} not found in {t}"),
             DcError::VersioningMismatch(t) => write!(f, "versioning mismatch on {t}"),
             DcError::Restarting => write!(f, "data component is restarting"),
+            DcError::Fenced(d) => write!(f, "{d} is fenced: not the writable primary"),
             DcError::Corrupt(s) => write!(f, "corrupt state: {s}"),
         }
     }

@@ -103,6 +103,63 @@ pub enum TcToDc {
         /// Recovering TC.
         tc: TcId,
     },
+    /// Replication: a batch of *committed* logical redo shipped to a
+    /// read-only DC replica. The TC's logical log is already a
+    /// record-oriented replication stream (any DC that replays it
+    /// converges to the primary's committed state); this message carries
+    /// one contiguous slice of it, structured as **groups** — one per
+    /// committed transaction (positioned at its commit-record LSN) or
+    /// per redo-only record (positioned at its own LSN).
+    ///
+    /// Idempotence is two-layered: a replica skips whole groups at or
+    /// below its applied frontier (a re-delivered group must never
+    /// re-execute against newer state — a logical operation that failed
+    /// deterministically on first delivery could *succeed* the second
+    /// time and corrupt the replica), while records inside a
+    /// first-time-applied group still carry their original TC-log LSNs
+    /// so the ordinary abstract-LSN discipline suppresses re-application
+    /// onto pages whose flushed state already reflects them (replica
+    /// crash recovery). `prev`/`upto` are stream positions: the batch
+    /// extends the stream from `prev` to `upto`, and a replica whose
+    /// applied frontier is below `prev` must discard the batch (a gap —
+    /// an earlier batch was lost) and wait for the shipper's
+    /// cursor-based resend. A faulty transport drops, reorders or
+    /// duplicates the batch as a whole.
+    ShipBatch {
+        /// Shipping (primary-side) TC.
+        tc: TcId,
+        /// Stream position this batch extends (the `upto` of the
+        /// previous batch; the shipper's resend cursor after a loss).
+        prev: Lsn,
+        /// Stream position after applying this batch.
+        upto: Lsn,
+        /// The primary's end-of-stable-log: covers every contained
+        /// record, so the replica may make their effects stable.
+        eosl: Lsn,
+        /// Stream groups `(position, [(original LSN, redo op), …])` in
+        /// position order. Possibly empty: an empty batch is a pure
+        /// frontier bump (commits on other partitions still move this
+        /// replica's freshness horizon).
+        groups: Vec<(Lsn, Vec<(Lsn, LogicalOp)>)>,
+    },
+    /// Failover fencing: the receiving DC must reject all future
+    /// mutations ([`crate::error::DcError::Fenced`]). Sent to an old
+    /// primary when one of its replicas is promoted, so a deposed
+    /// primary that comes back cannot accept writes that would diverge
+    /// from the new primary. Reliable control traffic.
+    Fence {
+        /// Promoting TC.
+        tc: TcId,
+    },
+    /// Failover promotion: the receiving read-only replica becomes the
+    /// writable primary for its partition (mutations accepted from now
+    /// on). The TC follows up with the ordinary restart conversation +
+    /// logical redo to close any replication lag from its own log.
+    /// Reliable control traffic.
+    Promote {
+        /// Promoting TC.
+        tc: TcId,
+    },
 }
 
 impl TcToDc {
@@ -115,16 +172,25 @@ impl TcToDc {
             | TcToDc::LowWaterMark { tc, .. }
             | TcToDc::Checkpoint { tc, .. }
             | TcToDc::RestartBegin { tc, .. }
-            | TcToDc::RestartEnd { tc } => *tc,
+            | TcToDc::RestartEnd { tc }
+            | TcToDc::ShipBatch { tc, .. }
+            | TcToDc::Fence { tc }
+            | TcToDc::Promote { tc } => *tc,
         }
     }
 
     /// True for control-plane messages that must not be dropped or
     /// reordered by a simulated transport (the paper assumes the
     /// restart/checkpoint conversation is reliable; only operation
-    /// traffic needs the resend/idempotence machinery).
+    /// traffic needs the resend/idempotence machinery). A replication
+    /// [`TcToDc::ShipBatch`] is operation traffic: its loss is covered
+    /// by the shipper's cursor-based resend, exactly as a lost `Perform`
+    /// is covered by the TC's resend machinery.
     pub fn is_control(&self) -> bool {
-        !matches!(self, TcToDc::Perform { .. } | TcToDc::PerformBatch { .. })
+        !matches!(
+            self,
+            TcToDc::Perform { .. } | TcToDc::PerformBatch { .. } | TcToDc::ShipBatch { .. }
+        )
     }
 }
 
@@ -202,6 +268,26 @@ pub enum DcToTc {
         /// Destination TC.
         tc: TcId,
     },
+    /// Replication ack: the replica's cumulative stream frontiers after
+    /// handling a [`TcToDc::ShipBatch`] (sent even when the batch was
+    /// discarded as a gap, so a stalled shipper learns where to resend
+    /// from). `applied` is the freshness horizon reads are routed by;
+    /// `durable` is the prefix whose effects have reached the replica's
+    /// stable storage — the TC must not truncate log records a replica
+    /// has not durably consumed, so `durable` (not `applied`) feeds the
+    /// truncation floor. Cumulative and therefore safely faultable: a
+    /// lost or reordered ack is superseded by the next one.
+    ShipAck {
+        /// Acking replica.
+        dc: DcId,
+        /// Destination (shipping) TC.
+        tc: TcId,
+        /// Applied stream frontier (volatile; regresses to `durable`
+        /// after a replica crash).
+        applied: Lsn,
+        /// Durable stream frontier (survives replica crashes).
+        durable: Lsn,
+    },
 }
 
 impl DcToTc {
@@ -214,7 +300,8 @@ impl DcToTc {
             | DcToTc::CheckpointDone { tc, .. }
             | DcToTc::RsspHint { tc, .. }
             | DcToTc::RestartReady { tc, .. }
-            | DcToTc::RestartDone { tc, .. } => Some(*tc),
+            | DcToTc::RestartDone { tc, .. }
+            | DcToTc::ShipAck { tc, .. } => Some(*tc),
             DcToTc::Crashed { .. } => None,
         }
     }
@@ -228,18 +315,24 @@ impl DcToTc {
             | DcToTc::RsspHint { dc, .. }
             | DcToTc::Crashed { dc }
             | DcToTc::RestartReady { dc, .. }
-            | DcToTc::RestartDone { dc, .. } => *dc,
+            | DcToTc::RestartDone { dc, .. }
+            | DcToTc::ShipAck { dc, .. } => *dc,
         }
     }
 
     /// True for control-plane replies that must not be dropped or
     /// reordered by a simulated transport — the mirror of
     /// [`TcToDc::is_control`]. Only operation acks ([`DcToTc::Reply`] /
-    /// [`DcToTc::ReplyBatch`]) are faultable: their loss is covered by
-    /// the TC's resend machinery, while the checkpoint / restart / crash
-    /// conversations are assumed reliable.
+    /// [`DcToTc::ReplyBatch`]) and replication acks
+    /// ([`DcToTc::ShipAck`], cumulative — superseded by the next one)
+    /// are faultable: their loss is covered by the TC's resend / the
+    /// shipper's cursor machinery, while the checkpoint / restart /
+    /// crash conversations are assumed reliable.
     pub fn is_control(&self) -> bool {
-        !matches!(self, DcToTc::Reply { .. } | DcToTc::ReplyBatch { .. })
+        !matches!(
+            self,
+            DcToTc::Reply { .. } | DcToTc::ReplyBatch { .. } | DcToTc::ShipAck { .. }
+        )
     }
 }
 
@@ -341,6 +434,46 @@ mod tests {
         }
         .is_control());
         assert!(DcToTc::Crashed { dc: DcId(1) }.is_control());
+    }
+
+    #[test]
+    fn ship_traffic_classification_and_addressing() {
+        let ship = TcToDc::ShipBatch {
+            tc: TcId(2),
+            prev: Lsn(3),
+            upto: Lsn(9),
+            eosl: Lsn(9),
+            groups: vec![(
+                Lsn(6),
+                vec![(
+                    Lsn(5),
+                    LogicalOp::Insert {
+                        table: crate::ids::TableId(1),
+                        key: Key::from_u64(1),
+                        value: b"v".to_vec(),
+                    },
+                )],
+            )],
+        };
+        assert!(
+            !ship.is_control(),
+            "a ship batch is operation traffic: loss/reorder/duplication applies"
+        );
+        assert_eq!(ship.tc(), TcId(2));
+        assert!(TcToDc::Fence { tc: TcId(2) }.is_control());
+        assert!(TcToDc::Promote { tc: TcId(2) }.is_control());
+        let ack = DcToTc::ShipAck {
+            dc: DcId(7),
+            tc: TcId(2),
+            applied: Lsn(9),
+            durable: Lsn(3),
+        };
+        assert!(
+            !ack.is_control(),
+            "cumulative acks are faultable: the next one supersedes"
+        );
+        assert_eq!(ack.tc(), Some(TcId(2)));
+        assert_eq!(ack.dc(), DcId(7));
     }
 
     #[test]

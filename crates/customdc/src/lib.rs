@@ -89,6 +89,10 @@ struct Store {
     /// index entry → documents.
     index: BTreeMap<Key, BTreeSet<Key>>,
     ab: PerTcAbLsn,
+    /// Replication stream frontier applied so far (replica role); rides
+    /// in the snapshot, so the durable frontier is exactly what the
+    /// stable snapshot reflects.
+    frontier: Lsn,
 }
 
 impl Store {
@@ -97,12 +101,14 @@ impl Store {
             docs: BTreeMap::new(),
             index: BTreeMap::new(),
             ab: PerTcAbLsn::new(),
+            frontier: Lsn(0),
         }
     }
 
     fn encode(&self) -> Vec<u8> {
         let mut e = Encoder::new();
         self.ab.encode(&mut e);
+        e.u64(self.frontier.0);
         e.u32(self.docs.len() as u32);
         for (k, v) in &self.docs {
             e.bytes(k.as_bytes());
@@ -114,11 +120,13 @@ impl Store {
     fn decode(buf: &[u8], indexer: &dyn SecondaryIndexer) -> Result<Store, DcError> {
         let mut d = Decoder::new(buf);
         let ab = PerTcAbLsn::decode(&mut d).map_err(|e| DcError::Corrupt(e.to_string()))?;
+        let frontier = Lsn(d.u64().map_err(|e| DcError::Corrupt(e.to_string()))?);
         let n = d.u32().map_err(|e| DcError::Corrupt(e.to_string()))? as usize;
         let mut s = Store {
             docs: BTreeMap::new(),
             index: BTreeMap::new(),
             ab,
+            frontier,
         };
         for _ in 0..n {
             let k = Key::from_bytes(
@@ -167,18 +175,29 @@ pub struct SimpleDc {
     disk: SimDisk,
     store: Mutex<Store>,
     eosl: Mutex<Vec<(TcId, Lsn)>>,
+    /// Mutations rejected while set (read-only replica, or a primary
+    /// fenced at failover). Custom DCs speak the same replication
+    /// contract as the B-tree DC: [`TcToDc::ShipBatch`] replays into
+    /// the store idempotently, and [`TcToDc::Promote`] lifts the fence.
+    fenced: std::sync::atomic::AtomicBool,
+    /// Created as a replica (applies ship batches until promoted).
+    replica: bool,
+    /// Durable stream frontier = the frontier inside the last stable
+    /// snapshot.
+    durable: Mutex<Lsn>,
+    promoted: std::sync::atomic::AtomicBool,
 }
 
 const SNAPSHOT_PAGE: PageId = PageId(1);
 
 impl SimpleDc {
-    /// A fresh DC.
-    pub fn new(
+    fn build(
         id: DcId,
         data_table: TableId,
         view_table: TableId,
         indexer: Arc<dyn SecondaryIndexer>,
         disk: SimDisk,
+        replica: bool,
     ) -> Arc<SimpleDc> {
         Arc::new(SimpleDc {
             id,
@@ -188,10 +207,38 @@ impl SimpleDc {
             disk,
             store: Mutex::new(Store::new()),
             eosl: Mutex::new(Vec::new()),
+            fenced: std::sync::atomic::AtomicBool::new(replica),
+            replica,
+            durable: Mutex::new(Lsn(0)),
+            promoted: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
-    /// Reboot from the stable snapshot (crash recovery).
+    /// A fresh DC (writable primary).
+    pub fn new(
+        id: DcId,
+        data_table: TableId,
+        view_table: TableId,
+        indexer: Arc<dyn SecondaryIndexer>,
+        disk: SimDisk,
+    ) -> Arc<SimpleDc> {
+        Self::build(id, data_table, view_table, indexer, disk, false)
+    }
+
+    /// A fresh **read-only replica**: applies [`TcToDc::ShipBatch`]
+    /// streams and serves reads; rejects mutations until promoted.
+    pub fn new_replica(
+        id: DcId,
+        data_table: TableId,
+        view_table: TableId,
+        indexer: Arc<dyn SecondaryIndexer>,
+        disk: SimDisk,
+    ) -> Arc<SimpleDc> {
+        Self::build(id, data_table, view_table, indexer, disk, true)
+    }
+
+    /// Reboot from the stable snapshot (crash recovery). A replica
+    /// resumes at the frontier its stable snapshot reflects.
     pub fn recover(
         id: DcId,
         data_table: TableId,
@@ -199,13 +246,46 @@ impl SimpleDc {
         indexer: Arc<dyn SecondaryIndexer>,
         disk: SimDisk,
     ) -> Arc<SimpleDc> {
-        let dc = Self::new(id, data_table, view_table, indexer.clone(), disk);
+        Self::recover_with_role(id, data_table, view_table, indexer, disk, false)
+    }
+
+    /// Reboot a replica from its stable snapshot.
+    pub fn recover_replica(
+        id: DcId,
+        data_table: TableId,
+        view_table: TableId,
+        indexer: Arc<dyn SecondaryIndexer>,
+        disk: SimDisk,
+    ) -> Arc<SimpleDc> {
+        Self::recover_with_role(id, data_table, view_table, indexer, disk, true)
+    }
+
+    fn recover_with_role(
+        id: DcId,
+        data_table: TableId,
+        view_table: TableId,
+        indexer: Arc<dyn SecondaryIndexer>,
+        disk: SimDisk,
+        replica: bool,
+    ) -> Arc<SimpleDc> {
+        let dc = Self::build(id, data_table, view_table, indexer.clone(), disk, replica);
         if let Some(img) = dc.disk.read_page(SNAPSHOT_PAGE) {
             if let Ok(s) = Store::decode(&img, &*indexer) {
+                *dc.durable.lock() = s.frontier;
                 *dc.store.lock() = s;
             }
         }
         dc
+    }
+
+    /// The replica's `(applied, durable)` stream frontiers.
+    pub fn replica_frontier(&self) -> (Lsn, Lsn) {
+        (self.store.lock().frontier, *self.durable.lock())
+    }
+
+    /// Whether mutations are currently rejected.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(std::sync::atomic::Ordering::Acquire)
     }
 
     fn eosl_for(&self, tc: TcId) -> Lsn {
@@ -227,6 +307,7 @@ impl SimpleDc {
             }
         }
         self.disk.write_page(SNAPSHOT_PAGE, store.encode());
+        *self.durable.lock() = store.frontier;
         true
     }
 
@@ -237,6 +318,34 @@ impl SimpleDc {
 
     fn perform(&self, tc: TcId, req: RequestId, op: &LogicalOp) -> Result<OpResult, DcError> {
         let mut store = self.store.lock();
+        self.perform_locked(&mut store, tc, req, op)
+    }
+
+    /// One operation through the fencing policy — shared by the
+    /// single-`Perform` and `PerformBatch` paths so the two can never
+    /// diverge.
+    fn perform_checked(
+        &self,
+        tc: TcId,
+        req: RequestId,
+        op: &LogicalOp,
+    ) -> Result<OpResult, DcError> {
+        if op.is_mutation() && self.is_fenced() {
+            return Err(DcError::Fenced(self.id));
+        }
+        self.perform(tc, req, op)
+    }
+
+    /// Operation body under the store lock — ship-batch replay holds the
+    /// lock across a whole batch so readers never see a shipped
+    /// transaction half-applied.
+    fn perform_locked(
+        &self,
+        store: &mut Store,
+        tc: TcId,
+        req: RequestId,
+        op: &LogicalOp,
+    ) -> Result<OpResult, DcError> {
         let indexer = self.indexer.clone();
         match op {
             LogicalOp::Insert { table, key, value } | LogicalOp::Update { table, key, value }
@@ -338,7 +447,7 @@ impl DataComponentApi for SimpleDc {
     fn handle(&self, msg: TcToDc, out: &mut Vec<DcToTc>) {
         match msg {
             TcToDc::Perform { tc, req, op } => {
-                let result = self.perform(tc, req, &op);
+                let result = self.perform_checked(tc, req, &op);
                 out.push(DcToTc::Reply {
                     dc: self.id,
                     tc,
@@ -351,7 +460,7 @@ impl DataComponentApi for SimpleDc {
                 // datagram, mirroring the batched request direction.
                 let replies: Vec<_> = ops
                     .into_iter()
-                    .map(|(req, op)| (req, self.perform(tc, req, &op)))
+                    .map(|(req, op)| (req, self.perform_checked(tc, req, &op)))
                     .collect();
                 if replies.len() == 1 {
                     let (req, result) = replies.into_iter().next().expect("one reply");
@@ -416,6 +525,72 @@ impl DataComponentApi for SimpleDc {
             }
             TcToDc::RestartEnd { tc } => {
                 out.push(DcToTc::RestartDone { dc: self.id, tc });
+            }
+            TcToDc::ShipBatch {
+                tc,
+                prev,
+                upto,
+                eosl,
+                groups,
+            } => {
+                if !self.replica || self.promoted.load(std::sync::atomic::Ordering::Acquire) {
+                    return; // primaries ignore stray ship traffic
+                }
+                // Everything shipped is stable at the primary.
+                {
+                    let mut g = self.eosl.lock();
+                    match g.iter_mut().find(|(t, _)| *t == tc) {
+                        Some(e) => e.1 = e.1.max(eosl),
+                        None => g.push((tc, eosl)),
+                    }
+                }
+                let applied = {
+                    // Held across the whole batch: apply is atomic with
+                    // respect to concurrent readers.
+                    let mut store = self.store.lock();
+                    if prev > store.frontier {
+                        store.frontier // gap: an earlier batch was lost
+                    } else {
+                        for (pos, records) in groups {
+                            if pos <= store.frontier {
+                                continue; // re-delivered group: skip whole
+                            }
+                            for (lsn, op) in records {
+                                // Deterministic logical errors (e.g.
+                                // compensations without originals) are
+                                // fine.
+                                let _ =
+                                    self.perform_locked(&mut store, tc, RequestId::Op(lsn), &op);
+                            }
+                            store.frontier = pos;
+                        }
+                        if upto > store.frontier {
+                            store.frontier = upto;
+                        }
+                        store.frontier
+                    }
+                };
+                // Durability: snapshot when causality allows; the
+                // snapshot carries the frontier it reflects.
+                self.try_snapshot();
+                out.push(DcToTc::ShipAck {
+                    dc: self.id,
+                    tc,
+                    applied,
+                    durable: *self.durable.lock(),
+                });
+            }
+            TcToDc::Fence { .. } => {
+                self.fenced
+                    .store(true, std::sync::atomic::Ordering::Release);
+            }
+            TcToDc::Promote { .. } => {
+                if self.replica {
+                    self.promoted
+                        .store(true, std::sync::atomic::Ordering::Release);
+                    self.fenced
+                        .store(false, std::sync::atomic::Ordering::Release);
+                }
             }
         }
     }
@@ -597,6 +772,102 @@ mod tests {
             .unwrap(),
             OpResult::Done
         );
+    }
+
+    #[test]
+    fn replica_simpledc_applies_ship_stream_and_promotes() {
+        let disk = SimDisk::new();
+        let dc = SimpleDc::new_replica(DcId(8), DOCS, VIEW, Arc::new(TextIndexer), disk.clone());
+        // Direct writes are fenced off.
+        let r = perform(
+            &dc,
+            RequestId::Op(Lsn(1)),
+            LogicalOp::Insert {
+                table: DOCS,
+                key: Key::from_u64(1),
+                value: b"w".to_vec(),
+            },
+        );
+        assert!(matches!(r, Err(DcError::Fenced(_))));
+        // Shipped committed redo applies; duplicates suppressed; gaps drop.
+        let mut out = Vec::new();
+        let batch = TcToDc::ShipBatch {
+            tc: TcId(1),
+            prev: Lsn(0),
+            upto: Lsn(3),
+            eosl: Lsn(3),
+            groups: vec![(
+                Lsn(3),
+                vec![(
+                    Lsn(2),
+                    LogicalOp::Insert {
+                        table: DOCS,
+                        key: Key::from_u64(1),
+                        value: b"golden doc".to_vec(),
+                    },
+                )],
+            )],
+        };
+        dc.handle(batch.clone(), &mut out);
+        assert!(
+            matches!(out.last(), Some(DcToTc::ShipAck { applied, durable, .. })
+                if *applied == Lsn(3) && *durable == Lsn(3)),
+            "snapshot-capable store is durable immediately: {out:?}"
+        );
+        dc.handle(batch, &mut out); // duplicate: idempotent
+        assert_eq!(dc.doc_count(), 1);
+        dc.handle(
+            TcToDc::ShipBatch {
+                tc: TcId(1),
+                prev: Lsn(9),
+                upto: Lsn(12),
+                eosl: Lsn(12),
+                groups: vec![(
+                    Lsn(12),
+                    vec![(
+                        Lsn(10),
+                        LogicalOp::Insert {
+                            table: DOCS,
+                            key: Key::from_u64(5),
+                            value: b"gapped".to_vec(),
+                        },
+                    )],
+                )],
+            },
+            &mut out,
+        );
+        assert_eq!(dc.doc_count(), 1, "gapped batch discarded");
+        assert_eq!(dc.replica_frontier().0, Lsn(3));
+        // The secondary index followed the shipped stream.
+        let r = perform(
+            &dc,
+            RequestId::Read(1),
+            LogicalOp::ScanRange {
+                table: VIEW,
+                low: Key::from_str_key("golden"),
+                high: None,
+                limit: None,
+                flavor: unbundled_core::ReadFlavor::Latest,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.into_entries().len(), 1);
+        // Reboot: resumes at the snapshot's frontier.
+        let dc2 = SimpleDc::recover_replica(DcId(8), DOCS, VIEW, Arc::new(TextIndexer), disk);
+        assert_eq!(dc2.replica_frontier(), (Lsn(3), Lsn(3)));
+        // Promote: fence lifts, ship traffic is ignored.
+        dc2.handle(TcToDc::Promote { tc: TcId(1) }, &mut out);
+        assert!(!dc2.is_fenced());
+        let r = perform(
+            &dc2,
+            RequestId::Op(Lsn(20)),
+            LogicalOp::Insert {
+                table: DOCS,
+                key: Key::from_u64(2),
+                value: b"post-promotion write".to_vec(),
+            },
+        );
+        assert!(r.is_ok());
     }
 
     #[test]

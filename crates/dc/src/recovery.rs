@@ -161,7 +161,7 @@ impl DcEngine {
     pub(crate) fn compute_allocation_floor(&self) {
         let mut max_page = FIRST_DATA_PAGE;
         for pid in self.pool().disk().page_ids() {
-            if pid != CATALOG_PAGE {
+            if pid != CATALOG_PAGE && pid != crate::server::FRONTIER_PAGE {
                 max_page = max_page.max(pid.0);
             }
         }

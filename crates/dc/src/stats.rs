@@ -33,6 +33,24 @@ pub struct DcStats {
     pub records_reset: AtomicU64,
     /// Bytes of abstract-LSN state written into flushed page images.
     pub ablsn_bytes_flushed: AtomicU64,
+    /// Replication `ShipBatch` datagrams applied (frontier advanced).
+    pub ship_batches_applied: AtomicU64,
+    /// Redo records applied from ship batches (duplicates excluded —
+    /// those count under `duplicates_suppressed`).
+    pub ship_records_applied: AtomicU64,
+    /// Ship batches discarded because an earlier batch was lost (the
+    /// batch's `prev` was ahead of the applied frontier).
+    pub ship_gap_drops: AtomicU64,
+    /// Re-delivered stream groups skipped because the applied frontier
+    /// already covered them (duplicated ship batches are idempotent at
+    /// group granularity — a group never re-executes on newer state).
+    pub ship_groups_skipped: AtomicU64,
+    /// Shipped records whose replay returned a deterministic logical
+    /// error (e.g. a compensation whose original was never shipped).
+    pub ship_apply_errors: AtomicU64,
+    /// Mutations rejected because this DC is fenced (read-only replica
+    /// or deposed primary).
+    pub fenced_rejects: AtomicU64,
 }
 
 /// Point-in-time copy of [`DcStats`].
@@ -64,6 +82,18 @@ pub struct DcSnapshot {
     pub records_reset: u64,
     /// abLSN bytes flushed.
     pub ablsn_bytes_flushed: u64,
+    /// Ship batches applied.
+    pub ship_batches_applied: u64,
+    /// Shipped records applied.
+    pub ship_records_applied: u64,
+    /// Ship batches dropped on a stream gap.
+    pub ship_gap_drops: u64,
+    /// Re-delivered stream groups skipped at the frontier.
+    pub ship_groups_skipped: u64,
+    /// Shipped records replayed into a logical error.
+    pub ship_apply_errors: u64,
+    /// Fenced mutation rejections.
+    pub fenced_rejects: u64,
 }
 
 impl DcStats {
@@ -83,6 +113,12 @@ impl DcStats {
             pages_reset: self.pages_reset.load(Ordering::Relaxed),
             records_reset: self.records_reset.load(Ordering::Relaxed),
             ablsn_bytes_flushed: self.ablsn_bytes_flushed.load(Ordering::Relaxed),
+            ship_batches_applied: self.ship_batches_applied.load(Ordering::Relaxed),
+            ship_records_applied: self.ship_records_applied.load(Ordering::Relaxed),
+            ship_gap_drops: self.ship_gap_drops.load(Ordering::Relaxed),
+            ship_groups_skipped: self.ship_groups_skipped.load(Ordering::Relaxed),
+            ship_apply_errors: self.ship_apply_errors.load(Ordering::Relaxed),
+            fenced_rejects: self.fenced_rejects.load(Ordering::Relaxed),
         }
     }
 

@@ -9,8 +9,11 @@
 use crate::transport::{DcSlot, FaultModel, InlineLink, QueuedLink, ReplySink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use unbundled_core::{DcId, DcToTc, TableId, TableSpec, TcId};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use unbundled_core::{DcId, DcToTc, Lsn, TableId, TableSpec, TcId};
 use unbundled_dc::{DcConfig, DcLogRecord, DcServer};
 use unbundled_storage::{LogStore, SimDisk};
 use unbundled_tc::{DcLink, TableRoute, Tc, TcConfig, TcLogRecord};
@@ -43,16 +46,33 @@ struct DcNode {
     slot: Arc<DcSlot>,
     server: Mutex<Arc<DcServer>>,
     tables: Mutex<Vec<TableSpec>>,
+    /// `Some(primary)` while this node is a read-only replica; cleared
+    /// by promotion.
+    replica_of: Mutex<Option<DcId>>,
+    /// A deposed primary stays fenced across reboots.
+    fenced: Mutex<bool>,
+}
+
+/// A TC→replica wiring record (reboots re-register it; promotions
+/// extend the lineage).
+struct ReplicaConn {
+    replica: DcId,
+    sources: Vec<DcId>,
+    kind: TransportKind,
 }
 
 struct TcNode {
     cfg: TcConfig,
     log: Arc<LogStore<TcLogRecord>>,
-    tc: Mutex<Arc<Tc>>,
+    /// `Arc` so the replication pump thread follows TC reboots.
+    tc: Arc<Mutex<Arc<Tc>>>,
     sink: Arc<ReplySink>,
     connections: Mutex<Vec<(DcId, TransportKind)>>,
     routes: Mutex<Vec<(TableId, TableRoute)>>,
     queued_links: Mutex<Vec<Arc<QueuedLink>>>,
+    replica_connections: Mutex<Vec<ReplicaConn>>,
+    /// Failover history, replayed into a rebuilt TC as aliases.
+    promotions: Mutex<Vec<(DcId, DcId)>>,
 }
 
 /// A running unbundled-kernel deployment.
@@ -85,6 +105,40 @@ impl Deployment {
                 slot,
                 server: Mutex::new(server),
                 tables: Mutex::new(Vec::new()),
+                replica_of: Mutex::new(None),
+                fenced: Mutex::new(false),
+            },
+        );
+    }
+
+    /// Add a freshly formatted **read-only replica** of primary `of`:
+    /// same tables, own disk and DC log, mutations fenced off until
+    /// promotion. Wire it to a TC with [`Deployment::connect_replica`].
+    pub fn add_replica(&mut self, replica: DcId, of: DcId, cfg: DcConfig) {
+        let specs: Vec<TableSpec> = self.dcs[&of].tables.lock().clone();
+        let disk = SimDisk::new();
+        let log = Arc::new(LogStore::new());
+        let server = Arc::new(DcServer::format_replica(
+            replica,
+            cfg.clone(),
+            disk.clone(),
+            log.clone(),
+        ));
+        for spec in &specs {
+            server.create_table(spec.clone());
+        }
+        let slot = DcSlot::new(server.clone());
+        self.dcs.insert(
+            replica,
+            DcNode {
+                cfg,
+                disk,
+                log,
+                slot,
+                server: Mutex::new(server),
+                tables: Mutex::new(specs),
+                replica_of: Mutex::new(Some(of)),
+                fenced: Mutex::new(false),
             },
         );
     }
@@ -99,11 +153,13 @@ impl Deployment {
             TcNode {
                 cfg,
                 log,
-                tc: Mutex::new(tc),
+                tc: Arc::new(Mutex::new(tc)),
                 sink,
                 connections: Mutex::new(Vec::new()),
                 routes: Mutex::new(Vec::new()),
                 queued_links: Mutex::new(Vec::new()),
+                replica_connections: Mutex::new(Vec::new()),
+                promotions: Mutex::new(Vec::new()),
             },
         );
     }
@@ -115,6 +171,27 @@ impl Deployment {
         let link = self.make_link(tnode, dnode, &kind);
         tnode.tc.lock().register_dc(dc, link);
         tnode.connections.lock().push((dc, kind));
+    }
+
+    /// Connect a TC's shipper to a replica added with
+    /// [`Deployment::add_replica`]: committed redo flows out over the
+    /// link as `ShipBatch` datagrams (faultable like operation traffic)
+    /// and the TC's bounded-staleness read routing may serve reads from
+    /// it.
+    pub fn connect_replica(&self, tc: TcId, replica: DcId, kind: TransportKind) {
+        let tnode = &self.tcs[&tc];
+        let rnode = &self.dcs[&replica];
+        let of = rnode
+            .replica_of
+            .lock()
+            .expect("connect_replica target must be an add_replica node");
+        let link = self.make_link(tnode, rnode, &kind);
+        tnode.tc.lock().register_replica(replica, of, link);
+        tnode.replica_connections.lock().push(ReplicaConn {
+            replica,
+            sources: vec![of],
+            kind,
+        });
     }
 
     fn make_link(&self, tnode: &TcNode, dnode: &DcNode, kind: &TransportKind) -> Arc<dyn DcLink> {
@@ -138,11 +215,18 @@ impl Deployment {
         }
     }
 
-    /// Create a table at a DC and record it for experiments.
+    /// Create a table at a DC (propagated to its replicas) and record it
+    /// for experiments.
     pub fn create_table(&self, dc: DcId, spec: TableSpec) {
         let node = &self.dcs[&dc];
         node.server.lock().create_table(spec.clone());
-        node.tables.lock().push(spec);
+        node.tables.lock().push(spec.clone());
+        for (rid, rnode) in &self.dcs {
+            if *rid != dc && *rnode.replica_of.lock() == Some(dc) {
+                rnode.server.lock().create_table(spec.clone());
+                rnode.tables.lock().push(spec.clone());
+            }
+        }
     }
 
     /// Declare a table route at a TC.
@@ -209,19 +293,39 @@ impl Deployment {
         node.server.lock().engine().crash_volatile();
     }
 
+    /// Rebuild a DC node's server from stable state, honoring its role:
+    /// replicas recover in replica mode (resuming at their persisted
+    /// durable frontier), deposed primaries come back fenced.
+    fn rebuild_dc_server(&self, id: DcId) -> (Arc<DcServer>, bool) {
+        let node = &self.dcs[&id];
+        let is_replica = node.replica_of.lock().is_some();
+        let server = Arc::new(if is_replica {
+            DcServer::recover_replica(id, node.cfg.clone(), node.disk.clone(), node.log.clone())
+        } else {
+            DcServer::recover(id, node.cfg.clone(), node.disk.clone(), node.log.clone())
+        });
+        if *node.fenced.lock() {
+            server.fence();
+        }
+        *node.server.lock() = server.clone();
+        node.slot.install(server.clone());
+        (server, is_replica)
+    }
+
     /// Reboot a DC from stable state: DC-local recovery runs first
     /// (structures made well-formed), the crash prompt is delivered to
-    /// every connected TC, and each TC drives redo (`recover_dc`).
+    /// every connected TC, and each TC drives redo (`recover_dc`). A
+    /// rebooted *replica* instead announces its durable frontier to its
+    /// shipping TCs — read routing immediately stops treating it as
+    /// fresh, and the shipper resends from the regressed frontier. No
+    /// restart conversation runs for a replica (and none may: TC-driven
+    /// redo would push uncommitted operations into it).
     pub fn reboot_dc(&self, id: DcId) {
-        let node = &self.dcs[&id];
-        let server = Arc::new(DcServer::recover(
-            id,
-            node.cfg.clone(),
-            node.disk.clone(),
-            node.log.clone(),
-        ));
-        *node.server.lock() = server.clone();
-        node.slot.install(server);
+        let (server, is_replica) = self.rebuild_dc_server(id);
+        if is_replica {
+            self.announce_replica_reboot(id, &server);
+            return;
+        }
         // Out-of-band prompt (Section 4.2.1) + TC-driven redo.
         for (tcid, tnode) in &self.tcs {
             let connected = tnode.connections.lock().iter().any(|(d, _)| *d == id);
@@ -248,9 +352,11 @@ impl Deployment {
         }
     }
 
-    /// Reboot a TC from its stable log: rebuild, re-wire, re-register
-    /// tables, and run restart (reset conversations + logical redo +
-    /// loser rollback).
+    /// Reboot a TC from its stable log: rebuild, re-wire (promotion
+    /// aliases and replica registrations included), re-register tables,
+    /// and run restart (reset conversations + logical redo + loser
+    /// rollback). The rebuilt shipper restarts from the log base and
+    /// re-ships; replicas suppress the duplicates via the abLSN test.
     pub fn reboot_tc(&self, id: TcId) {
         let node = &self.tcs[&id];
         let tc = Tc::new(id, node.cfg.clone(), node.log.clone());
@@ -259,8 +365,15 @@ impl Deployment {
             let link = self.make_link(node, &self.dcs[dc], kind);
             tc.register_dc(*dc, link);
         }
+        for (old, new) in node.promotions.lock().iter() {
+            tc.install_promotion(*old, *new);
+        }
         for (table, route) in node.routes.lock().iter() {
             tc.register_table(*table, route.clone());
+        }
+        for conn in node.replica_connections.lock().iter() {
+            let link = self.make_link(node, &self.dcs[&conn.replica], &conn.kind);
+            tc.register_replica_lineage(conn.replica, &conn.sources, link);
         }
         *node.tc.lock() = tc.clone();
         tc.run_recovery().expect("TC recovery");
@@ -277,21 +390,139 @@ impl Deployment {
         }
     }
 
+    /// A rebooted replica re-introduces itself: deliver its persisted
+    /// durable frontier as a cumulative ack to every TC shipping to it,
+    /// so stale freshness knowledge cannot route bounded-staleness reads
+    /// at state the crash rolled back.
+    fn announce_replica_reboot(&self, id: DcId, server: &DcServer) {
+        let Some((applied, durable)) = server.replica_frontier() else {
+            return;
+        };
+        for (tcid, tnode) in &self.tcs {
+            let shipped = tnode
+                .replica_connections
+                .lock()
+                .iter()
+                .any(|c| c.replica == id);
+            if shipped {
+                let tc = tnode.tc.lock().clone();
+                tc.deliver(DcToTc::ShipAck {
+                    dc: id,
+                    tc: *tcid,
+                    applied,
+                    durable,
+                });
+            }
+        }
+    }
+
     /// Reboot everything: DCs first (structures), then TCs (redo+undo).
     pub fn reboot_all(&self) {
         for id in self.dc_ids() {
-            let node = &self.dcs[&id];
-            let server = Arc::new(DcServer::recover(
-                id,
-                node.cfg.clone(),
-                node.disk.clone(),
-                node.log.clone(),
-            ));
-            *node.server.lock() = server.clone();
-            node.slot.install(server);
+            let (server, is_replica) = self.rebuild_dc_server(id);
+            if is_replica {
+                self.announce_replica_reboot(id, &server);
+            }
         }
         for id in self.tc_ids() {
             self.reboot_tc(id);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Replication driving
+    // ------------------------------------------------------------------
+
+    /// Ship committed redo once on `tc`'s behalf (deterministic tests);
+    /// returns the ship frontier.
+    pub fn pump_replication(&self, tc: TcId) -> Lsn {
+        let t = self.tcs[&tc].tc.lock().clone();
+        t.ship_now()
+    }
+
+    /// Spawn a background shipper pump calling [`Tc::ship_now`] every
+    /// `interval`. The pump follows TC reboots; drop the returned guard
+    /// to stop it.
+    pub fn start_replication_pump(&self, tc: TcId, interval: Duration) -> ReplicationPump {
+        let cell = self.tcs[&tc].tc.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Acquire) {
+                let t = cell.lock().clone();
+                t.ship_now();
+                std::thread::sleep(interval);
+            }
+        });
+        ReplicationPump {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Promote replica `new` to writable primary for deposed primary
+    /// `old`'s partition: drives [`Tc::promote_replica`] (fence →
+    /// re-point → catch-up redo → re-route) and records the failover so
+    /// reboots of either side, or of the TC, land in the new topology.
+    /// Works while `old` is crashed — the deployment re-fences it at
+    /// node level so a later reboot cannot accept writes.
+    pub fn promote_replica(&self, tc: TcId, old: DcId, new: DcId) {
+        let tnode = &self.tcs[&tc];
+        // Promotion re-points routes and aliases at the *promoting* TC
+        // only: the paper's partitioned-ownership model (one updating TC
+        // per partition, Figure 2). A second TC still wired to the old
+        // primary would keep writing into a fenced DC forever — refuse
+        // loudly instead of diverging quietly.
+        for (other, onode) in &self.tcs {
+            if *other != tc && onode.connections.lock().iter().any(|(d, _)| *d == old) {
+                panic!(
+                    "cannot promote {new} over {old}: TC {other} is also connected to {old} \
+                     (promotion supports single-writer-TC partitions only)"
+                );
+            }
+        }
+        // Belt-and-braces fencing: the in-band Fence message is lost if
+        // the old primary is down; fence its server object and its node
+        // record (reboots re-fence) regardless.
+        self.dcs[&old].server.lock().fence();
+        *self.dcs[&old].fenced.lock() = true;
+        let t = tnode.tc.lock().clone();
+        t.promote_replica(old, new)
+            .unwrap_or_else(|e| panic!("promotion of {new} over {old} failed: {e}"));
+        *self.dcs[&new].replica_of.lock() = None;
+        // The promoted DC is an ordinary primary connection from now on;
+        // surviving replicas of `old` follow the whole lineage.
+        let mut rc = tnode.replica_connections.lock();
+        if let Some(pos) = rc.iter().position(|c| c.replica == new) {
+            let conn = rc.remove(pos);
+            tnode.connections.lock().push((new, conn.kind));
+        }
+        for conn in rc.iter_mut() {
+            if conn.sources.contains(&old) && !conn.sources.contains(&new) {
+                conn.sources.push(new);
+            }
+        }
+        drop(rc);
+        tnode.connections.lock().retain(|(d, _)| *d != old);
+        for (_, route) in tnode.routes.lock().iter_mut() {
+            route.replace_dc(old, new);
+        }
+        tnode.promotions.lock().push((old, new));
+    }
+}
+
+/// Guard for a background replication pump; dropping it stops the
+/// thread.
+pub struct ReplicationPump {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Drop for ReplicationPump {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
         }
     }
 }

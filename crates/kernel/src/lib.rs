@@ -21,5 +21,5 @@ pub mod harness;
 pub mod scenarios;
 pub mod transport;
 
-pub use deployment::{single, Deployment, TransportKind};
+pub use deployment::{single, Deployment, ReplicationPump, TransportKind};
 pub use transport::{DcSlot, FaultModel, InlineLink, QueuedLink, ReplySink};

@@ -154,6 +154,11 @@ pub struct QueuedLink {
     reply_reordered: AtomicU64,
     reply_batches: AtomicU64,
     reply_batched_ops: AtomicU64,
+    /// `ReplyBatch` datagrams whose acks came from more than one
+    /// `handle()` invocation (cross-call coalescing — the worker holds
+    /// acks back while more inbound messages are queued, so the acks of
+    /// several request datagrams share one reply datagram).
+    cross_call_reply_batches: AtomicU64,
     /// Max replies per `ReplyBatch` datagram; ≤ 1 splits DC-coalesced
     /// batches back into per-ack replies. Defaults to the request-side
     /// `max_batch` (the knob is symmetric).
@@ -166,9 +171,13 @@ impl QueuedLink {
     /// `Perform` messages into one [`TcToDc::PerformBatch`] per delivery
     /// — the fault model (loss, reordering, delay) then applies to the
     /// batch as a whole, exactly like a single oversized datagram. The
-    /// same knob governs the reply direction: the DC's coalesced
-    /// [`DcToTc::ReplyBatch`] acks travel (and are faulted, and pay the
-    /// per-datagram delay) as one datagram; see
+    /// same knob governs the reply direction: ack-class replies are
+    /// buffered *across `handle()` invocations* while more inbound
+    /// messages are queued, then shaped into [`DcToTc::ReplyBatch`]
+    /// datagrams of at most the reply-batch limit when the queue runs
+    /// dry, the limit fills, or a control reply must go out — so the
+    /// acks of several request datagrams can share one reply datagram
+    /// (counted by [`QueuedLink::cross_call_reply_batches`]). See
     /// [`QueuedLink::set_reply_batch`] to override the reply side alone.
     pub fn new(
         slot: Arc<DcSlot>,
@@ -189,6 +198,7 @@ impl QueuedLink {
             reply_reordered: AtomicU64::new(0),
             reply_batches: AtomicU64::new(0),
             reply_batched_ops: AtomicU64::new(0),
+            cross_call_reply_batches: AtomicU64::new(0),
             reply_batch: AtomicUsize::new(max_batch),
         });
         let mut handles = Vec::new();
@@ -209,12 +219,30 @@ impl QueuedLink {
                 // A non-Perform message pulled out of the queue while
                 // coalescing a batch; processed on the next iteration.
                 let mut pending: Option<QueuedMsg> = None;
+                // Reply buffer spanning handle() calls: (call seq, reply).
+                let mut acks: Vec<(u64, DcToTc)> = Vec::new();
+                let mut call_seq: u64 = 0;
                 loop {
                     let next = match pending.take() {
                         Some(m) => m,
-                        None => match rx.recv() {
+                        None => match rx.try_recv() {
                             Ok(m) => m,
-                            Err(_) => break,
+                            Err(_) => {
+                                // Queue dry: no more coalescing fuel —
+                                // flush buffered acks before blocking.
+                                Self::flush_acks(
+                                    &sink,
+                                    &link2,
+                                    &faults,
+                                    &mut rng,
+                                    &mut held_reply,
+                                    &mut acks,
+                                );
+                                match rx.recv() {
+                                    Ok(m) => m,
+                                    Err(_) => break,
+                                }
+                            }
                         },
                     };
                     let msg = match next {
@@ -272,24 +300,50 @@ impl QueuedLink {
                         held = Some(msg); // deliver after the next message
                         continue;
                     }
-                    Self::process(
+                    call_seq += 1;
+                    Self::invoke(
                         &slot,
                         &sink,
                         &link2,
                         &faults,
                         &mut rng,
                         &mut held_reply,
+                        &mut acks,
+                        call_seq,
                         msg,
                     );
                     if let Some(h) = held.take() {
-                        Self::process(&slot, &sink, &link2, &faults, &mut rng, &mut held_reply, h);
+                        call_seq += 1;
+                        Self::invoke(
+                            &slot,
+                            &sink,
+                            &link2,
+                            &faults,
+                            &mut rng,
+                            &mut held_reply,
+                            &mut acks,
+                            call_seq,
+                            h,
+                        );
                     }
                 }
-                // Drain both reorder buffers on shutdown: nothing may be
-                // silently stranded by a stopping worker.
+                // Drain all buffers on shutdown: nothing may be silently
+                // stranded by a stopping worker.
                 if let Some(h) = held.take() {
-                    Self::process(&slot, &sink, &link2, &faults, &mut rng, &mut held_reply, h);
+                    call_seq += 1;
+                    Self::invoke(
+                        &slot,
+                        &sink,
+                        &link2,
+                        &faults,
+                        &mut rng,
+                        &mut held_reply,
+                        &mut acks,
+                        call_seq,
+                        h,
+                    );
                 }
+                Self::flush_acks(&sink, &link2, &faults, &mut rng, &mut held_reply, &mut acks);
                 if let Some(r) = held_reply.take() {
                     sink.deliver(r);
                 }
@@ -299,19 +353,21 @@ impl QueuedLink {
         link
     }
 
-    /// Hand one inbound message to the DC and carry its replies back,
-    /// shaping the reply direction (batch or split per the reply-batch
-    /// knob) and subjecting each operation-reply datagram to the fault
-    /// model — loss and reordering apply to a `ReplyBatch` as a whole,
-    /// exactly like the request direction treats a `PerformBatch`.
+    /// Hand one inbound message to the DC, buffering its replies into
+    /// the cross-call ack buffer. The buffer is flushed immediately when
+    /// a control reply arrived (control is prompt and reliable), when
+    /// the buffered ack count reaches the reply-batch limit, or when
+    /// reply batching is off (legacy per-call delivery).
     #[allow(clippy::too_many_arguments)]
-    fn process(
+    fn invoke(
         slot: &Arc<DcSlot>,
         sink: &Arc<ReplySink>,
         link: &Weak<QueuedLink>,
         faults: &FaultModel,
         rng: &mut StdRng,
         held_reply: &mut Option<DcToTc>,
+        acks: &mut Vec<(u64, DcToTc)>,
+        call: u64,
         msg: TcToDc,
     ) {
         let Some(dc) = slot.get() else {
@@ -319,11 +375,49 @@ impl QueuedLink {
         };
         let mut out = Vec::new();
         dc.handle(msg, &mut out);
+        let mut has_control = false;
+        for m in out {
+            has_control |= m.is_control();
+            acks.push((call, m));
+        }
         let reply_batch = match link.upgrade() {
             Some(l) => l.reply_batch.load(Ordering::Relaxed),
             None => 1,
         };
-        for reply in shape_replies(out, reply_batch, link) {
+        let buffered_ops: usize = acks
+            .iter()
+            .map(|(_, m)| match m {
+                DcToTc::Reply { .. } => 1,
+                DcToTc::ReplyBatch { replies, .. } => replies.len(),
+                _ => 0,
+            })
+            .sum();
+        if reply_batch <= 1 || has_control || buffered_ops >= reply_batch {
+            Self::flush_acks(sink, link, faults, rng, held_reply, acks);
+        }
+    }
+
+    /// Shape the buffered replies for the wire and deliver them,
+    /// subjecting each operation-reply datagram to the fault model —
+    /// loss and reordering apply to a `ReplyBatch` as a whole, exactly
+    /// like the request direction treats a `PerformBatch`. Control
+    /// replies pass through reliably, in order.
+    fn flush_acks(
+        sink: &Arc<ReplySink>,
+        link: &Weak<QueuedLink>,
+        faults: &FaultModel,
+        rng: &mut StdRng,
+        held_reply: &mut Option<DcToTc>,
+        acks: &mut Vec<(u64, DcToTc)>,
+    ) {
+        if acks.is_empty() {
+            return;
+        }
+        let reply_batch = match link.upgrade() {
+            Some(l) => l.reply_batch.load(Ordering::Relaxed),
+            None => 1,
+        };
+        for reply in shape_replies(std::mem::take(acks), reply_batch, link) {
             if reply.is_control() {
                 // Control-plane conversations are reliable and ordered.
                 sink.deliver(reply);
@@ -393,6 +487,13 @@ impl QueuedLink {
         self.reply_batched_ops.load(Ordering::Relaxed)
     }
 
+    /// `ReplyBatch` datagrams whose acks span more than one `handle()`
+    /// invocation (cross-call coalescing actually happened, rather than
+    /// a batch merely mirroring one request batch).
+    pub fn cross_call_reply_batches(&self) -> u64 {
+        self.cross_call_reply_batches.load(Ordering::Relaxed)
+    }
+
     /// Override the reply-direction batch limit (the request-side
     /// `max_batch` by default). `n` ≤ 1 restores per-ack replies —
     /// DC-coalesced batches are split back into individual `Reply`
@@ -413,19 +514,26 @@ impl QueuedLink {
     }
 }
 
-/// Shape one handler invocation's outbound replies for the wire.
+/// Shape buffered (call-tagged) replies for the wire.
 ///
 /// With `reply_batch` ≤ 1 the link runs per-ack: DC-coalesced
 /// [`DcToTc::ReplyBatch`] messages are split back into individual
 /// `Reply` datagrams. With `reply_batch` > 1, adjacent operation replies
 /// to the same TC coalesce into `ReplyBatch` datagrams of at most
-/// `reply_batch` acks (an oversized DC batch is re-chunked). Control
-/// replies pass through unchanged and break a run.
-fn shape_replies(out: Vec<DcToTc>, reply_batch: usize, link: &Weak<QueuedLink>) -> Vec<DcToTc> {
-    type Ack = (RequestId, Result<OpResult, DcError>);
+/// `reply_batch` acks (an oversized DC batch is re-chunked). The call
+/// tags record which `handle()` invocation produced each ack: a chunk
+/// spanning more than one invocation is a *cross-call* batch and bumps
+/// [`QueuedLink::cross_call_reply_batches`]. Control replies pass
+/// through unchanged and break a run.
+fn shape_replies(
+    out: Vec<(u64, DcToTc)>,
+    reply_batch: usize,
+    link: &Weak<QueuedLink>,
+) -> Vec<DcToTc> {
+    type Ack = (u64, RequestId, Result<OpResult, DcError>);
     let mut shaped = Vec::with_capacity(out.len());
     if reply_batch <= 1 {
-        for m in out {
+        for (_, m) in out {
             match m {
                 DcToTc::ReplyBatch { dc, tc, replies } => {
                     shaped.extend(replies.into_iter().map(|(req, result)| DcToTc::Reply {
@@ -445,7 +553,7 @@ fn shape_replies(out: Vec<DcToTc>, reply_batch: usize, link: &Weak<QueuedLink>) 
         if let Some((dc, tc, acks)) = run.take() {
             for chunk in acks.chunks(reply_batch) {
                 if chunk.len() == 1 {
-                    let (req, result) = chunk[0].clone();
+                    let (_, req, result) = chunk[0].clone();
                     shaped.push(DcToTc::Reply {
                         dc,
                         tc,
@@ -457,25 +565,36 @@ fn shape_replies(out: Vec<DcToTc>, reply_batch: usize, link: &Weak<QueuedLink>) 
                         l.reply_batches.fetch_add(1, Ordering::Relaxed);
                         l.reply_batched_ops
                             .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        let first_call = chunk[0].0;
+                        if chunk.iter().any(|(c, _, _)| *c != first_call) {
+                            l.cross_call_reply_batches.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     shaped.push(DcToTc::ReplyBatch {
                         dc,
                         tc,
-                        replies: chunk.to_vec(),
+                        replies: chunk.iter().map(|(_, req, r)| (*req, r.clone())).collect(),
                     });
                 }
             }
         }
     };
-    for m in out {
+    for (call, m) in out {
         let (dc, tc, acks): (_, _, Vec<Ack>) = match m {
             DcToTc::Reply {
                 dc,
                 tc,
                 req,
                 result,
-            } => (dc, tc, vec![(req, result)]),
-            DcToTc::ReplyBatch { dc, tc, replies } => (dc, tc, replies),
+            } => (dc, tc, vec![(call, req, result)]),
+            DcToTc::ReplyBatch { dc, tc, replies } => (
+                dc,
+                tc,
+                replies
+                    .into_iter()
+                    .map(|(req, result)| (call, req, result))
+                    .collect(),
+            ),
             control => {
                 flush(&mut run, &mut shaped);
                 shaped.push(control);

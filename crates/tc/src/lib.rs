@@ -22,18 +22,24 @@
 //!   versioned-write/commit/abort, plus lock-free committed and dirty
 //!   reads for cross-TC sharing (Section 6.2).
 //! * [`recovery`] — TC restart and DC-crash recovery.
+//! * [`shipper`] — logical log shipping to read-only DC replicas:
+//!   committed-redo stream extraction, per-replica cursors with
+//!   go-back-N resend, bounded-staleness read routing and failover
+//!   promotion support.
 
 #![warn(missing_docs)]
 
 pub mod acks;
 pub mod recovery;
 pub mod routing;
+pub mod shipper;
 pub mod stats;
 pub mod tc;
 pub mod tclog;
 
 pub use acks::AckTracker;
 pub use routing::{DcLink, RangePartitioner, ScanProtocol, TableRoute};
+pub use shipper::{ReadConsistency, ReplicaLag};
 pub use stats::{TcSnapshot, TcStats};
 pub use tc::{GroupCommitCfg, Tc, TcConfig};
 pub use tclog::{TcLogHandle, TcLogRecord};

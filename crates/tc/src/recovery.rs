@@ -50,6 +50,15 @@ impl Tc {
             }
             match rec {
                 TcLogRecord::Checkpoint { rssp: r, .. } => rssp = (*r).max(rssp),
+                TcLogRecord::Promote { old, new, floor } => {
+                    // Re-derive the failover topology: ops addressed to
+                    // the deposed primary go to the promoted DC, and raw
+                    // history below the floor is never replayed to it
+                    // (its replica-era state has abLSN holes at
+                    // rolled-back operations).
+                    self.install_promotion(*old, *new);
+                    self.raise_redo_floor(*new, *floor);
+                }
                 TcLogRecord::Begin { txn } => {
                     losers.insert(*txn, Vec::new());
                 }
@@ -90,13 +99,21 @@ impl Tc {
             self.begin_restart_with(dc, stable_end)?;
         }
 
-        // --- Redo: repeat history logically from the RSSP.
+        // --- Redo: repeat history logically from the RSSP. A promoted
+        // DC additionally has a redo floor: records below it are stable
+        // there and must not be replayed raw.
         for (seq, rec) in &records {
             if *seq < rssp.0 {
                 continue;
             }
             match rec {
                 TcLogRecord::Op { dc, op, .. } | TcLogRecord::RedoOnly { dc, op, .. } => {
+                    let target = self.resolve_dc(*dc);
+                    if let Some(floor) = self.redo_floor(target) {
+                        if Lsn(*seq) < floor {
+                            continue;
+                        }
+                    }
                     TcStats::bump(&self.stats().redo_resends);
                     // Deterministic logical errors (e.g. a replayed insert
                     // that originally failed) are part of history: ignore.
@@ -164,13 +181,19 @@ impl Tc {
         // same, and the DC replies once its structures are well-formed.
         self.begin_restart_with(dc, self.log.stable())?;
         let rssp = self.rssp().0;
+        let target = self.resolve_dc(dc);
+        // A promoted DC's redo floor: below it the flushed state made
+        // stable at promotion is the authority — never replay raw.
+        let floor = self.redo_floor(target).unwrap_or(Lsn(0)).0.max(rssp);
         for (seq, rec) in self.log.store().read_all_volatile() {
-            if seq < rssp {
+            if seq < floor {
                 continue;
             }
             match rec {
+                // Lineage-aware: records logged against an id this DC
+                // was promoted over belong to it too.
                 TcLogRecord::Op { dc: d, op, .. } | TcLogRecord::RedoOnly { dc: d, op, .. }
-                    if d == dc =>
+                    if self.resolve_dc(d) == target =>
                 {
                     TcStats::bump(&self.stats().redo_resends);
                     let _ = self.send_op(dc, RequestId::Op(Lsn(seq)), &op, true)?;
@@ -183,7 +206,7 @@ impl Tc {
         Ok(())
     }
 
-    fn begin_restart_with(&self, dc: DcId, stable_end: Lsn) -> Result<(), TcError> {
+    pub(crate) fn begin_restart_with(&self, dc: DcId, stable_end: Lsn) -> Result<(), TcError> {
         let slot = Arc::new(FlagSlot {
             val: Mutex::new(false),
             cv: Condvar::new(),
@@ -198,7 +221,7 @@ impl Tc {
         Ok(())
     }
 
-    fn end_restart_with(&self, dc: DcId) -> Result<(), TcError> {
+    pub(crate) fn end_restart_with(&self, dc: DcId) -> Result<(), TcError> {
         let slot = Arc::new(FlagSlot {
             val: Mutex::new(false),
             cv: Condvar::new(),

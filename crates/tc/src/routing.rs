@@ -45,6 +45,27 @@ impl TableRoute {
         }
     }
 
+    /// Failover rerouting: every range this route maps to `old` now maps
+    /// to `new` (the DC promoted in its place).
+    pub fn replace_dc(&mut self, old: DcId, new: DcId) {
+        match self {
+            TableRoute::Single(dc) => {
+                if *dc == old {
+                    *dc = new;
+                }
+            }
+            TableRoute::Partitioned(parts) => {
+                if parts.iter().any(|(_, dc)| *dc == old) {
+                    let rewritten: Vec<(u64, DcId)> = parts
+                        .iter()
+                        .map(|(upper, dc)| (*upper, if *dc == old { new } else { *dc }))
+                        .collect();
+                    *parts = Arc::new(rewritten);
+                }
+            }
+        }
+    }
+
     /// DCs whose ranges intersect `[low, high)`, in key order.
     pub fn dcs_for_range(&self, low: &Key, high: Option<&Key>) -> Vec<DcId> {
         match self {

@@ -33,6 +33,18 @@ pub struct TcStats {
     /// Coalesced `ReplyBatch` messages received (each advanced the ack
     /// frontier once for all the acks it carried).
     pub reply_batches: AtomicU64,
+    /// Replication `ShipBatch` datagrams put on the wire (resends
+    /// included).
+    pub ship_batches: AtomicU64,
+    /// Redo records carried inside those batches.
+    pub ship_records: AtomicU64,
+    /// Reads served by a replica (routing found a fresh-enough one).
+    pub replica_reads: AtomicU64,
+    /// Replica-eligible reads that fell back to the primary (no replica
+    /// covered the requested snapshot, or the chosen replica failed).
+    pub replica_read_fallbacks: AtomicU64,
+    /// Failover promotions driven (replica → writable primary).
+    pub promotions: AtomicU64,
 }
 
 /// Point-in-time copy of [`TcStats`].
@@ -64,6 +76,16 @@ pub struct TcSnapshot {
     pub publishes_coalesced: u64,
     /// Coalesced reply batches received.
     pub reply_batches: u64,
+    /// Ship batches sent.
+    pub ship_batches: u64,
+    /// Redo records shipped.
+    pub ship_records: u64,
+    /// Replica-served reads.
+    pub replica_reads: u64,
+    /// Replica reads that fell back to the primary.
+    pub replica_read_fallbacks: u64,
+    /// Failover promotions driven.
+    pub promotions: u64,
 }
 
 impl TcStats {
@@ -83,11 +105,20 @@ impl TcStats {
             dc_recoveries: self.dc_recoveries.load(Ordering::Relaxed),
             publishes_coalesced: self.publishes_coalesced.load(Ordering::Relaxed),
             reply_batches: self.reply_batches.load(Ordering::Relaxed),
+            ship_batches: self.ship_batches.load(Ordering::Relaxed),
+            ship_records: self.ship_records.load(Ordering::Relaxed),
+            replica_reads: self.replica_reads.load(Ordering::Relaxed),
+            replica_read_fallbacks: self.replica_read_fallbacks.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
         }
     }
 
     pub(crate) fn bump(c: &AtomicU64) {
         c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
     }
 }
 

@@ -11,6 +11,7 @@
 
 use crate::acks::AckTracker;
 use crate::routing::{DcLink, ScanProtocol, TableRoute};
+use crate::shipper::{ReadConsistency, ReplicaLag, Shipper};
 use crate::stats::TcStats;
 use crate::tclog::{TcLogHandle, TcLogRecord};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -153,6 +154,20 @@ pub struct Tc {
     /// DCs currently being recovered: normal sends wait.
     gated: Mutex<HashSet<DcId>>,
     gate_cv: Condvar,
+    /// Replication: committed-redo shipping to read-only DC replicas.
+    pub(crate) shipper: Shipper,
+    /// Failover aliases: a deposed primary's id resolves to the DC that
+    /// was promoted in its place, so log records (and straggler sends)
+    /// addressed to the old id reach the new primary.
+    aliases: RwLock<HashMap<DcId, DcId>>,
+    /// Per-DC redo floors from failover promotions: records below the
+    /// floor are stable at the promoted DC and must never be replayed
+    /// to it (its replica-era state has abLSN holes at rolled-back
+    /// operations; raw replay below the floor would re-execute them
+    /// against newer state).
+    redo_floors: RwLock<HashMap<DcId, Lsn>>,
+    /// Round-robin ticket for replica read load-balancing.
+    replica_rr: AtomicU64,
     available: AtomicBool,
     stats: TcStats,
 }
@@ -184,6 +199,10 @@ impl Tc {
             appends_since_force: AtomicU64::new(0),
             gated: Mutex::new(HashSet::new()),
             gate_cv: Condvar::new(),
+            shipper: Shipper::new(),
+            aliases: RwLock::new(HashMap::new()),
+            redo_floors: RwLock::new(HashMap::new()),
+            replica_rr: AtomicU64::new(0),
             available: AtomicBool::new(true),
             stats: TcStats::default(),
         })
@@ -228,6 +247,28 @@ impl Tc {
         self.links.write().insert(dc, link);
     }
 
+    /// Re-install a past failover alias on a rebuilt TC (deployment
+    /// rebuild after a TC crash): log records and routes addressed to
+    /// deposed primary `old` resolve to promoted DC `new`. Recovery's
+    /// log analysis re-derives the same aliases (plus redo floors) from
+    /// [`TcLogRecord::Promote`] records.
+    pub fn install_promotion(&self, old: DcId, new: DcId) {
+        self.aliases.write().insert(old, new);
+        self.links.write().remove(&old);
+    }
+
+    /// The promotion redo floor for `dc`, if one exists: recovery never
+    /// replays records below it to that DC.
+    pub(crate) fn redo_floor(&self, dc: DcId) -> Option<Lsn> {
+        self.redo_floors.read().get(&dc).copied()
+    }
+
+    pub(crate) fn raise_redo_floor(&self, dc: DcId, floor: Lsn) {
+        let mut g = self.redo_floors.write();
+        let e = g.entry(dc).or_insert(Lsn(0));
+        *e = (*e).max(floor);
+    }
+
     /// Declare where a table lives.
     pub fn register_table(&self, table: TableId, route: TableRoute) {
         self.routes.write().insert(table, route);
@@ -241,10 +282,25 @@ impl Tc {
             .ok_or(TcError::NoSuchDc(DcId(u16::MAX)))
     }
 
+    /// Resolve a (possibly deposed) DC id through the failover alias
+    /// chain to the id currently serving its partition.
+    pub fn resolve_dc(&self, dc: DcId) -> DcId {
+        let aliases = self.aliases.read();
+        let mut cur = dc;
+        for _ in 0..=aliases.len() {
+            match aliases.get(&cur) {
+                Some(next) => cur = *next,
+                None => break,
+            }
+        }
+        cur
+    }
+
     pub(crate) fn link(&self, dc: DcId) -> Result<Arc<dyn DcLink>, TcError> {
+        let resolved = self.resolve_dc(dc);
         self.links
             .read()
-            .get(&dc)
+            .get(&resolved)
             .cloned()
             .ok_or(TcError::NoSuchDc(dc))
     }
@@ -328,6 +384,14 @@ impl Tc {
                     slot.cv.notify_all();
                 }
             }
+            DcToTc::ShipAck {
+                dc,
+                applied,
+                durable,
+                ..
+            } => {
+                self.shipper.on_ack(dc, applied, durable);
+            }
         }
     }
 
@@ -406,13 +470,16 @@ impl Tc {
         op: &LogicalOp,
         bypass_gate: bool,
     ) -> Result<Result<OpResult, DcError>, TcError> {
-        let link = self.link(dc)?;
         let slot = self.slot_for(req);
         let mut attempts: u32 = 0;
         loop {
             if !bypass_gate {
                 self.gate_wait(dc);
             }
+            // Re-resolve the link on every attempt: a failover promotion
+            // mid-resend re-points the deposed primary's id at the
+            // promoted replica, and in-flight operations must follow.
+            let link = self.link(dc)?;
             link.send(TcToDc::Perform {
                 tc: self.id,
                 req,
@@ -1101,7 +1168,11 @@ impl Tc {
         self.force_log();
         self.rssp.store(granted.0, Ordering::Relaxed);
         // Truncation floor: redo needs ≥ RSSP, undo needs every record of
-        // a still-active transaction.
+        // a still-active transaction, and replication needs everything a
+        // registered replica has not durably consumed (plus buffered
+        // operations of transactions whose outcome is not yet shipped) —
+        // a replica that reboots, or a TC that reboots and rebuilds its
+        // shipper by re-scanning the log, must find those records.
         let oldest_active = self
             .txns
             .lock()
@@ -1109,7 +1180,10 @@ impl Tc {
             .map(|st| st.lock().first_lsn)
             .min()
             .unwrap_or(granted);
-        let keep_from = granted.min(oldest_active);
+        let mut keep_from = granted.min(oldest_active);
+        if let Some(floor) = self.shipper.replication_floor() {
+            keep_from = keep_from.min(floor);
+        }
         if keep_from.0 > 1 {
             self.log.store().truncate_prefix(keep_from.0 - 1);
         }
@@ -1120,6 +1194,332 @@ impl Tc {
     /// Current redo scan start point.
     pub fn rssp(&self) -> Lsn {
         Lsn(self.rssp.load(Ordering::Relaxed))
+    }
+
+    // ------------------------------------------------------------------
+    // Replication: log shipping, bounded-staleness reads, failover
+    // ------------------------------------------------------------------
+
+    /// Register `replica` as a read-only follower of primary `of`,
+    /// reachable over `link`. The replica receives committed redo as
+    /// [`TcToDc::ShipBatch`] datagrams once [`Tc::ship_now`] (or the
+    /// kernel's replication pump) runs. Register replicas before the
+    /// first truncating checkpoint — the shipper pins truncation to what
+    /// registered replicas still need, but cannot resurrect records
+    /// truncated before registration.
+    pub fn register_replica(&self, replica: DcId, of: DcId, link: Arc<dyn DcLink>) {
+        self.shipper.register(replica, &[of], link);
+    }
+
+    /// [`Tc::register_replica`] with an explicit primary lineage (used
+    /// when rebuilding a TC that had driven promotions: followers of a
+    /// promoted primary replay ops logged against every id in the
+    /// chain).
+    pub fn register_replica_lineage(&self, replica: DcId, sources: &[DcId], link: Arc<dyn DcLink>) {
+        self.shipper.register(replica, sources, link);
+    }
+
+    /// Scan newly stable committed redo into the replication stream and
+    /// ship every registered replica's backlog (resending unacked slices
+    /// whose cursor stalled past the resend interval). Returns the ship
+    /// frontier. Cheap no-op without registered replicas.
+    pub fn ship_now(&self) -> Lsn {
+        if !self.available.load(Ordering::Acquire) {
+            return self.log.stable();
+        }
+        self.shipper.ship(
+            self.id,
+            self.log.store(),
+            self.cfg.resend_interval,
+            &self.stats,
+        )
+    }
+
+    /// True if any replica is registered.
+    pub fn has_replicas(&self) -> bool {
+        self.shipper.has_replicas()
+    }
+
+    /// Per-replica freshness: applied/durable frontiers vs. the ship
+    /// frontier (experiment and application introspection).
+    pub fn replica_lag(&self) -> Vec<ReplicaLag> {
+        self.shipper.lags()
+    }
+
+    /// A read token for [`ReadConsistency::AtLeast`]: any replica whose
+    /// applied frontier covers a token captured *after* a commit
+    /// reflects that commit (read-your-writes across the replica fleet).
+    pub fn read_token(&self) -> Lsn {
+        self.log.stable()
+    }
+
+    /// Committed point read with bounded-staleness routing: serve from
+    /// any replica of the hosting primary whose applied frontier covers
+    /// the requested snapshot, rotating across qualifying replicas;
+    /// stale (or failed) replicas fall back to a committed read on the
+    /// primary. Replica state contains only committed, never-rolled-back
+    /// data by construction (uncommitted work is withheld from the ship
+    /// stream), so no staleness setting can surface dirty data.
+    pub fn read_replica(
+        &self,
+        table: TableId,
+        key: Key,
+        consistency: ReadConsistency,
+    ) -> Result<Option<Vec<u8>>, TcError> {
+        self.ensure_available()?;
+        let primary = self.route(table)?.dc_for(&key);
+        let required = match consistency {
+            ReadConsistency::Primary => None,
+            ReadConsistency::BoundedLag(lag) => Some(Lsn(self.log.stable().0.saturating_sub(lag))),
+            ReadConsistency::AtLeast(l) => Some(l),
+        };
+        if let Some(required) = required {
+            let ticket = self.replica_rr.fetch_add(1, Ordering::Relaxed);
+            if let Some((replica, link)) =
+                self.shipper
+                    .pick_replica(self.resolve_dc(primary), required, ticket)
+            {
+                TcStats::bump(&self.stats.replica_reads);
+                let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+                let op = LogicalOp::Read {
+                    table,
+                    key: key.clone(),
+                    flavor: ReadFlavor::Latest,
+                };
+                match self.send_via(&link, replica, req, &op) {
+                    Ok(Ok(OpResult::Value(v))) => return Ok(v),
+                    Ok(Ok(other)) => panic!("read returned {other:?}"),
+                    // Replica failed or refused: fall back to the primary.
+                    Ok(Err(_)) | Err(_) => TcStats::bump(&self.stats.replica_read_fallbacks),
+                }
+            } else {
+                TcStats::bump(&self.stats.replica_read_fallbacks);
+            }
+        }
+        self.committed_point_read(table, key)
+    }
+
+    /// Committed point read on the primary: an instant-duration S lock
+    /// held across the read keeps concurrent writers' uncommitted state
+    /// invisible even on unversioned tables (a record X lock blocks the
+    /// S acquisition until commit or rollback released it).
+    fn committed_point_read(&self, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
+        // Tokens above 1<<63 never collide with transaction lock tokens.
+        let token = LockToken(1 << 63 | self.next_read.fetch_add(1, Ordering::Relaxed));
+        let name = LockName::Record(table, key.clone());
+        match self
+            .locks
+            .lock(token, name.clone(), LockMode::S, self.cfg.lock_timeout)
+        {
+            Ok(()) => {}
+            Err(LockError::Deadlock) => return Err(TcError::Deadlock(TxnId(0))),
+            Err(LockError::Timeout) => return Err(TcError::LockTimeout(TxnId(0))),
+        }
+        let result = self.unlocked_read(table, key, ReadFlavor::Latest);
+        self.locks.unlock(token, &name);
+        result
+    }
+
+    /// Send one request over an explicit link (replica reads address DCs
+    /// outside the primary `links` registry), waiting with the ordinary
+    /// resend machinery.
+    fn send_via(
+        &self,
+        link: &Arc<dyn DcLink>,
+        dc: DcId,
+        req: RequestId,
+        op: &LogicalOp,
+    ) -> Result<Result<OpResult, DcError>, TcError> {
+        let slot = self.slot_for(req);
+        let mut attempts: u32 = 0;
+        loop {
+            link.send(TcToDc::Perform {
+                tc: self.id,
+                req,
+                op: op.clone(),
+            });
+            if attempts == 0 {
+                TcStats::bump(&self.stats.reads_sent);
+            } else {
+                TcStats::bump(&self.stats.resends);
+            }
+            let deadline = std::time::Instant::now() + self.cfg.resend_interval;
+            let mut v = slot.val.lock();
+            while v.is_none() {
+                if slot.cv.wait_until(&mut v, deadline).timed_out() {
+                    break;
+                }
+            }
+            if let Some(result) = v.take() {
+                drop(v);
+                self.drop_slot(req, &slot);
+                return Ok(result);
+            }
+            drop(v);
+            attempts += 1;
+            if attempts > self.cfg.max_resends {
+                self.drop_slot(req, &slot);
+                return Err(TcError::DcUnreachable(dc));
+            }
+        }
+    }
+
+    /// Failover: promote read-only replica `new` to writable primary for
+    /// deposed primary `old`'s partition.
+    ///
+    /// 1. **Fence** — `old` is told to reject all future mutations, so a
+    ///    deposed primary that comes back cannot diverge.
+    /// 2. **Re-point** — `old`'s id aliases to `new`; in-flight resends
+    ///    and recovery traffic addressed to the old id reach the
+    ///    promoted DC, and surviving replicas of `old` extend their
+    ///    lineage to follow `new`.
+    /// 3. **Catch up** — the ordinary restart conversation plus logical
+    ///    redo replays *every* retained log record of the partition into
+    ///    the promoted DC (replication truncation pinning guarantees the
+    ///    log still holds whatever any replica lacks); records it
+    ///    already applied via shipping are suppressed by the abstract-LSN
+    ///    test. Acknowledged commits therefore survive with full
+    ///    durability even when the old primary died mid-replication.
+    /// 4. **Re-route** — table routes mapping to `old` now map to `new`;
+    ///    subsequent operations log and route against the new id.
+    pub fn promote_replica(&self, old: DcId, new: DcId) -> Result<(), TcError> {
+        self.ensure_available()?;
+        let new_link = self
+            .shipper
+            .replica_link(new)
+            .ok_or(TcError::NoSuchDc(new))?;
+        TcStats::bump(&self.stats.promotions);
+        // Quiesce normal traffic addressed to the deposed primary while
+        // links and routes are re-pointed.
+        self.gate(old);
+        let result = self.promote_inner(old, new, new_link);
+        self.ungate(old);
+        result
+    }
+
+    fn promote_inner(
+        &self,
+        old: DcId,
+        new: DcId,
+        new_link: Arc<dyn DcLink>,
+    ) -> Result<(), TcError> {
+        // Fence first: no write may land at the old primary after the
+        // new one starts accepting them. Best effort if old is down —
+        // the deployment re-fences a fenced node on reboot.
+        if let Ok(old_link) = self.link(old) {
+            old_link.send(TcToDc::Fence { tc: self.id });
+        }
+        // Catch up the *stream* while `new` is still a replica: the ship
+        // path covers all resolved history (committed effects applied;
+        // rolled-back work correctly absent). Raw log replay of resolved
+        // history is forbidden — the replica's abLSN has holes at
+        // rolled-back operations, and re-executing one of those against
+        // newer state (e.g. a compensation whose first delivery failed)
+        // would corrupt the copy.
+        let stable = self.log.stable();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let end = self.ship_now();
+            match self.shipper.applied_of(new) {
+                Some(applied) if applied >= end => break,
+                None => break, // unregistered (already promoted?)
+                _ => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(TcError::DcUnreachable(new));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+        // Operations whose outcome the stream does not know yet: stable
+        // ops of still-unresolved transactions, plus the volatile log
+        // tail. These replay raw, in LSN order — none of them conflicts
+        // with shipped state (their transactions still hold the locks).
+        let mut raw: Vec<(Lsn, DcId, LogicalOp)> = self.shipper.pending_ops();
+        for (seq, rec) in self.log.store().read_all_volatile() {
+            if seq <= stable.0 {
+                continue;
+            }
+            match rec {
+                TcLogRecord::Op { dc, op, .. } | TcLogRecord::RedoOnly { dc, op, .. } => {
+                    raw.push((Lsn(seq), dc, op));
+                }
+                _ => {}
+            }
+        }
+        raw.sort_by_key(|(l, _, _)| *l);
+        // Stop following and re-point: ops addressed to the deposed id
+        // reach the promoted replica; surviving replicas of `old` extend
+        // their lineage.
+        self.shipper.promote(old, new);
+        {
+            let mut links = self.links.write();
+            links.remove(&old);
+            links.insert(new, new_link.clone());
+        }
+        self.aliases.write().insert(old, new);
+        // The replica switches to primary mode (mutations accepted) —
+        // before the raw redo, which sends mutations.
+        new_link.send(TcToDc::Promote { tc: self.id });
+        self.begin_restart_with(new, stable)?;
+        for (lsn, dc, op) in raw {
+            if self.resolve_dc(dc) != new {
+                continue;
+            }
+            TcStats::bump(&self.stats.redo_resends);
+            let _ = self.send_op(new, RequestId::Op(lsn), &op, true)?;
+        }
+        self.end_restart_with(new)?;
+        // Make everything the new primary holds *stable*, then raise its
+        // redo floor to the granted point: future recoveries replay raw
+        // history to this DC only above the floor (below it, the flushed
+        // state is the authority). Force the log first so the published
+        // EOSL covers even the just-replayed volatile tail — otherwise
+        // causality would keep those pages flush-ineligible.
+        let eosl = self.force_log();
+        let target = eosl.next();
+        new_link.send(TcToDc::EndOfStableLog { tc: self.id, eosl });
+        let mut floor = Lsn(0);
+        for _ in 0..20 {
+            let slot = Arc::new(LsnSlot {
+                val: Mutex::new(None),
+                cv: Condvar::new(),
+            });
+            self.ckpt_waiters.lock().insert(new, slot.clone());
+            new_link.send(TcToDc::Checkpoint {
+                tc: self.id,
+                new_rssp: target,
+            });
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            let mut v = slot.val.lock();
+            while v.is_none() {
+                if slot.cv.wait_until(&mut v, deadline).timed_out() {
+                    break;
+                }
+            }
+            floor = v.unwrap_or(Lsn(0));
+            drop(v);
+            self.ckpt_waiters.lock().remove(&new);
+            if floor >= target {
+                break;
+            }
+        }
+        if floor.is_null() {
+            return Err(TcError::DcUnreachable(new));
+        }
+        self.raise_redo_floor(new, floor);
+        // Durably record the failover: a recovering TC re-derives the
+        // alias and the redo floor from this record.
+        self.log_bookkeeping(TcLogRecord::Promote { old, new, floor });
+        self.force_log();
+        {
+            let mut routes = self.routes.write();
+            for route in routes.values_mut() {
+                route.replace_dc(old, new);
+            }
+        }
+        self.force_and_publish();
+        Ok(())
     }
 
     pub(crate) fn bump_txn_counter_to(&self, floor: u64) {

@@ -65,6 +65,22 @@ pub enum TcLogRecord {
         /// Transactions active at checkpoint time.
         active: Vec<TxnId>,
     },
+    /// Failover promotion: replica `new` replaced deposed primary `old`
+    /// as the writable primary of its partition. Everything below
+    /// `floor` was made stable at `new` during promotion (stream
+    /// catch-up + flush), so recovery must never replay raw history
+    /// below the floor to it — a replica's committed-only state has
+    /// abstract-LSN "holes" at rolled-back operations, and re-executing
+    /// those against newer state would corrupt it. Also teaches a
+    /// recovering TC the `old → new` routing alias.
+    Promote {
+        /// The deposed (fenced) primary.
+        old: DcId,
+        /// The promoted replica, now primary.
+        new: DcId,
+        /// Redo floor: records below this are stable at `new`.
+        floor: Lsn,
+    },
 }
 
 fn op_size(op: &LogicalOp) -> usize {
@@ -92,7 +108,7 @@ impl TcLogRecord {
             | TcLogRecord::RedoOnly { txn, .. }
             | TcLogRecord::Commit { txn }
             | TcLogRecord::Abort { txn } => Some(*txn),
-            TcLogRecord::Checkpoint { .. } => None,
+            TcLogRecord::Checkpoint { .. } | TcLogRecord::Promote { .. } => None,
         }
     }
 
@@ -107,6 +123,7 @@ impl TcLogRecord {
             }
             TcLogRecord::RedoOnly { op, .. } => 19 + op_size(op),
             TcLogRecord::Checkpoint { active, .. } => 17 + 8 * active.len(),
+            TcLogRecord::Promote { .. } => 21,
         }
     }
 }

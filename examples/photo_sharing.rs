@@ -3,7 +3,9 @@
 //! a home-grown inverted-text-index DC for review/tag search, and a
 //! spatial-grid DC for "photos of the same object" — all behind one
 //! Transactional Component that supplies the transactions the custom
-//! stores never had to implement.
+//! stores never had to implement. The read-heavy photo feed is served
+//! from **read-only replicas** of the B-tree DC fed by logical log
+//! shipping, with a visible freshness-lag report.
 //!
 //! ```sh
 //! cargo run --example photo_sharing
@@ -17,7 +19,7 @@ use unbundled::customdc::{GridIndexer, SimpleDc, TextIndexer};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{DcSlot, Deployment, InlineLink, ReplySink, TransportKind};
 use unbundled::storage::SimDisk;
-use unbundled::tc::{TableRoute, TcConfig};
+use unbundled::tc::{ReadConsistency, TableRoute, TcConfig};
 
 const USERS: TableId = TableId(1);
 const PHOTOS: TableId = TableId(2);
@@ -36,6 +38,13 @@ fn main() {
     deployment.create_table(DcId(1), TableSpec::plain(PHOTOS, "photos"));
     deployment.route(TcId(1), USERS, TableRoute::Single(DcId(1)));
     deployment.route(TcId(1), PHOTOS, TableRoute::Single(DcId(1)));
+    // The photo feed is read-heavy: two read-only replicas of the B-tree
+    // DC take that traffic off the primary (committed redo is shipped to
+    // them as `ShipBatch` datagrams).
+    for replica in [DcId(11), DcId(12)] {
+        deployment.add_replica(replica, DcId(1), DcConfig::default());
+        deployment.connect_replica(TcId(1), replica, TransportKind::Inline);
+    }
     let tc = deployment.tc(TcId(1));
 
     // Home-grown DCs wired to the *same* TC through the same contract.
@@ -104,6 +113,42 @@ fn main() {
     shape.extend_from_slice(b"same object");
     tc.insert(txn, SHAPES, Key::from_u64(101), shape).unwrap();
     tc.commit(txn).unwrap();
+
+    // Serve the photo feed from the replica fleet. A read token captured
+    // after the commit gives read-your-writes: any replica whose applied
+    // frontier covers the token qualifies; stale replicas fall back to
+    // the primary.
+    let token = tc.read_token();
+    tc.ship_now(); // the kernel's replication pump would do this continuously
+    for photo in [100u64, 101] {
+        let v = tc
+            .read_replica(
+                PHOTOS,
+                Key::from_u64(photo),
+                ReadConsistency::AtLeast(token),
+            )
+            .unwrap()
+            .expect("photo present");
+        println!(
+            "feed read photo {photo} -> {} (served by a replica)",
+            String::from_utf8_lossy(&v)
+        );
+    }
+    for lag in tc.replica_lag() {
+        println!(
+            "replica {} freshness: applied {} / durable {} of ship frontier {} (lag {})",
+            lag.dc,
+            lag.applied.0,
+            lag.durable.0,
+            lag.frontier.0,
+            lag.frontier.0.saturating_sub(lag.applied.0)
+        );
+    }
+    let stats = tc.stats().snapshot();
+    println!(
+        "replica reads {} (fallbacks {}), ship batches {} / records {}",
+        stats.replica_reads, stats.replica_read_fallbacks, stats.ship_batches, stats.ship_records
+    );
 
     // Text search via the virtual term view of the text DC.
     let hits = tc

@@ -506,6 +506,65 @@ fn per_ack_reply_mode_splits_coalesced_batches() {
 }
 
 #[test]
+fn reply_batches_coalesce_across_handle_calls() {
+    // Request batches are capped at 2 ops, the reply direction at 16:
+    // with one worker and a per-datagram wire delay, concurrent writers
+    // back the queue up, the worker handles several request datagrams
+    // back-to-back, and their acks must coalesce into shared `ReplyBatch`
+    // datagrams — a batch no longer merely mirrors one request batch.
+    let kind = TransportKind::Queued {
+        faults: FaultModel {
+            delay: std::time::Duration::from_micros(100),
+            ..FaultModel::default()
+        },
+        workers: 1,
+        batch: 2,
+    };
+    let d = Arc::new(single(
+        TcConfig::default(),
+        DcConfig::default(),
+        kind,
+        &[TableSpec::plain(T, "t")],
+    ));
+    for l in d.queued_links(TcId(1)) {
+        l.set_reply_batch(16);
+    }
+    let writers = 8u64;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let d = d.clone();
+            std::thread::spawn(move || {
+                let tc = d.tc(TcId(1));
+                for i in 0..8u64 {
+                    let t = tc.begin().unwrap();
+                    tc.insert(t, T, Key::from_u64((w << 32) | i), b"v".to_vec())
+                        .unwrap();
+                    tc.commit(t).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let tc = d.tc(TcId(1));
+    let links = d.queued_links(TcId(1));
+    let cross: u64 = links.iter().map(|l| l.cross_call_reply_batches()).sum();
+    assert!(
+        cross > 0,
+        "acks of several handle() calls must share reply datagrams"
+    );
+    // Correctness is untouched: every op acked, every row present.
+    assert_eq!(tc.outstanding_ops(), 0);
+    let t = tc.begin().unwrap();
+    assert_eq!(
+        tc.scan(t, T, Key::empty(), None, None).unwrap().len(),
+        (writers * 8) as usize
+    );
+    tc.commit(t).unwrap();
+}
+
+#[test]
 fn lwm_never_exceeds_lowest_unacked_op_of_a_partially_acked_batch() {
     // A batch of three mutations reaches the DC, but only the acks for
     // the two *later* LSNs make it back: the low-water mark must stay

@@ -24,7 +24,7 @@ use std::time::Duration;
 use unbundled::core::{DcId, Key, TableId, TableSpec, TcId};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{single, Deployment, FaultModel, TransportKind};
-use unbundled::tc::{GatherWindow, GroupCommitCfg, TcConfig};
+use unbundled::tc::{GatherWindow, GroupCommitCfg, ReadConsistency, TableRoute, TcConfig};
 
 const T: TableId = TableId(1);
 const SEEDS: u64 = 64;
@@ -80,8 +80,9 @@ fn deployment(seed: u64, group_commit: bool, batched: bool) -> Deployment {
 
 /// One transaction of 1–3 operations chosen to be logically valid
 /// against the current expected state; commits (updating the model),
-/// aborts, or is torn apart by a mid-transaction crash.
-fn run_txn(d: &Deployment, sched: &mut Schedule, step: u64) {
+/// aborts, or is torn apart by a mid-transaction crash. `primary` is
+/// the DC currently serving writes (it changes under promotion).
+fn run_txn(d: &Deployment, sched: &mut Schedule, step: u64, primary: DcId) {
     let tc = d.tc(TcId(1));
     let txn = match tc.begin() {
         Ok(t) => t,
@@ -102,8 +103,8 @@ fn run_txn(d: &Deployment, sched: &mut Schedule, step: u64) {
         // Mid-transaction DC crash: the TC survives and drives redo; the
         // transaction keeps running afterwards.
         if sched.rng.gen_range(0..100) < 6 {
-            d.crash_dc(DcId(1));
-            d.reboot_dc(DcId(1));
+            d.crash_dc(primary);
+            d.reboot_dc(primary);
         }
         let key = sched.rng.gen_range(0..KEY_SPACE);
         let present = match staged.get(&key) {
@@ -160,7 +161,7 @@ fn execute_schedule(seed: u64, group_commit: bool, batched: bool) -> (Deployment
     };
     for step in 0..STEPS {
         match sched.rng.gen_range(0..100) {
-            0..=79 => run_txn(&d, &mut sched, step),
+            0..=79 => run_txn(&d, &mut sched, step, DcId(1)),
             80..=86 => {
                 d.crash_dc(DcId(1));
                 d.reboot_dc(DcId(1));
@@ -217,6 +218,160 @@ fn crash_schedules_per_commit_force_inline() {
 fn crash_schedules_group_commit_batched_transport() {
     for seed in 0..SEEDS {
         run_schedule(seed, true, true);
+    }
+}
+
+/// Replicated deployment: one primary, two read-only replicas, group
+/// commit on, inline links (deterministic replay).
+fn replicated_deployment() -> Deployment {
+    let tc_cfg = TcConfig {
+        resend_interval: Duration::from_millis(5),
+        group_commit: Some(GroupCommitCfg {
+            window: GatherWindow::adaptive(),
+            max_waiters: 8,
+        }),
+        ..TcConfig::default()
+    };
+    let mut d = Deployment::new();
+    d.add_dc(DcId(1), DcConfig::default());
+    d.add_tc(TcId(1), tc_cfg);
+    d.connect(TcId(1), DcId(1), TransportKind::Inline);
+    d.create_table(DcId(1), TableSpec::plain(T, "t"));
+    d.route(TcId(1), T, TableRoute::Single(DcId(1)));
+    for id in [DcId(101), DcId(102)] {
+        d.add_replica(id, DcId(1), DcConfig::default());
+        d.connect_replica(TcId(1), id, TransportKind::Inline);
+    }
+    d
+}
+
+/// The replication storm: transactions interleave with replica crashes,
+/// primary crashes, TC crashes, full storms — and failover promotions
+/// that move the writable primary onto a caught-up replica. Invariants
+/// on top of the usual two: bounded-staleness reads routed through a
+/// read token never observe anything but the committed model value, and
+/// surviving replicas converge to the primary's final committed state.
+fn run_replicated_schedule(seed: u64) {
+    let d = replicated_deployment();
+    let mut sched = Schedule {
+        rng: StdRng::seed_from_u64(0xBEEF00 ^ seed),
+        model: Model::new(),
+    };
+    let debug = std::env::var("SCHED_DEBUG").is_ok();
+    let mut primary = DcId(1);
+    let mut standby = vec![DcId(101), DcId(102)];
+    for step in 0..STEPS {
+        let act = sched.rng.gen_range(0..100);
+        if debug {
+            eprintln!("seed {seed} step {step}: act {act} (primary {primary})");
+        }
+        match act {
+            0..=63 => run_txn(&d, &mut sched, step, primary),
+            64..=71 => {
+                // Crash a replica: it reboots at its durable frontier and
+                // catches up from the ship stream.
+                let r = standby[sched.rng.gen_range(0..standby.len() as u64) as usize];
+                d.crash_dc(r);
+                d.reboot_dc(r);
+            }
+            72..=78 => {
+                d.crash_dc(primary);
+                d.reboot_dc(primary);
+            }
+            79..=84 => {
+                d.crash_tc(TcId(1));
+                d.reboot_tc(TcId(1));
+            }
+            85..=89 => {
+                // Failover: promote a replica to writable primary. The
+                // deposed primary is fenced; acknowledged commits must
+                // survive via catch-up redo from the TC log.
+                if standby.len() > 1 {
+                    let new = standby.remove(sched.rng.gen_range(0..standby.len() as u64) as usize);
+                    d.promote_replica(TcId(1), primary, new);
+                    primary = new;
+                }
+            }
+            _ => {
+                d.crash_all();
+                d.reboot_all();
+            }
+        }
+        d.pump_replication(TcId(1));
+        // Staleness invariant: a token-covered read — wherever it is
+        // routed — must see exactly the committed model value.
+        if step % 5 == 4 {
+            let tc = d.tc(TcId(1));
+            let probe = sched.rng.gen_range(0..KEY_SPACE);
+            let token = tc.read_token();
+            d.pump_replication(TcId(1));
+            let got = tc
+                .read_replica(T, Key::from_u64(probe), ReadConsistency::AtLeast(token))
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: replica read failed: {e}"));
+            assert_eq!(
+                got.as_ref(),
+                sched.model.get(&probe),
+                "seed {seed} step {step}: stale or dirty replica read on key {probe}"
+            );
+        }
+    }
+    // Final storm: every component crashes at once; only stable state
+    // survives anywhere.
+    d.crash_all();
+    d.reboot_all();
+    if debug {
+        let got: Model = d
+            .dc(primary)
+            .engine()
+            .dump_table(T)
+            .expect("primary dump")
+            .into_iter()
+            .map(|(k, v)| (k.as_u64().expect("u64 key"), v))
+            .collect();
+        if got != sched.model {
+            for (seq, rec) in d.tc_log(TcId(1)).read_all_volatile() {
+                eprintln!("log {seq}: {rec:?}");
+            }
+            eprintln!("primary {primary} dump: {got:?}");
+        }
+    }
+    verify(&d, &sched.model, seed, true, false);
+    // Surviving replicas converge to the committed model.
+    let tc = d.tc(TcId(1));
+    for _ in 0..2_000 {
+        let frontier = d.pump_replication(TcId(1));
+        if tc.replica_lag().iter().all(|l| l.applied >= frontier) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    for r in standby {
+        let got: Model = d
+            .dc(r)
+            .engine()
+            .dump_table(T)
+            .expect("replica dump")
+            .into_iter()
+            .map(|(k, v)| (k.as_u64().expect("u64 key"), v))
+            .collect();
+        if debug && got != sched.model {
+            for (seq, rec) in d.tc_log(TcId(1)).read_all_volatile() {
+                eprintln!("log {seq}: {rec:?}");
+            }
+            eprintln!("lag: {:?}", tc.replica_lag());
+            eprintln!("dc stats: {:?}", d.dc(r).engine().stats().snapshot());
+        }
+        assert_eq!(
+            &got, &sched.model,
+            "seed {seed}: replica {r} diverged from the committed model after the storm"
+        );
+    }
+}
+
+#[test]
+fn crash_schedules_replicated_with_promotion() {
+    for seed in 0..SEEDS {
+        run_replicated_schedule(seed);
     }
 }
 
