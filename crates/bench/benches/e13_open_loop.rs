@@ -1,0 +1,18 @@
+//! E13 — open-loop arrival-driven commit workload with latency SLOs.
+//!
+//! Gate (a): under the bursty pattern the latency-aware adaptive
+//! gather window must adopt a nonzero window and beat window=0 by
+//! ≥ 1.2× delivered throughput at equal-or-better p99.
+//! Gate (b): on the overloaded Poisson pattern the adaptive controller
+//! must deliver within 10% of the best fixed window, and its measured
+//! gather p99 must stay within the configured budget.
+//!
+//! `E13_SMOKE=1` shrinks the horizons for CI; the gates are identical.
+//! The same harness feeds `report e13 --json BENCH_e13.json`.
+
+fn main() {
+    let smoke = std::env::var("E13_SMOKE").is_ok();
+    let report = unbundled_bench::e13::run_e13(smoke);
+    report.print();
+    report.assert_gates();
+}

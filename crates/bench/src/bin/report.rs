@@ -8,18 +8,28 @@
 //! cargo run -p unbundled_bench --bin report --release
 //! ```
 //!
-//! The commit-path (E11) and replication (E12) experiments can run
-//! alone and serialize their rows and regression gates as
-//! machine-readable telemetry — CI uploads these on every run so the
-//! perf trajectory is recorded, not discarded:
+//! The commit-path (E11), replication (E12) and open-loop (E13)
+//! experiments can run alone and serialize their rows and regression
+//! gates as machine-readable telemetry — CI uploads these on every run
+//! so the perf trajectory is recorded, not discarded:
 //!
 //! ```sh
 //! cargo run -p unbundled_bench --bin report --release -- e11 --json BENCH_e11.json
 //! cargo run -p unbundled_bench --bin report --release -- e12 --json BENCH_e12.json
+//! cargo run -p unbundled_bench --bin report --release -- e13 --json BENCH_e13.json
 //! ```
 //!
-//! `E11_SMOKE=1` / `E12_SMOKE=1` shrink the workloads exactly like the
-//! bench gates.
+//! `E11_SMOKE=1` / `E12_SMOKE=1` / `E13_SMOKE=1` shrink the workloads
+//! exactly like the bench gates.
+//!
+//! After the telemetry files are written, the bench-regression harness
+//! compares them against the checked-in baselines (per-metric
+//! tolerance bands; exits nonzero on regression and prints a
+//! copy-pasteable refreshed baseline block):
+//!
+//! ```sh
+//! cargo run -p unbundled_bench --bin report --release -- check --against ci/bench_baselines.json
+//! ```
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -38,25 +48,47 @@ fn header(s: &str) {
 }
 
 fn main() {
-    // `report [e11] [--json PATH]`: an optional section filter and an
-    // optional path for the e11 JSON telemetry.
+    // `report [e11|e12|e13] [--json PATH]` — an optional section
+    // filter and an optional path for that section's JSON telemetry —
+    // or `report check --against BASELINES [--dir DIR]` to run the
+    // bench-regression harness over previously written telemetry.
     let mut only: Option<String> = None;
     let mut json: Option<String> = None;
+    let mut against: Option<String> = None;
+    let mut dir: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--json" {
-            json = Some(args.next().expect("--json needs a path"));
-        } else {
-            only = Some(arg);
+        match arg.as_str() {
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            "--against" => against = Some(args.next().expect("--against needs a path")),
+            "--dir" => dir = Some(args.next().expect("--dir needs a path")),
+            _ => only = Some(arg),
         }
     }
     match only.as_deref() {
         Some("e11") => e11(json.as_deref()),
         Some("e12") => e12(json.as_deref()),
+        Some("e13") => e13(json.as_deref()),
+        Some("check") => {
+            let baselines = against.expect("check needs --against <baselines.json>");
+            check(&baselines, dir.as_deref().unwrap_or("."));
+        }
         Some(other) => {
-            panic!("unknown section {other:?} (only \"e11\" / \"e12\" can run alone)")
+            panic!(
+                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"check\" can run alone)"
+            )
         }
         None => {
+            // With no section filter, one --json path serves three
+            // experiments: derive a per-experiment file name so the
+            // later writes cannot silently overwrite the earlier ones.
+            let per_exp = |exp: &str| {
+                json.as_deref()
+                    .map(|path| match path.strip_suffix(".json") {
+                        Some(stem) => format!("{stem}.{exp}.json"),
+                        None => format!("{path}.{exp}.json"),
+                    })
+            };
             e1();
             e2();
             e3();
@@ -67,11 +99,74 @@ fn main() {
             e8();
             e9();
             e10();
-            e11(json.as_deref());
-            e12(json.as_deref());
+            e11(per_exp("e11").as_deref());
+            e12(per_exp("e12").as_deref());
+            e13(per_exp("e13").as_deref());
         }
     }
     println!("\nreport complete.");
+}
+
+/// The bench-regression harness: compare freshly written telemetry
+/// against the checked-in baselines and fail (exit 1) on regression.
+fn check(baselines_path: &str, dir: &str) {
+    header("CHECK: bench telemetry vs checked-in baselines");
+    let baselines = std::fs::read_to_string(baselines_path)
+        .unwrap_or_else(|e| panic!("reading {baselines_path}: {e}"));
+    let report = unbundled_bench::baseline::check(&baselines, |file| {
+        let path = std::path::Path::new(dir).join(file);
+        std::fs::read_to_string(&path).map_err(|e| e.to_string())
+    })
+    .unwrap_or_else(|e| panic!("bench baseline check is misconfigured: {e}"));
+    for o in &report.outcomes {
+        let dir_mark = match o.direction {
+            unbundled_bench::baseline::Direction::Higher => "↑",
+            unbundled_bench::baseline::Direction::Lower => "↓",
+        };
+        println!(
+            "{:<11} {:<14} {:<58} baseline {:>12.3} {} measured {:>12.3} (±{}%)",
+            match o.verdict {
+                unbundled_bench::baseline::Verdict::Ok => "ok",
+                unbundled_bench::baseline::Verdict::Improved => "improved",
+                unbundled_bench::baseline::Verdict::Regressed => "REGRESSION",
+            },
+            o.file
+                .trim_start_matches("BENCH_")
+                .trim_end_matches(".json"),
+            o.what,
+            o.baseline,
+            dir_mark,
+            o.measured,
+            o.tolerance_pct,
+        );
+    }
+    for s in &report.skipped {
+        println!("skipped     {s}");
+    }
+    let improved = report
+        .outcomes
+        .iter()
+        .filter(|o| o.verdict == unbundled_bench::baseline::Verdict::Improved)
+        .count();
+    if improved > 0 && report.regressions() == 0 {
+        println!(
+            "\n{improved} metric(s) improved beyond their band — consider refreshing {baselines_path}:"
+        );
+        println!("{}", report.refreshed);
+    }
+    if report.regressions() > 0 {
+        eprintln!(
+            "\n{} metric(s) regressed beyond their tolerance band.",
+            report.regressions()
+        );
+        eprintln!("If the change is intentional, replace the contents of {baselines_path} with:");
+        eprintln!("{}", report.refreshed);
+        std::process::exit(1);
+    }
+    println!(
+        "\nbench baselines hold ({} metrics).",
+        report.outcomes.len()
+    );
 }
 
 /// E1 — Figure 1: architecture composition / per-op layer cost.
@@ -642,6 +737,23 @@ fn e12(json: Option<&str>) {
     if let Some(path) = json {
         std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("e12 telemetry written to {path}");
+    }
+    report.assert_gates();
+}
+
+/// E13 — the open-loop arrival-driven commit workload: seeded arrival
+/// processes into a bounded admission queue, latency measured from the
+/// scheduled arrival time, and the latency-aware adaptive gather
+/// window against fixed settings. Telemetry is written before the
+/// gates are asserted, like e11/e12.
+fn e13(json: Option<&str>) {
+    header("E13: open-loop arrivals — bounded admission, latency SLOs, adaptive gather window");
+    let smoke = std::env::var("E13_SMOKE").is_ok();
+    let report = unbundled_bench::e13::run_e13(smoke);
+    report.print();
+    if let Some(path) = json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("e13 telemetry written to {path}");
     }
     report.assert_gates();
 }

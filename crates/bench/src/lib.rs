@@ -8,8 +8,12 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod e11;
 pub mod e12;
+pub mod e13;
+pub mod json;
+pub mod workload;
 
 use std::sync::Arc;
 use unbundled_core::{DcId, Key, TableId, TableSpec, TcId};

@@ -1,0 +1,766 @@
+//! Open-loop (arrival-driven) workload machinery.
+//!
+//! Everything before this module measured *closed-loop* workloads: a
+//! fixed set of benchmark threads that issue the next request the
+//! moment the previous one completes, so offered load falls whenever
+//! the system slows down. Cloud traffic does not behave like that —
+//! requests *arrive*, on their own schedule, whether or not the system
+//! is keeping up — and several design decisions (most prominently the
+//! group-commit gather window) only pay off under arrival-driven load.
+//! This module provides the three pieces every open-loop experiment
+//! needs:
+//!
+//! * [`ArrivalProcess`] — seeded, deterministic arrival-time
+//!   generators: Poisson, bursty on/off (a two-state Markov-modulated
+//!   Poisson process), and a linear ramp. Same seed ⇒ identical
+//!   schedule, on every platform.
+//! * [`LatencyHistogram`] — an HDR-style log-linear histogram:
+//!   constant-space, bounded relative error, mergeable across worker
+//!   threads, with p50/p95/p99/max queries.
+//! * [`run_open_loop`] — the driver: an injector thread admits each
+//!   arrival into a *bounded* admission queue at its scheduled time
+//!   (shedding when the queue is full — an overloaded open-loop system
+//!   must shed, not secretly apply backpressure to the arrival
+//!   process), and worker threads service admitted arrivals, measuring
+//!   queueing and service latency separately. All latencies are
+//!   measured from the *scheduled* arrival time, so injector lag is
+//!   charged as queueing rather than silently dropped
+//!   (coordinated-omission-free accounting).
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------
+
+/// A seeded arrival-time generator. Rates are arrivals per second.
+#[derive(Clone, Copy, Debug)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate (exponential
+    /// inter-arrival times).
+    Poisson {
+        /// Mean arrivals per second.
+        rate: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: bursts at
+    /// `on_rate` for exponentially distributed on-phases, quiet at
+    /// `off_rate` in between. The classic model for bursty multi-tenant
+    /// cloud traffic.
+    OnOffBurst {
+        /// Arrival rate during a burst.
+        on_rate: f64,
+        /// Arrival rate between bursts.
+        off_rate: f64,
+        /// Mean burst duration.
+        mean_on: Duration,
+        /// Mean quiet-phase duration.
+        mean_off: Duration,
+    },
+    /// Rate climbs linearly from `start_rate` to `end_rate` over the
+    /// horizon (sampled by thinning against the peak rate).
+    Ramp {
+        /// Rate at the start of the horizon.
+        start_rate: f64,
+        /// Rate at the end of the horizon.
+        end_rate: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Generate the deterministic arrival schedule for `horizon`:
+    /// monotonically non-decreasing offsets from the start of the run.
+    pub fn schedule(&self, seed: u64, horizon: Duration) -> Vec<Duration> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let horizon_s = horizon.as_secs_f64();
+        let mut out = Vec::new();
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                let mut t = 0.0;
+                loop {
+                    t += exp_sample(&mut rng, rate);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    out.push(Duration::from_secs_f64(t));
+                }
+            }
+            ArrivalProcess::OnOffBurst {
+                on_rate,
+                off_rate,
+                mean_on,
+                mean_off,
+            } => {
+                let mut t = 0.0;
+                let mut on = true;
+                let mut phase_end = exp_sample(&mut rng, 1.0 / mean_on.as_secs_f64().max(1e-9));
+                loop {
+                    let rate = if on { on_rate } else { off_rate };
+                    let dt = exp_sample(&mut rng, rate);
+                    if t + dt < phase_end {
+                        t += dt;
+                        if t >= horizon_s {
+                            break;
+                        }
+                        out.push(Duration::from_secs_f64(t));
+                    } else {
+                        // Phase flip: discard the partial inter-arrival
+                        // (memorylessness makes the restart exact).
+                        t = phase_end;
+                        if t >= horizon_s {
+                            break;
+                        }
+                        on = !on;
+                        let mean = if on { mean_on } else { mean_off };
+                        phase_end = t + exp_sample(&mut rng, 1.0 / mean.as_secs_f64().max(1e-9));
+                    }
+                }
+            }
+            ArrivalProcess::Ramp {
+                start_rate,
+                end_rate,
+            } => {
+                // Thinning (Lewis–Shedler): sample a Poisson stream at
+                // the peak rate and keep each arrival with probability
+                // rate(t)/peak.
+                let peak = start_rate.max(end_rate).max(1e-9);
+                let mut t = 0.0;
+                loop {
+                    t += exp_sample(&mut rng, peak);
+                    if t >= horizon_s {
+                        break;
+                    }
+                    let frac = t / horizon_s;
+                    let rate = start_rate + (end_rate - start_rate) * frac;
+                    if rng.gen_f64() < rate / peak {
+                        out.push(Duration::from_secs_f64(t));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Exponential inter-arrival sample with the given rate (per second).
+fn exp_sample(rng: &mut StdRng, rate: f64) -> f64 {
+    let u = rng.gen_f64();
+    // 1 - u ∈ (0, 1]: ln never sees zero.
+    -(1.0 - u).ln() / rate.max(1e-9)
+}
+
+// ---------------------------------------------------------------------
+// HDR-style latency histogram
+// ---------------------------------------------------------------------
+
+/// Sub-bucket precision: each power-of-two range is split into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantization
+/// error at `2^-SUB_BITS` (≈ 3%).
+const SUB_BITS: u32 = 5;
+/// Bucket count covering the full `u64` nanosecond range.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// An HDR-style log-linear latency histogram over `u64` nanoseconds:
+/// constant space, ≈3% relative error, mergeable across threads.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        let msb = 63 - (v | 1).leading_zeros();
+        if msb < SUB_BITS {
+            v as usize
+        } else {
+            let shift = msb - SUB_BITS + 1;
+            ((shift as usize) << SUB_BITS) + ((v >> shift) & ((1 << SUB_BITS) - 1)) as usize
+        }
+    }
+
+    /// Upper bound of a bucket: every value that maps into the bucket
+    /// is ≤ this, so percentile answers never under-report.
+    fn bucket_upper(idx: usize) -> u64 {
+        let shift = (idx >> SUB_BITS) as u32;
+        let sub = (idx & ((1 << SUB_BITS) - 1)) as u128;
+        if shift == 0 {
+            idx as u64
+        } else {
+            // The bucket holds values v with v >> shift == sub, i.e.
+            // [sub << shift, ((sub + 1) << shift) - 1]; the u128
+            // arithmetic keeps the topmost bucket from overflowing.
+            (((sub + 1) << shift) - 1) as u64
+        }
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, latency: Duration) {
+        let ns = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.counts[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += ns as u128;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Fold another histogram into this one (commutative and
+    /// associative — worker threads record privately and merge).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Mean of the recorded latencies.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos((self.sum_ns / self.count as u128) as u64)
+    }
+
+    /// The latency at quantile `q` (0 < q ≤ 1): an upper bound within
+    /// the histogram's ≈3% quantization error, and never above the
+    /// recorded maximum. Zero if nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(Self::bucket_upper(idx).min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded admission queue
+// ---------------------------------------------------------------------
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPMC admission queue: `try_push` sheds (returns `false`)
+/// when full instead of blocking — open-loop arrivals must never apply
+/// backpressure to the arrival process.
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `cap` queued items (min 1).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Admit `item` unless the queue is at capacity (or closed).
+    pub fn try_push(&self, item: T) -> bool {
+        let mut g = self.inner.lock();
+        if g.closed || g.items.len() >= self.cap {
+            return false;
+        }
+        g.items.push_back(item);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Dequeue the oldest admitted item, blocking while the queue is
+    /// empty; `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            self.ready.wait(&mut g);
+        }
+    }
+
+    /// Close the queue: pending items still drain, new pushes shed.
+    pub fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------
+// Open-loop driver
+// ---------------------------------------------------------------------
+
+/// Driver knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoopCfg {
+    /// Admission-queue capacity; arrivals beyond it are shed.
+    pub queue_cap: usize,
+    /// Worker threads servicing admitted arrivals.
+    pub workers: usize,
+}
+
+/// What an open-loop run measured.
+pub struct OpenLoopResult {
+    /// Arrivals in the schedule.
+    pub offered: u64,
+    /// Arrivals admitted and serviced to completion.
+    pub delivered: u64,
+    /// Arrivals shed at the admission queue.
+    pub shed: u64,
+    /// Scheduled arrival → service start.
+    pub queue: LatencyHistogram,
+    /// Service start → completion.
+    pub service: LatencyHistogram,
+    /// Scheduled arrival → completion (what an SLO sees).
+    pub total: LatencyHistogram,
+    /// Run start → last completion (includes draining the backlog).
+    pub makespan: Duration,
+}
+
+impl OpenLoopResult {
+    /// Delivered arrivals per second of makespan — the open-loop
+    /// throughput metric (shedding and slow drains both depress it).
+    pub fn delivered_per_sec(&self) -> f64 {
+        if self.makespan.is_zero() {
+            return 0.0;
+        }
+        self.delivered as f64 / self.makespan.as_secs_f64()
+    }
+}
+
+/// One admitted arrival.
+struct Arrival {
+    /// Index in the schedule.
+    idx: usize,
+    /// Scheduled offset from run start.
+    at: Duration,
+}
+
+/// Run an open-loop workload: inject `schedule` (offsets from run
+/// start) into a bounded admission queue, service each admitted
+/// arrival with `service(worker, arrival_idx)` on one of
+/// `cfg.workers` threads, and account queueing/service/total latency
+/// per delivered arrival plus shed counts.
+///
+/// The injector admits every arrival whose scheduled time has passed
+/// before sleeping again, so coarse OS sleep granularity cannot
+/// depress the offered rate — it only micro-batches admissions (and
+/// any admission lag is charged to queueing latency, never hidden).
+pub fn run_open_loop<F>(schedule: &[Duration], cfg: &OpenLoopCfg, service: F) -> OpenLoopResult
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let queue: Arc<BoundedQueue<Arrival>> = Arc::new(BoundedQueue::new(cfg.queue_cap));
+    let start = Instant::now();
+    let mut shed = 0u64;
+    let service = &service;
+    let mut results: Vec<(
+        LatencyHistogram,
+        LatencyHistogram,
+        LatencyHistogram,
+        Duration,
+    )> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..cfg.workers {
+            let queue = queue.clone();
+            handles.push(s.spawn(move || {
+                let mut qh = LatencyHistogram::new();
+                let mut sh = LatencyHistogram::new();
+                let mut th = LatencyHistogram::new();
+                let mut last_done = Duration::ZERO;
+                while let Some(arrival) = queue.pop() {
+                    let picked = start.elapsed();
+                    service(w, arrival.idx);
+                    let done = start.elapsed();
+                    qh.record(picked.saturating_sub(arrival.at));
+                    sh.record(done.saturating_sub(picked));
+                    th.record(done.saturating_sub(arrival.at));
+                    last_done = done;
+                }
+                (qh, sh, th, last_done)
+            }));
+        }
+        // Injector (this thread): admit every due arrival, then sleep
+        // until the next one.
+        for (idx, &at) in schedule.iter().enumerate() {
+            let now = start.elapsed();
+            if at > now {
+                std::thread::sleep(at - now);
+            }
+            if !queue.try_push(Arrival { idx, at }) {
+                shed += 1;
+            }
+        }
+        queue.close();
+        for h in handles {
+            results.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut queue_h = LatencyHistogram::new();
+    let mut service_h = LatencyHistogram::new();
+    let mut total_h = LatencyHistogram::new();
+    let mut makespan = Duration::ZERO;
+    for (qh, sh, th, last) in &results {
+        queue_h.merge(qh);
+        service_h.merge(sh);
+        total_h.merge(th);
+        makespan = makespan.max(*last);
+    }
+    let delivered = total_h.count();
+    OpenLoopResult {
+        offered: schedule.len() as u64,
+        delivered,
+        shed,
+        queue: queue_h,
+        service: service_h,
+        total: total_h,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // -- histogram ----------------------------------------------------
+
+    /// Oracle percentile: nearest-rank on the sorted samples.
+    fn oracle(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn histogram_matches_sorted_vector_oracle() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // A nasty mixture: three orders of magnitude plus heavy ties.
+        let mut vals: Vec<u64> = (0..10_000)
+            .map(|i| match i % 3 {
+                0 => rng.gen_range(1_000..50_000),
+                1 => rng.gen_range(50_000..5_000_000),
+                _ => 123_456,
+            })
+            .collect();
+        let mut h = LatencyHistogram::new();
+        for &v in &vals {
+            h.record(Duration::from_nanos(v));
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let exact = oracle(&vals, q) as f64;
+            let approx = h.quantile(q).as_nanos() as f64;
+            assert!(
+                approx >= exact * (1.0 - 1.0 / 32.0) && approx <= exact * (1.0 + 1.0 / 16.0),
+                "q{q}: approx {approx} vs exact {exact} out of the error band"
+            );
+        }
+        assert_eq!(h.max().as_nanos() as u64, *vals.last().unwrap());
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 17, 31] {
+            h.record(Duration::from_nanos(v));
+        }
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(31));
+        assert_eq!(h.p50(), Duration::from_nanos(2));
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..500).map(|_| rng.gen_range(1..10_000_000)).collect())
+            .collect();
+        let hist_of = |idxs: &[usize]| {
+            let mut h = LatencyHistogram::new();
+            for &i in idxs {
+                for &v in &parts[i] {
+                    h.record(Duration::from_nanos(v));
+                }
+            }
+            h
+        };
+        let mut ab_c = hist_of(&[0, 1]);
+        ab_c.merge(&hist_of(&[2]));
+        let mut a_bc = hist_of(&[0]);
+        a_bc.merge(&hist_of(&[1, 2]));
+        let mut cba = hist_of(&[2]);
+        cba.merge(&hist_of(&[1]));
+        cba.merge(&hist_of(&[0]));
+        for h in [&a_bc, &cba] {
+            assert_eq!(ab_c.counts, h.counts);
+            assert_eq!(ab_c.count, h.count);
+            assert_eq!(ab_c.sum_ns, h.sum_ns);
+            assert_eq!(ab_c.max_ns, h.max_ns);
+        }
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(ab_c.quantile(q), a_bc.quantile(q));
+        }
+    }
+
+    #[test]
+    fn histogram_bucket_upper_bounds_every_member() {
+        // Structural invariant behind quantile(): a bucket's reported
+        // upper bound covers every value that maps into it.
+        for v in (0u64..4096).chain([5_000, 123_456, 1 << 20, (1 << 20) + 12_345, u64::MAX / 3]) {
+            let idx = LatencyHistogram::bucket_of(v);
+            assert!(
+                LatencyHistogram::bucket_upper(idx) >= v,
+                "bucket {idx} upper bound below member {v}"
+            );
+            // And within the 2^-SUB_BITS relative error.
+            assert!(
+                LatencyHistogram::bucket_upper(idx) as f64 <= v as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "bucket {idx} upper bound too loose for {v}"
+            );
+        }
+    }
+
+    // -- arrival processes --------------------------------------------
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let horizon = Duration::from_millis(200);
+        for p in [
+            ArrivalProcess::Poisson { rate: 5_000.0 },
+            ArrivalProcess::OnOffBurst {
+                on_rate: 20_000.0,
+                off_rate: 500.0,
+                mean_on: Duration::from_millis(10),
+                mean_off: Duration::from_millis(5),
+            },
+            ArrivalProcess::Ramp {
+                start_rate: 100.0,
+                end_rate: 10_000.0,
+            },
+        ] {
+            let a = p.schedule(42, horizon);
+            let b = p.schedule(42, horizon);
+            assert_eq!(a, b, "same seed must give an identical schedule");
+            let c = p.schedule(43, horizon);
+            assert_ne!(a, c, "a different seed must give a different schedule");
+            assert!(a.windows(2).all(|w| w[0] <= w[1]), "offsets sorted");
+            assert!(a.iter().all(|&t| t < horizon), "offsets inside horizon");
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn poisson_rate_roughly_matches() {
+        let horizon = Duration::from_secs(2);
+        let s = ArrivalProcess::Poisson { rate: 10_000.0 }.schedule(1, horizon);
+        let n = s.len() as f64;
+        assert!(
+            (17_000.0..23_000.0).contains(&n),
+            "2 s at 10 k/s should offer ≈20 k arrivals, got {n}"
+        );
+    }
+
+    #[test]
+    fn burst_schedule_is_actually_bursty() {
+        let horizon = Duration::from_secs(1);
+        let s = ArrivalProcess::OnOffBurst {
+            on_rate: 50_000.0,
+            off_rate: 100.0,
+            mean_on: Duration::from_millis(20),
+            mean_off: Duration::from_millis(20),
+        }
+        .schedule(3, horizon);
+        // Count arrivals per 10 ms bin; a bursty process must show both
+        // near-empty and dense bins.
+        let mut bins = [0u32; 100];
+        for t in &s {
+            bins[(t.as_millis() / 10).min(99) as usize] += 1;
+        }
+        let dense = bins.iter().filter(|&&b| b > 250).count();
+        let sparse = bins.iter().filter(|&&b| b < 50).count();
+        assert!(dense > 5, "expected dense burst bins, got {dense}");
+        assert!(sparse > 5, "expected sparse off bins, got {sparse}");
+    }
+
+    #[test]
+    fn ramp_rate_climbs() {
+        let s = ArrivalProcess::Ramp {
+            start_rate: 1_000.0,
+            end_rate: 30_000.0,
+        }
+        .schedule(5, Duration::from_secs(1));
+        let mid = Duration::from_millis(500);
+        let first = s.iter().filter(|&&t| t < mid).count();
+        let second = s.len() - first;
+        assert!(
+            second > first * 2,
+            "second half must be far denser: {first} vs {second}"
+        );
+    }
+
+    // -- bounded queue + driver ---------------------------------------
+
+    #[test]
+    fn bounded_queue_sheds_at_cap_and_drains_after_close() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1));
+        assert!(q.try_push(2));
+        assert!(!q.try_push(3), "third push must shed");
+        q.close();
+        assert!(!q.try_push(4), "closed queue sheds");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn driver_is_deterministic_for_a_seeded_schedule() {
+        // With a service fast enough that nothing sheds, the measured
+        // delivered/shed counts are fully determined by the schedule.
+        let p = ArrivalProcess::Poisson { rate: 20_000.0 };
+        let horizon = Duration::from_millis(100);
+        let run = || {
+            let schedule = p.schedule(9, horizon);
+            let r = run_open_loop(
+                &schedule,
+                &OpenLoopCfg {
+                    queue_cap: usize::MAX,
+                    workers: 4,
+                },
+                |_w, _i| {},
+            );
+            (schedule, r.offered, r.delivered, r.shed)
+        };
+        let (s1, o1, d1, x1) = run();
+        let (s2, o2, d2, x2) = run();
+        assert_eq!(s1, s2, "same seed ⇒ identical arrival schedule");
+        assert_eq!((o1, d1, x1), (o2, d2, x2));
+        assert_eq!(d1, o1, "nothing sheds with an unbounded queue");
+        assert_eq!(x1, 0);
+    }
+
+    #[test]
+    fn driver_accounts_queueing_and_service_separately() {
+        // One worker with a 2 ms service against 10 near-simultaneous
+        // arrivals: the last arrival queues for ≈9 services, so queue
+        // p99 must dwarf service p99, and total ≈ queue + service.
+        let schedule: Vec<Duration> = (0..10).map(|i| Duration::from_micros(i * 10)).collect();
+        let r = run_open_loop(
+            &schedule,
+            &OpenLoopCfg {
+                queue_cap: usize::MAX,
+                workers: 1,
+            },
+            |_w, _i| std::thread::sleep(Duration::from_millis(2)),
+        );
+        assert_eq!(r.delivered, 10);
+        assert!(r.service.p50() >= Duration::from_millis(2));
+        assert!(
+            r.queue.p99() >= Duration::from_millis(14),
+            "tail arrival must have queued behind ≈9 services, p99 {:?}",
+            r.queue.p99()
+        );
+        assert!(r.total.max() >= r.queue.p99());
+        assert!(r.makespan >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn driver_sheds_when_the_queue_caps() {
+        // Workers blocked behind a slow service, tiny queue: most of a
+        // fast arrival train must shed, and delivered + shed == offered.
+        let schedule: Vec<Duration> = (0..200).map(|_| Duration::ZERO).collect();
+        let r = run_open_loop(
+            &schedule,
+            &OpenLoopCfg {
+                queue_cap: 4,
+                workers: 2,
+            },
+            |_w, _i| std::thread::sleep(Duration::from_millis(1)),
+        );
+        assert_eq!(r.offered, 200);
+        assert_eq!(r.delivered + r.shed, r.offered);
+        assert!(
+            r.shed > 150,
+            "tiny queue must shed most arrivals: {}",
+            r.shed
+        );
+    }
+}

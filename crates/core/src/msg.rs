@@ -141,6 +141,22 @@ pub enum TcToDc {
         /// frontier bump (commits on other partitions still move this
         /// replica's freshness horizon).
         groups: Vec<(Lsn, Vec<(Lsn, LogicalOp)>)>,
+        /// In-set prune bound: once the batch is applied, the shipper
+        /// guarantees every operation LSN ≤ `prune` that this replica
+        /// will ever legitimately see again — a go-back-N resend, a
+        /// rebuilt shipper's re-scan, a promotion's raw replay — is
+        /// already applied here, so the replica may fold those LSNs
+        /// under its pages' abstract-LSN low-water marks instead of
+        /// carrying them in ever-growing in-sets. Replicas never
+        /// receive [`TcToDc::LowWaterMark`] (the primary-side mark
+        /// tracks *acks the TC received*, which say nothing about this
+        /// replica); without this bound their in-sets grow with
+        /// history. The shipper keeps the bound below the smallest LSN
+        /// of any unresolved transaction and below the unscanned log
+        /// tail, because those operations *can* still arrive raw at
+        /// promotion time and must not be mistaken for duplicates.
+        /// `Lsn(0)` = no new pruning knowledge.
+        prune: Lsn,
     },
     /// Failover fencing: the receiving DC must reject all future
     /// mutations ([`crate::error::DcError::Fenced`]). Sent to an old
@@ -443,6 +459,7 @@ mod tests {
             prev: Lsn(3),
             upto: Lsn(9),
             eosl: Lsn(9),
+            prune: Lsn(0),
             groups: vec![(
                 Lsn(6),
                 vec![(

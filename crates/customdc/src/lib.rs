@@ -532,6 +532,9 @@ impl DataComponentApi for SimpleDc {
                 upto,
                 eosl,
                 groups,
+                // The in-set prune bound is abLSN machinery; this store
+                // tracks one applied frontier, which subsumes it.
+                prune: _,
             } => {
                 if !self.replica || self.promoted.load(std::sync::atomic::Ordering::Acquire) {
                     return; // primaries ignore stray ship traffic
@@ -796,6 +799,7 @@ mod tests {
             prev: Lsn(0),
             upto: Lsn(3),
             eosl: Lsn(3),
+            prune: Lsn(0),
             groups: vec![(
                 Lsn(3),
                 vec![(
@@ -822,6 +826,7 @@ mod tests {
                 prev: Lsn(9),
                 upto: Lsn(12),
                 eosl: Lsn(12),
+                prune: Lsn(0),
                 groups: vec![(
                     Lsn(12),
                     vec![(

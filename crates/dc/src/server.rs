@@ -166,6 +166,7 @@ impl DcServer {
     /// Replica apply loop for one ship batch: gap check, group-skip
     /// idempotence, replay, frontier advance, periodic durability pass.
     /// The caller guarantees this server is an unpromoted replica.
+    #[allow(clippy::too_many_arguments)]
     fn apply_ship_batch(
         &self,
         tc: TcId,
@@ -173,6 +174,7 @@ impl DcServer {
         upto: Lsn,
         eosl: Lsn,
         groups: Vec<(Lsn, Vec<(Lsn, unbundled_core::LogicalOp)>)>,
+        prune: Lsn,
         out: &mut Vec<DcToTc>,
     ) {
         let rep = self.replica.as_ref().expect("replica apply on a replica");
@@ -214,6 +216,18 @@ impl DcServer {
             }
             if upto > st.applied {
                 st.applied = upto;
+            }
+            // In-set pruning: every op LSN ≤ `prune` is settled (the
+            // shipper kept the bound below anything that could still
+            // arrive raw), so fold it under the abLSN low-water mark —
+            // replicas never receive `LowWaterMark`, and without this
+            // their in-sets grow with history. Monotonic: a reordered
+            // batch must not regress the mark; capped at the applied
+            // frontier so a bound can never outrun what this replica
+            // has actually applied.
+            let prune = prune.min(st.applied);
+            if prune > self.engine.lwm(tc) {
+                self.engine.handle_lwm(tc, prune);
             }
             DcStats::bump(&stats.ship_batches_applied);
             st.batches_since_flush += 1;
@@ -347,11 +361,12 @@ impl DataComponentApi for DcServer {
                 upto,
                 eosl,
                 groups,
+                prune,
             } => {
                 // Only an unpromoted replica applies ship traffic; a
                 // primary (or promoted replica) ignores stragglers.
                 if self.replica.is_some() && !self.promoted.load(Ordering::Acquire) {
-                    self.apply_ship_batch(tc, prev, upto, eosl, groups, out);
+                    self.apply_ship_batch(tc, prev, upto, eosl, groups, prune, out);
                 }
             }
             TcToDc::Fence { .. } => {
@@ -597,6 +612,7 @@ mod tests {
                 } else {
                     vec![(Lsn(upto), records)]
                 },
+                prune: Lsn(0),
             },
             &mut out,
         );

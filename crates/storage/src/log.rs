@@ -46,15 +46,30 @@ pub enum GatherWindow {
     /// Let the log's adaptive controller choose, bounded by `cap`. The
     /// controller hill-climbs on *measured* commit coverage: every few
     /// led flushes it probes a candidate window — growing (×2, seeded
-    /// at a quarter of the device latency) while committers keep piling
-    /// up faster than the device can flush, shrinking toward zero
-    /// otherwise — and adopts the candidate only if the covered-commits
-    /// rate actually improved. Probes that do not pay back off
+    /// at one device latency) while committers keep piling up faster
+    /// than the device can flush, shrinking toward zero otherwise —
+    /// and adopts the candidate only if the covered-commits rate
+    /// actually improved. Probes that do not pay back off
     /// exponentially, so under light load the window decays to (and
     /// stays at) zero and a solo committer almost never waits.
     Adaptive {
         /// Upper bound on the chosen window.
         cap: Duration,
+    },
+    /// The adaptive controller with a latency constraint: the objective
+    /// stays *measured delivered commits per second*, but every epoch
+    /// also measures the p99 of commit gather+flush latency (entry into
+    /// `group_force` to return), and a candidate window whose epoch p99
+    /// exceeds `p99_budget` is rejected no matter how much throughput it
+    /// bought ([`GroupForceStats::budget_rejects`] counts these). An
+    /// *adopted* window whose epoch drifts over budget is walked back
+    /// immediately without waiting for a probe to pay — under open-loop
+    /// (arrival-driven) load, latency is a constraint, not an objective.
+    AdaptiveBudget {
+        /// Upper bound on the chosen window.
+        cap: Duration,
+        /// p99 commit-latency budget the controller must stay within.
+        p99_budget: Duration,
     },
 }
 
@@ -69,9 +84,27 @@ impl GatherWindow {
         }
     }
 
+    /// The latency-aware adaptive controller with the default cap.
+    pub fn adaptive_with_budget(p99_budget: Duration) -> Self {
+        GatherWindow::AdaptiveBudget {
+            cap: Self::DEFAULT_CAP,
+            p99_budget,
+        }
+    }
+
     /// No deliberate gather wait.
     pub fn none() -> Self {
         GatherWindow::Fixed(Duration::ZERO)
+    }
+
+    /// The adaptive controller's parameters, if this is an adaptive
+    /// mode: `(cap, p99 budget)`.
+    fn adaptive_params(&self) -> Option<(Duration, Option<Duration>)> {
+        match *self {
+            GatherWindow::Fixed(_) => None,
+            GatherWindow::Adaptive { cap } => Some((cap, None)),
+            GatherWindow::AdaptiveBudget { cap, p99_budget } => Some((cap, Some(p99_budget))),
+        }
     }
 }
 
@@ -96,6 +129,11 @@ pub struct GroupForceStats {
     pub window_grows: u64,
     /// Probes adopted as shrinks of the window.
     pub window_shrinks: u64,
+    /// Probes that measurably improved the covered-commit rate but were
+    /// rejected because the epoch's p99 commit latency broke the
+    /// [`GatherWindow::AdaptiveBudget`] budget, plus budget-driven
+    /// walk-backs of an adopted window.
+    pub budget_rejects: u64,
 }
 
 /// Adaptive gather-window controller state (one per log).
@@ -104,6 +142,15 @@ struct AdaptiveState {
     win: Duration,
     /// A probe epoch is in progress.
     probing: bool,
+    /// The grow candidate under probe already cleared the adopt margin
+    /// once and is being re-measured for confirmation. A single
+    /// 8-flush epoch is noisy enough that a window ~15% *slower* can
+    /// occasionally clear the margin; requiring two consecutive
+    /// clearing epochs squares that probability away, while a real
+    /// improvement confirms at the cost of one extra epoch. Shrinks
+    /// adopt on one epoch — a misadopted shrink is at worst window
+    /// zero, which the growth bias recovers cheaply.
+    confirming: bool,
     /// Candidate window under probe.
     probe_win: Duration,
     /// Next probe direction; biased toward growth whenever committers
@@ -122,6 +169,16 @@ struct AdaptiveState {
     epoch_start: Option<std::time::Instant>,
     /// Covered-waiters-per-second of the adopted window's last epoch.
     base_rate: f64,
+    /// Commit gather+flush latencies (ns) recorded by returning
+    /// `group_force` callers since the last epoch boundary (bounded —
+    /// a p99 estimate does not need every sample of a huge epoch).
+    lat_samples: Vec<u64>,
+    /// p99 of the last completed epoch's commit latencies.
+    last_p99: Duration,
+    /// Largest epoch p99 observed over the log's lifetime — a mid-run
+    /// budget violation stays visible here even after quiet end-of-run
+    /// epochs overwrite `last_p99`.
+    max_p99: Duration,
 }
 
 impl AdaptiveState {
@@ -129,6 +186,7 @@ impl AdaptiveState {
         AdaptiveState {
             win: Duration::ZERO,
             probing: false,
+            confirming: false,
             probe_win: Duration::ZERO,
             prefer_grow: false,
             backoff: 1,
@@ -137,7 +195,30 @@ impl AdaptiveState {
             covered: 0,
             epoch_start: None,
             base_rate: 0.0,
+            lat_samples: Vec::new(),
+            last_p99: Duration::ZERO,
+            max_p99: Duration::ZERO,
         }
+    }
+
+    /// Max latency samples retained per epoch (drop-newest beyond it).
+    const MAX_LAT_SAMPLES: usize = 4096;
+
+    fn record_latency(&mut self, elapsed: Duration) {
+        if self.lat_samples.len() < Self::MAX_LAT_SAMPLES {
+            self.lat_samples.push(elapsed.as_nanos() as u64);
+        }
+    }
+
+    /// Drain the accumulated samples into their p99 (zero if none).
+    fn drain_p99(&mut self) -> Duration {
+        let mut s = std::mem::take(&mut self.lat_samples);
+        if s.is_empty() {
+            return Duration::ZERO;
+        }
+        s.sort_unstable();
+        let idx = ((s.len() - 1) as f64 * 0.99) as usize;
+        Duration::from_nanos(s[idx])
     }
 
     /// The window the next leader should gather for.
@@ -172,8 +253,14 @@ struct LogInner<R> {
     /// and records appended post-crash were never part of its snapshot.
     crashes: u64,
     /// Group-force callers (leader included) whose target is not yet
-    /// stable — the size of the commit group a gathering leader counts.
-    pending: usize,
+    /// stable, as a sorted list of their targets — the commit group a
+    /// gathering leader counts. Entries are drained the moment a flush
+    /// covers them (not when the covered caller happens to get
+    /// scheduled and return): a gather window's `max_waiters` cut must
+    /// count committers still *waiting for durability*, and counting
+    /// already-covered stragglers used to cut the window at ~2/3 of
+    /// the configured group size under a saturated open-loop load.
+    gathering: Vec<u64>,
     /// Adaptive gather controller.
     adaptive: AdaptiveState,
     /// Group-force accounting.
@@ -213,7 +300,7 @@ impl<R: Clone> LogStore<R> {
                 forcing: false,
                 force_epoch: 0,
                 crashes: 0,
-                pending: 0,
+                gathering: Vec::new(),
                 adaptive: AdaptiveState::new(),
                 gf_stats: GroupForceStats::default(),
             }),
@@ -273,23 +360,47 @@ impl<R: Clone> LogStore<R> {
     /// Returns the stable end, which covers `target` unless a concurrent
     /// [`LogStore::crash`] discarded it.
     pub fn group_force(&self, target: u64, window: GatherWindow, max_waiters: usize) -> u64 {
+        let entered = std::time::Instant::now();
+        let adaptive_params = window.adaptive_params();
         let mut g = self.inner.lock();
         if g.stable_seq() >= target {
+            // Already durable (a flush covered the record between
+            // append and this call). Still a commit the controller is
+            // serving: feed its (near-zero) latency to the p99
+            // sampler, or the epoch's distribution would consist of
+            // only the slower, waiting commits.
+            if adaptive_params.is_some() {
+                g.adaptive.record_latency(entered.elapsed());
+            }
             return g.stable_seq();
         }
         // After a crash the caller's record is gone and `target` would
         // denote whatever gets appended in its place — give up rather
         // than flush records that are not ours.
         let entry_generation = g.crashes;
-        // This caller is now an uncovered member of the commit group; it
-        // leaves `pending` (waking any gathering leader) as soon as a
-        // flush covers it.
-        g.pending += 1;
+        // This caller is now an uncovered member of the commit group;
+        // its entry leaves `gathering` (waking any gathering leader)
+        // the moment a flush covers it.
+        let pos = g.gathering.partition_point(|&t| t <= target);
+        g.gathering.insert(pos, target);
         self.gather.notify_all();
         loop {
             if g.crashes != entry_generation || g.stable_seq() >= target {
-                g.pending -= 1;
+                if g.crashes == entry_generation {
+                    // Covered: the completing flush normally drained our
+                    // entry already; a plain `force()` racing past us
+                    // does not, so sweep it here. (After a crash the
+                    // whole set was cleared instead.)
+                    if let Ok(i) = g.gathering.binary_search(&target) {
+                        g.gathering.remove(i);
+                    }
+                }
                 self.gather.notify_all();
+                if adaptive_params.is_some() {
+                    // This caller's commit is done (or moot): feed its
+                    // end-to-end gather+flush latency to the controller.
+                    g.adaptive.record_latency(entered.elapsed());
+                }
                 return g.stable_seq();
             }
             if g.forcing {
@@ -301,11 +412,13 @@ impl<R: Clone> LogStore<R> {
             g.forcing = true;
             let win = match window {
                 GatherWindow::Fixed(d) => d,
-                GatherWindow::Adaptive { cap } => g.adaptive.current(cap),
+                GatherWindow::Adaptive { cap } | GatherWindow::AdaptiveBudget { cap, .. } => {
+                    g.adaptive.current(cap)
+                }
             };
             if win > Duration::ZERO && max_waiters > 1 {
                 let deadline = std::time::Instant::now() + win;
-                while g.pending < max_waiters {
+                while g.gathering.len() < max_waiters {
                     if self.gather.wait_until(&mut g, deadline).timed_out() {
                         break;
                     }
@@ -319,7 +432,7 @@ impl<R: Clone> LogStore<R> {
             }
             let covers = g.last_seq();
             let latency = g.force_latency;
-            let group = g.pending as u64;
+            let group = g.gathering.len() as u64;
             g.gf_stats.led_flushes += 1;
             g.gf_stats.gathered_waiters += group;
             drop(g);
@@ -334,11 +447,18 @@ impl<R: Clone> LogStore<R> {
                 g.stable = (new_stable - g.base) as usize;
                 self.stats.log_force();
             }
-            if let GatherWindow::Adaptive { cap } = window {
+            // Everyone this flush covered is durable *now* — retire
+            // their gather entries so the next leader's `max_waiters`
+            // cut counts only committers still waiting, whether or not
+            // the covered threads have been scheduled yet.
+            let stable_now = g.stable_seq();
+            let drained = g.gathering.partition_point(|&t| t <= stable_now);
+            g.gathering.drain(..drained);
+            if let Some((cap, budget)) = adaptive_params {
                 // Appends that landed while the device was busy flushing
                 // signal demand a longer window *might* gather more.
                 let arrivals_in_flight = g.last_seq().saturating_sub(covers);
-                Self::adapt(&mut g, group, arrivals_in_flight, latency, cap);
+                Self::adapt(&mut g, group, arrivals_in_flight, latency, cap, budget);
             }
             g.forcing = false;
             g.force_epoch += 1;
@@ -357,12 +477,20 @@ impl<R: Clone> LogStore<R> {
     /// exponentially and flip the search direction, so the window
     /// decays to zero (and probing goes quiet) whenever waiting does
     /// not pay.
+    ///
+    /// With a `budget` ([`GatherWindow::AdaptiveBudget`]) the objective
+    /// becomes *latency-aware*: each epoch also measures the p99 of
+    /// commit gather+flush latency, a probe whose epoch breaks the
+    /// budget is rejected even when its covered-commit rate improved,
+    /// and an adopted nonzero window that drifts over budget is walked
+    /// back immediately.
     fn adapt(
         g: &mut LogInner<R>,
         group: u64,
         arrivals_in_flight: u64,
         latency: Duration,
         cap: Duration,
+        budget: Option<Duration>,
     ) {
         // Led flushes per measurement epoch.
         const EPOCH_FLUSHES: u64 = 8;
@@ -373,7 +501,14 @@ impl<R: Clone> LogStore<R> {
         const ADOPT_MARGIN: f64 = 1.15;
         // Max epochs between probes once they keep failing.
         const PROBE_BACKOFF_MAX: u32 = 16;
-        let seed = (latency / 4).max(Duration::from_micros(5)).min(cap);
+        // First grow candidate: one device latency. Anything much
+        // shorter measures as the piggyback coalescing window=0 already
+        // gets for free (each ×2 step from a tiny seed buys a few
+        // percent — under the adopt margin the climb stalls before the
+        // window reaches the scale where gathering visibly pays), while
+        // "hold the flush for about one flush's worth of arrivals" is
+        // the first configuration that is qualitatively different.
+        let seed = latency.max(Duration::from_micros(5)).min(cap);
         let now = std::time::Instant::now();
         let ad = &mut g.adaptive;
         if arrivals_in_flight > 0 {
@@ -384,7 +519,9 @@ impl<R: Clone> LogStore<R> {
             // completion, so an idle stretch before a commit burst is
             // never billed to the epoch's rate (it would deflate the
             // measurement and corrupt probe-adoption decisions). The
-            // opener's own group is excluded to match the time window.
+            // opener's own group is excluded to match the time window —
+            // as are latencies sampled before the epoch opened.
+            ad.lat_samples.clear();
             ad.epoch_start = Some(now);
             return;
         };
@@ -399,11 +536,32 @@ impl<R: Clone> LogStore<R> {
         } else {
             f64::MAX
         };
+        let p99 = ad.drain_p99();
+        ad.last_p99 = p99;
+        ad.max_p99 = ad.max_p99.max(p99);
+        let over_budget = budget.is_some_and(|b| p99 > b);
         if ad.probing {
-            if rate > ad.base_rate * ADOPT_MARGIN {
-                // The candidate measurably paid: adopt it and keep
-                // exploring the same direction eagerly.
-                if ad.probe_win > ad.win {
+            let grow = ad.probe_win > ad.win;
+            if rate > ad.base_rate * ADOPT_MARGIN && !(over_budget && grow) {
+                if grow && !ad.confirming {
+                    // First clearing epoch of a grow candidate: one
+                    // epoch of evidence is not enough to make every
+                    // committer wait longer — re-measure the same
+                    // candidate before adopting (see `confirming`).
+                    ad.confirming = true;
+                    ad.flushes = 0;
+                    ad.covered = 0;
+                    ad.epoch_start = None;
+                    return;
+                }
+                // The candidate measurably paid — twice, for grows —
+                // (and a grown window stayed within the latency
+                // budget): adopt it and keep exploring the same
+                // direction eagerly. Shrinks are exempt from the
+                // budget test — when the *adopted* window is what
+                // breaks the budget, shrinking must never be vetoed by
+                // the very violation it cures.
+                if grow {
                     g.gf_stats.window_grows += 1;
                 } else {
                     g.gf_stats.window_shrinks += 1;
@@ -412,10 +570,35 @@ impl<R: Clone> LogStore<R> {
                 ad.base_rate = rate;
                 ad.backoff = 1;
             } else {
+                if rate > ad.base_rate * ADOPT_MARGIN {
+                    // Throughput improved but the budget broke: this
+                    // probe direction buys throughput the budget cannot
+                    // afford.
+                    g.gf_stats.budget_rejects += 1;
+                }
                 ad.prefer_grow = !ad.prefer_grow;
                 ad.backoff = (ad.backoff * 2).min(PROBE_BACKOFF_MAX);
             }
+            if over_budget {
+                ad.prefer_grow = false;
+            }
             ad.probing = false;
+            ad.confirming = false;
+            ad.idle_epochs = 0;
+        } else if over_budget && ad.win > Duration::ZERO {
+            // The adopted window itself breaks the budget: walk it back
+            // right away (no probe, no adoption margin) — latency is a
+            // constraint, not an objective, so a violating window is
+            // not allowed to sit through probe backoff.
+            ad.win = if ad.win > seed {
+                ad.win / 2
+            } else {
+                Duration::ZERO
+            };
+            g.gf_stats.budget_rejects += 1;
+            g.gf_stats.window_shrinks += 1;
+            ad.prefer_grow = false;
+            ad.base_rate = 0.0;
             ad.idle_epochs = 0;
         } else {
             ad.base_rate = rate;
@@ -423,10 +606,10 @@ impl<R: Clone> LogStore<R> {
             if ad.idle_epochs >= ad.backoff {
                 let candidate = if ad.prefer_grow {
                     ad.win.saturating_mul(2).max(seed).min(cap)
-                } else if ad.win > seed.saturating_mul(4) {
+                } else if ad.win > seed {
                     ad.win / 2
                 } else {
-                    // Halving a window already below the device latency
+                    // Halving a window at or below one device latency
                     // cannot clear the adopt margin; the only shrink
                     // worth measuring is "don't wait at all".
                     Duration::ZERO
@@ -466,6 +649,21 @@ impl<R: Clone> LogStore<R> {
         self.inner.lock().gf_stats
     }
 
+    /// p99 of commit gather+flush latency over the adaptive
+    /// controller's last completed measurement epoch (zero until an
+    /// epoch completes, and always zero under fixed windows — only the
+    /// adaptive modes sample latencies).
+    pub fn gather_p99(&self) -> Duration {
+        self.inner.lock().adaptive.last_p99
+    }
+
+    /// Largest epoch p99 the adaptive controller has measured over the
+    /// log's lifetime — unlike [`LogStore::gather_p99`], a mid-run
+    /// violation is not hidden by quieter epochs afterwards.
+    pub fn gather_p99_max(&self) -> Duration {
+        self.inner.lock().adaptive.max_p99
+    }
+
     /// Whether a group-force flush is currently in flight.
     pub fn force_in_flight(&self) -> bool {
         self.inner.lock().forcing
@@ -495,6 +693,10 @@ impl<R: Clone> LogStore<R> {
         let stable = g.stable;
         g.records.truncate(stable);
         g.crashes += 1;
+        // Waiting committers return on the generation bump; their
+        // targets denote lost records, so the gather set restarts
+        // empty (post-crash appenders insert fresh entries).
+        g.gathering.clear();
         g.base + g.stable as u64
     }
 
@@ -899,6 +1101,88 @@ mod tests {
             gf.gathered_waiters, 4,
             "each solo flush covered exactly its leader"
         );
+    }
+
+    /// Hammer the log with `committers` concurrent commit loops under
+    /// the given window mode; returns the log for inspection.
+    fn concurrent_commits(
+        window: GatherWindow,
+        committers: usize,
+        commits_each: u64,
+        force_latency: Duration,
+    ) -> Arc<LogStore<u64>> {
+        let log = Arc::new(LogStore::new());
+        log.set_force_latency(force_latency);
+        let barrier = Arc::new(std::sync::Barrier::new(committers));
+        let handles: Vec<_> = (0..committers)
+            .map(|i| {
+                let log = log.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for j in 0..commits_each {
+                        let seq = log.append(i as u64 * 10_000 + j, 1);
+                        let end = log.group_force(seq, window, committers);
+                        assert!(end >= seq);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        log
+    }
+
+    #[test]
+    fn adaptive_budget_measures_commit_latency_p99() {
+        let log = concurrent_commits(
+            GatherWindow::adaptive_with_budget(Duration::from_millis(50)),
+            4,
+            80,
+            Duration::from_micros(200),
+        );
+        let p99 = log.gather_p99();
+        assert!(
+            p99 >= Duration::from_micros(200),
+            "a commit cannot finish faster than the device flush: p99 {p99:?}"
+        );
+        assert!(
+            p99 < Duration::from_millis(50),
+            "a generous budget must not be the binding constraint: p99 {p99:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_budget_vetoes_windows_the_budget_cannot_afford() {
+        // A budget below the device latency: *no* nonzero gather window
+        // can ever be within budget (every commit pays at least one
+        // flush), so whatever the demand, the controller must never
+        // hold an adopted nonzero window across epochs — any grow probe
+        // that pays in throughput is rejected on latency.
+        let log = concurrent_commits(
+            GatherWindow::adaptive_with_budget(Duration::from_micros(50)),
+            8,
+            120,
+            Duration::from_micros(300),
+        );
+        assert_eq!(
+            log.gather_window(),
+            Duration::ZERO,
+            "an unaffordable budget must pin the window at zero"
+        );
+        let gf = log.group_force_stats();
+        assert!(
+            gf.window_probes > 0,
+            "concurrent demand must still make the controller probe"
+        );
+    }
+
+    #[test]
+    fn fixed_window_never_samples_latency() {
+        let log = concurrent_commits(GatherWindow::none(), 2, 20, Duration::from_micros(100));
+        assert_eq!(log.gather_p99(), Duration::ZERO);
+        assert_eq!(log.group_force_stats().budget_rejects, 0);
     }
 
     #[test]

@@ -344,6 +344,11 @@ impl Shipper {
                         upto: cursor,
                         eosl,
                         groups: std::mem::take(&mut batch),
+                        // Only the plan's final batch (which runs the
+                        // cursor to the stream end) carries a prune
+                        // bound: a mid-plan bound would have to stay
+                        // below every unsent group's floor anyway.
+                        prune: Lsn(0),
                     },
                 ));
                 batch_records = 0;
@@ -357,7 +362,12 @@ impl Shipper {
         }
         // Final batch always runs the frontier out to the stream end so
         // the replica's freshness horizon tracks commits on *other*
-        // partitions (and empty logs still bump frontiers).
+        // partitions (and empty logs still bump frontiers). It also
+        // carries the in-set prune bound (see `Self::prune_bound`):
+        // once the replica has applied through `end`, every shipped
+        // operation LSN at or below the bound is covered, and nothing
+        // at or below it can ever arrive raw.
+        let prune = Self::prune_bound(g, end);
         outbound.push((
             link.clone(),
             TcToDc::ShipBatch {
@@ -366,10 +376,38 @@ impl Shipper {
                 upto: end,
                 eosl,
                 groups: batch,
+                prune,
             },
         ));
         let r = g.replicas.get_mut(&id).expect("replica exists");
         r.sent = end;
+    }
+
+    /// The largest operation LSN a replica that has applied the whole
+    /// stream through `end` may fold under its abstract-LSN low-water
+    /// marks. Everything at or below the bound is *settled* from the
+    /// replica's point of view: shipped-and-applied, or part of an
+    /// aborted transaction that will never ship. The bound therefore
+    /// stays strictly below
+    ///
+    /// * the smallest buffered LSN of a transaction whose outcome is
+    ///   not yet scanned (promotion replays exactly these raw, at
+    ///   their original LSNs — they must not be swallowed as
+    ///   duplicates), and
+    /// * the unscanned stable tail (`scan_pos + 1`), whose future
+    ///   groups may reach back no further than their own LSNs.
+    fn prune_bound(g: &ShipperInner, end: Lsn) -> Lsn {
+        let pending_floor = g
+            .pending
+            .values()
+            .flat_map(|ops| ops.iter().map(|(l, _, _)| *l))
+            .min();
+        let horizon = [pending_floor, Some(Lsn(g.scan_pos + 1))]
+            .into_iter()
+            .flatten()
+            .min()
+            .expect("scan floor always present");
+        Lsn(horizon.0.saturating_sub(1)).min(end)
     }
 
     /// The oldest TC-log LSN replication still needs (`None` when no

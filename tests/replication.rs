@@ -447,3 +447,134 @@ fn promoted_replica_keeps_serving_replica_reads_from_survivors() {
     assert_eq!(v, Some(b"after".to_vec()));
     assert!(t.stats().snapshot().replica_reads > 0);
 }
+
+/// Largest per-TC abstract-LSN in-set across a DC's cached leaf pages,
+/// plus the engine-level low-water mark the ship stream delivered.
+fn replica_inset_stats(d: &Deployment, id: DcId) -> (usize, unbundled::core::Lsn) {
+    let server = d.dc(id);
+    let engine = server.engine();
+    let mut max_inset = 0usize;
+    for pid in engine.pool().cached_ids() {
+        if let Some(arc) = engine.pool().get_cached(pid) {
+            let page = arc.read();
+            for (_, ab) in page.ab.iter() {
+                max_inset = max_inset.max(ab.in_set_len());
+            }
+        }
+    }
+    (max_inset, engine.lwm(TcId(1)))
+}
+
+#[test]
+fn replica_insets_stay_bounded_across_truncating_checkpoints() {
+    // ROADMAP e12 follow-up: replicas never receive `LowWaterMark`, so
+    // without the shipped prune bound their abstract-LSN in-sets grow
+    // with history — one entry per applied operation, forever. Hammer
+    // a small key range (so the same pages keep absorbing operations)
+    // across many checkpoint-truncation rounds and require the largest
+    // in-set to stay at the scale of a single round's traffic.
+    let d = replicated(1, |_| TransportKind::Inline);
+    let t = d.tc(TcId(1));
+    const ROUNDS: u64 = 12;
+    const PER_ROUND: u64 = 40;
+    for k in 0..8u64 {
+        let txn = t.begin().unwrap();
+        t.insert(txn, T, Key::from_u64(k), b"seed".to_vec())
+            .unwrap();
+        t.commit(txn).unwrap();
+    }
+    let mut insets_per_round = Vec::new();
+    for round in 0..ROUNDS {
+        for i in 0..PER_ROUND {
+            let txn = t.begin().unwrap();
+            let k = i % 8; // hot keys: the same pages accrue LSNs
+            t.update(
+                txn,
+                T,
+                Key::from_u64(k),
+                format!("r{round}i{i}").into_bytes(),
+            )
+            .unwrap();
+            t.commit(txn).unwrap();
+        }
+        pump_until_converged(&d, TcId(1));
+        // Truncating checkpoint: floored on the replication floor, so
+        // it only advances past what the replica durably consumed.
+        t.checkpoint().unwrap();
+        insets_per_round.push(replica_inset_stats(&d, R1).0);
+    }
+    let (max_inset, lwm) = replica_inset_stats(&d, R1);
+    let total_ops = (ROUNDS * PER_ROUND) as usize;
+    assert!(
+        lwm > unbundled::core::Lsn(0),
+        "the ship stream must have delivered a prune bound"
+    );
+    assert!(
+        max_inset * 4 < total_ops,
+        "in-sets must not retain history: {max_inset} entries after {total_ops} ops"
+    );
+    // Boundedness, not just a constant factor: the last rounds must not
+    // trend upward the way an unpruned in-set does (compare the final
+    // in-set against the level after the first round plus one round's
+    // traffic of slack).
+    assert!(
+        insets_per_round[ROUNDS as usize - 1] <= insets_per_round[0] + PER_ROUND as usize,
+        "in-set kept growing round over round: {insets_per_round:?}"
+    );
+    // Pruning must not have cost correctness: the replica still equals
+    // the primary's committed state.
+    let expect = committed_rows(&d, TcId(1));
+    assert_eq!(d.dc(R1).engine().dump_table(T).unwrap(), expect);
+}
+
+#[test]
+fn prune_bound_respects_unresolved_transactions_across_promotion() {
+    // The prune bound must stay below the ops of transactions whose
+    // outcome the shipper has not scanned: promotion replays exactly
+    // those raw, at their original LSNs, and a bound that covered them
+    // would make the replica swallow the replay as duplicates.
+    let d = replicated(2, |_| TransportKind::Inline);
+    let t = d.tc(TcId(1));
+    run_workload(&d, TcId(1), 0, 12);
+    // An in-doubt transaction: logged ops, no outcome record yet.
+    let open = t.begin().unwrap();
+    t.insert(open, T, Key::from_u64(500), b"in-doubt".to_vec())
+        .unwrap();
+    // Plenty of committed traffic after it — without the
+    // unresolved-floor rule this would drag the prune bound past the
+    // in-doubt op's LSN.
+    for k in 600..604u64 {
+        let txn = t.begin().unwrap();
+        t.insert(txn, T, Key::from_u64(k), b"seed".to_vec())
+            .unwrap();
+        t.commit(txn).unwrap();
+    }
+    for i in 0..40u64 {
+        let txn = t.begin().unwrap();
+        t.update(
+            txn,
+            T,
+            Key::from_u64(600 + i % 4),
+            format!("x{i}").into_bytes(),
+        )
+        .unwrap();
+        t.commit(txn).unwrap();
+    }
+    pump_until_converged(&d, TcId(1));
+    let lwm = d.dc(R1).engine().lwm(TcId(1));
+    assert!(
+        lwm > unbundled::core::Lsn(0),
+        "committed traffic must still advance the prune bound"
+    );
+    // Promote R1 while the transaction is still unresolved: its op
+    // replays raw into the new primary and must apply (not be
+    // suppressed by the prune bound), so committing afterwards works.
+    d.promote_replica(TcId(1), PRIMARY, R1);
+    t.commit(open).unwrap();
+    let rows = committed_rows(&d, TcId(1));
+    assert!(
+        rows.iter()
+            .any(|(k, v)| k == &Key::from_u64(500) && v == b"in-doubt"),
+        "the in-doubt transaction's write must survive promotion"
+    );
+}
