@@ -1,0 +1,26 @@
+//! E14: key-range sharded TC tier — scale-out, cross-TC 2PC, and
+//! shared-device group commit.
+//!
+//! One TC owns one redo log, so the log device caps a single TC's
+//! commit rate no matter how well group commit amortizes it. This
+//! experiment partitions the TC by key range (paper Section 6.1) and
+//! measures the scale-out that buys, what the shard-map lookup costs on
+//! the single-shard fast path, what cross-shard transactions pay for
+//! 2PC over the redo logs, and what the shared-device force arbiter
+//! recovers when several shard logs are colocated on one device.
+//!
+//! The harness lives in `unbundled_bench::e14` and is shared with the
+//! report binary, which serializes the same rows as `BENCH_e14.json`
+//! for the CI perf trajectory.
+//!
+//! Run modes: full (default) or smoke (`E14_SMOKE=1`, used by CI as a
+//! regression gate — the run fails if sharding stops scaling, the shard
+//! map taxes the fast path, or the coalescing arbiter loses to serial
+//! forces).
+
+fn main() {
+    let smoke = std::env::var("E14_SMOKE").is_ok();
+    let report = unbundled_bench::e14::run_e14(smoke);
+    report.print();
+    report.assert_gates();
+}

@@ -69,13 +69,14 @@ fn main() {
         Some("e11") => e11(json.as_deref()),
         Some("e12") => e12(json.as_deref()),
         Some("e13") => e13(json.as_deref()),
+        Some("e14") => e14(json.as_deref()),
         Some("check") => {
             let baselines = against.expect("check needs --against <baselines.json>");
             check(&baselines, dir.as_deref().unwrap_or("."));
         }
         Some(other) => {
             panic!(
-                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"check\" can run alone)"
+                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"check\" can run alone)"
             )
         }
         None => {
@@ -102,6 +103,7 @@ fn main() {
             e11(per_exp("e11").as_deref());
             e12(per_exp("e12").as_deref());
             e13(per_exp("e13").as_deref());
+            e14(per_exp("e14").as_deref());
         }
     }
     println!("\nreport complete.");
@@ -754,6 +756,23 @@ fn e13(json: Option<&str>) {
     if let Some(path) = json {
         std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("e13 telemetry written to {path}");
+    }
+    report.assert_gates();
+}
+
+/// E14 — the key-range sharded TC tier: scale-out over per-shard redo
+/// logs, the shard-map tax on the single-shard fast path, cross-TC
+/// transactions through 2PC, and shared-device group commit via the
+/// force arbiter. Telemetry is written before the gates are asserted,
+/// like e11/e12/e13.
+fn e14(json: Option<&str>) {
+    header("E14: sharded TC — scale-out, cross-TC 2PC, shared-device group commit");
+    let smoke = std::env::var("E14_SMOKE").is_ok();
+    let report = unbundled_bench::e14::run_e14(smoke);
+    report.print();
+    if let Some(path) = json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("e14 telemetry written to {path}");
     }
     report.assert_gates();
 }

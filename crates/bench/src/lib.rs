@@ -12,6 +12,7 @@ pub mod baseline;
 pub mod e11;
 pub mod e12;
 pub mod e13;
+pub mod e14;
 pub mod json;
 pub mod workload;
 

@@ -81,6 +81,11 @@ pub enum TcError {
     DcUnreachable(DcId),
     /// Lock acquisition timed out (distinct from detected deadlock).
     LockTimeout(TxnId),
+    /// A cross-TC participant refused to prepare (or failed an op); the
+    /// whole distributed transaction has been rolled back.
+    PrepareRefused(TxnId),
+    /// A key is owned by a TC shard this TC has no peer handle for.
+    NoSuchTc(TcId),
 }
 
 impl fmt::Display for TcError {
@@ -93,6 +98,8 @@ impl fmt::Display for TcError {
             TcError::Unavailable(t) => write!(f, "{t} unavailable"),
             TcError::DcUnreachable(d) => write!(f, "{d} unreachable"),
             TcError::LockTimeout(x) => write!(f, "{x} aborted: lock timeout"),
+            TcError::PrepareRefused(x) => write!(f, "{x} aborted: cross-TC prepare refused"),
+            TcError::NoSuchTc(t) => write!(f, "unknown transaction component {t}"),
         }
     }
 }

@@ -30,6 +30,8 @@
 //!   `end_of_stable_log`, `checkpoint`, `low_water_mark`, `restart`, plus
 //!   the DC→TC replies and out-of-band prompts.
 //! * [`codec`] — a small binary codec used for page images and log records.
+//! * [`shard`] — key-range partition resolution shared by DC routing and
+//!   the TC shard map ([`TcShardMap`]) that drives cross-TC transactions.
 //! * [`error`] — shared error types.
 
 #![warn(missing_docs)]
@@ -42,6 +44,7 @@ pub mod lsn;
 pub mod msg;
 pub mod op;
 pub mod record;
+pub mod shard;
 
 pub use error::{CoreError, DcError, TcError};
 pub use ids::{DcId, PageId, RequestId, SysTxnId, TableId, TcId, TxnId};
@@ -50,3 +53,4 @@ pub use lsn::{AbstractLsn, DLsn, Lsn, PerTcAbLsn};
 pub use msg::{DataComponentApi, DcToTc, TcToDc};
 pub use op::{LogicalOp, OpResult, ReadFlavor};
 pub use record::{BeforeVersion, StoredRecord, TableSpec};
+pub use shard::{range_owner, range_owners, TcShardMap};

@@ -1,0 +1,224 @@
+//! Key-range → owner resolution, shared by DC routing and the TC shard
+//! map.
+//!
+//! Both the DC-side `TableRoute::Partitioned` routing and the TC shard
+//! map introduced for cross-TC transactions partition the `u64` key
+//! prefix space into contiguous ranges described as a sorted vector of
+//! `(exclusive_upper_bound, owner)` entries whose last entry must have
+//! the bound `u64::MAX`. The resolution rules — point lookup, range
+//! overlap, and the harmless last-partition fallback for degenerate
+//! ranges — used to be duplicated; they live here now so both consumers
+//! share one tested implementation.
+
+use std::sync::Arc;
+
+use crate::ids::TcId;
+use crate::key::Key;
+
+/// The owner of point `p` in a sorted `(upper, owner)` partition table.
+/// Entry `(upper, owner)` covers points `< upper`; the last entry (bound
+/// `u64::MAX`) additionally absorbs `u64::MAX` itself so the table is
+/// total.
+///
+/// Panics on an empty table (partition tables are non-empty by
+/// construction).
+pub fn range_owner<T: Copy>(parts: &[(u64, T)], p: u64) -> T {
+    for (upper, owner) in parts {
+        if p < *upper {
+            return *owner;
+        }
+    }
+    parts.last().expect("non-empty partition table").1
+}
+
+/// Owners whose ranges intersect `[lo, hi]` (both bounds inclusive — an
+/// exclusive high bound should be passed as `hi` directly because the
+/// walk compares `hi >= lower`, which keeps the partition containing the
+/// bound, matching scan semantics where the edge partition must be
+/// consulted). Owners are returned in key order, deduplicated only in
+/// the sense that each partition appears once.
+///
+/// A degenerate range (`hi < lo`, i.e. inverted bounds) selects no
+/// partition; callers still need *some* owner to address (they will read
+/// zero rows from it), so the walk falls back to the last partition
+/// rather than returning an empty set or panicking.
+pub fn range_owners<T: Copy>(parts: &[(u64, T)], lo: u64, hi: u64) -> Vec<T> {
+    let mut out = Vec::new();
+    let mut lower = 0u64;
+    for (upper, owner) in parts {
+        // partition covers [lower, upper)
+        if lo < *upper && hi >= lower {
+            out.push(*owner);
+        }
+        lower = *upper;
+    }
+    if out.is_empty() {
+        out.push(parts.last().expect("non-empty partition table").1);
+    }
+    out
+}
+
+/// Key-range → TC ownership for a sharded transaction service.
+///
+/// Every TC in a sharded deployment holds the same map. An operation on
+/// a key owned by another shard is forwarded to that shard's TC, which
+/// runs it as a *participant* branch of the originating transaction;
+/// commit then goes through two-phase commit over the TCs' redo logs.
+/// Locking stays safe because the map partitions the key space: only the
+/// owning TC ever locks a key.
+#[derive(Clone)]
+pub struct TcShardMap {
+    parts: Arc<Vec<(u64, TcId)>>,
+}
+
+impl TcShardMap {
+    /// Build from sorted `(exclusive_upper, tc)` entries; the last bound
+    /// must be `u64::MAX`.
+    pub fn new(parts: Vec<(u64, TcId)>) -> Self {
+        assert!(!parts.is_empty(), "shard map must have at least one range");
+        assert_eq!(
+            parts.last().unwrap().0,
+            u64::MAX,
+            "last shard bound must be u64::MAX"
+        );
+        debug_assert!(parts.windows(2).all(|w| w[0].0 < w[1].0));
+        TcShardMap {
+            parts: Arc::new(parts),
+        }
+    }
+
+    /// A one-shard map: the degenerate case where `tc` owns everything.
+    pub fn single(tc: TcId) -> Self {
+        TcShardMap::new(vec![(u64::MAX, tc)])
+    }
+
+    /// Evenly split the `u64` prefix space across `tcs` (in order).
+    pub fn even(tcs: &[TcId]) -> Self {
+        assert!(!tcs.is_empty());
+        let n = tcs.len() as u64;
+        let step = u64::MAX / n;
+        let parts = tcs
+            .iter()
+            .enumerate()
+            .map(|(i, tc)| {
+                let upper = if i as u64 == n - 1 {
+                    u64::MAX
+                } else {
+                    (i as u64 + 1) * step
+                };
+                (upper, *tc)
+            })
+            .collect();
+        TcShardMap::new(parts)
+    }
+
+    /// The TC owning `key`.
+    pub fn tc_for(&self, key: &Key) -> TcId {
+        range_owner(&self.parts, key.u64_prefix().unwrap_or(0))
+    }
+
+    /// All shard owners, in key order.
+    pub fn shards(&self) -> Vec<TcId> {
+        self.parts.iter().map(|(_, tc)| *tc).collect()
+    }
+
+    /// Number of ranges in the map.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Whether the map has a single range (no cross-TC forwarding).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The raw partition table.
+    pub fn parts(&self) -> &[(u64, TcId)] {
+        &self.parts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_resolution_adjacent_ranges() {
+        let parts = vec![(10u64, 'a'), (20, 'b'), (u64::MAX, 'c')];
+        assert_eq!(range_owner(&parts, 0), 'a');
+        assert_eq!(range_owner(&parts, 9), 'a');
+        // Boundary points belong to the range above: bounds are
+        // exclusive uppers.
+        assert_eq!(range_owner(&parts, 10), 'b');
+        assert_eq!(range_owner(&parts, 19), 'b');
+        assert_eq!(range_owner(&parts, 20), 'c');
+    }
+
+    #[test]
+    fn point_resolution_u64_max_bound() {
+        let parts = vec![(u64::MAX, 'z')];
+        // u64::MAX itself is below no exclusive bound; the last
+        // partition absorbs it.
+        assert_eq!(range_owner(&parts, u64::MAX), 'z');
+        let parts = vec![(100u64, 'a'), (u64::MAX, 'b')];
+        assert_eq!(range_owner(&parts, u64::MAX), 'b');
+        assert_eq!(range_owner(&parts, u64::MAX - 1), 'b');
+    }
+
+    #[test]
+    fn range_owners_singleton_range() {
+        let parts = vec![(10u64, 'a'), (20, 'b'), (u64::MAX, 'c')];
+        // [5, 5] is a single point inside the first partition.
+        assert_eq!(range_owners(&parts, 5, 5), vec!['a']);
+        // A singleton exactly on a bound lives in the upper partition.
+        assert_eq!(range_owners(&parts, 10, 10), vec!['b']);
+    }
+
+    #[test]
+    fn range_owners_adjacent_and_spanning() {
+        let parts = vec![(10u64, 'a'), (20, 'b'), (u64::MAX, 'c')];
+        assert_eq!(range_owners(&parts, 0, 9), vec!['a']);
+        assert_eq!(range_owners(&parts, 5, 15), vec!['a', 'b']);
+        assert_eq!(range_owners(&parts, 0, u64::MAX), vec!['a', 'b', 'c']);
+        // Touching the bound from below does not spill into the next
+        // partition's exclusive region... but hi is compared inclusively
+        // against the partition's lower edge, so [5, 10] consults 'b'
+        // (the partition containing point 10).
+        assert_eq!(range_owners(&parts, 5, 10), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn range_owners_inverted_bounds_fall_back() {
+        let parts = vec![(10u64, 'a'), (u64::MAX, 'b')];
+        // hi < lo selects nothing; callers get the last partition as a
+        // harmless addressee.
+        assert_eq!(range_owners(&parts, 500, 50), vec!['b']);
+    }
+
+    #[test]
+    fn shard_map_even_split_and_lookup() {
+        let tcs = [TcId(1), TcId(2), TcId(3), TcId(4)];
+        let m = TcShardMap::even(&tcs);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.shards(), tcs.to_vec());
+        assert_eq!(m.tc_for(&Key::from_u64(0)), TcId(1));
+        assert_eq!(m.tc_for(&Key::from_u64(u64::MAX)), TcId(4));
+        let step = u64::MAX / 4;
+        assert_eq!(m.tc_for(&Key::from_u64(step - 1)), TcId(1));
+        assert_eq!(m.tc_for(&Key::from_u64(step)), TcId(2));
+    }
+
+    #[test]
+    fn shard_map_single() {
+        let m = TcShardMap::single(TcId(7));
+        assert_eq!(m.tc_for(&Key::from_u64(0)), TcId(7));
+        assert_eq!(m.tc_for(&Key::from_u64(u64::MAX)), TcId(7));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "last shard bound")]
+    fn shard_map_rejects_partial_coverage() {
+        TcShardMap::new(vec![(100, TcId(1))]);
+    }
+}

@@ -13,9 +13,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use unbundled_core::{DcId, DcToTc, Lsn, TableId, TableSpec, TcId};
+use unbundled_core::{DcId, DcToTc, Lsn, TableId, TableSpec, TcId, TcShardMap};
 use unbundled_dc::{DcConfig, DcLogRecord, DcServer};
-use unbundled_storage::{LogStore, SimDisk};
+use unbundled_storage::{ForceArbiter, LogStore, SimDisk};
 use unbundled_tc::{DcLink, TableRoute, Tc, TcConfig, TcLogRecord};
 
 /// Which transport connects a TC to a DC.
@@ -79,6 +79,9 @@ struct TcNode {
 pub struct Deployment {
     dcs: HashMap<DcId, DcNode>,
     tcs: HashMap<TcId, TcNode>,
+    /// Key-range → TC shard map, if the TC tier is sharded. Re-applied
+    /// (with the all-to-all peer wiring) whenever a TC is rebuilt.
+    shard_map: Mutex<Option<TcShardMap>>,
 }
 
 impl Deployment {
@@ -87,6 +90,7 @@ impl Deployment {
         Deployment {
             dcs: HashMap::new(),
             tcs: HashMap::new(),
+            shard_map: Mutex::new(None),
         }
     }
 
@@ -236,6 +240,36 @@ impl Deployment {
         node.routes.lock().push((table, route));
     }
 
+    /// Shard the TC tier by key range: install `map` (key-range → TC)
+    /// at every TC and wire the shards all-to-all as 2PC peers. Each
+    /// shard forwards operations on keys it does not own to the owning
+    /// shard and coordinates two-phase commit for transactions that
+    /// spanned shards. Peer handles point at the TC nodes' cells, so
+    /// they survive shard reboots; the map and wiring are re-applied
+    /// (before recovery, which resolves in-doubt branches through the
+    /// peers) whenever [`Deployment::reboot_tc`] rebuilds a shard.
+    pub fn set_shard_map(&self, map: TcShardMap) {
+        *self.shard_map.lock() = Some(map.clone());
+        for (id, node) in &self.tcs {
+            let tc = node.tc.lock().clone();
+            tc.set_shard_map(map.clone());
+            for (other, onode) in &self.tcs {
+                if other != id {
+                    tc.register_peer(*other, onode.tc.clone());
+                }
+            }
+        }
+    }
+
+    /// Colocate the given TC shards' redo logs on one physical log
+    /// device: every flush they issue is arbitrated (serialized, and —
+    /// with a coalescing arbiter — shared) by `arbiter`.
+    pub fn colocate_tc_logs(&self, tcs: &[TcId], arbiter: Arc<ForceArbiter>) {
+        for id in tcs {
+            self.tcs[id].log.attach_arbiter(arbiter.clone());
+        }
+    }
+
     /// The current TC instance.
     pub fn tc(&self, id: TcId) -> Arc<Tc> {
         self.tcs[&id].tc.lock().clone()
@@ -375,8 +409,77 @@ impl Deployment {
             let link = self.make_link(node, &self.dcs[&conn.replica], &conn.kind);
             tc.register_replica_lineage(conn.replica, &conn.sources, link);
         }
+        // Shard wiring must precede recovery: in-doubt 2PC branches are
+        // resolved against coordinator shards through the peer handles.
+        if let Some(map) = self.shard_map.lock().clone() {
+            tc.set_shard_map(map);
+            for (other, onode) in &self.tcs {
+                if *other != id {
+                    tc.register_peer(*other, onode.tc.clone());
+                }
+            }
+        }
         *node.tc.lock() = tc.clone();
         tc.run_recovery().expect("TC recovery");
+        // Recovery may have re-driven a failover whose PromoteIntent was
+        // forced but whose completion was lost with the crash: detect the
+        // alias it installed and apply the node-level bookkeeping
+        // `promote_replica` would have done.
+        let recovered: Vec<(DcId, DcId)> = tc
+            .aliases()
+            .into_iter()
+            .filter(|(old, new)| {
+                !node
+                    .promotions
+                    .lock()
+                    .iter()
+                    .any(|(o, n)| o == old && n == new)
+            })
+            .collect();
+        for (old, new) in recovered {
+            self.finish_promotion_bookkeeping(node, old, new);
+        }
+        // Peer shards may hold 2PC state involving the TC that just came
+        // back: branches it coordinated — unprepared orphans (the crash
+        // lost the coordinator's participant list, so nothing else will
+        // ever abort them) and parked in-doubt branches now resolvable
+        // against its stable log — plus pinned commit decisions whose
+        // delivery failed while this shard was down and which only a
+        // retry can unpin.
+        if self.shard_map.lock().is_some() {
+            for (other, onode) in &self.tcs {
+                if *other != id {
+                    let peer = onode.tc.lock().clone();
+                    peer.resolve_indoubt();
+                    peer.redeliver_decisions();
+                }
+            }
+        }
+    }
+
+    /// Node-level records of a completed failover (fencing, connection
+    /// moves, route updates, lineage, history) — shared by the normal
+    /// promotion path and the recovery-re-driven one.
+    fn finish_promotion_bookkeeping(&self, tnode: &TcNode, old: DcId, new: DcId) {
+        self.dcs[&old].server.lock().fence();
+        *self.dcs[&old].fenced.lock() = true;
+        *self.dcs[&new].replica_of.lock() = None;
+        let mut rc = tnode.replica_connections.lock();
+        if let Some(pos) = rc.iter().position(|c| c.replica == new) {
+            let conn = rc.remove(pos);
+            tnode.connections.lock().push((new, conn.kind));
+        }
+        for conn in rc.iter_mut() {
+            if conn.sources.contains(&old) && !conn.sources.contains(&new) {
+                conn.sources.push(new);
+            }
+        }
+        drop(rc);
+        tnode.connections.lock().retain(|(d, _)| *d != old);
+        for (_, route) in tnode.routes.lock().iter_mut() {
+            route.replace_dc(old, new);
+        }
+        tnode.promotions.lock().push((old, new));
     }
 
     /// Crash and reboot both components ("complete failure": the
@@ -489,25 +592,9 @@ impl Deployment {
         let t = tnode.tc.lock().clone();
         t.promote_replica(old, new)
             .unwrap_or_else(|e| panic!("promotion of {new} over {old} failed: {e}"));
-        *self.dcs[&new].replica_of.lock() = None;
         // The promoted DC is an ordinary primary connection from now on;
         // surviving replicas of `old` follow the whole lineage.
-        let mut rc = tnode.replica_connections.lock();
-        if let Some(pos) = rc.iter().position(|c| c.replica == new) {
-            let conn = rc.remove(pos);
-            tnode.connections.lock().push((new, conn.kind));
-        }
-        for conn in rc.iter_mut() {
-            if conn.sources.contains(&old) && !conn.sources.contains(&new) {
-                conn.sources.push(new);
-            }
-        }
-        drop(rc);
-        tnode.connections.lock().retain(|(d, _)| *d != old);
-        for (_, route) in tnode.routes.lock().iter_mut() {
-            route.replace_dc(old, new);
-        }
-        tnode.promotions.lock().push((old, new));
+        self.finish_promotion_bookkeeping(tnode, old, new);
     }
 }
 

@@ -231,6 +231,135 @@ impl AdaptiveState {
     }
 }
 
+/// Point-in-time copy of a [`ForceArbiter`]'s counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ForceArbiterStats {
+    /// Flush requests arbitrated (one per log-level flush).
+    pub requests: u64,
+    /// Physical device flushes actually performed. Under coalescing,
+    /// `requests - device_flushes` is the cross-log sharing win.
+    pub device_flushes: u64,
+}
+
+struct ArbiterInner {
+    /// Device flushes started (a started flush cannot cover requests
+    /// that arrive after it began — their writes missed the bus).
+    started: u64,
+    /// Device flushes completed.
+    completed: u64,
+    /// A device flush is in flight.
+    flushing: bool,
+    stats: ForceArbiterStats,
+}
+
+/// A shared log *device*: several colocated logs (e.g. the redo logs of
+/// TC shards packed on one machine) contend for a single flush path.
+/// The arbiter serializes their flushes — two logs cannot write the
+/// device at once — and, in coalescing mode, lets every request that
+/// arrives while a flush is in flight share the *next* device flush
+/// instead of queueing one each.
+///
+/// A request is only covered by a flush that **started after it
+/// arrived**: an in-flight flush was issued before the requester's
+/// records reached the device, so the requester waits for the next one.
+/// All requests gathered during one device flush therefore share a
+/// single follow-up flush — the cross-shard analogue of group commit.
+///
+/// Non-coalescing mode (`ForceArbiter::serial`) models the naive shared
+/// device: flushes serialize but never merge. It exists as the honest
+/// baseline for measuring what coalescing buys.
+///
+/// The simulated device latency is the *requesting log's* — colocated
+/// logs are expected to share one `force_latency` setting.
+pub struct ForceArbiter {
+    inner: Mutex<ArbiterInner>,
+    /// Signalled when a device flush completes.
+    done: Condvar,
+    /// Whether concurrent requests may share one device flush.
+    coalescing: bool,
+}
+
+impl ForceArbiter {
+    fn make(coalescing: bool) -> Arc<Self> {
+        Arc::new(ForceArbiter {
+            inner: Mutex::new(ArbiterInner {
+                started: 0,
+                completed: 0,
+                flushing: false,
+                stats: ForceArbiterStats::default(),
+            }),
+            done: Condvar::new(),
+            coalescing,
+        })
+    }
+
+    /// A coalescing arbiter: requests gathered during a device flush
+    /// share the next one.
+    pub fn new() -> Arc<Self> {
+        Self::make(true)
+    }
+
+    /// A serializing-only arbiter (the naive shared device): every
+    /// request performs its own flush, queued behind the others.
+    pub fn serial() -> Arc<Self> {
+        Self::make(false)
+    }
+
+    /// Block until a device flush that started after this call completes
+    /// (performing it if no one else is), paying `latency` per physical
+    /// flush.
+    pub fn flush(&self, latency: Duration) {
+        let mut g = self.inner.lock();
+        g.stats.requests += 1;
+        if self.coalescing {
+            // Covered by the next flush to start.
+            let need = g.started + 1;
+            loop {
+                if g.completed >= need {
+                    return;
+                }
+                if g.flushing {
+                    self.done.wait(&mut g);
+                    continue;
+                }
+                g = self.lead(g, latency);
+            }
+        } else {
+            while g.flushing {
+                self.done.wait(&mut g);
+            }
+            self.lead(g, latency);
+        }
+    }
+
+    /// Perform one physical device flush (caller holds the lock and has
+    /// established no flush is in flight).
+    fn lead<'a>(
+        &'a self,
+        mut g: parking_lot::MutexGuard<'a, ArbiterInner>,
+        latency: Duration,
+    ) -> parking_lot::MutexGuard<'a, ArbiterInner> {
+        g.flushing = true;
+        g.started += 1;
+        let seq = g.started;
+        drop(g);
+        if latency > Duration::ZERO {
+            std::thread::sleep(latency);
+        }
+        let mut g = self.inner.lock();
+        g.flushing = false;
+        g.completed = g.completed.max(seq);
+        g.stats.device_flushes += 1;
+        self.done.notify_all();
+        g
+    }
+
+    /// Arbitration counters.
+    pub fn stats(&self) -> ForceArbiterStats {
+        self.inner.lock().stats
+    }
+}
+
 /// Convenience alias used by components that share a log handle.
 pub type SeqLog<R> = Arc<LogStore<R>>;
 
@@ -265,6 +394,9 @@ struct LogInner<R> {
     adaptive: AdaptiveState,
     /// Group-force accounting.
     gf_stats: GroupForceStats,
+    /// Shared-device flush arbiter (colocated logs contending for one
+    /// physical flush path); `None` = the log owns its device.
+    arbiter: Option<Arc<ForceArbiter>>,
 }
 
 impl<R> LogInner<R> {
@@ -303,6 +435,7 @@ impl<R: Clone> LogStore<R> {
                 gathering: Vec::new(),
                 adaptive: AdaptiveState::new(),
                 gf_stats: GroupForceStats::default(),
+                arbiter: None,
             }),
             force_done: Condvar::new(),
             gather: Condvar::new(),
@@ -315,6 +448,15 @@ impl<R: Clone> LogStore<R> {
     /// fsync cost to expose the group-commit amortization.
     pub fn set_force_latency(&self, latency: Duration) {
         self.inner.lock().force_latency = latency;
+    }
+
+    /// Put this log on a shared flush device: every flush is paid
+    /// through `arbiter`, serialized against (and, with a coalescing
+    /// arbiter, shared with) the other logs attached to it. While the
+    /// device wait is arbitrated the log stays open for appends; only
+    /// the prefix snapshotted at flush start becomes stable.
+    pub fn attach_arbiter(&self, arbiter: Arc<ForceArbiter>) {
+        self.inner.lock().arbiter = Some(arbiter);
     }
 
     /// Append a record of `encoded_size` bytes; returns its sequence
@@ -332,13 +474,35 @@ impl<R: Clone> LogStore<R> {
     pub fn force(&self) -> u64 {
         let mut g = self.inner.lock();
         if g.stable < g.records.len() {
-            if g.force_latency > Duration::ZERO {
-                std::thread::sleep(g.force_latency);
+            if let Some(arb) = g.arbiter.clone() {
+                // Shared device: pay the flush through the arbiter with
+                // the log unlocked (another log may be mid-flush). Only
+                // the snapshotted prefix becomes stable, and a crash
+                // during the device wait discards the flush.
+                let covers = g.records.len();
+                let generation = g.crashes;
+                let latency = g.force_latency;
+                drop(g);
+                arb.flush(latency);
+                g = self.inner.lock();
+                if g.crashes == generation {
+                    let n = covers.min(g.records.len());
+                    if n > g.stable {
+                        g.stable = n;
+                        g.force_epoch += 1;
+                        self.stats.log_force();
+                        self.force_done.notify_all();
+                    }
+                }
+            } else {
+                if g.force_latency > Duration::ZERO {
+                    std::thread::sleep(g.force_latency);
+                }
+                g.stable = g.records.len();
+                g.force_epoch += 1;
+                self.stats.log_force();
+                self.force_done.notify_all();
             }
-            g.stable = g.records.len();
-            g.force_epoch += 1;
-            self.stats.log_force();
-            self.force_done.notify_all();
         }
         g.stable_seq()
     }
@@ -435,9 +599,17 @@ impl<R: Clone> LogStore<R> {
             let group = g.gathering.len() as u64;
             g.gf_stats.led_flushes += 1;
             g.gf_stats.gathered_waiters += group;
+            let arb = g.arbiter.clone();
             drop(g);
-            if latency > Duration::ZERO {
-                std::thread::sleep(latency);
+            match arb {
+                // Shared device: serialize (and possibly share) the
+                // flush with the other logs on it.
+                Some(a) => a.flush(latency),
+                None => {
+                    if latency > Duration::ZERO {
+                        std::thread::sleep(latency);
+                    }
+                }
             }
             g = self.inner.lock();
             // A crash during the flush loses the records it was writing;
@@ -1214,6 +1386,140 @@ mod tests {
         assert_eq!(log.read(2), None);
         // Numbering resumes from the surviving stable end.
         assert_eq!(log.append("next", 1), 2);
+    }
+
+    #[test]
+    fn arbiter_serializes_device_flushes() {
+        let arb = ForceArbiter::serial();
+        let latency = Duration::from_millis(5);
+        let start = std::time::Instant::now();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let arb = arb.clone();
+                std::thread::spawn(move || arb.flush(latency))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = arb.stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.device_flushes, 4, "serial mode never merges");
+        assert!(
+            start.elapsed() >= latency * 4,
+            "one device: four flushes cannot overlap"
+        );
+    }
+
+    #[test]
+    fn arbiter_coalesces_requests_gathered_during_a_flush() {
+        let arb = ForceArbiter::new();
+        let latency = Duration::from_millis(20);
+        let leader = {
+            let arb = arb.clone();
+            std::thread::spawn(move || arb.flush(latency))
+        };
+        // Wait until the leader's device flush is in flight.
+        while arb.stats().device_flushes == 0 && !arb.inner.lock().flushing {
+            std::thread::yield_now();
+        }
+        // These arrive mid-flush: the in-flight write cannot cover them,
+        // but they all share the *next* one.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let arb = arb.clone();
+                std::thread::spawn(move || arb.flush(latency))
+            })
+            .collect();
+        leader.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = arb.stats();
+        assert_eq!(stats.requests, 5);
+        assert!(
+            stats.device_flushes <= 3,
+            "requests gathered during a flush must share: {} device flushes",
+            stats.device_flushes
+        );
+    }
+
+    #[test]
+    fn arbiter_sequential_requests_each_get_a_flush() {
+        let arb = ForceArbiter::new();
+        arb.flush(Duration::ZERO);
+        arb.flush(Duration::ZERO);
+        let stats = arb.stats();
+        assert_eq!(
+            stats.device_flushes, 2,
+            "a completed flush never covers a later request"
+        );
+    }
+
+    #[test]
+    fn colocated_logs_share_device_flushes_through_the_arbiter() {
+        let arb = ForceArbiter::new();
+        let latency = Duration::from_millis(2);
+        let logs: Vec<Arc<LogStore<u64>>> = (0..4)
+            .map(|_| {
+                let log = Arc::new(LogStore::new());
+                log.set_force_latency(latency);
+                log.attach_arbiter(arb.clone());
+                log
+            })
+            .collect();
+        let barrier = Arc::new(std::sync::Barrier::new(logs.len()));
+        let handles: Vec<_> = logs
+            .iter()
+            .map(|log| {
+                let log = log.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for j in 0..20u64 {
+                        let seq = log.append(j, 1);
+                        let end = log.group_force(seq, GatherWindow::none(), usize::MAX);
+                        assert!(end >= seq, "commit {seq} not durable");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for log in &logs {
+            assert_eq!(log.stable_seq(), 20);
+        }
+        let stats = arb.stats();
+        assert!(
+            stats.device_flushes < stats.requests,
+            "concurrent shards on one device must share flushes: \
+             {} device flushes for {} requests",
+            stats.device_flushes,
+            stats.requests
+        );
+    }
+
+    #[test]
+    fn crash_during_arbitrated_flush_discards_it() {
+        let arb = ForceArbiter::new();
+        let log: Arc<LogStore<&str>> = Arc::new(LogStore::new());
+        log.set_force_latency(Duration::from_millis(20));
+        log.attach_arbiter(arb.clone());
+        log.append("stable", 1);
+        log.force();
+        log.append("doomed", 1);
+        let forcer = {
+            let log = log.clone();
+            std::thread::spawn(move || log.force())
+        };
+        while arb.stats().requests < 3 && !arb.inner.lock().flushing {
+            std::thread::yield_now();
+        }
+        log.crash();
+        forcer.join().unwrap();
+        assert_eq!(log.stable_seq(), 1, "the crashed flush must not land");
+        assert_eq!(log.read(2), None);
     }
 
     #[test]

@@ -26,6 +26,9 @@
 //!   committed-redo stream extraction, per-replica cursors with
 //!   go-back-N resend, bounded-staleness read routing and failover
 //!   promotion support.
+//! * [`twopc`] — cross-TC transactions for a key-range-sharded TC tier:
+//!   operation forwarding between shards and two-phase commit written
+//!   through the shards' existing redo logs (presumed abort).
 
 #![warn(missing_docs)]
 
@@ -36,6 +39,7 @@ pub mod shipper;
 pub mod stats;
 pub mod tc;
 pub mod tclog;
+pub mod twopc;
 
 pub use acks::AckTracker;
 pub use routing::{DcLink, RangePartitioner, ScanProtocol, TableRoute};
@@ -43,4 +47,6 @@ pub use shipper::{ReadConsistency, ReplicaLag};
 pub use stats::{TcSnapshot, TcStats};
 pub use tc::{GroupCommitCfg, Tc, TcConfig};
 pub use tclog::{TcLogHandle, TcLogRecord};
+pub use twopc::{TcPeer, TwopcOutcome};
+pub use unbundled_core::TcShardMap;
 pub use unbundled_storage::GatherWindow;

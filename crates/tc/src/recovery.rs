@@ -18,12 +18,13 @@
 use crate::stats::TcStats;
 use crate::tc::{FlagSlot, Tc};
 use crate::tclog::TcLogRecord;
+use crate::twopc::TwopcOutcome;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
-use unbundled_core::{DcId, LogicalOp, Lsn, RequestId, TcError, TcToDc, TxnId};
+use unbundled_core::{DcId, Key, LogicalOp, Lsn, RequestId, TableId, TcError, TcId, TcToDc, TxnId};
 
 impl Tc {
     /// Full TC restart from the stable log. Call after `register_dc` /
@@ -43,6 +44,16 @@ impl Tc {
         // record alone guarantees eventual promotion — Section 6.2.2).
         let mut vwrites: HashMap<TxnId, Vec<(DcId, LogicalOp)>> = HashMap::new();
         let mut winner_promotes: Vec<(DcId, LogicalOp)> = Vec::new();
+        // Cross-TC 2PC state: prepared participant branches (in-doubt
+        // unless a later resolution record appears), our own retained
+        // commit decisions (re-pinned and re-broadcast), and Begin LSNs
+        // (the log floor a parked in-doubt branch pins).
+        let mut prepared: HashMap<TxnId, (TcId, TxnId)> = HashMap::new();
+        let mut decisions: Vec<(TxnId, Vec<TcId>, Lsn)> = Vec::new();
+        let mut begins: HashMap<TxnId, Lsn> = HashMap::new();
+        // Failover intents without a matching Promote record: the TC
+        // crashed mid-promotion; re-drive it below.
+        let mut promote_intents: Vec<(DcId, DcId)> = Vec::new();
         let mut max_txn = 0u64;
         for (seq, rec) in &records {
             if let Some(t) = rec.txn() {
@@ -58,9 +69,14 @@ impl Tc {
                     // rolled-back operations).
                     self.install_promotion(*old, *new);
                     self.raise_redo_floor(*new, *floor);
+                    promote_intents.retain(|(o, n)| !(o == old && n == new));
+                }
+                TcLogRecord::PromoteIntent { old, new } => {
+                    promote_intents.push((*old, *new));
                 }
                 TcLogRecord::Begin { txn } => {
                     losers.insert(*txn, Vec::new());
+                    begins.insert(*txn, Lsn(*seq));
                 }
                 TcLogRecord::Op { txn, dc, op, undo } => {
                     if let (Some(chain), Some(u)) = (losers.get_mut(txn), undo.clone()) {
@@ -78,12 +94,39 @@ impl Tc {
                 }
                 TcLogRecord::Commit { txn } => {
                     losers.remove(txn);
+                    prepared.remove(txn);
                     if let Some(p) = vwrites.remove(txn) {
                         winner_promotes.extend(p);
                     }
                 }
                 TcLogRecord::Abort { txn } => {
                     losers.remove(txn);
+                    prepared.remove(txn);
+                    vwrites.remove(txn);
+                }
+                TcLogRecord::Prepare { txn, coord, gtxn } => {
+                    prepared.insert(*txn, (*coord, *gtxn));
+                }
+                TcLogRecord::CommitDecision { txn, participants } => {
+                    // The distributed commit point: this transaction is a
+                    // winner, and the decision stays pinned until every
+                    // participant re-acknowledges it.
+                    losers.remove(txn);
+                    if let Some(p) = vwrites.remove(txn) {
+                        winner_promotes.extend(p);
+                    }
+                    decisions.push((*txn, participants.clone(), Lsn(*seq)));
+                }
+                TcLogRecord::ParticipantCommit { txn } => {
+                    losers.remove(txn);
+                    prepared.remove(txn);
+                    if let Some(p) = vwrites.remove(txn) {
+                        winner_promotes.extend(p);
+                    }
+                }
+                TcLogRecord::ParticipantAbort { txn } => {
+                    losers.remove(txn);
+                    prepared.remove(txn);
                     vwrites.remove(txn);
                 }
                 TcLogRecord::RedoOnly { .. } => {}
@@ -92,6 +135,58 @@ impl Tc {
         self.set_next_txn_floor(max_txn + 1);
         self.acks.reset(stable_end);
         self.rssp.store(rssp.0.max(1), Ordering::Relaxed);
+
+        // --- Resolve prepared (in-doubt) participant branches against
+        // their coordinators: presumed abort — a stable CommitDecision in
+        // the coordinator's log commits the branch; no decision and no
+        // live coordinator transaction aborts it; a coordinator still
+        // mid-commit parks the branch with its locks re-acquired.
+        let mut branch_commits: Vec<(TxnId, TcId, TxnId)> = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut branch_parks: Vec<(
+            TxnId,
+            TcId,
+            TxnId,
+            Lsn,
+            Vec<(Lsn, DcId, LogicalOp)>,
+            Vec<(DcId, TableId, Key)>,
+        )> = Vec::new();
+        for (txn, (coord, gtxn)) in &prepared {
+            if !losers.contains_key(txn) {
+                continue;
+            }
+            let outcome = match self.peer_tc(*coord) {
+                Some(p) => p.twopc_outcome_for(*gtxn),
+                // No handle to the coordinator at all: presume abort.
+                None => TwopcOutcome::Aborted,
+            };
+            match outcome {
+                TwopcOutcome::Committed => {
+                    losers.remove(txn);
+                    if let Some(p) = vwrites.remove(txn) {
+                        winner_promotes.extend(p);
+                    }
+                    branch_commits.push((*txn, *coord, *gtxn));
+                }
+                TwopcOutcome::InDoubt => {
+                    let chain = losers.remove(txn).unwrap_or_default();
+                    let promotes = vwrites
+                        .remove(txn)
+                        .unwrap_or_default()
+                        .into_iter()
+                        .filter_map(|(dc, op)| match op {
+                            LogicalOp::PromoteVersion { table, key } => Some((dc, table, key)),
+                            _ => None,
+                        })
+                        .collect();
+                    let first = begins.get(txn).copied().unwrap_or(Lsn(1));
+                    branch_parks.push((*txn, *coord, *gtxn, first, chain, promotes));
+                }
+                // Stays a loser; undone below (with a ParticipantAbort
+                // record instead of Abort).
+                TwopcOutcome::Aborted => {}
+            }
+        }
 
         // --- Restart conversation, half one: reset.
         let dcs: Vec<DcId> = self.links.read().keys().copied().collect();
@@ -152,9 +247,26 @@ impl Tc {
             let _ = self.send_op(dc, RequestId::Op(l), &inv, true)?;
         }
         for txn in losers.keys() {
-            self.log_bookkeeping(TcLogRecord::Abort { txn: *txn });
+            // A prepared branch resolves with the participant-side 2PC
+            // records so a later recovery does not re-ask the
+            // coordinator.
+            if prepared.contains_key(txn) {
+                self.log_bookkeeping(TcLogRecord::ParticipantAbort { txn: *txn });
+            } else {
+                self.log_bookkeeping(TcLogRecord::Abort { txn: *txn });
+            }
+        }
+        for (txn, _, _) in &branch_commits {
+            self.log_bookkeeping(TcLogRecord::ParticipantCommit { txn: *txn });
         }
         self.force_log();
+
+        // --- Park still-in-doubt branches (locks re-acquired) before
+        // accepting new work, so conflicting transactions block instead
+        // of reading uncommitted state.
+        for (txn, coord, gtxn, first, chain, promotes) in branch_parks {
+            self.park_indoubt_recovered(txn, coord, gtxn, first, &chain, promotes);
+        }
 
         // --- Restart conversation, half two: done; resume.
         for &dc in &dcs {
@@ -162,6 +274,34 @@ impl Tc {
         }
         self.set_available(true);
         self.force_and_publish();
+
+        // --- 2PC tail. Acknowledge branch commits only now: the
+        // ParticipantCommit records above are stable, so the coordinator
+        // may truncate the decisions away.
+        for (_, coord, gtxn) in &branch_commits {
+            TcStats::bump(&self.stats().indoubt_resolved);
+            if let Some(p) = self.peer_tc(*coord) {
+                p.twopc_ack(*gtxn, self.id());
+            }
+        }
+        // Coordinator side: re-pin every retained decision and
+        // re-broadcast it (idempotent at the participants — branches
+        // already resolved simply re-acknowledge).
+        if !decisions.is_empty() {
+            let mut pd = self.pending_decisions.lock();
+            for (txn, parts, lsn) in &decisions {
+                pd.insert(*txn, (*lsn, parts.iter().copied().collect()));
+            }
+            drop(pd);
+            self.redeliver_decisions();
+        }
+
+        // --- Re-drive failovers whose intent was forced but whose
+        // completion was lost with the crash. Best effort: the replica
+        // may itself be gone, in which case the deployment re-detects.
+        for (old, new) in promote_intents {
+            let _ = self.promote_replica(old, new);
+        }
         Ok(())
     }
 
@@ -254,6 +394,8 @@ impl Tc {
         self.set_available(false);
         self.txns.lock().clear();
         self.pending.lock().clear();
+        self.participants.lock().clear();
+        self.pending_decisions.lock().clear();
         self.log.store().crash();
     }
 

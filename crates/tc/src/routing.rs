@@ -7,7 +7,7 @@
 //! which is how all of the paper's example schemas cluster.
 
 use std::sync::Arc;
-use unbundled_core::{DcId, Key, TcToDc};
+use unbundled_core::{range_owner, range_owners, DcId, Key, TcToDc};
 
 /// Transport-facing half: something that can carry a message to a DC.
 /// Replies flow back through `Tc::deliver`.
@@ -33,15 +33,7 @@ impl TableRoute {
     pub fn dc_for(&self, key: &Key) -> DcId {
         match self {
             TableRoute::Single(dc) => *dc,
-            TableRoute::Partitioned(parts) => {
-                let p = key.u64_prefix().unwrap_or(0);
-                for (upper, dc) in parts.iter() {
-                    if p < *upper {
-                        return *dc;
-                    }
-                }
-                parts.last().expect("non-empty partitioning").1
-            }
+            TableRoute::Partitioned(parts) => range_owner(parts, key.u64_prefix().unwrap_or(0)),
         }
     }
 
@@ -66,26 +58,17 @@ impl TableRoute {
         }
     }
 
-    /// DCs whose ranges intersect `[low, high)`, in key order.
+    /// DCs whose ranges intersect `[low, high)`, in key order. Range
+    /// resolution (including the last-partition fallback for inverted
+    /// bounds) is shared with the TC shard map via
+    /// [`unbundled_core::range_owners`].
     pub fn dcs_for_range(&self, low: &Key, high: Option<&Key>) -> Vec<DcId> {
         match self {
             TableRoute::Single(dc) => vec![*dc],
             TableRoute::Partitioned(parts) => {
                 let lo = low.u64_prefix().unwrap_or(0);
                 let hi = high.and_then(|h| h.u64_prefix()).unwrap_or(u64::MAX);
-                let mut out = Vec::new();
-                let mut lower = 0u64;
-                for (upper, dc) in parts.iter() {
-                    // partition covers [lower, upper)
-                    if lo < *upper && hi >= lower {
-                        out.push(*dc);
-                    }
-                    lower = *upper;
-                }
-                if out.is_empty() {
-                    out.push(parts.last().expect("non-empty").1);
-                }
-                out
+                range_owners(parts, lo, hi)
             }
         }
     }
@@ -263,6 +246,45 @@ mod tests {
         assert_eq!(
             single.dcs_for_range(&Key::from_u64(9), Some(&Key::from_u64(1))),
             vec![DcId(7)]
+        );
+    }
+
+    #[test]
+    fn adjacent_ranges_share_no_keys() {
+        // Two partitions meeting at 100: the bound itself belongs to the
+        // upper partition, never both — shared-helper semantics the TC
+        // shard map relies on for lock safety.
+        let r = TableRoute::Partitioned(Arc::new(vec![(100, DcId(1)), (u64::MAX, DcId(2))]));
+        assert_eq!(r.dc_for(&Key::from_u64(99)), DcId(1));
+        assert_eq!(r.dc_for(&Key::from_u64(100)), DcId(2));
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(0), Some(&Key::from_u64(99))),
+            vec![DcId(1)],
+            "a high bound strictly below the edge stays in the lower partition"
+        );
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(0), Some(&Key::from_u64(100))),
+            vec![DcId(1), DcId(2)],
+            "a high bound on the edge key consults the partition that owns it"
+        );
+    }
+
+    #[test]
+    fn singleton_range_resolves_to_one_dc() {
+        let r = TableRoute::Partitioned(Arc::new(vec![
+            (100, DcId(1)),
+            (1000, DcId(2)),
+            (u64::MAX, DcId(3)),
+        ]));
+        // A degenerate [k, k] "range" (single point) touches exactly the
+        // partition containing k.
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(500), Some(&Key::from_u64(500))),
+            vec![DcId(2)]
+        );
+        assert_eq!(
+            r.dcs_for_range(&Key::from_u64(0), Some(&Key::from_u64(0))),
+            vec![DcId(1)]
         );
     }
 

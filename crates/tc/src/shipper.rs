@@ -260,7 +260,15 @@ impl Shipper {
                     records: vec![(lsn, dc, op)],
                 });
             }
-            TcLogRecord::Commit { txn } => {
+            // Replicas must only ever see *decided* work. A cross-TC
+            // branch stays buffered through its Prepare — an in-doubt
+            // branch may yet abort — and is emitted (or discarded) only
+            // at its local resolution record, exactly like a
+            // single-shard transaction at Commit/Abort. The coordinator
+            // side's CommitDecision is its commit point and emits there.
+            TcLogRecord::Commit { txn }
+            | TcLogRecord::CommitDecision { txn, .. }
+            | TcLogRecord::ParticipantCommit { txn } => {
                 if let Some(ops) = g.pending.remove(&txn) {
                     if !ops.is_empty() {
                         let floor = ops.iter().map(|(l, _, _)| *l).min().unwrap_or(lsn);
@@ -272,10 +280,13 @@ impl Shipper {
                     }
                 }
             }
-            TcLogRecord::Abort { txn } => {
+            TcLogRecord::Abort { txn } | TcLogRecord::ParticipantAbort { txn } => {
                 g.pending.remove(&txn);
             }
-            TcLogRecord::Checkpoint { .. } | TcLogRecord::Promote { .. } => {}
+            TcLogRecord::Prepare { .. }
+            | TcLogRecord::Checkpoint { .. }
+            | TcLogRecord::Promote { .. }
+            | TcLogRecord::PromoteIntent { .. } => {}
         }
     }
 

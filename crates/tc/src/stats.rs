@@ -45,6 +45,17 @@ pub struct TcStats {
     pub replica_read_fallbacks: AtomicU64,
     /// Failover promotions driven (replica → writable primary).
     pub promotions: AtomicU64,
+    /// Cross-TC 2PC: participant branches prepared (yes votes).
+    pub prepares: AtomicU64,
+    /// Cross-TC 2PC: distributed transactions committed at this
+    /// coordinator (also counted in `commits`).
+    pub cross_commits: AtomicU64,
+    /// Cross-TC 2PC: distributed transactions aborted at this
+    /// coordinator (prepare refused, or coordinator-side failure).
+    pub cross_aborts: AtomicU64,
+    /// Cross-TC 2PC: in-doubt participant branches resolved against the
+    /// coordinator's log (recovery or explicit re-resolution).
+    pub indoubt_resolved: AtomicU64,
 }
 
 /// Point-in-time copy of [`TcStats`].
@@ -86,6 +97,14 @@ pub struct TcSnapshot {
     pub replica_read_fallbacks: u64,
     /// Failover promotions driven.
     pub promotions: u64,
+    /// Participant branches prepared.
+    pub prepares: u64,
+    /// Distributed transactions committed at this coordinator.
+    pub cross_commits: u64,
+    /// Distributed transactions aborted at this coordinator.
+    pub cross_aborts: u64,
+    /// In-doubt participant branches resolved.
+    pub indoubt_resolved: u64,
 }
 
 impl TcStats {
@@ -110,6 +129,10 @@ impl TcStats {
             replica_reads: self.replica_reads.load(Ordering::Relaxed),
             replica_read_fallbacks: self.replica_read_fallbacks.load(Ordering::Relaxed),
             promotions: self.promotions.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            cross_commits: self.cross_commits.load(Ordering::Relaxed),
+            cross_aborts: self.cross_aborts.load(Ordering::Relaxed),
+            indoubt_resolved: self.indoubt_resolved.load(Ordering::Relaxed),
         }
     }
 

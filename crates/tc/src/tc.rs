@@ -14,6 +14,7 @@ use crate::routing::{DcLink, ScanProtocol, TableRoute};
 use crate::shipper::{ReadConsistency, ReplicaLag, Shipper};
 use crate::stats::TcStats;
 use crate::tclog::{TcLogHandle, TcLogRecord};
+use crate::twopc::TcPeer;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -21,7 +22,7 @@ use std::sync::Arc;
 use std::time::Duration;
 use unbundled_core::{
     DcError, DcId, DcToTc, Key, LogicalOp, Lsn, OpResult, ReadFlavor, RequestId, TableId, TcError,
-    TcId, TcToDc, TxnId,
+    TcId, TcShardMap, TcToDc, TxnId,
 };
 use unbundled_lockmgr::{LockError, LockManager, LockMode, LockName, LockToken};
 use unbundled_storage::{GatherWindow, LogStore};
@@ -116,6 +117,14 @@ pub(crate) struct TxnState {
     pub(crate) cache: HashMap<(TableId, Key), Option<Vec<u8>>>,
     /// Versioned writes requiring post-commit promotion.
     pub(crate) promotes: Vec<(DcId, TableId, Key)>,
+    /// Cross-TC coordinator role: participant shards holding branches of
+    /// this transaction. Non-empty means commit goes through 2PC.
+    pub(crate) remotes: HashSet<TcId>,
+    /// Cross-TC participant role: the `(coordinator, global txn)` this
+    /// local transaction is a branch of.
+    pub(crate) part_of: Option<(TcId, TxnId)>,
+    /// Participant role: the branch voted yes and awaits the decision.
+    pub(crate) prepared: bool,
 }
 
 /// The Transactional Component. Thread-safe; share via [`Arc`].
@@ -169,6 +178,18 @@ pub struct Tc {
     /// Round-robin ticket for replica read load-balancing.
     replica_rr: AtomicU64,
     available: AtomicBool,
+    /// Key-range → TC ownership. `None` (the default) disables all
+    /// cross-TC machinery — every key is local.
+    pub(crate) shard_map: RwLock<Option<TcShardMap>>,
+    /// Peer TC shards, by id. Handles survive peer reboots (the kernel
+    /// registers an indirection that always resolves the current `Tc`).
+    pub(crate) peers: RwLock<HashMap<TcId, Arc<dyn TcPeer>>>,
+    /// Participant role: `(coordinator, global txn)` → local branch txn.
+    pub(crate) participants: Mutex<HashMap<(TcId, TxnId), TxnId>>,
+    /// Coordinator role: commit decisions not yet acknowledged by every
+    /// participant, pinning log truncation at the decision LSN so an
+    /// in-doubt participant can always re-read the decision.
+    pub(crate) pending_decisions: Mutex<HashMap<TxnId, (Lsn, HashSet<TcId>)>>,
     stats: TcStats,
 }
 
@@ -204,6 +225,10 @@ impl Tc {
             redo_floors: RwLock::new(HashMap::new()),
             replica_rr: AtomicU64::new(0),
             available: AtomicBool::new(true),
+            shard_map: RwLock::new(None),
+            peers: RwLock::new(HashMap::new()),
+            participants: Mutex::new(HashMap::new()),
+            pending_decisions: Mutex::new(HashMap::new()),
             stats: TcStats::default(),
         })
     }
@@ -257,6 +282,14 @@ impl Tc {
         self.links.write().remove(&old);
     }
 
+    /// Failover aliases currently installed (deposed id → promoted id).
+    /// A deployment rebuilding this TC compares these against its own
+    /// failover records to detect promotions recovery re-drove from a
+    /// [`TcLogRecord::PromoteIntent`].
+    pub fn aliases(&self) -> Vec<(DcId, DcId)> {
+        self.aliases.read().iter().map(|(o, n)| (*o, *n)).collect()
+    }
+
     /// The promotion redo floor for `dc`, if one exists: recovery never
     /// replays records below it to that DC.
     pub(crate) fn redo_floor(&self, dc: DcId) -> Option<Lsn> {
@@ -305,7 +338,7 @@ impl Tc {
             .ok_or(TcError::NoSuchDc(dc))
     }
 
-    fn ensure_available(&self) -> Result<(), TcError> {
+    pub(crate) fn ensure_available(&self) -> Result<(), TcError> {
         if self.available.load(Ordering::Acquire) {
             Ok(())
         } else {
@@ -553,7 +586,7 @@ impl Tc {
     /// a solo force + broadcast when group commit is off, otherwise the
     /// log's group-force path (lead or piggyback) with one EOSL/LWM
     /// publication per flush instead of per committer.
-    fn force_commit(&self, lsn: Lsn) {
+    pub(crate) fn force_commit(&self, lsn: Lsn) {
         match self.cfg.group_commit.clone() {
             None => self.force_and_publish(),
             Some(gc) => {
@@ -609,6 +642,9 @@ impl Tc {
             touched: HashSet::new(),
             cache: HashMap::new(),
             promotes: Vec::new(),
+            remotes: HashSet::new(),
+            part_of: None,
+            prepared: false,
         };
         self.txns.lock().insert(txn, Arc::new(Mutex::new(st)));
         Ok(txn)
@@ -622,11 +658,16 @@ impl Tc {
             .ok_or(TcError::NotActive(txn))
     }
 
-    fn token(txn: TxnId) -> LockToken {
+    pub(crate) fn token(txn: TxnId) -> LockToken {
         LockToken(txn.0)
     }
 
-    fn lock_or_abort(&self, txn: TxnId, name: LockName, mode: LockMode) -> Result<(), TcError> {
+    pub(crate) fn lock_or_abort(
+        &self,
+        txn: TxnId,
+        name: LockName,
+        mode: LockMode,
+    ) -> Result<(), TcError> {
         match self
             .locks
             .lock(Self::token(txn), name, mode, self.cfg.lock_timeout)
@@ -680,11 +721,18 @@ impl Tc {
         Ok(value)
     }
 
-    fn mutate(&self, txn: TxnId, op: LogicalOp) -> Result<(), TcError> {
+    pub(crate) fn mutate(&self, txn: TxnId, op: LogicalOp) -> Result<(), TcError> {
         self.ensure_available()?;
         let st = self.txn_state(txn)?;
         let table = op.table();
         let key = op.point_key().expect("point mutation").clone();
+        // Sharded transaction service: a key owned by another TC shard is
+        // forwarded to it and executed there as a participant branch of
+        // this transaction (locked, logged and sent by the owner — only
+        // the owning shard ever locks a key).
+        if let Some(owner) = self.shard_owner(&key) {
+            return self.forward_mutate(txn, &st, owner, op);
+        }
         let dc = self.route(table)?.dc_for(&key);
 
         // --- Locking, always before the LSN is drawn (OPSR).
@@ -812,6 +860,9 @@ impl Tc {
     pub fn read(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
         self.ensure_available()?;
         let st = self.txn_state(txn)?;
+        if let Some(owner) = self.shard_owner(&key) {
+            return self.forward_read(txn, &st, owner, table, key);
+        }
         let dc = self.route(table)?.dc_for(&key);
         self.lock_or_abort(txn, LockName::Table(table), LockMode::IS)?;
         self.lock_or_abort(txn, LockName::Record(table, key.clone()), LockMode::S)?;
@@ -1053,15 +1104,32 @@ impl Tc {
 
     /// Commit: force the commit record (durability) — solo or via group
     /// commit — then run post-commit version promotions, then release
-    /// locks.
+    /// locks. A transaction with branches at other TC shards goes
+    /// through two-phase commit over the shards' redo logs instead (the
+    /// forced [`TcLogRecord::CommitDecision`] is its commit point).
     pub fn commit(&self, txn: TxnId) -> Result<(), TcError> {
         self.ensure_available()?;
         let st = self.txn_state(txn)?;
+        if !st.lock().remotes.is_empty() {
+            return self.commit_cross(txn);
+        }
         let commit_lsn = self.log_bookkeeping(TcLogRecord::Commit { txn });
         self.force_commit(commit_lsn);
         // Eliminate before-versions (Section 6.2.2) — logged redo-only so
-        // recovery finishes the job if we crash mid-way. No 2PC anywhere:
-        // once the commit record is stable the transaction IS committed.
+        // recovery finishes the job if we crash mid-way. Single-shard
+        // transactions need no 2PC: once the commit record is stable the
+        // transaction IS committed.
+        self.finish_commit_local(txn, &st)
+    }
+
+    /// Post-commit-point work shared by single-shard commit, cross-TC
+    /// coordinator commit and participant decision-apply: version
+    /// promotions, lock release, state removal.
+    pub(crate) fn finish_commit_local(
+        &self,
+        txn: TxnId,
+        st: &Arc<Mutex<TxnState>>,
+    ) -> Result<(), TcError> {
         let promotes = std::mem::take(&mut st.lock().promotes);
         let had_promotes = !promotes.is_empty();
         for (dc, table, key) in promotes {
@@ -1091,17 +1159,38 @@ impl Tc {
         self.rollback(txn)
     }
 
+    /// Roll back `txn`. A cross-TC coordinator additionally aborts every
+    /// participant branch; a participant branch resolves with a
+    /// [`TcLogRecord::ParticipantAbort`] instead of a plain Abort so
+    /// recovery knows its in-doubt window is closed.
     pub(crate) fn rollback(&self, txn: TxnId) -> Result<(), TcError> {
         let st = match self.txns.lock().remove(&txn) {
             Some(st) => st,
             None => return Err(TcError::NotActive(txn)),
         };
+        let part_of = st.lock().part_of;
+        if let Some(key) = part_of {
+            self.participants.lock().remove(&key);
+        }
+        // Coordinator role: tell every participant shard to abort its
+        // branch before (or regardless of) the local undo — presumed
+        // abort, so a participant that never hears this still resolves
+        // correctly by asking.
+        let remotes: Vec<TcId> = {
+            let mut g = st.lock();
+            g.promotes.clear();
+            std::mem::take(&mut g.remotes).into_iter().collect()
+        };
+        for r in remotes {
+            if let Some(peer) = self.peer_tc(r) {
+                peer.decide_participant(self.id, txn, false);
+            }
+        }
         // Inverse operations in reverse chronological order
         // (Section 4.1.1(2b)), logged redo-only like compensation
         // records so recovery repeats them but never undoes them.
         let undo: Vec<(DcId, LogicalOp)> = {
             let mut g = st.lock();
-            g.promotes.clear();
             let mut u = std::mem::take(&mut g.undo);
             u.reverse();
             u
@@ -1116,7 +1205,11 @@ impl Tc {
             TcStats::bump(&self.stats.undo_ops);
             let _ = self.send_op(dc, RequestId::Op(l), &inv, false)?;
         }
-        self.log_bookkeeping(TcLogRecord::Abort { txn });
+        if part_of.is_some() {
+            self.log_bookkeeping(TcLogRecord::ParticipantAbort { txn });
+        } else {
+            self.log_bookkeeping(TcLogRecord::Abort { txn });
+        }
         self.force_and_publish();
         self.locks.unlock_all(Self::token(txn));
         TcStats::bump(&self.stats.aborts);
@@ -1182,6 +1275,14 @@ impl Tc {
             .unwrap_or(granted);
         let mut keep_from = granted.min(oldest_active);
         if let Some(floor) = self.shipper.replication_floor() {
+            keep_from = keep_from.min(floor);
+        }
+        // Cross-TC: a commit decision not yet acknowledged by every
+        // participant must stay readable — an in-doubt participant
+        // resolves by re-reading it from this log. (Prepared participant
+        // branches are already pinned via oldest_active: they stay in
+        // `txns` until the decision arrives.)
+        if let Some(floor) = self.twopc_floor() {
             keep_from = keep_from.min(floor);
         }
         if keep_from.0 > 1 {
@@ -1397,12 +1498,22 @@ impl Tc {
         result
     }
 
+    /// Write-ahead the failover intent and force it. Logged *before* the
+    /// fence so a TC crash anywhere mid-promotion no longer loses the
+    /// failover: recovery finds the intent without a matching
+    /// [`TcLogRecord::Promote`] and re-drives the promotion.
+    pub fn promote_write_intent(&self, old: DcId, new: DcId) {
+        self.log_bookkeeping(TcLogRecord::PromoteIntent { old, new });
+        self.force_log();
+    }
+
     fn promote_inner(
         &self,
         old: DcId,
         new: DcId,
         new_link: Arc<dyn DcLink>,
     ) -> Result<(), TcError> {
+        self.promote_write_intent(old, new);
         // Fence first: no write may land at the old primary after the
         // new one starts accepting them. Best effort if old is down —
         // the deployment re-fences a fenced node on reboot.

@@ -13,7 +13,7 @@
 //! non-conflicting operations may have executed out of LSN order.
 
 use std::sync::Arc;
-use unbundled_core::{DcId, LogicalOp, Lsn, TxnId};
+use unbundled_core::{DcId, LogicalOp, Lsn, TcId, TxnId};
 use unbundled_storage::LogStore;
 
 /// One TC-log record.
@@ -52,6 +52,48 @@ pub enum TcLogRecord {
         /// Committed transaction.
         txn: TxnId,
     },
+    /// Cross-TC 2PC, participant side: this shard's branch of a
+    /// distributed transaction is prepared — all its operations are
+    /// logged and stable, its locks are held, and the shard has voted
+    /// yes. Forced before the vote is returned. Recovery finding a
+    /// Prepare with no later resolution record re-resolves the branch
+    /// against the coordinator's log (presumed abort: no decision there
+    /// and no live coordinator transaction means abort).
+    Prepare {
+        /// The participant-local branch transaction.
+        txn: TxnId,
+        /// The coordinating TC shard.
+        coord: TcId,
+        /// The coordinator's (global) transaction id.
+        gtxn: TxnId,
+    },
+    /// Cross-TC 2PC, coordinator side: the commit point of a distributed
+    /// transaction. Forced; once stable the transaction is committed
+    /// everywhere even if the decision broadcast is lost — participants
+    /// re-read it from this log. Presumed abort means no analogous abort
+    /// decision is ever logged: an aborting coordinator just logs its
+    /// ordinary [`TcLogRecord::Abort`].
+    CommitDecision {
+        /// The committing (coordinator-local) transaction.
+        txn: TxnId,
+        /// The participant shards that prepared.
+        participants: Vec<TcId>,
+    },
+    /// Cross-TC 2PC, participant side: the branch learned the commit
+    /// decision and committed locally. Forced before acknowledging the
+    /// decision so the coordinator may forget it (truncate its log past
+    /// the decision).
+    ParticipantCommit {
+        /// The participant-local branch transaction.
+        txn: TxnId,
+    },
+    /// Cross-TC 2PC, participant side: the branch was aborted (all
+    /// inverse operations logged before this, as for
+    /// [`TcLogRecord::Abort`]).
+    ParticipantAbort {
+        /// The participant-local branch transaction.
+        txn: TxnId,
+    },
     /// Transaction aborted (all inverse operations logged before this).
     Abort {
         /// Aborted transaction.
@@ -81,6 +123,16 @@ pub enum TcLogRecord {
         /// Redo floor: records below this are stable at `new`.
         floor: Lsn,
     },
+    /// Write-ahead intent for a failover promotion: forced *before* the
+    /// old primary is fenced, so a TC crash mid-promotion no longer
+    /// loses the failover. Recovery finding an intent with no matching
+    /// [`TcLogRecord::Promote`] re-drives the promotion.
+    PromoteIntent {
+        /// The primary about to be deposed.
+        old: DcId,
+        /// The replica about to be promoted.
+        new: DcId,
+    },
 }
 
 fn op_size(op: &LogicalOp) -> usize {
@@ -107,8 +159,14 @@ impl TcLogRecord {
             | TcLogRecord::Op { txn, .. }
             | TcLogRecord::RedoOnly { txn, .. }
             | TcLogRecord::Commit { txn }
-            | TcLogRecord::Abort { txn } => Some(*txn),
-            TcLogRecord::Checkpoint { .. } | TcLogRecord::Promote { .. } => None,
+            | TcLogRecord::Abort { txn }
+            | TcLogRecord::Prepare { txn, .. }
+            | TcLogRecord::CommitDecision { txn, .. }
+            | TcLogRecord::ParticipantCommit { txn }
+            | TcLogRecord::ParticipantAbort { txn } => Some(*txn),
+            TcLogRecord::Checkpoint { .. }
+            | TcLogRecord::Promote { .. }
+            | TcLogRecord::PromoteIntent { .. } => None,
         }
     }
 
@@ -124,6 +182,10 @@ impl TcLogRecord {
             TcLogRecord::RedoOnly { op, .. } => 19 + op_size(op),
             TcLogRecord::Checkpoint { active, .. } => 17 + 8 * active.len(),
             TcLogRecord::Promote { .. } => 21,
+            TcLogRecord::PromoteIntent { .. } => 13,
+            TcLogRecord::Prepare { .. } => 27,
+            TcLogRecord::CommitDecision { participants, .. } => 17 + 2 * participants.len(),
+            TcLogRecord::ParticipantCommit { .. } | TcLogRecord::ParticipantAbort { .. } => 17,
         }
     }
 }

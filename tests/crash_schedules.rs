@@ -21,10 +21,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::time::Duration;
-use unbundled::core::{DcId, Key, TableId, TableSpec, TcId};
+use unbundled::core::{DcId, Key, TableId, TableSpec, TcId, TcShardMap, TxnId};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{single, Deployment, FaultModel, TransportKind};
-use unbundled::tc::{GatherWindow, GroupCommitCfg, ReadConsistency, TableRoute, TcConfig};
+use unbundled::tc::{GatherWindow, GroupCommitCfg, ReadConsistency, TableRoute, Tc, TcConfig};
 
 const T: TableId = TableId(1);
 const SEEDS: u64 = 64;
@@ -288,7 +288,19 @@ fn run_replicated_schedule(seed: u64) {
                 // survive via catch-up redo from the TC log.
                 if standby.len() > 1 {
                     let new = standby.remove(sched.rng.gen_range(0..standby.len() as u64) as usize);
-                    d.promote_replica(TcId(1), primary, new);
+                    if sched.rng.gen_bool(0.4) {
+                        // Crash mid-promotion: the PromoteIntent is
+                        // forced, then the TC dies before fencing or
+                        // catch-up. Recovery finds the intent without a
+                        // matching Promote record and re-drives the
+                        // failover; reboot_tc reconciles the node-level
+                        // bookkeeping (fencing, routes, connections).
+                        d.tc(TcId(1)).promote_write_intent(primary, new);
+                        d.crash_tc(TcId(1));
+                        d.reboot_tc(TcId(1));
+                    } else {
+                        d.promote_replica(TcId(1), primary, new);
+                    }
                     primary = new;
                 }
             }
@@ -372,6 +384,329 @@ fn run_replicated_schedule(seed: u64) {
 fn crash_schedules_replicated_with_promotion() {
     for seed in 0..SEEDS {
         run_replicated_schedule(seed);
+    }
+}
+
+/// Where `TcShardMap::even(&[TcId(1), TcId(2)])` splits the key space.
+const SHARD_SPLIT: u64 = u64::MAX / 2;
+
+/// Spread the model's small raw key space across both shards: even raw
+/// keys land in shard 1's range, odd raw keys in shard 2's. A
+/// transaction drawing several raw keys therefore crosses shards more
+/// often than not.
+fn storm_key(raw: u64) -> Key {
+    if raw.is_multiple_of(2) {
+        Key::from_u64(raw)
+    } else {
+        Key::from_u64(SHARD_SPLIT + raw)
+    }
+}
+
+/// Invert [`storm_key`] on a scanned key.
+fn unmap_key(actual: u64) -> u64 {
+    if actual < SHARD_SPLIT {
+        actual
+    } else {
+        actual - SHARD_SPLIT
+    }
+}
+
+/// Two TC shards splitting the key space evenly, each owning one DC,
+/// group commit on, inline links (deterministic replay).
+fn sharded_storm_deployment() -> Deployment {
+    let tc_cfg = TcConfig {
+        resend_interval: Duration::from_millis(5),
+        // Short lock timeout: a leaked lock surfaces as a fast abort (and
+        // the end-of-storm quiescence check) rather than a 2s stall.
+        lock_timeout: Some(Duration::from_millis(100)),
+        group_commit: Some(GroupCommitCfg {
+            window: GatherWindow::adaptive(),
+            max_waiters: 8,
+        }),
+        ..TcConfig::default()
+    };
+    let mut d = Deployment::new();
+    for (tc, dc) in [(TcId(1), DcId(1)), (TcId(2), DcId(2))] {
+        d.add_dc(dc, DcConfig::default());
+        d.add_tc(tc, tc_cfg.clone());
+        d.connect(tc, dc, TransportKind::Inline);
+        d.create_table(dc, TableSpec::plain(T, "t"));
+        d.route(tc, T, TableRoute::Single(dc));
+    }
+    d.set_shard_map(TcShardMap::even(&[TcId(1), TcId(2)]));
+    d
+}
+
+/// One schedule-valid operation against raw key `raw` (insert when
+/// absent, update or delete when present), staged for a later model
+/// merge. Returns false if the op failed — the TC has then already
+/// rolled the whole transaction back.
+fn staged_op(
+    tc: &Tc,
+    txn: TxnId,
+    sched: &mut Schedule,
+    staged: &mut BTreeMap<u64, Option<Vec<u8>>>,
+    step: u64,
+    raw: u64,
+) -> bool {
+    let present = match staged.get(&raw) {
+        Some(v) => v.is_some(),
+        None => sched.model.contains_key(&raw),
+    };
+    let key = storm_key(raw);
+    let result = if !present {
+        let v = sched.payload(step, raw);
+        let r = tc.insert(txn, T, key, v.clone());
+        staged.insert(raw, Some(v));
+        r
+    } else if sched.rng.gen_bool(0.7) {
+        let v = sched.payload(step, raw);
+        let r = tc.update(txn, T, key, v.clone());
+        staged.insert(raw, Some(v));
+        r
+    } else {
+        let r = tc.delete(txn, T, key);
+        staged.insert(raw, None);
+        r
+    };
+    result.is_ok()
+}
+
+/// Merge a committed transaction's staged writes into the model.
+fn merge_staged(model: &mut Model, staged: BTreeMap<u64, Option<Vec<u8>>>) {
+    for (k, v) in staged {
+        match v {
+            Some(v) => {
+                model.insert(k, v);
+            }
+            None => {
+                model.remove(&k);
+            }
+        }
+    }
+}
+
+/// One transaction begun at a random shard with keys drawn from both
+/// shard ranges, so most multi-op transactions are cross-TC and commit
+/// through 2PC over the redo logs. Mid-transaction crashes hit either
+/// shard: a crashed coordinator evaporates the transaction; a crashed
+/// participant forces the whole transaction to abort (its branch was
+/// presumed-abort rolled back, so the commit must refuse).
+fn run_sharded_txn(d: &Deployment, sched: &mut Schedule, step: u64) {
+    let coord = if sched.rng.gen_bool(0.5) {
+        TcId(1)
+    } else {
+        TcId(2)
+    };
+    let tc = d.tc(coord);
+    let txn = match tc.begin() {
+        Ok(t) => t,
+        Err(_) => return,
+    };
+    let mut staged: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+    let n_ops = sched.rng.gen_range(1..4);
+    for _ in 0..n_ops {
+        if sched.rng.gen_range(0..100) < 6 {
+            let victim = if sched.rng.gen_bool(0.5) {
+                TcId(1)
+            } else {
+                TcId(2)
+            };
+            d.crash_tc(victim);
+            d.reboot_tc(victim);
+            if victim == coord {
+                // The transaction died with the coordinator's volatile
+                // state; its branches are reaped as orphans on reboot.
+                return;
+            }
+            // The participant lost any branch of ours: later forwarded
+            // ops and the prepare vote must refuse, aborting the whole
+            // transaction — never committing it partially.
+        }
+        if sched.rng.gen_range(0..100) < 6 {
+            let dc = if sched.rng.gen_bool(0.5) {
+                DcId(1)
+            } else {
+                DcId(2)
+            };
+            d.crash_dc(dc);
+            d.reboot_dc(dc);
+        }
+        let raw = sched.rng.gen_range(0..KEY_SPACE);
+        if !staged_op(&tc, txn, sched, &mut staged, step, raw) {
+            return;
+        }
+    }
+    if sched.rng.gen_bool(0.85) {
+        if tc.commit(txn).is_ok() {
+            merge_staged(&mut sched.model, staged);
+        }
+    } else {
+        let _ = tc.abort(txn);
+    }
+}
+
+/// Drive a cross-shard transaction up to a precise point inside 2PC with
+/// the protocol's step functions, crash there, and account for the
+/// outcome the recovery rules dictate: no decision forced → presumed
+/// abort (model untouched); decision forced → committed (model updated),
+/// even if every shard crashes before hearing it.
+fn torn_twopc(d: &Deployment, sched: &mut Schedule, step: u64) {
+    let tc1 = d.tc(TcId(1));
+    let txn = match tc1.begin() {
+        Ok(t) => t,
+        Err(_) => return,
+    };
+    let mut staged: BTreeMap<u64, Option<Vec<u8>>> = BTreeMap::new();
+    // One key on each shard: the transaction always spans both.
+    let local_raw = sched.rng.gen_range(0..KEY_SPACE / 2) * 2;
+    let remote_raw = sched.rng.gen_range(0..KEY_SPACE / 2) * 2 + 1;
+    for raw in [local_raw, remote_raw] {
+        if !staged_op(&tc1, txn, sched, &mut staged, step, raw) {
+            return;
+        }
+    }
+    if tc1.twopc_prepare(txn) != Ok(true) {
+        // A refused vote already rolled the transaction back.
+        return;
+    }
+    match sched.rng.gen_range(0..3) {
+        0 => {
+            // Crash everything after the prepares, before any decision:
+            // presumed abort everywhere, coordinator rebooted last.
+            d.crash_tc(TcId(1));
+            d.crash_tc(TcId(2));
+            d.reboot_tc(TcId(2));
+            d.reboot_tc(TcId(1));
+        }
+        1 => {
+            // Crash everything right after the forced CommitDecision:
+            // the decision is the commit point, so the transaction must
+            // survive even though no participant heard phase two.
+            if tc1.twopc_log_decision(txn).is_err() {
+                return;
+            }
+            merge_staged(&mut sched.model, staged);
+            d.crash_tc(TcId(1));
+            d.crash_tc(TcId(2));
+            d.reboot_tc(TcId(2));
+            d.reboot_tc(TcId(1));
+        }
+        _ => {
+            // The participant loses its volatile state between its
+            // prepare and the decision: its branch parks in-doubt with
+            // locks held, then resolves when phase two reaches it.
+            d.crash_tc(TcId(2));
+            d.reboot_tc(TcId(2));
+            if tc1.twopc_log_decision(txn).is_err() {
+                return;
+            }
+            merge_staged(&mut sched.model, staged);
+            let _ = tc1.twopc_finish(txn);
+        }
+    }
+}
+
+/// Post-storm state is the union of both shards' tables, read through
+/// the owning TCs.
+fn verify_sharded(d: &Deployment, model: &Model, seed: u64) {
+    let mut got = Model::new();
+    for id in [TcId(1), TcId(2)] {
+        let tc = d.tc(id);
+        let txn = tc.begin().expect("begin after recovery");
+        let rows = tc
+            .scan(txn, T, Key::empty(), None, None)
+            .expect("scan after recovery");
+        tc.commit(txn).expect("commit verification txn");
+        for (k, v) in rows {
+            got.insert(unmap_key(k.as_u64().expect("u64 key")), v);
+        }
+    }
+    assert_eq!(
+        &got, model,
+        "seed {seed}: sharded post-recovery state diverged — every \
+         acknowledged distributed commit must survive on both shards and \
+         no partial transaction may remain"
+    );
+}
+
+/// The cross-TC storm: sharded transactions interleave with per-shard
+/// TC crashes, DC crashes, torn two-phase commits, and full storms. On
+/// top of the usual durability/no-dirty-data invariants, the end state
+/// must be fully quiesced: no live transactions (a leak here means a
+/// branch kept its locks), no parked in-doubt branches, no pinned
+/// decisions.
+fn run_sharded_schedule(seed: u64) {
+    let d = sharded_storm_deployment();
+    let mut sched = Schedule {
+        rng: StdRng::seed_from_u64(0x2BC0DE ^ seed),
+        model: Model::new(),
+    };
+    let debug = std::env::var("SCHED_DEBUG").is_ok();
+    for step in 0..STEPS {
+        let act = sched.rng.gen_range(0..100);
+        if debug {
+            eprintln!("seed {seed} step {step}: act {act}");
+        }
+        match act {
+            0..=64 => run_sharded_txn(&d, &mut sched, step),
+            65..=76 => torn_twopc(&d, &mut sched, step),
+            77..=84 => {
+                let s = if sched.rng.gen_bool(0.5) {
+                    TcId(1)
+                } else {
+                    TcId(2)
+                };
+                d.crash_tc(s);
+                d.reboot_tc(s);
+            }
+            85..=89 => {
+                let dc = if sched.rng.gen_bool(0.5) {
+                    DcId(1)
+                } else {
+                    DcId(2)
+                };
+                d.crash_dc(dc);
+                d.reboot_dc(dc);
+            }
+            _ => {
+                d.crash_all();
+                d.reboot_all();
+            }
+        }
+    }
+    // Final storm: every shard crashes at once; reboots resolve all
+    // remaining cross-shard state from the stable logs.
+    d.crash_all();
+    d.reboot_all();
+    for id in [TcId(1), TcId(2)] {
+        d.tc(id).resolve_indoubt();
+    }
+    verify_sharded(&d, &sched.model, seed);
+    for id in [TcId(1), TcId(2)] {
+        let tc = d.tc(id);
+        assert_eq!(
+            tc.active_txns(),
+            vec![],
+            "seed {seed}: {id} leaked transactions (and their locks) after the storm"
+        );
+        assert_eq!(
+            tc.indoubt_branches(),
+            0,
+            "seed {seed}: {id} still parks in-doubt branches after full resolution"
+        );
+        assert_eq!(
+            tc.pending_decision_count(),
+            0,
+            "seed {seed}: {id} still pins commit decisions nobody waits for"
+        );
+    }
+}
+
+#[test]
+fn crash_schedules_cross_tc_sharded() {
+    for seed in 0..SEEDS {
+        run_sharded_schedule(seed);
     }
 }
 
