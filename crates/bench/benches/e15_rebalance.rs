@@ -1,0 +1,26 @@
+//! E15: online TC rebalance (elastic split/merge) under load.
+//!
+//! E14 showed what a static sharded TC tier buys; this experiment
+//! measures what an elastic one costs while it changes shape. Against a
+//! sub-capacity open-loop arrival stream (latency measured from the
+//! scheduled arrival, so fence stalls are on the books), a driver moves
+//! the key range `[MAX/4, MAX/2)` out of TC1 into TC2 and later back —
+//! two full online rebalances: fence, drain, checkpoint-to-log-end,
+//! forced `RebalanceDone`, epoch-bumped map republish.
+//!
+//! The harness lives in `unbundled_bench::e15` and is shared with the
+//! report binary, which serializes the same rows as `BENCH_e15.json`
+//! for the CI perf trajectory.
+//!
+//! Run modes: full (default) or smoke (`E15_SMOKE=1`, used by CI as a
+//! regression gate — the run fails if a move loses an acknowledged
+//! write, a move fails to complete and settle the map, or the
+//! disturbance stops being bounded: throughput dips past 20% or any
+//! arrival waits longer than the absolute budget).
+
+fn main() {
+    let smoke = std::env::var("E15_SMOKE").is_ok();
+    let report = unbundled_bench::e15::run_e15(smoke);
+    report.print();
+    report.assert_gates();
+}

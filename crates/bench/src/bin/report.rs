@@ -70,13 +70,14 @@ fn main() {
         Some("e12") => e12(json.as_deref()),
         Some("e13") => e13(json.as_deref()),
         Some("e14") => e14(json.as_deref()),
+        Some("e15") => e15(json.as_deref()),
         Some("check") => {
             let baselines = against.expect("check needs --against <baselines.json>");
             check(&baselines, dir.as_deref().unwrap_or("."));
         }
         Some(other) => {
             panic!(
-                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"check\" can run alone)"
+                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"e15\" / \"check\" can run alone)"
             )
         }
         None => {
@@ -104,6 +105,7 @@ fn main() {
             e12(per_exp("e12").as_deref());
             e13(per_exp("e13").as_deref());
             e14(per_exp("e14").as_deref());
+            e15(per_exp("e15").as_deref());
         }
     }
     println!("\nreport complete.");
@@ -773,6 +775,23 @@ fn e14(json: Option<&str>) {
     if let Some(path) = json {
         std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("e14 telemetry written to {path}");
+    }
+    report.assert_gates();
+}
+
+/// E15 — online TC rebalance: two elastic range moves (out and back)
+/// under a sub-capacity open-loop arrival stream, gated on zero lost
+/// acknowledged writes, both moves completing and settling the map,
+/// and bounded disturbance (throughput dip and worst arrival wait).
+/// Telemetry is written before the gates are asserted, like e11–e14.
+fn e15(json: Option<&str>) {
+    header("E15: online rebalance — elastic range moves under open-loop load");
+    let smoke = std::env::var("E15_SMOKE").is_ok();
+    let report = unbundled_bench::e15::run_e15(smoke);
+    report.print();
+    if let Some(path) = json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("e15 telemetry written to {path}");
     }
     report.assert_gates();
 }

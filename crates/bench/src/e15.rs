@@ -1,0 +1,581 @@
+//! E15 harness: online TC rebalance (elastic split/merge) under an
+//! open-loop arrival-driven workload.
+//!
+//! Shared by `benches/e15_rebalance.rs` (the CI regression gate) and
+//! `src/bin/report.rs` (which serializes the same rows as
+//! `BENCH_e15.json` telemetry), so the gate and the recorded trajectory
+//! can never drift apart.
+//!
+//! E14 measured what a *static* sharded TC tier buys; this experiment
+//! measures what an *elastic* one costs while it changes shape. Two TC
+//! shards serve a sub-capacity Poisson arrival stream (the e13 open-loop
+//! machinery: latency is measured from the scheduled arrival time, so
+//! every fence stall and re-route is on the books). Mid-run, a driver
+//! moves the key range `[CUT, HALF)` out of TC1 into TC2 and later back
+//! — two full online rebalances, each a fence + drain + checkpoint-to-
+//! log-end + forced `RebalanceDone` + epoch-bumped map republish —
+//! while the workload keeps committing on keys below, inside, and above
+//! the moving range.
+//!
+//! What the gates hold:
+//!
+//! * **zero lost acks** — every key's final value equals the payload of
+//!   the last commit the workload was acknowledged for (worker-private
+//!   keys make the check exact). An elastic move must never lose an
+//!   acknowledged write.
+//! * **both moves complete online** — two `RebalanceDone` records and a
+//!   settled map at epoch 2 on every shard, with no fence left behind.
+//! * **bounded disturbance** — delivered throughput stays close to the
+//!   steady cell's and no arrival waits longer than a wide absolute
+//!   budget: the move shows up as a few milliseconds of fence stall on
+//!   the moving range, not as an outage.
+
+use crate::workload::{run_open_loop, ArrivalProcess, OpenLoopCfg};
+use crate::TABLE;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use unbundled_core::{DcId, Key, TableSpec, TcId, TcShardMap};
+use unbundled_dc::DcConfig;
+use unbundled_kernel::{Deployment, TransportKind};
+use unbundled_tc::{GatherWindow, GroupCommitCfg, TableRoute, TcConfig};
+
+/// Simulated log-device flush latency (NVMe-class fsync), matching e14.
+pub const FORCE_LATENCY: Duration = Duration::from_micros(150);
+
+/// Worker threads servicing admitted arrivals (also the group-commit
+/// `max_waiters` per shard).
+pub const WORKERS: usize = 8;
+
+/// Admission-queue capacity: past this backlog, arrivals shed.
+pub const QUEUE_CAP: usize = 512;
+
+/// Offered arrival rate — deliberately below the two-shard capacity, so
+/// any delivered-throughput dip or latency tail in the rebalance cell
+/// is the move's doing, not saturation.
+pub const ARRIVAL_RATE: f64 = 6_000.0;
+
+/// No delivered arrival may wait longer than this, moves included — the
+/// fence stall is bounded by drain + checkpoint + republish (a few
+/// milliseconds here), and a re-route adds milliseconds, not seconds.
+/// Wide on purpose: it separates "bounded disturbance" from "outage"
+/// without flapping on a noisy CI runner.
+pub const DISTURBANCE_BUDGET: Duration = Duration::from_millis(1000);
+
+const HALF: u64 = u64::MAX / 2;
+/// The cut point: `[CUT, HALF)` is the range that moves out and back.
+const CUT: u64 = HALF / 2;
+/// Key slots per worker: below the cut (always TC1), inside the moving
+/// range, and above `HALF` (always TC2).
+const SLOTS: usize = 3;
+/// When the range moves out (fraction of the measured horizon).
+const MOVE_OUT_FRAC: f64 = 0.4;
+/// When it moves back.
+const MOVE_BACK_FRAC: f64 = 0.7;
+
+/// One measured cell.
+pub struct E15Row {
+    /// `steady` or `rebalance`.
+    pub label: String,
+    /// Arrivals in the schedule.
+    pub offered: u64,
+    /// Arrivals admitted and committed.
+    pub delivered: u64,
+    /// Arrivals shed at the bounded admission queue.
+    pub shed: u64,
+    /// Delivered commits per second of makespan.
+    pub delivered_per_sec: f64,
+    /// p50 of scheduled-arrival → commit-done latency (µs).
+    pub total_p50_us: f64,
+    /// p99 (µs).
+    pub total_p99_us: f64,
+    /// Max (µs).
+    pub total_max_us: f64,
+    /// `RebalanceDone` records forced across the tier (worst rep).
+    pub moves: u64,
+    /// Published map epoch at the end of the run (worst rep).
+    pub map_epoch: u64,
+    /// Every shard at the final epoch with no fence left (worst rep).
+    pub settled: bool,
+    /// Local ops that slept on a fence and re-resolved their owner.
+    pub fence_reroutes: u64,
+    /// Forwards re-routed after a stale-epoch rejection.
+    pub stale_forward_reroutes: u64,
+    /// Client-visible retries (op or commit failed, re-routed and
+    /// re-issued by the workload).
+    pub retries: u64,
+    /// Acknowledged writes whose value did not survive (worst rep; the
+    /// zero-lost-acks gate).
+    pub lost_acks: u64,
+    /// Wall time of the move out of TC1 (ms; 0 in the steady cell).
+    pub move_out_ms: f64,
+    /// Wall time of the move back (ms; 0 in the steady cell).
+    pub move_back_ms: f64,
+}
+
+/// One pass/fail regression gate.
+pub struct E15Gate {
+    /// What the gate checks.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Minimum acceptable value.
+    pub threshold: f64,
+    /// Whether the gate held.
+    pub pass: bool,
+}
+
+/// The full experiment output.
+pub struct E15Report {
+    /// `smoke` (CI) or `full`.
+    pub mode: String,
+    /// Measured arrival horizon per cell.
+    pub horizon_ms: u64,
+    /// All measured rows.
+    pub rows: Vec<E15Row>,
+    /// Regression gates over the rows.
+    pub gates: Vec<E15Gate>,
+}
+
+/// Two TC shards over two DCs, wired all-to-all with one *shared*
+/// partitioned table route: moving TC ownership of a key range never
+/// moves the data underneath it, so the DC placement must be common
+/// topology rather than per-TC opinion. Shard map starts even.
+fn elastic_deployment() -> Deployment {
+    let tc_cfg = TcConfig {
+        // Only the commit path may force.
+        force_every: usize::MAX,
+        resend_interval: Duration::from_millis(5),
+        // Bounds the fence wait; a move completes in milliseconds, so
+        // waiters resolve long before this, and even a pathological
+        // timeout-plus-retry stays inside the disturbance budget.
+        lock_timeout: Some(Duration::from_millis(300)),
+        group_commit: Some(GroupCommitCfg {
+            window: GatherWindow::adaptive(),
+            max_waiters: WORKERS,
+        }),
+        ..TcConfig::default()
+    };
+    let route = TableRoute::Partitioned(std::sync::Arc::new(vec![
+        (HALF, DcId(1)),
+        (u64::MAX, DcId(2)),
+    ]));
+    let mut d = Deployment::new();
+    for dc in [DcId(1), DcId(2)] {
+        d.add_dc(dc, DcConfig::default());
+    }
+    for tc in [TcId(1), TcId(2)] {
+        d.add_tc(tc, tc_cfg.clone());
+        for dc in [DcId(1), DcId(2)] {
+            d.connect(tc, dc, TransportKind::Inline);
+        }
+    }
+    for dc in [DcId(1), DcId(2)] {
+        d.create_table(dc, TableSpec::plain(TABLE, "t"));
+    }
+    for tc in [TcId(1), TcId(2)] {
+        d.route(tc, TABLE, route.clone());
+    }
+    d.set_shard_map(TcShardMap::even(&[TcId(1), TcId(2)]));
+    d
+}
+
+/// Worker `w`'s key in `slot`: 0 below the cut (TC1 throughout), 1
+/// inside the moving range, 2 above `HALF` (TC2 throughout). Keys are
+/// worker-private, so the workload is conflict-free and the lost-ack
+/// check is exact (the last acknowledged write is the last write).
+fn slot_key(w: usize, slot: usize) -> Key {
+    let base = match slot {
+        0 => 0,
+        1 => CUT,
+        _ => HALF,
+    };
+    Key::from_u64(base + 1_000 + w as u64)
+}
+
+fn run_cell(rebalance: bool, seed: u64, horizon: Duration) -> E15Row {
+    let d = elastic_deployment();
+    // Preload every slot key through its owner (latency-free), then
+    // charge the device latency for the measured phase.
+    for w in 0..WORKERS {
+        for slot in 0..SLOTS {
+            let key = slot_key(w, slot);
+            let owner = d.shard_map().expect("sharded").tc_for(&key);
+            let tc = d.tc(owner);
+            let txn = tc.begin().expect("begin preload");
+            tc.insert(txn, TABLE, key, vec![0u8; 8]).expect("preload");
+            tc.commit(txn).expect("commit preload");
+        }
+    }
+    for tc in [TcId(1), TcId(2)] {
+        d.tc_log(tc).set_force_latency(FORCE_LATENCY);
+    }
+
+    // Last acknowledged arrival index per (worker, slot); u64::MAX =
+    // never acked. A worker's arrivals are serviced in admission order
+    // on its own thread, so the last store is the last commit.
+    let last_acked: Vec<AtomicU64> = (0..WORKERS * SLOTS)
+        .map(|_| AtomicU64::new(u64::MAX))
+        .collect();
+    let retries = AtomicU64::new(0);
+    let commit_one = |w: usize, i: usize| {
+        let slot = i % SLOTS;
+        let key = slot_key(w, slot);
+        let val = (i as u64).to_le_bytes().to_vec();
+        loop {
+            // Route by the *current* map on every attempt: after a
+            // move, the same key commits through the new owner.
+            let owner = d.shard_map().expect("sharded").tc_for(&key);
+            let tc = d.tc(owner);
+            let Ok(txn) = tc.begin() else {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            };
+            let ok =
+                tc.update(txn, TABLE, key.clone(), val.clone()).is_ok() && tc.commit(txn).is_ok();
+            if ok {
+                last_acked[w * SLOTS + slot].store(i as u64, Ordering::Release);
+                return;
+            }
+            // A failed op already rolled the transaction back; a failed
+            // commit aborted it. Either way re-route and re-issue.
+            let _ = tc.abort(txn);
+            retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    };
+
+    let schedule = ArrivalProcess::Poisson { rate: ARRIVAL_RATE }.schedule(seed, horizon);
+    let cfg = OpenLoopCfg {
+        queue_cap: QUEUE_CAP,
+        workers: WORKERS,
+    };
+    let mut move_out_ms = 0.0f64;
+    let mut move_back_ms = 0.0f64;
+    let mut result = None;
+    std::thread::scope(|s| {
+        let mover = rebalance.then(|| {
+            s.spawn(|| {
+                let start = Instant::now();
+                std::thread::sleep(horizon.mul_f64(MOVE_OUT_FRAC));
+                let t0 = Instant::now();
+                d.move_range(CUT, HALF - 1, TcId(2));
+                let out = t0.elapsed();
+                std::thread::sleep(
+                    horizon
+                        .mul_f64(MOVE_BACK_FRAC)
+                        .saturating_sub(start.elapsed()),
+                );
+                let t0 = Instant::now();
+                d.move_range(CUT, HALF - 1, TcId(1));
+                (out, t0.elapsed())
+            })
+        });
+        result = Some(run_open_loop(&schedule, &cfg, commit_one));
+        if let Some(h) = mover {
+            let (out, back) = h.join().expect("mover thread");
+            move_out_ms = out.as_secs_f64() * 1e3;
+            move_back_ms = back.as_secs_f64() * 1e3;
+        }
+    });
+    let r = result.expect("open-loop result");
+    for tc in [TcId(1), TcId(2)] {
+        d.tc_log(tc).set_force_latency(Duration::ZERO);
+    }
+
+    // Zero-lost-acks check: every slot's current value must be the
+    // payload of the last acknowledged commit.
+    let mut lost_acks = 0u64;
+    for w in 0..WORKERS {
+        for slot in 0..SLOTS {
+            let acked = last_acked[w * SLOTS + slot].load(Ordering::Acquire);
+            if acked == u64::MAX {
+                continue;
+            }
+            let key = slot_key(w, slot);
+            let owner = d.shard_map().expect("sharded").tc_for(&key);
+            let tc = d.tc(owner);
+            let txn = tc.begin().expect("begin check");
+            let got = tc.read(txn, TABLE, key).expect("read check");
+            tc.commit(txn).expect("commit check");
+            if got.as_deref() != Some(acked.to_le_bytes().as_slice()) {
+                lost_acks += 1;
+            }
+        }
+    }
+
+    let map_epoch = d.shard_map().expect("sharded").epoch();
+    let settled = [TcId(1), TcId(2)].iter().all(|id| {
+        let tc = d.tc(*id);
+        tc.map_epoch() == map_epoch && tc.fence_info().is_none()
+    });
+    let (mut moves, mut fence_reroutes, mut stale_forward_reroutes) = (0u64, 0u64, 0u64);
+    for id in [TcId(1), TcId(2)] {
+        let snap = d.tc(id).stats().snapshot();
+        moves += snap.rebalances;
+        fence_reroutes += snap.fence_reroutes;
+        stale_forward_reroutes += snap.stale_forward_reroutes;
+    }
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    E15Row {
+        label: if rebalance { "rebalance" } else { "steady" }.to_string(),
+        offered: r.offered,
+        delivered: r.delivered,
+        shed: r.shed,
+        delivered_per_sec: r.delivered_per_sec(),
+        total_p50_us: us(r.total.p50()),
+        total_p99_us: us(r.total.p99()),
+        total_max_us: us(r.total.max()),
+        moves,
+        map_epoch,
+        settled,
+        fence_reroutes,
+        stale_forward_reroutes,
+        retries: retries.load(Ordering::Relaxed),
+        lost_acks,
+        move_out_ms,
+        move_back_ms,
+    }
+}
+
+/// Best of `reps` repetitions by delivered throughput — except the
+/// correctness fields (`lost_acks`, `moves`, `map_epoch`, `settled`),
+/// which take their *worst* rep: CI wall-clock noise is one-sided, but
+/// a lost ack or an unfinished move in any rep is a bug, not noise.
+fn best_of(reps: usize, f: impl Fn(u64) -> E15Row) -> E15Row {
+    let rows: Vec<E15Row> = (0..reps.max(1) as u64).map(f).collect();
+    let lost_acks = rows.iter().map(|r| r.lost_acks).max().unwrap_or(0);
+    let moves = rows.iter().map(|r| r.moves).min().unwrap_or(0);
+    let map_epoch = rows.iter().map(|r| r.map_epoch).min().unwrap_or(0);
+    let settled = rows.iter().all(|r| r.settled);
+    let mut best = rows
+        .into_iter()
+        .max_by(|a, b| a.delivered_per_sec.total_cmp(&b.delivered_per_sec))
+        .expect("at least one rep");
+    best.lost_acks = lost_acks;
+    best.moves = moves;
+    best.map_epoch = map_epoch;
+    best.settled = settled;
+    best
+}
+
+/// Run the full experiment. `smoke` shrinks the horizon for CI; the
+/// gates are identical in both modes.
+pub fn run_e15(smoke: bool) -> E15Report {
+    let horizon = if smoke {
+        Duration::from_millis(1200)
+    } else {
+        Duration::from_millis(4000)
+    };
+    let seed = 0xE15_0001u64;
+    const REPS: usize = 2;
+    let rows = vec![
+        best_of(REPS, |rep| run_cell(false, seed + rep, horizon)),
+        best_of(REPS, |rep| run_cell(true, seed + rep, horizon)),
+    ];
+    let gates = gates(&rows);
+    E15Report {
+        mode: if smoke { "smoke" } else { "full" }.to_string(),
+        horizon_ms: horizon.as_millis() as u64,
+        rows,
+        gates,
+    }
+}
+
+fn find<'a>(rows: &'a [E15Row], label: &str) -> &'a E15Row {
+    rows.iter()
+        .find(|r| r.label == label)
+        .unwrap_or_else(|| panic!("missing row {label}"))
+}
+
+fn gates(rows: &[E15Row]) -> Vec<E15Gate> {
+    let mut gates = Vec::new();
+    let mut gate = |name: String, value: f64, threshold: f64| {
+        gates.push(E15Gate {
+            name,
+            value,
+            threshold,
+            pass: value >= threshold,
+        });
+    };
+    let steady = find(rows, "steady");
+    let moved = find(rows, "rebalance");
+
+    // An elastic move must never lose an acknowledged write (checked
+    // worst-rep: any rep losing one fails).
+    gate(
+        "rebalance: zero acknowledged writes lost".into(),
+        if moved.lost_acks == 0 { 1.0 } else { 0.0 },
+        1.0,
+    );
+    // Both moves completed online: two RebalanceDone records...
+    gate(
+        "rebalance: both range moves completed (RebalanceDone count)".into(),
+        moved.moves as f64,
+        2.0,
+    );
+    // ...and the tier settled: epoch-2 map on every shard, no fence.
+    gate(
+        "rebalance: map settled at epoch 2 on every shard, fences clear".into(),
+        if moved.settled && moved.map_epoch == 2 {
+            1.0
+        } else {
+            0.0
+        },
+        1.0,
+    );
+    // The arrival stream is sub-capacity: nothing sheds, move or not.
+    gate(
+        "no arrivals shed (steady and rebalance cells)".into(),
+        if steady.shed == 0 && moved.shed == 0 {
+            1.0
+        } else {
+            0.0
+        },
+        1.0,
+    );
+    // The move costs a bounded throughput dip, not an outage.
+    gate(
+        "rebalance: delivered throughput vs steady".into(),
+        moved.delivered_per_sec / steady.delivered_per_sec.max(f64::EPSILON),
+        0.8,
+    );
+    // And a bounded worst-case wait: fence stalls and re-routes are
+    // milliseconds, far inside the wide absolute budget.
+    gate(
+        "rebalance: worst arrival latency within disturbance budget".into(),
+        DISTURBANCE_BUDGET.as_secs_f64() * 1e6 / moved.total_max_us.max(f64::EPSILON),
+        1.0,
+    );
+    gates
+}
+
+impl E15Report {
+    /// Print the rows and gates as the bench's human-readable table.
+    pub fn print(&self) {
+        println!(
+            "e15_rebalance ({} mode, force latency {:?}, {} workers, {:.0}/s offered, horizon {} ms)",
+            self.mode, FORCE_LATENCY, WORKERS, ARRIVAL_RATE, self.horizon_ms
+        );
+        println!(
+            "{:<10} {:>8} {:>9} {:>5} {:>11} {:>9} {:>9} {:>10} {:>6} {:>6} {:>8} {:>8} {:>9} {:>9}",
+            "cell",
+            "offered",
+            "delivered",
+            "shed",
+            "delivered/s",
+            "p50_us",
+            "p99_us",
+            "max_us",
+            "moves",
+            "lost",
+            "reroute",
+            "retries",
+            "out_ms",
+            "back_ms"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<10} {:>8} {:>9} {:>5} {:>11.0} {:>9.0} {:>9.0} {:>10.0} {:>6} {:>6} {:>8} {:>8} {:>9.1} {:>9.1}",
+                r.label,
+                r.offered,
+                r.delivered,
+                r.shed,
+                r.delivered_per_sec,
+                r.total_p50_us,
+                r.total_p99_us,
+                r.total_max_us,
+                r.moves,
+                r.lost_acks,
+                r.fence_reroutes + r.stale_forward_reroutes,
+                r.retries,
+                r.move_out_ms,
+                r.move_back_ms
+            );
+        }
+        for g in &self.gates {
+            println!(
+                "gate: {:<60} {:>8.2} (>= {:.2}) — {}",
+                g.name,
+                g.value,
+                g.threshold,
+                if g.pass { "OK" } else { "FAIL" }
+            );
+        }
+    }
+
+    /// Panic if any regression gate failed (the CI bar).
+    pub fn assert_gates(&self) {
+        for g in &self.gates {
+            assert!(
+                g.pass,
+                "e15 gate failed: {} — measured {:.3}, need >= {:.3}",
+                g.name, g.value, g.threshold
+            );
+        }
+    }
+
+    /// Serialize the whole report as JSON (no external dependencies:
+    /// labels are plain ASCII and every value is numeric or boolean).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.3}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"experiment\": \"e15_rebalance\",\n");
+        s.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
+        s.push_str(&format!("  \"horizon_ms\": {},\n", self.horizon_ms));
+        s.push_str(&format!(
+            "  \"force_latency_us\": {},\n  \"workers\": {},\n  \"arrival_rate\": {},\n  \"disturbance_budget_us\": {},\n",
+            FORCE_LATENCY.as_micros(),
+            WORKERS,
+            ARRIVAL_RATE,
+            DISTURBANCE_BUDGET.as_micros()
+        ));
+        s.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"label\": \"{}\", \"offered\": {}, \"delivered\": {}, \"shed\": {}, \
+                 \"delivered_per_sec\": {}, \"total_p50_us\": {}, \"total_p99_us\": {}, \
+                 \"total_max_us\": {}, \"moves\": {}, \"map_epoch\": {}, \"settled\": {}, \
+                 \"fence_reroutes\": {}, \"stale_forward_reroutes\": {}, \"retries\": {}, \
+                 \"lost_acks\": {}, \"move_out_ms\": {}, \"move_back_ms\": {}}}{}\n",
+                r.label,
+                r.offered,
+                r.delivered,
+                r.shed,
+                num(r.delivered_per_sec),
+                num(r.total_p50_us),
+                num(r.total_p99_us),
+                num(r.total_max_us),
+                r.moves,
+                r.map_epoch,
+                r.settled,
+                r.fence_reroutes,
+                r.stale_forward_reroutes,
+                r.retries,
+                r.lost_acks,
+                num(r.move_out_ms),
+                num(r.move_back_ms),
+                if i + 1 == self.rows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ],\n  \"gates\": [\n");
+        for (i, g) in self.gates.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"name\": \"{}\", \"value\": {}, \"threshold\": {}, \"pass\": {}}}{}\n",
+                g.name,
+                num(g.value),
+                num(g.threshold),
+                g.pass,
+                if i + 1 == self.gates.len() { "" } else { "," }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}

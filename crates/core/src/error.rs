@@ -86,6 +86,16 @@ pub enum TcError {
     PrepareRefused(TxnId),
     /// A key is owned by a TC shard this TC has no peer handle for.
     NoSuchTc(TcId),
+    /// A forwarded operation carried a shard-map epoch that does not
+    /// match the receiver's (`tc` rejected at `epoch`), or addressed a
+    /// range the receiver no longer owns. The sender must refresh its
+    /// map and re-route; the op was **not** executed.
+    StaleShardMap {
+        /// The rejecting TC.
+        tc: TcId,
+        /// The shard-map epoch installed at the rejecting TC.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for TcError {
@@ -100,6 +110,12 @@ impl fmt::Display for TcError {
             TcError::LockTimeout(x) => write!(f, "{x} aborted: lock timeout"),
             TcError::PrepareRefused(x) => write!(f, "{x} aborted: cross-TC prepare refused"),
             TcError::NoSuchTc(t) => write!(f, "unknown transaction component {t}"),
+            TcError::StaleShardMap { tc, epoch } => {
+                write!(
+                    f,
+                    "{tc} rejected forward: stale shard map (its epoch {epoch})"
+                )
+            }
         }
     }
 }

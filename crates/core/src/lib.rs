@@ -53,4 +53,4 @@ pub use lsn::{AbstractLsn, DLsn, Lsn, PerTcAbLsn};
 pub use msg::{DataComponentApi, DcToTc, TcToDc};
 pub use op::{LogicalOp, OpResult, ReadFlavor};
 pub use record::{BeforeVersion, StoredRecord, TableSpec};
-pub use shard::{range_owner, range_owners, TcShardMap};
+pub use shard::{range_owner, range_owners, route_point, TcShardMap};

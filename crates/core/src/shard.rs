@@ -9,11 +9,47 @@
 //! overlap, and the harmless last-partition fallback for degenerate
 //! ranges — used to be duplicated; they live here now so both consumers
 //! share one tested implementation.
+//!
+//! Point placement for keys without an 8-byte numeric prefix uses a
+//! stable FNV-1a hash of the key bytes ([`route_point`]), so short and
+//! non-numeric keys spread across partitions instead of piling onto the
+//! first one, and DC routing and TC sharding agree on where such a key
+//! lives because both call the same helper.
 
 use std::sync::Arc;
 
 use crate::ids::TcId;
 use crate::key::Key;
+
+/// The `u64` point a key resolves to in a partition table.
+///
+/// Keys with an 8-byte big-endian numeric prefix route by that prefix,
+/// preserving range-partitioned locality for the common numeric keys.
+/// Keys too short to carry a prefix route by a stable FNV-1a hash of
+/// their bytes: they have no meaningful position in the numeric order,
+/// so hashing spreads them across partitions instead of mapping them
+/// all to point 0 (which both overloaded partition 0 and — had the DC
+/// and TC fallbacks ever diverged — risked the two layers disagreeing
+/// about a key's owner). Both `TcShardMap::tc_for` and the DC-side
+/// `TableRoute::dc_for` must call this one helper.
+pub fn route_point(key: &Key) -> u64 {
+    match key.u64_prefix() {
+        Some(p) => p,
+        None => fnv1a(key.as_bytes()),
+    }
+}
+
+/// FNV-1a over `bytes` (64-bit offset basis / prime). Stable across
+/// platforms and releases: partition placement of hashed keys is
+/// durable state, so this must never change.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// The owner of point `p` in a sorted `(upper, owner)` partition table.
 /// Entry `(upper, owner)` covers points `< upper`; the last entry (bound
@@ -66,24 +102,45 @@ pub fn range_owners<T: Copy>(parts: &[(u64, T)], lo: u64, hi: u64) -> Vec<T> {
 /// commit then goes through two-phase commit over the TCs' redo logs.
 /// Locking stays safe because the map partitions the key space: only the
 /// owning TC ever locks a key.
+///
+/// Maps are *epoch-versioned*: every online split/merge publishes a new
+/// map with `epoch + 1`. Forwarded operations carry the sender's epoch
+/// and a receiver rejects mismatched forwards instead of executing them,
+/// so a stale sender re-routes rather than mutating a range that has
+/// moved out from under it.
 #[derive(Clone)]
 pub struct TcShardMap {
     parts: Arc<Vec<(u64, TcId)>>,
+    epoch: u64,
 }
 
 impl TcShardMap {
     /// Build from sorted `(exclusive_upper, tc)` entries; the last bound
-    /// must be `u64::MAX`.
+    /// must be `u64::MAX`. Epoch 0.
     pub fn new(parts: Vec<(u64, TcId)>) -> Self {
+        TcShardMap::with_epoch(parts, 0)
+    }
+
+    /// Build with an explicit epoch (rebalance republish and recovery).
+    ///
+    /// Bounds must be strictly increasing: a duplicate or unsorted bound
+    /// is a hard error in release builds too — a malformed map would
+    /// silently misroute keys, which an online map change turns from a
+    /// latent bug into live cross-shard locking corruption.
+    pub fn with_epoch(parts: Vec<(u64, TcId)>, epoch: u64) -> Self {
         assert!(!parts.is_empty(), "shard map must have at least one range");
         assert_eq!(
             parts.last().unwrap().0,
             u64::MAX,
             "last shard bound must be u64::MAX"
         );
-        debug_assert!(parts.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(
+            parts.windows(2).all(|w| w[0].0 < w[1].0),
+            "shard bounds must be strictly increasing"
+        );
         TcShardMap {
             parts: Arc::new(parts),
+            epoch,
         }
     }
 
@@ -112,9 +169,123 @@ impl TcShardMap {
         TcShardMap::new(parts)
     }
 
+    /// The map's epoch; bumped by every published split/merge.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
     /// The TC owning `key`.
     pub fn tc_for(&self, key: &Key) -> TcId {
-        range_owner(&self.parts, key.u64_prefix().unwrap_or(0))
+        range_owner(&self.parts, route_point(key))
+    }
+
+    /// The partition containing point `p`, as `(lo, hi, owner)` with
+    /// both bounds inclusive.
+    pub fn range_containing(&self, p: u64) -> (u64, u64, TcId) {
+        let mut lower = 0u64;
+        for (upper, owner) in self.parts.iter() {
+            if p < *upper {
+                let hi = if *upper == u64::MAX {
+                    u64::MAX
+                } else {
+                    *upper - 1
+                };
+                return (lower, hi, *owner);
+            }
+            lower = *upper;
+        }
+        let last = self.parts.last().expect("non-empty shard map");
+        // Only p == u64::MAX reaches here; the last partition absorbs it.
+        (
+            if self.parts.len() == 1 {
+                0
+            } else {
+                self.parts[self.parts.len() - 2].0
+            },
+            u64::MAX,
+            last.1,
+        )
+    }
+
+    /// The next map after a split: the partition containing `at` is cut
+    /// at `at` and its upper piece `[at, old_upper]` is handed to `to`.
+    /// Returns the new map (epoch + 1); `at` must be interior to its
+    /// partition (a cut exactly on an existing bound moves nothing).
+    pub fn split(&self, at: u64, to: TcId) -> TcShardMap {
+        let (lo, hi, from) = self.range_containing(at);
+        assert!(at > lo, "split point must be interior to its partition");
+        assert!(at <= hi);
+        assert_ne!(from, to, "split target must differ from current owner");
+        self.with_range_owner(at, hi, to, self.epoch + 1)
+    }
+
+    /// The next map after a merge at `bound`: the partition starting at
+    /// `bound` is absorbed into the partition below it, so the range
+    /// `[bound, upper_of_absorbed]` moves to the lower partition's
+    /// owner. `bound` must be an interior bound of the map. Returns the
+    /// new map (epoch + 1).
+    pub fn merge_at(&self, bound: u64) -> TcShardMap {
+        let idx = self
+            .parts
+            .iter()
+            .position(|(upper, _)| *upper == bound)
+            .expect("merge bound must be an interior shard bound");
+        assert!(idx + 1 < self.parts.len(), "cannot merge past u64::MAX");
+        let survivor = self.parts[idx].1;
+        let absorbed_hi = self.parts[idx + 1].0;
+        let hi = if absorbed_hi == u64::MAX {
+            u64::MAX
+        } else {
+            absorbed_hi - 1
+        };
+        self.with_range_owner(bound, hi, survivor, self.epoch + 1)
+    }
+
+    /// A copy of the map in which `[lo, hi]` (inclusive) is owned by
+    /// `to`, with adjacent same-owner partitions coalesced, at `epoch`.
+    /// This is the general reassignment both `split` and `merge_at`
+    /// reduce to, and what recovery uses to rebuild a post-move map from
+    /// a durable `RebalanceDone` record.
+    pub fn with_range_owner(&self, lo: u64, hi: u64, to: TcId, epoch: u64) -> TcShardMap {
+        assert!(lo <= hi);
+        // Expand to (lower, upper_exclusive-as-option, owner) triples,
+        // overwrite the moving range, then re-derive bounds coalescing
+        // equal neighbours. `None` upper means u64::MAX inclusive.
+        let mut pieces: Vec<(u64, Option<u64>, TcId)> = Vec::new();
+        let mut lower = 0u64;
+        for (upper, owner) in self.parts.iter() {
+            let up = if *upper == u64::MAX {
+                None
+            } else {
+                Some(*upper)
+            };
+            pieces.push((lower, up, *owner));
+            lower = *upper;
+        }
+        let mut out: Vec<(u64, Option<u64>, TcId)> = Vec::new();
+        for (plo, pup, owner) in pieces {
+            let phi = pup.map_or(u64::MAX, |u| u - 1);
+            if phi < lo || plo > hi {
+                out.push((plo, pup, owner));
+                continue;
+            }
+            if plo < lo {
+                out.push((plo, Some(lo), owner));
+            }
+            out.push((plo.max(lo), if phi <= hi { pup } else { Some(hi + 1) }, to));
+            if phi > hi {
+                out.push((hi + 1, pup, owner));
+            }
+        }
+        let mut parts: Vec<(u64, TcId)> = Vec::new();
+        for (_, pup, owner) in out {
+            let upper = pup.unwrap_or(u64::MAX);
+            match parts.last_mut() {
+                Some(last) if last.1 == owner => last.0 = upper,
+                _ => parts.push((upper, owner)),
+            }
+        }
+        TcShardMap::with_epoch(parts, epoch)
     }
 
     /// All shard owners, in key order.
@@ -127,7 +298,17 @@ impl TcShardMap {
         self.parts.len()
     }
 
-    /// Whether the map has a single range (no cross-TC forwarding).
+    /// Whether the map covers the space with a single range, i.e. no
+    /// cross-TC forwarding can ever happen under it.
+    pub fn is_single(&self) -> bool {
+        self.parts.len() == 1
+    }
+
+    /// Always `false`: a shard map covers the whole key space by
+    /// construction, so it is never empty. Exists only to pair with
+    /// `len()`; the predicate callers actually want is [`is_single`].
+    ///
+    /// [`is_single`]: TcShardMap::is_single
     pub fn is_empty(&self) -> bool {
         false
     }
@@ -214,11 +395,113 @@ mod tests {
         assert_eq!(m.tc_for(&Key::from_u64(0)), TcId(7));
         assert_eq!(m.tc_for(&Key::from_u64(u64::MAX)), TcId(7));
         assert_eq!(m.len(), 1);
+        assert!(m.is_single());
+        assert!(!TcShardMap::even(&[TcId(1), TcId(2)]).is_single());
     }
 
     #[test]
     #[should_panic(expected = "last shard bound")]
     fn shard_map_rejects_partial_coverage() {
         TcShardMap::new(vec![(100, TcId(1))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn shard_map_rejects_unsorted_bounds() {
+        // This must panic in release builds too: it used to be only a
+        // debug_assert!, which let a malformed map misroute silently.
+        TcShardMap::new(vec![(200, TcId(1)), (100, TcId(2)), (u64::MAX, TcId(3))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn shard_map_rejects_duplicate_bounds() {
+        TcShardMap::new(vec![(100, TcId(1)), (100, TcId(2)), (u64::MAX, TcId(3))]);
+    }
+
+    #[test]
+    fn non_numeric_keys_spread_across_shards() {
+        let m = TcShardMap::even(&[TcId(1), TcId(2), TcId(3), TcId(4)]);
+        let keys: Vec<Key> = ["a", "bb", "ccc", "dd", "e", "fff", "g"]
+            .iter()
+            .map(|s| Key::from_str_key(s))
+            .collect();
+        let mut owners: Vec<TcId> = keys.iter().map(|k| m.tc_for(k)).collect();
+        owners.sort();
+        owners.dedup();
+        // Hashed placement must not pile every short key onto shard 1
+        // (the old `u64_prefix().unwrap_or(0)` fallback did exactly
+        // that).
+        assert!(
+            owners.len() > 1,
+            "short keys should spread across shards, all landed on {owners:?}"
+        );
+        // And placement is stable: same key, same point, every time.
+        for k in &keys {
+            assert_eq!(route_point(k), route_point(k));
+        }
+    }
+
+    #[test]
+    fn split_cuts_one_partition_and_bumps_epoch() {
+        let m = TcShardMap::even(&[TcId(1), TcId(2)]);
+        let half = u64::MAX / 2;
+        let quarter = half / 2;
+        let s = m.split(quarter, TcId(3));
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(
+            s.parts(),
+            &[(quarter, TcId(1)), (half, TcId(3)), (u64::MAX, TcId(2))]
+        );
+        // The moving range is exactly [quarter, half - 1].
+        assert_eq!(s.range_containing(quarter), (quarter, half - 1, TcId(3)));
+        // Points outside the moving range keep their owner.
+        assert_eq!(s.tc_for(&Key::from_u64(0)), TcId(1));
+        assert_eq!(s.tc_for(&Key::from_u64(half)), TcId(2));
+    }
+
+    #[test]
+    fn merge_absorbs_upper_partition_into_lower() {
+        let half = u64::MAX / 2;
+        let quarter = half / 2;
+        let m = TcShardMap::with_epoch(
+            vec![(quarter, TcId(1)), (half, TcId(3)), (u64::MAX, TcId(2))],
+            5,
+        );
+        let g = m.merge_at(quarter);
+        assert_eq!(g.epoch(), 6);
+        assert_eq!(g.parts(), &[(half, TcId(1)), (u64::MAX, TcId(2))]);
+        assert_eq!(g.tc_for(&Key::from_u64(quarter)), TcId(1));
+    }
+
+    #[test]
+    fn merge_coalesces_same_owner_neighbours() {
+        let m =
+            TcShardMap::with_epoch(vec![(100, TcId(1)), (200, TcId(2)), (u64::MAX, TcId(1))], 0);
+        let g = m.merge_at(100);
+        // TC2's range collapses into TC1; the surviving map is a single
+        // TC1 range, not three adjacent TC1 entries.
+        assert_eq!(g.parts(), &[(u64::MAX, TcId(1))]);
+        assert!(g.is_single());
+        assert_eq!(g.epoch(), 1);
+    }
+
+    #[test]
+    fn with_range_owner_rebuilds_interior_move() {
+        let m = TcShardMap::even(&[TcId(1), TcId(2)]);
+        let half = u64::MAX / 2;
+        // Reassign an interior slice of TC2's range to TC1, as recovery
+        // would when replaying a RebalanceDone record.
+        let r = m.with_range_owner(half + 10, half + 19, TcId(1), 9);
+        assert_eq!(r.epoch(), 9);
+        assert_eq!(
+            r.parts(),
+            &[
+                (half, TcId(1)),
+                (half + 10, TcId(2)),
+                (half + 20, TcId(1)),
+                (u64::MAX, TcId(2)),
+            ]
+        );
     }
 }

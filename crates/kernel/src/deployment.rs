@@ -261,6 +261,108 @@ impl Deployment {
         }
     }
 
+    /// The currently published shard map, if the TC tier is sharded.
+    pub fn shard_map(&self) -> Option<TcShardMap> {
+        self.shard_map.lock().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Elastic repartitioning (online split/merge)
+    // ------------------------------------------------------------------
+
+    /// Split the partition containing `at` at that bound and hand the
+    /// upper piece to `to`, online. See [`Deployment::move_range`] for
+    /// the protocol.
+    pub fn split_shard(&self, at: u64, to: TcId) {
+        let map = self
+            .shard_map
+            .lock()
+            .clone()
+            .expect("split_shard requires a sharded TC tier");
+        let new_map = map.split(at, to);
+        // The moving piece is the upper part of the *old* partition cut
+        // at `at`. The new map may coalesce that piece with an adjacent
+        // range `to` already owned — which the source does not own and
+        // must not fence.
+        let (_, hi, _) = map.range_containing(at);
+        self.move_range_to(at, hi, to, new_map);
+    }
+
+    /// Merge the partition starting at `bound` into the partition below
+    /// it (the lower partition's owner absorbs the range), online. See
+    /// [`Deployment::move_range`] for the protocol.
+    pub fn merge_shards(&self, bound: u64) {
+        let map = self
+            .shard_map
+            .lock()
+            .clone()
+            .expect("merge_shards requires a sharded TC tier");
+        let (lo, hi, _) = map.range_containing(bound);
+        let new_map = map.merge_at(bound);
+        let to = new_map.range_containing(lo).2;
+        self.move_range_to(lo, hi, to, new_map);
+    }
+
+    /// Move ownership of `[lo, hi]` (inclusive) to `to`, online: fence
+    /// and drain the range at the source shard, force the write-ahead
+    /// `RebalanceIntent`/`RebalanceDone` records through its redo log,
+    /// then republish the epoch-bumped map to every shard. In-flight
+    /// transactions on the moving range either finish before the
+    /// handoff (drain) or block briefly on the fence and resume against
+    /// the new owner; forwarded operations carry the sender's map epoch
+    /// and a stale-epoch forward is rejected and re-routed rather than
+    /// executed on the wrong shard.
+    pub fn move_range(&self, lo: u64, hi: u64, to: TcId) {
+        let map = self
+            .shard_map
+            .lock()
+            .clone()
+            .expect("move_range requires a sharded TC tier");
+        let new_map = map.with_range_owner(lo, hi, to, map.epoch() + 1);
+        self.move_range_to(lo, hi, to, new_map);
+    }
+
+    fn move_range_to(&self, lo: u64, hi: u64, to: TcId, new_map: TcShardMap) {
+        let map = self
+            .shard_map
+            .lock()
+            .clone()
+            .expect("rebalance requires a sharded TC tier");
+        let src_id = map.range_containing(lo).2;
+        if src_id == to {
+            // Pure coalescing (merge into the same owner): no authority
+            // moves, so no fence/drain — just republish the new bounds.
+            self.set_shard_map(new_map);
+            return;
+        }
+        let src = self.tcs[&src_id].tc.lock().clone();
+        src.begin_rebalance(lo, hi, to, new_map.epoch())
+            .unwrap_or_else(|e| panic!("rebalance intent at {src_id} failed: {e}"));
+        // Drain: wait for every in-flight transaction holding a shard
+        // point in the moving range to finish. Distributed members may
+        // be waiting on 2PC outcomes from peers, so pump decision
+        // redelivery and in-doubt resolution while we wait.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !src.rebalance_drained(lo, hi) {
+            for node in self.tcs.values() {
+                let t = node.tc.lock().clone();
+                t.redeliver_decisions();
+                t.resolve_indoubt();
+            }
+            if std::time::Instant::now() > deadline {
+                panic!("rebalance drain of [{lo:#x}, {hi:#x}] at {src_id} did not complete");
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        src.finish_rebalance(lo, hi, to, new_map.epoch())
+            .unwrap_or_else(|e| panic!("rebalance done at {src_id} failed: {e}"));
+        // RebalanceDone is stable at the source before any shard learns
+        // the new map: a crash after this point completes the move from
+        // the source's log (see `reboot_tc`), a crash before it leaves
+        // the old map in force everywhere.
+        self.set_shard_map(new_map);
+    }
+
     /// Colocate the given TC shards' redo logs on one physical log
     /// device: every flush they issue is arbitrated (serialized, and —
     /// with a coalescing arbiter — shared) by `arbiter`.
@@ -438,6 +540,25 @@ impl Deployment {
             .collect();
         for (old, new) in recovered {
             self.finish_promotion_bookkeeping(node, old, new);
+        }
+        // Recovery may also have found a `RebalanceDone` whose republish
+        // was lost with the crash: the source forced Done durably but
+        // died before the epoch-bumped map reached every shard. Done is
+        // always stable before any republish begins, so the durable
+        // record is authoritative — finish the republish from it. (The
+        // recovered TC holds a conservative fence over the moved range
+        // until the republish lands; `set_shard_map` clears it.)
+        if let Some((lo, hi, to, epoch)) = tc.take_recovered_rebalance() {
+            let cur = self.shard_map.lock().clone();
+            if let Some(map) = cur {
+                if epoch > map.epoch() {
+                    self.set_shard_map(map.with_range_owner(lo, hi, to, epoch));
+                } else {
+                    // A concurrent reboot already finished the move; just
+                    // release this shard's fence against the current map.
+                    tc.set_shard_map(map);
+                }
+            }
         }
         // Peer shards may hold 2PC state involving the TC that just came
         // back: branches it coordinated — unprepared orphans (the crash

@@ -29,10 +29,14 @@
 //! * [`twopc`] — cross-TC transactions for a key-range-sharded TC tier:
 //!   operation forwarding between shards and two-phase commit written
 //!   through the shards' existing redo logs (presumed abort).
+//! * [`rebalance`] — online split/merge of the shard map: fence + drain
+//!   of the moving range, write-ahead intent/done records in the
+//!   source's redo log, epoch-checked forwards.
 
 #![warn(missing_docs)]
 
 pub mod acks;
+pub mod rebalance;
 pub mod recovery;
 pub mod routing;
 pub mod shipper;
@@ -42,6 +46,7 @@ pub mod tclog;
 pub mod twopc;
 
 pub use acks::AckTracker;
+pub use rebalance::RebalanceFence;
 pub use routing::{DcLink, RangePartitioner, ScanProtocol, TableRoute};
 pub use shipper::{ReadConsistency, ReplicaLag};
 pub use stats::{TcSnapshot, TcStats};

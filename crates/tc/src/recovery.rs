@@ -54,6 +54,11 @@ impl Tc {
         // Failover intents without a matching Promote record: the TC
         // crashed mid-promotion; re-drive it below.
         let mut promote_intents: Vec<(DcId, DcId)> = Vec::new();
+        // Elastic rebalance: the latest RebalanceDone wins; an intent
+        // without a matching done record means the move never took
+        // effect (the map is only republished after the done record is
+        // stable) and is simply discarded.
+        let mut rebalance_done: Option<(u64, u64, TcId, u64)> = None;
         let mut max_txn = 0u64;
         for (seq, rec) in &records {
             if let Some(t) = rec.txn() {
@@ -115,7 +120,11 @@ impl Tc {
                     if let Some(p) = vwrites.remove(txn) {
                         winner_promotes.extend(p);
                     }
-                    decisions.push((*txn, participants.clone(), Lsn(*seq)));
+                    // A decision with no participants needs no acks;
+                    // re-pinning it would block truncation forever.
+                    if !participants.is_empty() {
+                        decisions.push((*txn, participants.clone(), Lsn(*seq)));
+                    }
                 }
                 TcLogRecord::ParticipantCommit { txn } => {
                     losers.remove(txn);
@@ -129,12 +138,34 @@ impl Tc {
                     prepared.remove(txn);
                     vwrites.remove(txn);
                 }
+                TcLogRecord::RebalanceIntent { .. } => {}
+                TcLogRecord::RebalanceDone {
+                    lo, hi, to, epoch, ..
+                } => {
+                    if rebalance_done.is_none_or(|(_, _, _, e)| *epoch > e) {
+                        rebalance_done = Some((*lo, *hi, *to, *epoch));
+                    }
+                }
                 TcLogRecord::RedoOnly { .. } => {}
             }
         }
         self.set_next_txn_floor(max_txn + 1);
         self.acks.reset(stable_end);
         self.rssp.store(rssp.0.max(1), Ordering::Relaxed);
+
+        // --- Elastic rebalance: a RebalanceDone whose epoch is above
+        // the installed map's means the move committed but the crash
+        // interrupted the republish. Re-install the fence (no new work
+        // may enter the moved range under the stale map) and stash the
+        // move; the kernel consumes it after recovery and finishes the
+        // republish, which clears the fence.
+        if let Some((lo, hi, to, epoch)) = rebalance_done {
+            if epoch > self.map_epoch() {
+                *self.rebalance_fence.lock() =
+                    Some(crate::rebalance::RebalanceFence { lo, hi, to, epoch });
+                *self.recovered_rebalance.lock() = Some((lo, hi, to, epoch));
+            }
+        }
 
         // --- Resolve prepared (in-doubt) participant branches against
         // their coordinators: presumed abort — a stable CommitDecision in
@@ -392,6 +423,9 @@ impl Tc {
     /// together with `LogStore::crash` by the kernel's crash injector).
     pub fn crash_volatile(&self) {
         self.set_available(false);
+        // Wake anyone parked on a rebalance fence: they must observe
+        // unavailability, not sleep out their timeout against a dead TC.
+        self.abandon_fence();
         self.txns.lock().clear();
         self.pending.lock().clear();
         self.participants.lock().clear();

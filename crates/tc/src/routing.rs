@@ -7,7 +7,7 @@
 //! which is how all of the paper's example schemas cluster.
 
 use std::sync::Arc;
-use unbundled_core::{range_owner, range_owners, DcId, Key, TcToDc};
+use unbundled_core::{range_owner, range_owners, route_point, DcId, Key, TcToDc};
 
 /// Transport-facing half: something that can carry a message to a DC.
 /// Replies flow back through `Tc::deliver`.
@@ -29,11 +29,14 @@ pub enum TableRoute {
 }
 
 impl TableRoute {
-    /// DC hosting `key`.
+    /// DC hosting `key`. Point placement (numeric prefix, or a stable
+    /// hash for short keys) is [`route_point`] — the *same* helper the
+    /// TC shard map uses, so DC routing and TC sharding can never
+    /// disagree about where a non-numeric key lives.
     pub fn dc_for(&self, key: &Key) -> DcId {
         match self {
             TableRoute::Single(dc) => *dc,
-            TableRoute::Partitioned(parts) => range_owner(parts, key.u64_prefix().unwrap_or(0)),
+            TableRoute::Partitioned(parts) => range_owner(parts, route_point(key)),
         }
     }
 
@@ -66,9 +69,16 @@ impl TableRoute {
         match self {
             TableRoute::Single(dc) => vec![*dc],
             TableRoute::Partitioned(parts) => {
-                let lo = low.u64_prefix().unwrap_or(0);
-                let hi = high.and_then(|h| h.u64_prefix()).unwrap_or(u64::MAX);
-                range_owners(parts, lo, hi)
+                // Scans are byte-ordered, but hashed placement of short
+                // keys is not order-preserving — so a bound without a
+                // numeric prefix widens the consulted set to *all*
+                // partitions (a harmless superset: the DCs filter by the
+                // actual byte range).
+                match (low.u64_prefix(), high.map(|h| h.u64_prefix())) {
+                    (Some(lo), None) => range_owners(parts, lo, u64::MAX),
+                    (Some(lo), Some(Some(hi))) => range_owners(parts, lo, hi),
+                    _ => range_owners(parts, 0, u64::MAX),
+                }
             }
         }
     }

@@ -286,7 +286,9 @@ impl Shipper {
             TcLogRecord::Prepare { .. }
             | TcLogRecord::Checkpoint { .. }
             | TcLogRecord::Promote { .. }
-            | TcLogRecord::PromoteIntent { .. } => {}
+            | TcLogRecord::PromoteIntent { .. }
+            | TcLogRecord::RebalanceIntent { .. }
+            | TcLogRecord::RebalanceDone { .. } => {}
         }
     }
 

@@ -56,6 +56,19 @@ pub struct TcStats {
     /// Cross-TC 2PC: in-doubt participant branches resolved against the
     /// coordinator's log (recovery or explicit re-resolution).
     pub indoubt_resolved: AtomicU64,
+    /// Elastic rebalance: range moves completed at this TC as the
+    /// source (RebalanceDone forced).
+    pub rebalances: AtomicU64,
+    /// Elastic rebalance: forwards rejected here because the sender's
+    /// map epoch was stale (the op was not executed).
+    pub stale_forward_rejects: AtomicU64,
+    /// Elastic rebalance: forwards re-routed by this (sender) TC after
+    /// a stale-epoch rejection.
+    pub stale_forward_reroutes: AtomicU64,
+    /// Elastic rebalance: local ops that slept on a fence, woke after
+    /// it resolved, and re-resolved their owner under the republished
+    /// map instead of executing under lapsed authority.
+    pub fence_reroutes: AtomicU64,
 }
 
 /// Point-in-time copy of [`TcStats`].
@@ -105,6 +118,14 @@ pub struct TcSnapshot {
     pub cross_aborts: u64,
     /// In-doubt participant branches resolved.
     pub indoubt_resolved: u64,
+    /// Range moves completed at this TC as the source.
+    pub rebalances: u64,
+    /// Stale-epoch forwards rejected at this TC.
+    pub stale_forward_rejects: u64,
+    /// Forwards re-routed by this TC after a stale-epoch rejection.
+    pub stale_forward_reroutes: u64,
+    /// Local ops re-routed after sleeping through a fence resolution.
+    pub fence_reroutes: u64,
 }
 
 impl TcStats {
@@ -133,6 +154,10 @@ impl TcStats {
             cross_commits: self.cross_commits.load(Ordering::Relaxed),
             cross_aborts: self.cross_aborts.load(Ordering::Relaxed),
             indoubt_resolved: self.indoubt_resolved.load(Ordering::Relaxed),
+            rebalances: self.rebalances.load(Ordering::Relaxed),
+            stale_forward_rejects: self.stale_forward_rejects.load(Ordering::Relaxed),
+            stale_forward_reroutes: self.stale_forward_reroutes.load(Ordering::Relaxed),
+            fence_reroutes: self.fence_reroutes.load(Ordering::Relaxed),
         }
     }
 

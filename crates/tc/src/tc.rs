@@ -125,6 +125,13 @@ pub(crate) struct TxnState {
     pub(crate) part_of: Option<(TcId, TxnId)>,
     /// Participant role: the branch voted yes and awaits the decision.
     pub(crate) prepared: bool,
+    /// Shard-space points of keys this transaction executed locally
+    /// (recorded under the rebalance-fence mutex, before the record
+    /// lock is drawn). A rebalance drain waits until no live
+    /// transaction holds a point inside the moving range; a transaction
+    /// that already holds one is a *drain member* and finishes under
+    /// the old authority.
+    pub(crate) shard_points: HashSet<u64>,
 }
 
 /// The Transactional Component. Thread-safe; share via [`Arc`].
@@ -190,6 +197,18 @@ pub struct Tc {
     /// participant, pinning log truncation at the decision LSN so an
     /// in-doubt participant can always re-read the decision.
     pub(crate) pending_decisions: Mutex<HashMap<TxnId, (Lsn, HashSet<TcId>)>>,
+    /// Elastic rebalance: fence over a key range moving away from this
+    /// TC. While set, *new* work on the range blocks (bounded by the
+    /// lock timeout) and transactions already inside it drain out;
+    /// cleared when a map whose epoch covers the fence is installed.
+    pub(crate) rebalance_fence: Mutex<Option<crate::rebalance::RebalanceFence>>,
+    pub(crate) fence_cv: Condvar,
+    /// A completed rebalance found in the log during recovery whose map
+    /// republish may not have happened (crash between the forced
+    /// [`TcLogRecord::RebalanceDone`] and the republish): `(lo, hi, to,
+    /// epoch)`. The kernel reads this after recovery and finishes the
+    /// republish.
+    pub(crate) recovered_rebalance: Mutex<Option<(u64, u64, TcId, u64)>>,
     stats: TcStats,
 }
 
@@ -229,6 +248,9 @@ impl Tc {
             peers: RwLock::new(HashMap::new()),
             participants: Mutex::new(HashMap::new()),
             pending_decisions: Mutex::new(HashMap::new()),
+            rebalance_fence: Mutex::new(None),
+            fence_cv: Condvar::new(),
+            recovered_rebalance: Mutex::new(None),
             stats: TcStats::default(),
         })
     }
@@ -645,6 +667,7 @@ impl Tc {
             remotes: HashSet::new(),
             part_of: None,
             prepared: false,
+            shard_points: HashSet::new(),
         };
         self.txns.lock().insert(txn, Arc::new(Mutex::new(st)));
         Ok(txn)
@@ -730,8 +753,29 @@ impl Tc {
         // forwarded to it and executed there as a participant branch of
         // this transaction (locked, logged and sent by the owner — only
         // the owning shard ever locks a key).
-        if let Some(owner) = self.shard_owner(&key) {
-            return self.forward_mutate(txn, &st, owner, op);
+        loop {
+            if let Some(owner) = self.shard_owner(&key) {
+                if st.lock().part_of.is_some() {
+                    // A participant branch never chain-forwards: the map
+                    // moved under the coordinator's forward. Reject without
+                    // touching the branch; the coordinator re-routes.
+                    return Err(TcError::StaleShardMap {
+                        tc: self.id,
+                        epoch: self.map_epoch(),
+                    });
+                }
+                return self.forward_mutate(txn, &st, owner, op);
+            }
+            // Elastic rebalance: block (bounded) behind a fence over a
+            // moving range this op would enter; records the op's shard
+            // point so the drain sees this transaction. A `false` pass
+            // means the op slept on a fence that resolved — the range
+            // may have moved away while it slept, so re-resolve the
+            // owner under the republished map instead of executing
+            // under lapsed authority.
+            if self.fence_pass(txn, &st, unbundled_core::route_point(&key))? {
+                break;
+            }
         }
         let dc = self.route(table)?.dc_for(&key);
 
@@ -860,8 +904,21 @@ impl Tc {
     pub fn read(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
         self.ensure_available()?;
         let st = self.txn_state(txn)?;
-        if let Some(owner) = self.shard_owner(&key) {
-            return self.forward_read(txn, &st, owner, table, key);
+        loop {
+            if let Some(owner) = self.shard_owner(&key) {
+                if st.lock().part_of.is_some() {
+                    return Err(TcError::StaleShardMap {
+                        tc: self.id,
+                        epoch: self.map_epoch(),
+                    });
+                }
+                return self.forward_read(txn, &st, owner, table, key);
+            }
+            // See `mutate`: a false pass re-resolves the owner after a
+            // fence this op slept on resolved (the range may have moved).
+            if self.fence_pass(txn, &st, unbundled_core::route_point(&key))? {
+                break;
+            }
         }
         let dc = self.route(table)?.dc_for(&key);
         self.lock_or_abort(txn, LockName::Table(table), LockMode::IS)?;

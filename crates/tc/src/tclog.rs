@@ -133,6 +133,42 @@ pub enum TcLogRecord {
         /// The replica about to be promoted.
         new: DcId,
     },
+    /// Write-ahead intent for an elastic rebalance: forced *before* the
+    /// moving range `[lo, hi]` is fenced and drained. An intent with no
+    /// matching [`TcLogRecord::RebalanceDone`] means the move never took
+    /// effect — the new map is only published after the done record is
+    /// stable — so recovery simply discards it and the old topology
+    /// stands.
+    RebalanceIntent {
+        /// Inclusive low end of the moving range.
+        lo: u64,
+        /// Inclusive high end of the moving range.
+        hi: u64,
+        /// The TC gaining the range.
+        to: TcId,
+        /// The epoch the republished map will carry.
+        epoch: u64,
+    },
+    /// Elastic rebalance completion: lock and log authority for
+    /// `[lo, hi]` has left this TC in favour of `to`. Forced *before*
+    /// the epoch-`epoch` map is republished, so a map any peer ever saw
+    /// implies this record is durable. `floor` records the source's
+    /// `min(stable, twopc_floor, replication_floor)` at handoff: nothing
+    /// below it — no pinned 2PC decision, no unshipped replication group
+    /// — can be stranded by the move, because the source's self-contained
+    /// log keeps serving both until they drain past it.
+    RebalanceDone {
+        /// Inclusive low end of the moved range.
+        lo: u64,
+        /// Inclusive high end of the moved range.
+        hi: u64,
+        /// The TC that gained the range.
+        to: TcId,
+        /// The epoch of the map that publishes this move.
+        epoch: u64,
+        /// Source durability floor at handoff (diagnostic).
+        floor: Lsn,
+    },
 }
 
 fn op_size(op: &LogicalOp) -> usize {
@@ -166,7 +202,9 @@ impl TcLogRecord {
             | TcLogRecord::ParticipantAbort { txn } => Some(*txn),
             TcLogRecord::Checkpoint { .. }
             | TcLogRecord::Promote { .. }
-            | TcLogRecord::PromoteIntent { .. } => None,
+            | TcLogRecord::PromoteIntent { .. }
+            | TcLogRecord::RebalanceIntent { .. }
+            | TcLogRecord::RebalanceDone { .. } => None,
         }
     }
 
@@ -183,6 +221,8 @@ impl TcLogRecord {
             TcLogRecord::Checkpoint { active, .. } => 17 + 8 * active.len(),
             TcLogRecord::Promote { .. } => 21,
             TcLogRecord::PromoteIntent { .. } => 13,
+            TcLogRecord::RebalanceIntent { .. } => 27,
+            TcLogRecord::RebalanceDone { .. } => 35,
             TcLogRecord::Prepare { .. } => 27,
             TcLogRecord::CommitDecision { participants, .. } => 17 + 2 * participants.len(),
             TcLogRecord::ParticipantCommit { .. } | TcLogRecord::ParticipantAbort { .. } => 17,

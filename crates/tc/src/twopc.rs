@@ -89,8 +89,20 @@ impl Tc {
     /// Install the key-range → TC shard map. Keys owned by other shards
     /// are forwarded; commit of a multi-shard transaction goes through
     /// 2PC. `register_peer` every other shard before use.
+    ///
+    /// Installing a map whose epoch reaches a pending rebalance fence's
+    /// epoch *clears* the fence: the move it guarded is published, so
+    /// blocked work wakes up and re-resolves ownership under the new
+    /// map.
     pub fn set_shard_map(&self, map: TcShardMap) {
+        let epoch = map.epoch();
         *self.shard_map.write() = Some(map);
+        self.clear_fence_up_to(epoch);
+    }
+
+    /// The epoch of the installed shard map (0 when unsharded).
+    pub fn map_epoch(&self) -> u64 {
+        self.shard_map.read().as_ref().map_or(0, |m| m.epoch())
     }
 
     /// The installed shard map, if any.
@@ -140,6 +152,17 @@ impl Tc {
     // Coordinator side: forwarding
     // ------------------------------------------------------------------
 
+    /// How many 1ms re-route attempts a forward rejected as stale gets
+    /// before the transaction is rolled back (the kernel's republish
+    /// reaches every TC within a few map installs, so this is generous).
+    fn reroute_retries(&self) -> u32 {
+        self.cfg
+            .lock_timeout
+            .map(|d| d.as_millis() as u32)
+            .unwrap_or(2000)
+            .max(16)
+    }
+
     pub(crate) fn forward_mutate(
         &self,
         txn: TxnId,
@@ -147,29 +170,53 @@ impl Tc {
         owner: TcId,
         op: LogicalOp,
     ) -> Result<(), TcError> {
-        let peer = match self.peer_tc(owner) {
-            Some(p) => p,
-            None => {
-                self.rollback(txn)?;
-                return Err(TcError::NoSuchTc(owner));
-            }
-        };
-        // If this shard already executed ops for us, its branch must
-        // still exist — a participant that crashed in between rolled the
-        // branch back (presumed abort), and silently starting a fresh
-        // one would commit a partial transaction.
-        let expect_branch = st.lock().remotes.contains(&owner);
-        match peer.remote_mutate(self.id(), txn, op, expect_branch) {
-            Ok(()) => {
-                st.lock().remotes.insert(owner);
-                Ok(())
-            }
-            Err(e) => {
-                // The participant already rolled its branch back; abort
-                // the whole transaction (rollback notifies the other
-                // participants).
-                self.rollback(txn)?;
-                Err(Self::map_remote_err(txn, e))
+        let mut owner = owner;
+        let mut retries = 0u32;
+        loop {
+            let peer = match self.peer_tc(owner) {
+                Some(p) => p,
+                None => {
+                    self.rollback(txn)?;
+                    return Err(TcError::NoSuchTc(owner));
+                }
+            };
+            // If this shard already executed ops for us, its branch must
+            // still exist — a participant that crashed in between rolled
+            // the branch back (presumed abort), and silently starting a
+            // fresh one would commit a partial transaction.
+            let expect_branch = st.lock().remotes.contains(&owner);
+            let epoch = self.map_epoch();
+            match peer.remote_mutate(self.id(), txn, op.clone(), expect_branch, epoch) {
+                Ok(()) => {
+                    st.lock().remotes.insert(owner);
+                    return Ok(());
+                }
+                Err(TcError::StaleShardMap { .. }) => {
+                    // The range moved (or is moving) under this forward.
+                    // The op was NOT executed and the branch is intact,
+                    // so no repair is needed: wait for the republished
+                    // map to land here, re-resolve the owner, re-route.
+                    retries += 1;
+                    if retries > self.reroute_retries() {
+                        self.rollback(txn)?;
+                        return Err(TcError::StaleShardMap { tc: owner, epoch });
+                    }
+                    TcStats::bump(&self.stats().stale_forward_reroutes);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    let key = op.point_key().expect("point mutation").clone();
+                    match self.shard_owner(&key) {
+                        Some(next) => owner = next,
+                        // The range moved *to us*: execute locally.
+                        None => return self.mutate(txn, op),
+                    }
+                }
+                Err(e) => {
+                    // The participant already rolled its branch back;
+                    // abort the whole transaction (rollback notifies the
+                    // other participants).
+                    self.rollback(txn)?;
+                    return Err(Self::map_remote_err(txn, e));
+                }
             }
         }
     }
@@ -182,22 +229,40 @@ impl Tc {
         table: TableId,
         key: Key,
     ) -> Result<Option<Vec<u8>>, TcError> {
-        let peer = match self.peer_tc(owner) {
-            Some(p) => p,
-            None => {
-                self.rollback(txn)?;
-                return Err(TcError::NoSuchTc(owner));
-            }
-        };
-        let expect_branch = st.lock().remotes.contains(&owner);
-        match peer.remote_read(self.id(), txn, table, key, expect_branch) {
-            Ok(v) => {
-                st.lock().remotes.insert(owner);
-                Ok(v)
-            }
-            Err(e) => {
-                self.rollback(txn)?;
-                Err(Self::map_remote_err(txn, e))
+        let mut owner = owner;
+        let mut retries = 0u32;
+        loop {
+            let peer = match self.peer_tc(owner) {
+                Some(p) => p,
+                None => {
+                    self.rollback(txn)?;
+                    return Err(TcError::NoSuchTc(owner));
+                }
+            };
+            let expect_branch = st.lock().remotes.contains(&owner);
+            let epoch = self.map_epoch();
+            match peer.remote_read(self.id(), txn, table, key.clone(), expect_branch, epoch) {
+                Ok(v) => {
+                    st.lock().remotes.insert(owner);
+                    return Ok(v);
+                }
+                Err(TcError::StaleShardMap { .. }) => {
+                    retries += 1;
+                    if retries > self.reroute_retries() {
+                        self.rollback(txn)?;
+                        return Err(TcError::StaleShardMap { tc: owner, epoch });
+                    }
+                    TcStats::bump(&self.stats().stale_forward_reroutes);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    match self.shard_owner(&key) {
+                        Some(next) => owner = next,
+                        None => return self.read(txn, table, key),
+                    }
+                }
+                Err(e) => {
+                    self.rollback(txn)?;
+                    return Err(Self::map_remote_err(txn, e));
+                }
             }
         }
     }
@@ -246,21 +311,28 @@ impl Tc {
     }
 
     /// Execute one forwarded mutation as a branch of `(coord, gtxn)`.
-    /// On failure the whole branch has been rolled back (the coordinator
-    /// must then abort the transaction).
+    /// `epoch` is the sender's shard-map epoch: a mismatch (or a key
+    /// this shard no longer owns) is rejected with
+    /// [`TcError::StaleShardMap`] *before* any branch state is touched,
+    /// so the sender can re-route without repair. On any other failure
+    /// the whole branch has been rolled back (the coordinator must then
+    /// abort the transaction).
     pub fn remote_mutate(
         &self,
         coord: TcId,
         gtxn: TxnId,
         op: LogicalOp,
         expect_branch: bool,
+        epoch: u64,
     ) -> Result<(), TcError> {
+        let key = op.point_key().expect("point mutation").clone();
+        self.check_forwarded(coord, gtxn, &key, epoch)?;
         let local = self.begin_participant(coord, gtxn, expect_branch)?;
         self.mutate(local, op)
     }
 
     /// Execute one forwarded serializable point read as a branch of
-    /// `(coord, gtxn)`.
+    /// `(coord, gtxn)`; `epoch` as for [`Tc::remote_mutate`].
     pub fn remote_read(
         &self,
         coord: TcId,
@@ -268,7 +340,9 @@ impl Tc {
         table: TableId,
         key: Key,
         expect_branch: bool,
+        epoch: u64,
     ) -> Result<Option<Vec<u8>>, TcError> {
+        self.check_forwarded(coord, gtxn, &key, epoch)?;
         let local = self.begin_participant(coord, gtxn, expect_branch)?;
         self.read(local, table, key)
     }
@@ -442,9 +516,16 @@ impl Tc {
             txn,
             participants: participants.clone(),
         });
-        self.pending_decisions
-            .lock()
-            .insert(txn, (lsn, participants.into_iter().collect()));
+        // A decision with no participants awaits no acks — pinning it
+        // would block log truncation forever (nothing ever calls
+        // `twopc_ack` for it). This arises when every branch of a
+        // nominally cross-shard transaction ends up local, e.g. after a
+        // rebalance moved the remote range onto the coordinator.
+        if !participants.is_empty() {
+            self.pending_decisions
+                .lock()
+                .insert(txn, (lsn, participants.into_iter().collect()));
+        }
         self.force_commit(lsn);
         Ok(lsn)
     }
@@ -575,6 +656,15 @@ impl Tc {
                 None,
             );
         }
+        // Re-derive the branch's shard points from what it wrote, so a
+        // rebalance drain started after the crash still sees the parked
+        // branch as inside (or outside) the moving range.
+        let shard_points: HashSet<u64> = chain
+            .iter()
+            .filter_map(|(_, _, inv)| inv.point_key())
+            .chain(promotes.iter().map(|(_, _, k)| k))
+            .map(unbundled_core::route_point)
+            .collect();
         let st = TxnState {
             id: local,
             first_lsn,
@@ -588,6 +678,7 @@ impl Tc {
             remotes: HashSet::new(),
             part_of: Some((coord, gtxn)),
             prepared: true,
+            shard_points,
         };
         self.txns.lock().insert(local, Arc::new(Mutex::new(st)));
         self.participants.lock().insert((coord, gtxn), local);

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::time::Duration;
-use unbundled::core::{DcId, Key, TableId, TableSpec, TcId, TcShardMap, TxnId};
+use unbundled::core::{DcId, Key, LogicalOp, TableId, TableSpec, TcError, TcId, TcShardMap, TxnId};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{single, Deployment, FaultModel, TransportKind};
 use unbundled::tc::{GatherWindow, GroupCommitCfg, ReadConsistency, TableRoute, Tc, TcConfig};
@@ -411,8 +411,11 @@ fn unmap_key(actual: u64) -> u64 {
     }
 }
 
-/// Two TC shards splitting the key space evenly, each owning one DC,
-/// group commit on, inline links (deterministic replay).
+/// Two TC shards splitting the key space evenly over two DCs, group
+/// commit on, inline links (deterministic replay). Both TCs connect to
+/// both DCs with one shared partitioned table route: data placement is
+/// deployment topology, not per-TC opinion, so an online rebalance can
+/// move TC *ownership* of a key range without moving any data.
 fn sharded_storm_deployment() -> Deployment {
     let tc_cfg = TcConfig {
         resend_interval: Duration::from_millis(5),
@@ -425,13 +428,25 @@ fn sharded_storm_deployment() -> Deployment {
         }),
         ..TcConfig::default()
     };
+    let route = TableRoute::Partitioned(std::sync::Arc::new(vec![
+        (SHARD_SPLIT, DcId(1)),
+        (u64::MAX, DcId(2)),
+    ]));
     let mut d = Deployment::new();
-    for (tc, dc) in [(TcId(1), DcId(1)), (TcId(2), DcId(2))] {
+    for dc in [DcId(1), DcId(2)] {
         d.add_dc(dc, DcConfig::default());
+    }
+    for tc in [TcId(1), TcId(2)] {
         d.add_tc(tc, tc_cfg.clone());
-        d.connect(tc, dc, TransportKind::Inline);
+        for dc in [DcId(1), DcId(2)] {
+            d.connect(tc, dc, TransportKind::Inline);
+        }
+    }
+    for dc in [DcId(1), DcId(2)] {
         d.create_table(dc, TableSpec::plain(T, "t"));
-        d.route(tc, T, TableRoute::Single(dc));
+    }
+    for tc in [TcId(1), TcId(2)] {
+        d.route(tc, T, route.clone());
     }
     d.set_shard_map(TcShardMap::even(&[TcId(1), TcId(2)]));
     d
@@ -607,6 +622,127 @@ fn torn_twopc(d: &Deployment, sched: &mut Schedule, step: u64) {
     }
 }
 
+/// Where the storm's rebalances cut TC1's initial range: ownership of
+/// `[REBALANCE_CUT, next bound)` ping-pongs between the shards as
+/// schedules split and merge.
+const REBALANCE_CUT: u64 = SHARD_SPLIT / 2;
+
+/// The move the current map permits at [`REBALANCE_CUT`]: if the cut is
+/// an existing bound, merge the partition above it into the one below;
+/// otherwise split the partition containing it and hand the upper piece
+/// to the other shard. Returns `(lo, hi, to, src, new_map)` — the
+/// moving range (inclusive), its new and current owners, and the map to
+/// republish.
+fn plan_rebalance(d: &Deployment) -> (u64, u64, TcId, TcId, TcShardMap) {
+    let map = d.shard_map().expect("sharded storm");
+    if map.parts().iter().any(|(u, _)| *u == REBALANCE_CUT) {
+        let (lo, hi, src) = map.range_containing(REBALANCE_CUT);
+        let new_map = map.merge_at(REBALANCE_CUT);
+        let to = new_map.range_containing(lo).2;
+        (lo, hi, to, src, new_map)
+    } else {
+        let (_, hi, src) = map.range_containing(REBALANCE_CUT);
+        let to = if src == TcId(1) { TcId(2) } else { TcId(1) };
+        let new_map = map.split(REBALANCE_CUT, to);
+        (REBALANCE_CUT, hi, to, src, new_map)
+    }
+}
+
+/// A complete online rebalance mid-storm: fence + drain + intent/done +
+/// republish, driven through the deployment. Transactions before and
+/// after it must keep committing against whichever shard currently owns
+/// their keys.
+fn rebalance_move(d: &Deployment) {
+    let map = d.shard_map().expect("sharded storm");
+    if map.parts().iter().any(|(u, _)| *u == REBALANCE_CUT) {
+        d.merge_shards(REBALANCE_CUT);
+    } else {
+        let (_, _, src) = map.range_containing(REBALANCE_CUT);
+        let to = if src == TcId(1) { TcId(2) } else { TcId(1) };
+        d.split_shard(REBALANCE_CUT, to);
+    }
+}
+
+/// Crash the source shard at a precise point inside the move protocol
+/// and account for the outcome recovery dictates: Intent without Done
+/// means the move never happened (old map everywhere, no fence);
+/// Done without republish means the move *did* happen — the rebooted
+/// source finishes the republish from its stable log.
+fn torn_rebalance(d: &Deployment, sched: &mut Schedule) {
+    let (lo, hi, to, src_id, new_map) = plan_rebalance(d);
+    let old_epoch = d.shard_map().expect("sharded").epoch();
+    let src = d.tc(src_id);
+    if src.begin_rebalance(lo, hi, to, new_map.epoch()).is_err() {
+        return;
+    }
+    if sched.rng.gen_bool(0.5) {
+        // Crash mid-drain: the fence is up, Done was never forced. The
+        // move is discarded and the old map stays in force.
+        d.crash_tc(src_id);
+        d.reboot_tc(src_id);
+        let map = d.shard_map().expect("sharded");
+        assert_eq!(
+            map.epoch(),
+            old_epoch,
+            "intent-only move must not take effect"
+        );
+        assert!(
+            d.tc(src_id).fence_info().is_none(),
+            "discarded move left its fence installed"
+        );
+    } else {
+        // Crash between authority handoff (Done forced) and republish:
+        // reboot completes the move from the durable record.
+        assert!(src.rebalance_drained(lo, hi), "storm is quiesced here");
+        if src.finish_rebalance(lo, hi, to, new_map.epoch()).is_err() {
+            return;
+        }
+        d.crash_tc(src_id);
+        d.reboot_tc(src_id);
+        let map = d.shard_map().expect("sharded");
+        assert_eq!(
+            map.epoch(),
+            new_map.epoch(),
+            "durable RebalanceDone must complete through reboot"
+        );
+        for id in [TcId(1), TcId(2)] {
+            assert_eq!(d.tc(id).map_epoch(), new_map.epoch(), "{id} lags republish");
+            assert!(d.tc(id).fence_info().is_none(), "{id} kept a fence");
+        }
+    }
+}
+
+/// Replay the wire call of a sender whose map predates the last move: a
+/// forward carrying a stale epoch must be rejected by the receiver
+/// without executing the op or leaking a participant branch.
+fn stale_forward_probe(d: &Deployment, sched: &mut Schedule) {
+    let map = d.shard_map().expect("sharded");
+    if map.epoch() == 0 {
+        return;
+    }
+    let raw = sched.rng.gen_range(0..KEY_SPACE);
+    let key = storm_key(raw);
+    let owner = map.tc_for(&key);
+    let wrong = if owner == TcId(1) { TcId(2) } else { TcId(1) };
+    let tc = d.tc(wrong);
+    let live_before = tc.active_txns().len();
+    let op = LogicalOp::Insert {
+        table: T,
+        key,
+        value: b"stale-forward-must-not-land".to_vec(),
+    };
+    let err = tc.remote_mutate(owner, TxnId(9_999_999), op, false, map.epoch() - 1);
+    assert!(
+        matches!(err, Err(TcError::StaleShardMap { .. })),
+        "stale-epoch forward must be rejected, got {err:?}"
+    );
+    assert_eq!(
+        tc.active_txns().len(),
+        live_before,
+        "stale-forward rejection leaked a participant branch"
+    );
+}
+
 /// Post-storm state is the union of both shards' tables, read through
 /// the owning TCs.
 fn verify_sharded(d: &Deployment, model: &Model, seed: u64) {
@@ -631,11 +767,14 @@ fn verify_sharded(d: &Deployment, model: &Model, seed: u64) {
 }
 
 /// The cross-TC storm: sharded transactions interleave with per-shard
-/// TC crashes, DC crashes, torn two-phase commits, and full storms. On
-/// top of the usual durability/no-dirty-data invariants, the end state
-/// must be fully quiesced: no live transactions (a leak here means a
-/// branch kept its locks), no parked in-doubt branches, no pinned
-/// decisions.
+/// TC crashes, DC crashes, torn two-phase commits, full storms, and
+/// online rebalances — complete moves, moves torn by a crash mid-drain
+/// or between authority handoff and republish, and stale-epoch forward
+/// probes. On top of the usual durability/no-dirty-data invariants, the
+/// end state must be fully quiesced: no live transactions (a leak here
+/// means a branch kept its locks), no parked in-doubt branches, no
+/// pinned decisions, no leftover rebalance fence, and every shard on
+/// the published map epoch.
 fn run_sharded_schedule(seed: u64) {
     let d = sharded_storm_deployment();
     let mut sched = Schedule {
@@ -649,9 +788,9 @@ fn run_sharded_schedule(seed: u64) {
             eprintln!("seed {seed} step {step}: act {act}");
         }
         match act {
-            0..=64 => run_sharded_txn(&d, &mut sched, step),
-            65..=76 => torn_twopc(&d, &mut sched, step),
-            77..=84 => {
+            0..=60 => run_sharded_txn(&d, &mut sched, step),
+            61..=72 => torn_twopc(&d, &mut sched, step),
+            73..=79 => {
                 let s = if sched.rng.gen_bool(0.5) {
                     TcId(1)
                 } else {
@@ -660,7 +799,7 @@ fn run_sharded_schedule(seed: u64) {
                 d.crash_tc(s);
                 d.reboot_tc(s);
             }
-            85..=89 => {
+            80..=84 => {
                 let dc = if sched.rng.gen_bool(0.5) {
                     DcId(1)
                 } else {
@@ -669,10 +808,13 @@ fn run_sharded_schedule(seed: u64) {
                 d.crash_dc(dc);
                 d.reboot_dc(dc);
             }
-            _ => {
+            85..=88 => {
                 d.crash_all();
                 d.reboot_all();
             }
+            89..=92 => rebalance_move(&d),
+            93..=96 => torn_rebalance(&d, &mut sched),
+            _ => stale_forward_probe(&d, &mut sched),
         }
     }
     // Final storm: every shard crashes at once; reboots resolve all
@@ -681,6 +823,12 @@ fn run_sharded_schedule(seed: u64) {
     d.reboot_all();
     for id in [TcId(1), TcId(2)] {
         d.tc(id).resolve_indoubt();
+    }
+    // Decisions whose delivery failed while a participant was down stay
+    // pinned until a retry lands; with both shards back up, one
+    // redelivery round must drain them all.
+    for id in [TcId(1), TcId(2)] {
+        d.tc(id).redeliver_decisions();
     }
     verify_sharded(&d, &sched.model, seed);
     for id in [TcId(1), TcId(2)] {
@@ -699,6 +847,15 @@ fn run_sharded_schedule(seed: u64) {
             tc.pending_decision_count(),
             0,
             "seed {seed}: {id} still pins commit decisions nobody waits for"
+        );
+        assert!(
+            tc.fence_info().is_none(),
+            "seed {seed}: {id} left a rebalance fence installed after the storm"
+        );
+        assert_eq!(
+            tc.map_epoch(),
+            d.shard_map().expect("sharded").epoch(),
+            "seed {seed}: {id} lags the published shard map epoch"
         );
     }
 }

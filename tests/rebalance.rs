@@ -1,0 +1,308 @@
+//! Online TC split/merge (elastic repartitioning), end to end.
+//!
+//! These tests drive the deployment-level rebalance protocol: fence +
+//! drain of the moving range at the source shard, write-ahead
+//! `RebalanceIntent`/`RebalanceDone` records through its redo log, and
+//! an epoch-bumped shard-map republish that every shard (and the
+//! forwarding layer) follows. Crash points straddle each protocol step:
+//!
+//! * **Intent forced, crash before Done** — the move never took effect
+//!   anywhere (the republish only starts after Done is stable), so
+//!   recovery discards it: old map, old owner, no fence.
+//! * **Done forced, crash before republish** — Done is the commit point
+//!   of the move: `reboot_tc` finds the durable record, finishes the
+//!   republish, and the new owner serves the range.
+//! * **Stale-epoch forward after a move** — rejected by the receiver
+//!   *without executing the op or opening a branch*; the sender
+//!   re-routes against the republished map.
+//!
+//! The deployment wires both TCs to both DCs with *identical*
+//! partitioned table routes: moving TC ownership of a key range never
+//! moves the data underneath it, so the DC placement must be shared
+//! topology rather than per-TC opinion.
+
+use std::time::Duration;
+use unbundled::core::{DcId, Key, LogicalOp, TableId, TableSpec, TcError, TcId, TcShardMap, TxnId};
+use unbundled::dc::DcConfig;
+use unbundled::kernel::{Deployment, TransportKind};
+use unbundled::tc::{GatherWindow, GroupCommitCfg, TableRoute, TcConfig};
+
+const T: TableId = TableId(1);
+const HALF: u64 = u64::MAX / 2;
+const QUARTER: u64 = HALF / 2;
+
+/// Two TC shards over two DCs, wired all-to-all with one shared
+/// partitioned table route (data placement is independent of TC
+/// ownership, as an online rebalance requires). Shard map starts even:
+/// TC1 owns `[0, HALF)`, TC2 owns `[HALF, u64::MAX]`.
+fn rebalance_deployment() -> Deployment {
+    let tc_cfg = TcConfig {
+        resend_interval: Duration::from_millis(5),
+        lock_timeout: Some(Duration::from_millis(200)),
+        group_commit: Some(GroupCommitCfg {
+            window: GatherWindow::adaptive(),
+            max_waiters: 8,
+        }),
+        ..TcConfig::default()
+    };
+    let route = TableRoute::Partitioned(std::sync::Arc::new(vec![
+        (HALF, DcId(1)),
+        (u64::MAX, DcId(2)),
+    ]));
+    let mut d = Deployment::new();
+    for dc in [DcId(1), DcId(2)] {
+        d.add_dc(dc, DcConfig::default());
+    }
+    for tc in [TcId(1), TcId(2)] {
+        d.add_tc(tc, tc_cfg.clone());
+        for dc in [DcId(1), DcId(2)] {
+            d.connect(tc, dc, TransportKind::Inline);
+        }
+    }
+    for dc in [DcId(1), DcId(2)] {
+        d.create_table(dc, TableSpec::plain(T, "t"));
+    }
+    for tc in [TcId(1), TcId(2)] {
+        d.route(tc, T, route.clone());
+    }
+    d.set_shard_map(TcShardMap::even(&[TcId(1), TcId(2)]));
+    d
+}
+
+/// Write `key = value` through whichever TC currently owns it.
+fn put(d: &Deployment, key: u64, value: &[u8]) {
+    let owner = d.shard_map().expect("sharded").tc_for(&Key::from_u64(key));
+    let tc = d.tc(owner);
+    let txn = tc.begin().expect("begin");
+    let k = Key::from_u64(key);
+    match tc.read(txn, T, k.clone()).expect("read") {
+        Some(_) => tc.update(txn, T, k, value.to_vec()).expect("update"),
+        None => tc.insert(txn, T, k, value.to_vec()).expect("insert"),
+    }
+    tc.commit(txn).expect("commit");
+}
+
+/// Read `key` through whichever TC currently owns it.
+fn get(d: &Deployment, key: u64) -> Option<Vec<u8>> {
+    let owner = d.shard_map().expect("sharded").tc_for(&Key::from_u64(key));
+    let tc = d.tc(owner);
+    let txn = tc.begin().expect("begin");
+    let v = tc.read(txn, T, Key::from_u64(key)).expect("read");
+    tc.commit(txn).expect("commit");
+    v
+}
+
+/// Every shard sees the same map epoch, and no fence is left installed.
+fn assert_settled(d: &Deployment, epoch: u64) {
+    for id in [TcId(1), TcId(2)] {
+        let tc = d.tc(id);
+        assert_eq!(tc.map_epoch(), epoch, "{id} lags the published epoch");
+        assert!(tc.fence_info().is_none(), "{id} left a fence installed");
+        assert_eq!(tc.active_txns(), vec![], "{id} has live txns");
+        assert_eq!(tc.indoubt_branches(), 0, "{id} has parked branches");
+    }
+    assert_eq!(d.shard_map().expect("sharded").epoch(), epoch);
+}
+
+#[test]
+fn split_then_merge_moves_ownership_online() {
+    let d = rebalance_deployment();
+    // Data on both sides of the eventual cut, written pre-move.
+    put(&d, 100, b"low");
+    put(&d, QUARTER + 100, b"moving");
+    put(&d, HALF + 100, b"high");
+
+    // Split TC1's partition at QUARTER: [QUARTER, HALF) moves to TC2.
+    d.split_shard(QUARTER, TcId(2));
+    let map = d.shard_map().expect("sharded");
+    assert_eq!(map.tc_for(&Key::from_u64(QUARTER - 1)), TcId(1));
+    assert_eq!(map.tc_for(&Key::from_u64(QUARTER + 100)), TcId(2));
+    assert_settled(&d, 1);
+
+    // Pre-move data is visible through the new owner (the data never
+    // moved: both TCs share the DC routing), and the new owner serves
+    // writes on the moved range.
+    assert_eq!(get(&d, QUARTER + 100), Some(b"moving".to_vec()));
+    put(&d, QUARTER + 100, b"moved-write");
+    assert_eq!(get(&d, QUARTER + 100), Some(b"moved-write".to_vec()));
+    assert_eq!(get(&d, 100), Some(b"low".to_vec()));
+    assert_eq!(get(&d, HALF + 100), Some(b"high".to_vec()));
+
+    // A cross-shard transaction still commits over the new map: TC1
+    // coordinates, the moved key is a forwarded branch at TC2.
+    let tc1 = d.tc(TcId(1));
+    let txn = tc1.begin().expect("begin");
+    tc1.update(txn, T, Key::from_u64(100), b"low2".to_vec())
+        .expect("local update");
+    tc1.update(txn, T, Key::from_u64(QUARTER + 100), b"moved2".to_vec())
+        .expect("forwarded update");
+    tc1.commit(txn).expect("cross-shard commit");
+    assert_eq!(get(&d, QUARTER + 100), Some(b"moved2".to_vec()));
+
+    // Merge the piece back: [QUARTER, HALF) returns to TC1.
+    d.merge_shards(QUARTER);
+    let map = d.shard_map().expect("sharded");
+    assert_eq!(map.tc_for(&Key::from_u64(QUARTER + 100)), TcId(1));
+    assert_settled(&d, 2);
+    assert_eq!(get(&d, QUARTER + 100), Some(b"moved2".to_vec()));
+    put(&d, QUARTER + 100, b"merged-write");
+    assert_eq!(get(&d, QUARTER + 100), Some(b"merged-write".to_vec()));
+}
+
+#[test]
+fn crash_between_done_and_republish_completes_the_move() {
+    let d = rebalance_deployment();
+    put(&d, QUARTER + 7, b"v1");
+
+    // Drive the source-side protocol by hand so the crash can land in
+    // the gap the deployment driver never exposes: Done forced, map not
+    // yet republished.
+    let old = d.shard_map().expect("sharded");
+    let new_map = old.split(QUARTER, TcId(2));
+    let src = d.tc(TcId(1));
+    src.begin_rebalance(QUARTER, HALF - 1, TcId(2), new_map.epoch())
+        .expect("intent");
+    assert!(src.rebalance_drained(QUARTER, HALF - 1), "no live txns");
+    src.finish_rebalance(QUARTER, HALF - 1, TcId(2), new_map.epoch())
+        .expect("done");
+    d.crash_tc(TcId(1));
+
+    // Reboot finds the durable RebalanceDone with an epoch ahead of the
+    // deployment's map and finishes the republish itself.
+    d.reboot_tc(TcId(1));
+    assert_settled(&d, new_map.epoch());
+    let map = d.shard_map().expect("sharded");
+    assert_eq!(map.tc_for(&Key::from_u64(QUARTER + 7)), TcId(2));
+
+    // The moved range is fully served by the new owner.
+    assert_eq!(get(&d, QUARTER + 7), Some(b"v1".to_vec()));
+    put(&d, QUARTER + 7, b"v2");
+    assert_eq!(get(&d, QUARTER + 7), Some(b"v2".to_vec()));
+}
+
+#[test]
+fn crash_after_intent_discards_the_move() {
+    let d = rebalance_deployment();
+    put(&d, QUARTER + 7, b"kept");
+
+    let src = d.tc(TcId(1));
+    src.begin_rebalance(QUARTER, HALF - 1, TcId(2), 1)
+        .expect("intent");
+    // Crash with the fence up and no Done: the republish never started,
+    // so the move must vanish.
+    d.crash_tc(TcId(1));
+    d.reboot_tc(TcId(1));
+
+    assert_settled(&d, 0);
+    let map = d.shard_map().expect("sharded");
+    assert_eq!(map.tc_for(&Key::from_u64(QUARTER + 7)), TcId(1));
+    // The old owner still serves the range, unfenced.
+    assert_eq!(get(&d, QUARTER + 7), Some(b"kept".to_vec()));
+    put(&d, QUARTER + 7, b"still-tc1");
+    assert_eq!(get(&d, QUARTER + 7), Some(b"still-tc1".to_vec()));
+}
+
+#[test]
+fn stale_epoch_forward_is_rejected_not_executed() {
+    let d = rebalance_deployment();
+    d.split_shard(QUARTER, TcId(2));
+    assert_settled(&d, 1);
+
+    // A sender still on epoch 0 would address the moved range at TC1.
+    // Replay that exact wire call: the receiver must reject before
+    // executing the op or opening a participant branch.
+    let tc1 = d.tc(TcId(1));
+    let key = Key::from_u64(QUARTER + 42);
+    let op = LogicalOp::Insert {
+        table: T,
+        key: key.clone(),
+        value: b"must-not-land".to_vec(),
+    };
+    let err = tc1
+        .remote_mutate(TcId(2), TxnId(999_999), op, false, 0)
+        .expect_err("stale forward must be rejected");
+    assert!(
+        matches!(err, TcError::StaleShardMap { tc, epoch } if tc == TcId(1) && epoch == 1),
+        "unexpected rejection: {err}"
+    );
+    assert_eq!(tc1.active_txns(), vec![], "rejection leaked a branch");
+    assert_eq!(tc1.stats().snapshot().stale_forward_rejects, 1);
+    // The op did not execute anywhere.
+    assert_eq!(get(&d, QUARTER + 42), None);
+
+    // Routed by the *current* map, the same key lands normally.
+    let _ = key;
+    put(&d, QUARTER + 42, b"lands");
+    assert_eq!(get(&d, QUARTER + 42), Some(b"lands".to_vec()));
+}
+
+#[test]
+fn fence_waiter_reroutes_to_new_owner_after_move() {
+    let d = rebalance_deployment();
+    put(&d, QUARTER + 9, b"v0");
+
+    // Drive the source-side protocol by hand with a concurrent writer
+    // parked on the fence for the whole move.
+    let old = d.shard_map().expect("sharded");
+    let new_map = old.split(QUARTER, TcId(2));
+    let src = d.tc(TcId(1));
+    src.begin_rebalance(QUARTER, HALF - 1, TcId(2), new_map.epoch())
+        .expect("intent");
+
+    let tc1 = d.tc(TcId(1));
+    let writer = std::thread::spawn(move || {
+        let txn = tc1.begin().expect("begin");
+        // Routed local under the old map, this blocks on the fence.
+        // When the fence resolves to the completed move, the op must
+        // re-resolve its owner and forward to TC2 — executing at TC1
+        // would write a range whose lock and redo authority left with
+        // the fence.
+        tc1.update(txn, T, Key::from_u64(QUARTER + 9), b"v1".to_vec())
+            .expect("update");
+        tc1.commit(txn).expect("commit");
+    });
+    // Let the writer reach the fence: it is *not* a drain member (it
+    // holds no point inside the range), so the drain completes under it.
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(
+        src.rebalance_drained(QUARTER, HALF - 1),
+        "waiter must not block the drain"
+    );
+    src.finish_rebalance(QUARTER, HALF - 1, TcId(2), new_map.epoch())
+        .expect("done");
+    d.set_shard_map(new_map.clone()); // republish: clears the fence
+    writer.join().expect("writer thread");
+
+    // The blocked write landed through the new owner as a forwarded
+    // branch: TC1 coordinated a cross-TC commit instead of writing
+    // locally under lapsed authority.
+    assert_eq!(get(&d, QUARTER + 9), Some(b"v1".to_vec()));
+    let snap = d.tc(TcId(1)).stats().snapshot();
+    assert_eq!(
+        snap.fence_reroutes, 1,
+        "waiter must re-route, not execute locally"
+    );
+    assert_eq!(
+        snap.cross_commits, 1,
+        "the re-routed write commits as a forwarded branch"
+    );
+    assert_settled(&d, new_map.epoch());
+}
+
+#[test]
+fn merge_into_same_owner_is_pure_coalescing() {
+    let d = rebalance_deployment();
+    // Split then move the piece back by merge: epochs 1 and 2. Now give
+    // TC1 the whole space via move_range — TC2's half moves over.
+    d.split_shard(QUARTER, TcId(2));
+    d.merge_shards(QUARTER);
+    put(&d, HALF + 3, b"was-tc2");
+    d.move_range(HALF, u64::MAX, TcId(1));
+    let map = d.shard_map().expect("sharded");
+    assert!(map.is_single(), "one owner left");
+    assert_eq!(map.tc_for(&Key::from_u64(HALF + 3)), TcId(1));
+    assert_settled(&d, 3);
+    assert_eq!(get(&d, HALF + 3), Some(b"was-tc2".to_vec()));
+    put(&d, HALF + 3, b"now-tc1");
+    assert_eq!(get(&d, HALF + 3), Some(b"now-tc1".to_vec()));
+}
