@@ -1,0 +1,27 @@
+//! E16: MVCC on the TC/DC split — snapshot reads vs locking reads
+//! under a contending writer, and version-chain GC across truncating
+//! checkpoints.
+//!
+//! Commit stamps tag DC-side versions with their commit LSN, so a
+//! snapshot read at a chosen LSN bypasses the lock manager entirely.
+//! This experiment pits locking readers and fresh-snapshot readers
+//! against one writer that holds every hot key's X lock across the
+//! simulated log force, drives pinned-snapshot transactions through
+//! the storm to check isolation, and then measures retained version
+//! memory across repeated update-then-checkpoint rounds.
+//!
+//! The harness lives in `unbundled_bench::e16` and is shared with the
+//! report binary, which serializes the same rows as `BENCH_e16.json`.
+//!
+//! Run modes: full (default) or smoke (`E16_SMOKE=1`, used by CI as a
+//! regression gate — the run fails if snapshot reads stop delivering
+//! ≥ 2× locking throughput, if the snapshot path takes a single lock
+//! wait, if any pinned read is torn or unrepeatable, or if version
+//! chains grow unboundedly across ≥ 12 truncating checkpoints).
+
+fn main() {
+    let smoke = std::env::var("E16_SMOKE").is_ok();
+    let report = unbundled_bench::e16::run_e16(smoke);
+    report.print();
+    report.assert_gates();
+}

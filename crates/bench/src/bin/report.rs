@@ -71,13 +71,14 @@ fn main() {
         Some("e13") => e13(json.as_deref()),
         Some("e14") => e14(json.as_deref()),
         Some("e15") => e15(json.as_deref()),
+        Some("e16") => e16(json.as_deref()),
         Some("check") => {
             let baselines = against.expect("check needs --against <baselines.json>");
             check(&baselines, dir.as_deref().unwrap_or("."));
         }
         Some(other) => {
             panic!(
-                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"e15\" / \"check\" can run alone)"
+                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"e15\" / \"e16\" / \"check\" can run alone)"
             )
         }
         None => {
@@ -106,9 +107,26 @@ fn main() {
             e13(per_exp("e13").as_deref());
             e14(per_exp("e14").as_deref());
             e15(per_exp("e15").as_deref());
+            e16(per_exp("e16").as_deref());
         }
     }
     println!("\nreport complete.");
+}
+
+/// E16 — MVCC on the TC/DC split: snapshot reads vs locking reads
+/// under a contending writer, pinned-snapshot isolation through the
+/// write storm, and version-chain GC across truncating checkpoints.
+/// Telemetry is written before the gates are asserted, like e11–e15.
+fn e16(json: Option<&str>) {
+    header("E16: MVCC reads — snapshot vs locking under contention, version-chain GC");
+    let smoke = std::env::var("E16_SMOKE").is_ok();
+    let report = unbundled_bench::e16::run_e16(smoke);
+    report.print();
+    if let Some(path) = json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("e16 telemetry written to {path}");
+    }
+    report.assert_gates();
 }
 
 /// The bench-regression harness: compare freshly written telemetry

@@ -183,10 +183,15 @@ fn run_read_mix(replicas: usize, readers: usize, per_reader: u64, stale_probes: 
         for r in 0..readers as u64 {
             let tc = Arc::clone(&tc);
             s.spawn(move || {
+                // One read-only transaction amortized across the loop:
+                // replica-routed reads take no locks, the txn only
+                // carries the unified read surface.
+                let t = tc.begin().expect("begin");
                 for i in 0..per_reader {
                     let k = (r.wrapping_mul(7919).wrapping_add(i)) % KEYS;
                     let v = tc
-                        .read_replica(
+                        .read(
+                            t,
                             TABLE,
                             Key::from_u64(k),
                             ReadConsistency::BoundedLag(u64::MAX),
@@ -194,6 +199,7 @@ fn run_read_mix(replicas: usize, readers: usize, per_reader: u64, stale_probes: 
                         .expect("read");
                     assert!(v.is_some(), "preloaded key {k} must exist everywhere");
                 }
+                tc.commit(t).expect("commit reader txn");
             });
         }
     });
@@ -205,8 +211,9 @@ fn run_read_mix(replicas: usize, readers: usize, per_reader: u64, stale_probes: 
     // Staleness sweep: commit a versioned payload, capture a token,
     // wait for the frontier to cover it, then a token-routed read must
     // see a payload at least as new. Routing makes this structural
-    // (stale replicas are skipped; the primary fallback holds an
-    // instant S lock), so any violation is a real bug.
+    // (stale replicas are skipped; the primary fallback is a snapshot
+    // read at the stable LSN, which covers the forced commit), so any
+    // violation is a real bug.
     let mut violations = 0u64;
     let probe_key = Key::from_u64(0);
     for i in 1..=stale_probes {
@@ -214,7 +221,7 @@ fn run_read_mix(replicas: usize, readers: usize, per_reader: u64, stale_probes: 
         tc.update(t, TABLE, probe_key.clone(), i.to_le_bytes().to_vec())
             .expect("update");
         tc.commit(t).expect("commit");
-        let token = tc.read_token();
+        let token = tc.log_handle().stable();
         if replicas > 0 {
             // Let the fleet catch up so replicas (not only the primary
             // fallback) serve a share of the token reads.
@@ -223,9 +230,11 @@ fn run_read_mix(replicas: usize, readers: usize, per_reader: u64, stale_probes: 
                 std::thread::sleep(Duration::from_micros(100));
             }
         }
+        let t = tc.begin().expect("begin");
         let v = tc
-            .read_replica(TABLE, probe_key.clone(), ReadConsistency::AtLeast(token))
+            .read(t, TABLE, probe_key.clone(), ReadConsistency::AtLeast(token))
             .expect("token read");
+        tc.commit(t).expect("commit token read");
         let seen = v
             .as_deref()
             .and_then(|b| b.get(..8))

@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 use unbundled_core::{DcId, Key, TableSpec, TcId, TcShardMap};
 use unbundled_dc::DcConfig;
 use unbundled_kernel::{Deployment, TransportKind};
-use unbundled_tc::{GatherWindow, GroupCommitCfg, TableRoute, TcConfig};
+use unbundled_tc::{GatherWindow, GroupCommitCfg, ReadConsistency, TableRoute, TcConfig};
 
 /// Simulated log-device flush latency (NVMe-class fsync), matching e14.
 pub const FORCE_LATENCY: Duration = Duration::from_micros(150);
@@ -295,7 +295,9 @@ fn run_cell(rebalance: bool, seed: u64, horizon: Duration) -> E15Row {
             let owner = d.shard_map().expect("sharded").tc_for(&key);
             let tc = d.tc(owner);
             let txn = tc.begin().expect("begin check");
-            let got = tc.read(txn, TABLE, key).expect("read check");
+            let got = tc
+                .read(txn, TABLE, key, ReadConsistency::Locking)
+                .expect("read check");
             tc.commit(txn).expect("commit check");
             if got.as_deref() != Some(acked.to_le_bytes().as_slice()) {
                 lost_acks += 1;

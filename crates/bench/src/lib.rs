@@ -14,6 +14,7 @@ pub mod e12;
 pub mod e13;
 pub mod e14;
 pub mod e15;
+pub mod e16;
 pub mod json;
 pub mod workload;
 
@@ -23,7 +24,7 @@ use unbundled_dc::DcConfig;
 use unbundled_kernel::deployment::{Deployment, TransportKind};
 use unbundled_kernel::single;
 use unbundled_monolith::{Monolith, MonolithConfig};
-use unbundled_tc::{TableRoute, Tc, TcConfig};
+use unbundled_tc::{ReadConsistency, TableRoute, Tc, TcConfig};
 
 /// The table used by the generic workloads.
 pub const TABLE: TableId = TableId(1);
@@ -66,7 +67,7 @@ pub fn rmw_tc(tc: &Arc<Tc>, iterations: u64, key_space: u64) {
         let k = (i.wrapping_mul(2654435761)) % key_space;
         let t = tc.begin().expect("begin");
         let v = tc
-            .read(t, TABLE, Key::from_u64(k))
+            .read(t, TABLE, Key::from_u64(k), ReadConsistency::Locking)
             .expect("read")
             .unwrap_or_default();
         let mut v2 = v;

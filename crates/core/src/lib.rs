@@ -29,6 +29,9 @@
 //! * [`msg`] — the TC:DC API of Section 4.2.1: `perform_operation`,
 //!   `end_of_stable_log`, `checkpoint`, `low_water_mark`, `restart`, plus
 //!   the DC→TC replies and out-of-band prompts.
+//! * [`consistency`] — the read-consistency spectrum ([`ReadConsistency`]):
+//!   locking reads, MVCC snapshot reads by commit LSN, and bounded-staleness
+//!   replica reads, unified behind one surface.
 //! * [`codec`] — a small binary codec used for page images and log records.
 //! * [`shard`] — key-range partition resolution shared by DC routing and
 //!   the TC shard map ([`TcShardMap`]) that drives cross-TC transactions.
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod consistency;
 pub mod error;
 pub mod ids;
 pub mod key;
@@ -46,6 +50,7 @@ pub mod op;
 pub mod record;
 pub mod shard;
 
+pub use consistency::{ReadConsistency, SnapshotSpec};
 pub use error::{CoreError, DcError, TcError};
 pub use ids::{DcId, PageId, RequestId, SysTxnId, TableId, TcId, TxnId};
 pub use key::Key;

@@ -17,6 +17,7 @@
 
 use crate::ids::TableId;
 use crate::key::Key;
+use crate::lsn::Lsn;
 
 /// Isolation flavor of a read request (paper Section 6.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -29,6 +30,10 @@ pub enum ReadFlavor {
     /// *Read committed* over versioned data (Section 6.2.2): sees the
     /// before-version while an update is pending; never blocks.
     Committed,
+    /// MVCC snapshot read: the newest version whose **commit LSN** is
+    /// `<=` the given LSN. Uncommitted and not-yet-stamped data is
+    /// invisible; never blocks and takes no locks at the TC.
+    Snapshot(Lsn),
 }
 
 /// A logical operation on a DC.
@@ -85,6 +90,21 @@ pub enum LogicalOp {
         /// Record key.
         key: Key,
     },
+    /// Post-commit MVCC bookkeeping: stamp the version created by op
+    /// LSN `op` with the transaction's `commit` LSN, publishing it to
+    /// snapshot readers. Identified by the creating op's LSN so that
+    /// resends and reordering cannot stamp a later write by mistake.
+    /// Redo-only (like `PromoteVersion`): never undone.
+    StampCommit {
+        /// Target table.
+        table: TableId,
+        /// Record key.
+        key: Key,
+        /// LSN of the mutation whose version is being stamped.
+        op: Lsn,
+        /// The transaction's commit LSN.
+        commit: Lsn,
+    },
     /// Point read (unlogged).
     Read {
         /// Target table.
@@ -130,6 +150,7 @@ impl LogicalOp {
             | LogicalOp::VersionedWrite { table, .. }
             | LogicalOp::PromoteVersion { table, .. }
             | LogicalOp::RevertVersion { table, .. }
+            | LogicalOp::StampCommit { table, .. }
             | LogicalOp::Read { table, .. }
             | LogicalOp::ScanRange { table, .. }
             | LogicalOp::ProbeKeys { table, .. } => *table,
@@ -145,6 +166,7 @@ impl LogicalOp {
             | LogicalOp::VersionedWrite { key, .. }
             | LogicalOp::PromoteVersion { key, .. }
             | LogicalOp::RevertVersion { key, .. }
+            | LogicalOp::StampCommit { key, .. }
             | LogicalOp::Read { key, .. } => Some(key),
             LogicalOp::ScanRange { .. } | LogicalOp::ProbeKeys { .. } => None,
         }
@@ -161,6 +183,7 @@ impl LogicalOp {
                 | LogicalOp::VersionedWrite { .. }
                 | LogicalOp::PromoteVersion { .. }
                 | LogicalOp::RevertVersion { .. }
+                | LogicalOp::StampCommit { .. }
         )
     }
 
@@ -196,6 +219,7 @@ impl LogicalOp {
             }),
             LogicalOp::PromoteVersion { .. }
             | LogicalOp::RevertVersion { .. }
+            | LogicalOp::StampCommit { .. }
             | LogicalOp::Read { .. }
             | LogicalOp::ScanRange { .. }
             | LogicalOp::ProbeKeys { .. } => None,
@@ -211,6 +235,7 @@ impl LogicalOp {
             LogicalOp::VersionedWrite { .. } => "vwrite",
             LogicalOp::PromoteVersion { .. } => "promote",
             LogicalOp::RevertVersion { .. } => "revert",
+            LogicalOp::StampCommit { .. } => "stamp",
             LogicalOp::Read { .. } => "read",
             LogicalOp::ScanRange { .. } => "scan",
             LogicalOp::ProbeKeys { .. } => "probe",
@@ -358,6 +383,16 @@ mod tests {
             .inverse(None),
             None
         );
+        assert_eq!(
+            LogicalOp::StampCommit {
+                table: t(),
+                key: Key::from_u64(1),
+                op: Lsn(4),
+                commit: Lsn(9)
+            }
+            .inverse(None),
+            None
+        );
     }
 
     #[test]
@@ -371,6 +406,13 @@ mod tests {
         assert!(LogicalOp::PromoteVersion {
             table: t(),
             key: Key::from_u64(1)
+        }
+        .is_mutation());
+        assert!(LogicalOp::StampCommit {
+            table: t(),
+            key: Key::from_u64(1),
+            op: Lsn(2),
+            commit: Lsn(3)
         }
         .is_mutation());
         assert!(!LogicalOp::ProbeKeys {

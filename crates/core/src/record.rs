@@ -1,9 +1,9 @@
-//! Stored record representation, including the *versioned data* scheme of
-//! Section 6.2.2.
+//! Stored record representation: the *versioned data* scheme of Section
+//! 6.2.2 plus the MVCC version chain that backs snapshot reads.
 //!
-//! For unversioned tables a record is just its payload (plus the owning
-//! TC's id, the "link" of Section 6.1.2 that associates each record with
-//! the single per-TC abLSN on the page so a failed TC's records can be
+//! For unversioned tables a record is its payload (plus the owning TC's
+//! id, the "link" of Section 6.1.2 that associates each record with the
+//! single per-TC abLSN on the page so a failed TC's records can be
 //! selectively reset).
 //!
 //! For versioned tables, an update produces a new *uncommitted* version
@@ -13,10 +13,33 @@
 //! that remove the new versions (revert). Readers from other TCs read the
 //! before version when present — committed data, with no blocking and no
 //! two-phase commit.
+//!
+//! ## MVCC version chain
+//!
+//! Every record additionally keeps a short history of *committed*
+//! payloads keyed by **commit LSN** (the redo log totally orders
+//! commits). A mutation installs its payload as `current` with
+//! `current_commit = None`; the TC's post-commit [`StampCommit`]
+//! operation fills in the commit LSN, publishing the version to
+//! snapshot readers. When a later write displaces a stamped `current`,
+//! the displaced payload moves into `versions`; a displaced *unstamped*
+//! payload (an intermediate write of the same transaction, or an aborted
+//! write) parks in `staged` until garbage collection reclaims it.
+//! Deletes become tombstones (`tomb`) so a snapshot older than the
+//! delete can still see the record; tombstoned records are physically
+//! removed only once no retained snapshot can need them.
+//!
+//! Commit LSNs are meaningful only within one TC's log. When ownership
+//! of a record moves to a different TC the history is cleared: versions
+//! from the old owner's LSN space are not comparable to the new owner's
+//! snapshot positions.
+//!
+//! [`StampCommit`]: crate::op::LogicalOp::StampCommit
 
 use crate::codec::{Decoder, Encoder};
 use crate::error::CoreError;
 use crate::ids::TcId;
+use crate::lsn::Lsn;
 
 /// The retained committed state underneath an uncommitted update.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -38,15 +61,54 @@ pub struct StoredRecord {
     pub before: Option<BeforeVersion>,
     /// The TC whose update produced `current` (Section 6.1.2).
     pub owner: TcId,
+    /// True if the latest operation was a delete: the record is absent
+    /// to latest/committed readers but its history still serves
+    /// snapshots older than the delete.
+    pub tomb: bool,
+    /// LSN of the operation that produced `current` (what a
+    /// `StampCommit` matches against).
+    pub current_op: Lsn,
+    /// Commit LSN of `current` once its transaction's stamp has
+    /// arrived; `None` while in flight (or aborted).
+    pub current_commit: Option<Lsn>,
+    /// Committed history, ascending by commit LSN, excluding `current`.
+    /// A `None` payload is a delete tombstone version.
+    pub versions: Vec<(Lsn, Option<Vec<u8>>)>,
+    /// Displaced payloads whose stamp has not arrived, keyed by the op
+    /// LSN that created them. Normally dead (intermediate writes of one
+    /// transaction, or aborted writes); reclaimed by GC.
+    pub staged: Vec<(Lsn, Option<Vec<u8>>)>,
 }
 
 impl StoredRecord {
-    /// A committed record owned by `owner`.
+    /// A record committed "since forever" (visible to every snapshot).
+    /// Test/bootstrap convenience; the engine uses [`StoredRecord::new`]
+    /// with the creating op's LSN.
     pub fn committed(payload: Vec<u8>, owner: TcId) -> Self {
         StoredRecord {
             current: payload,
             before: None,
             owner,
+            tomb: false,
+            current_op: Lsn(0),
+            current_commit: Some(Lsn(0)),
+            versions: Vec::new(),
+            staged: Vec::new(),
+        }
+    }
+
+    /// A freshly inserted record: unstamped until the transaction's
+    /// commit stamp arrives.
+    pub fn new(payload: Vec<u8>, owner: TcId, op: Lsn) -> Self {
+        StoredRecord {
+            current: payload,
+            before: None,
+            owner,
+            tomb: false,
+            current_op: op,
+            current_commit: None,
+            versions: Vec::new(),
+            staged: Vec::new(),
         }
     }
 
@@ -57,15 +119,36 @@ impl StoredRecord {
         match &self.before {
             Some(BeforeVersion::Absent) => None,
             Some(BeforeVersion::Value(v)) => Some(v),
+            None if self.tomb => None,
             None => Some(&self.current),
         }
     }
 
     /// Payload visible to the owning TC (its own latest write) and to
-    /// dirty readers (Section 6.2.1 — may be uncommitted but always
-    /// well-formed thanks to operation atomicity).
-    pub fn read_latest(&self) -> &[u8] {
-        &self.current
+    /// dirty readers (Section 6.2.1): `None` if the record is a delete
+    /// tombstone.
+    pub fn read_latest(&self) -> Option<&[u8]> {
+        if self.tomb {
+            None
+        } else {
+            Some(&self.current)
+        }
+    }
+
+    /// Payload visible to a snapshot at `at`: the newest version whose
+    /// commit LSN is `<= at`. Unstamped data is invisible. Only
+    /// meaningful when `at` is in the owning TC's LSN space.
+    pub fn read_snapshot(&self, at: Lsn) -> Option<&[u8]> {
+        if let Some(c) = self.current_commit {
+            if c <= at {
+                return if self.tomb { None } else { Some(&self.current) };
+            }
+        }
+        self.versions
+            .iter()
+            .rev()
+            .find(|(c, _)| *c <= at)
+            .and_then(|(_, v)| v.as_deref())
     }
 
     /// True if an uncommitted version is pending.
@@ -73,15 +156,122 @@ impl StoredRecord {
         self.before.is_some()
     }
 
+    /// Move `current` into the history (`versions` if stamped, `staged`
+    /// if its stamp never arrived) ahead of an overwrite.
+    fn displace(&mut self) {
+        let old = std::mem::take(&mut self.current);
+        let payload = if self.tomb { None } else { Some(old) };
+        match self.current_commit.take() {
+            Some(c) => self.versions.push((c, payload)),
+            None => self.staged.push((self.current_op, payload)),
+        }
+    }
+
+    /// Overwrite with a new (unstamped) payload, retaining the old
+    /// state in the version chain. Clears a tombstone (insert-over-
+    /// delete). A change of owner drops the history: the old owner's
+    /// commit LSNs are not comparable in the new owner's log.
+    pub fn overwrite(&mut self, payload: Vec<u8>, owner: TcId, op: Lsn) {
+        if owner != self.owner {
+            self.versions.clear();
+            self.staged.clear();
+            self.current_commit = None;
+            self.current.clear();
+            self.tomb = false;
+        } else {
+            self.displace();
+        }
+        self.current = payload;
+        self.owner = owner;
+        self.tomb = false;
+        self.current_op = op;
+        self.current_commit = None;
+    }
+
+    /// Delete: become an (unstamped) tombstone, retaining the old state
+    /// in the version chain.
+    pub fn delete(&mut self, owner: TcId, op: Lsn) {
+        if owner != self.owner {
+            self.versions.clear();
+            self.staged.clear();
+            self.current_commit = None;
+        } else {
+            self.displace();
+        }
+        self.current = Vec::new();
+        self.owner = owner;
+        self.tomb = true;
+        self.current_op = op;
+        self.current_commit = None;
+    }
+
+    /// Apply a commit stamp for the version created by op LSN `op`.
+    /// Returns true if a version was stamped (false: the target was
+    /// already displaced-and-stamped, or never existed here — a resend).
+    pub fn stamp(&mut self, op: Lsn, commit: Lsn) -> bool {
+        if self.current_op == op && self.current_commit.is_none() {
+            self.current_commit = Some(commit);
+            return true;
+        }
+        if let Some(i) = self.staged.iter().position(|(o, _)| *o == op) {
+            let (_, payload) = self.staged.remove(i);
+            let at = self.versions.partition_point(|(c, _)| *c <= commit);
+            self.versions.insert(at, (commit, payload));
+            return true;
+        }
+        false
+    }
+
+    /// Garbage-collect history no snapshot at or above `floor` can
+    /// need: versions older than the newest one visible at `floor`, and
+    /// staged payloads whose op LSN fell below `floor` (their stamp can
+    /// no longer be outstanding). Returns the number of entries pruned.
+    pub fn gc(&mut self, floor: Lsn) -> usize {
+        let before = self.versions.len() + self.staged.len();
+        let newest_covered = if self.current_commit.is_some_and(|c| c <= floor) {
+            // `current` serves every snapshot >= floor.
+            self.versions.len()
+        } else {
+            // Keep the newest version <= floor as the floor fallback.
+            self.versions
+                .partition_point(|(c, _)| *c <= floor)
+                .saturating_sub(1)
+        };
+        self.versions.drain(..newest_covered);
+        self.staged.retain(|(o, _)| *o > floor);
+        before - (self.versions.len() + self.staged.len())
+    }
+
+    /// True once a tombstone can be physically removed: no history or
+    /// pending state remains, and either the delete is stamped below
+    /// `floor`, or it is unstamped with an op LSN below `floor` — its
+    /// stamp can no longer be outstanding (an aborted delete, or the
+    /// rollback of an insert).
+    pub fn tomb_reclaimable(&self, floor: Lsn) -> bool {
+        self.tomb
+            && self.before.is_none()
+            && self.versions.is_empty()
+            && self.staged.is_empty()
+            && match self.current_commit {
+                Some(c) => c <= floor,
+                None => self.current_op <= floor,
+            }
+    }
+
+    /// Retained version-chain entries (history + staged), for memory
+    /// accounting.
+    pub fn chain_len(&self) -> usize {
+        self.versions.len() + self.staged.len()
+    }
+
     /// Apply a versioned update: keep the committed state as the before
     /// version (first update wins the slot — later updates by the same
     /// transaction must not overwrite the original committed state).
-    pub fn versioned_update(&mut self, new_payload: Vec<u8>, owner: TcId) {
+    pub fn versioned_update(&mut self, new_payload: Vec<u8>, owner: TcId, op: Lsn) {
         if self.before.is_none() {
-            self.before = Some(BeforeVersion::Value(std::mem::take(&mut self.current)));
+            self.before = Some(BeforeVersion::Value(self.current.clone()));
         }
-        self.current = new_payload;
-        self.owner = owner;
+        self.overwrite(new_payload, owner, op);
     }
 
     /// Commit the pending version: drop the before version.
@@ -97,11 +287,57 @@ impl StoredRecord {
         match self.before.take() {
             Some(BeforeVersion::Absent) => false,
             Some(BeforeVersion::Value(v)) => {
+                // The displaced committed state was pushed into the
+                // version history when the pending version was
+                // installed; reclaim it so the chain again excludes
+                // `current`.
+                let reclaim = self
+                    .versions
+                    .last()
+                    .map(|(_, val)| val.as_deref() == Some(v.as_slice()))
+                    .unwrap_or(false);
+                self.current_commit = if reclaim {
+                    self.versions.pop().map(|(c, _)| c)
+                } else {
+                    None
+                };
                 self.current = v;
+                self.current_op = Lsn(0);
+                self.tomb = false;
                 true
             }
             None => true,
         }
+    }
+
+    fn version_entry_size(v: &Option<Vec<u8>>) -> usize {
+        8 + 1 + v.as_ref().map_or(0, |b| 4 + b.len())
+    }
+
+    fn encode_version_entry(enc: &mut Encoder, (lsn, v): &(Lsn, Option<Vec<u8>>)) {
+        enc.u64(lsn.0);
+        match v {
+            None => enc.u8(0),
+            Some(b) => {
+                enc.u8(1);
+                enc.bytes(b);
+            }
+        }
+    }
+
+    fn decode_version_entry(dec: &mut Decoder<'_>) -> Result<(Lsn, Option<Vec<u8>>), CoreError> {
+        let lsn = Lsn(dec.u64()?);
+        let v = match dec.u8()? {
+            0 => None,
+            1 => Some(dec.bytes()?.to_vec()),
+            _ => {
+                return Err(CoreError::Codec {
+                    what: "bad version-entry tag",
+                    at: 0,
+                })
+            }
+        };
+        Ok((lsn, v))
     }
 
     /// Encoded size in a page image.
@@ -111,7 +347,17 @@ impl StoredRecord {
             Some(BeforeVersion::Absent) => 1,
             Some(BeforeVersion::Value(v)) => 1 + 4 + v.len(),
         };
-        2 + 4 + self.current.len() + before
+        let commit = match self.current_commit {
+            None => 1,
+            Some(_) => 1 + 8,
+        };
+        let chain: usize = self
+            .versions
+            .iter()
+            .chain(self.staged.iter())
+            .map(|(_, v)| Self::version_entry_size(v))
+            .sum();
+        2 + 4 + self.current.len() + before + 1 + 8 + commit + 4 + 4 + chain
     }
 
     /// Serialize into a page image.
@@ -125,6 +371,23 @@ impl StoredRecord {
                 enc.u8(2);
                 enc.bytes(v);
             }
+        }
+        enc.bool(self.tomb);
+        enc.u64(self.current_op.0);
+        match self.current_commit {
+            None => enc.u8(0),
+            Some(c) => {
+                enc.u8(1);
+                enc.u64(c.0);
+            }
+        }
+        enc.u32(self.versions.len() as u32);
+        for e in &self.versions {
+            Self::encode_version_entry(enc, e);
+        }
+        enc.u32(self.staged.len() as u32);
+        for e in &self.staged {
+            Self::encode_version_entry(enc, e);
         }
     }
 
@@ -143,10 +406,37 @@ impl StoredRecord {
                 })
             }
         };
+        let tomb = dec.bool()?;
+        let current_op = Lsn(dec.u64()?);
+        let current_commit = match dec.u8()? {
+            0 => None,
+            1 => Some(Lsn(dec.u64()?)),
+            _ => {
+                return Err(CoreError::Codec {
+                    what: "bad commit-stamp tag",
+                    at: 0,
+                })
+            }
+        };
+        let nv = dec.u32()? as usize;
+        let mut versions = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            versions.push(Self::decode_version_entry(dec)?);
+        }
+        let ns = dec.u32()? as usize;
+        let mut staged = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            staged.push(Self::decode_version_entry(dec)?);
+        }
         Ok(StoredRecord {
             current,
             before,
             owner,
+            tomb,
+            current_op,
+            current_commit,
+            versions,
+            staged,
         })
     }
 }
@@ -191,15 +481,16 @@ mod tests {
     fn committed_record_reads_same_everywhere() {
         let r = StoredRecord::committed(b"v1".to_vec(), TcId(1));
         assert_eq!(r.read_committed(), Some(&b"v1"[..]));
-        assert_eq!(r.read_latest(), b"v1");
+        assert_eq!(r.read_latest(), Some(&b"v1"[..]));
+        assert_eq!(r.read_snapshot(Lsn(0)), Some(&b"v1"[..]));
         assert!(!r.has_pending());
     }
 
     #[test]
     fn versioned_update_exposes_before_to_readers() {
         let mut r = StoredRecord::committed(b"old".to_vec(), TcId(1));
-        r.versioned_update(b"new".to_vec(), TcId(1));
-        assert_eq!(r.read_latest(), b"new", "owner sees its own update");
+        r.versioned_update(b"new".to_vec(), TcId(1), Lsn(5));
+        assert_eq!(r.read_latest(), Some(&b"new"[..]), "owner sees its write");
         assert_eq!(
             r.read_committed(),
             Some(&b"old"[..]),
@@ -212,38 +503,111 @@ mod tests {
     #[test]
     fn double_update_preserves_original_before() {
         let mut r = StoredRecord::committed(b"v0".to_vec(), TcId(1));
-        r.versioned_update(b"v1".to_vec(), TcId(1));
-        r.versioned_update(b"v2".to_vec(), TcId(1));
+        r.versioned_update(b"v1".to_vec(), TcId(1), Lsn(5));
+        r.versioned_update(b"v2".to_vec(), TcId(1), Lsn(6));
         assert_eq!(r.read_committed(), Some(&b"v0"[..]));
         assert!(r.revert());
-        assert_eq!(r.read_latest(), b"v0");
+        assert_eq!(r.read_latest(), Some(&b"v0"[..]));
+        assert_eq!(
+            r.current_commit,
+            Some(Lsn(0)),
+            "revert reclaims the displaced committed state"
+        );
     }
 
     #[test]
     fn versioned_insert_is_absent_to_readers_until_commit() {
-        let mut r = StoredRecord {
-            current: b"new".to_vec(),
-            before: Some(BeforeVersion::Absent),
-            owner: TcId(2),
-        };
+        let mut r = StoredRecord::new(b"new".to_vec(), TcId(2), Lsn(7));
+        r.before = Some(BeforeVersion::Absent);
         assert_eq!(r.read_committed(), None);
         assert!(!r.revert(), "revert of an insert removes the record");
     }
 
     #[test]
+    fn snapshot_sees_version_at_or_below_its_lsn() {
+        let mut r = StoredRecord::new(b"a".to_vec(), TcId(1), Lsn(10));
+        assert_eq!(r.read_snapshot(Lsn(100)), None, "unstamped is invisible");
+        assert!(r.stamp(Lsn(10), Lsn(12)));
+        assert_eq!(r.read_snapshot(Lsn(11)), None);
+        assert_eq!(r.read_snapshot(Lsn(12)), Some(&b"a"[..]));
+        r.overwrite(b"b".to_vec(), TcId(1), Lsn(20));
+        assert!(r.stamp(Lsn(20), Lsn(22)));
+        assert_eq!(r.read_snapshot(Lsn(12)), Some(&b"a"[..]));
+        assert_eq!(r.read_snapshot(Lsn(21)), Some(&b"a"[..]));
+        assert_eq!(r.read_snapshot(Lsn(22)), Some(&b"b"[..]));
+    }
+
+    #[test]
+    fn tombstone_hides_record_but_serves_old_snapshots() {
+        let mut r = StoredRecord::new(b"a".to_vec(), TcId(1), Lsn(10));
+        assert!(r.stamp(Lsn(10), Lsn(12)));
+        r.delete(TcId(1), Lsn(20));
+        assert_eq!(r.read_latest(), None);
+        assert_eq!(r.read_committed(), None);
+        assert_eq!(r.read_snapshot(Lsn(12)), Some(&b"a"[..]));
+        assert!(r.stamp(Lsn(20), Lsn(22)));
+        assert_eq!(r.read_snapshot(Lsn(22)), None, "snapshot sees the delete");
+        assert!(!r.tomb_reclaimable(Lsn(12)));
+        assert_eq!(r.gc(Lsn(22)), 1);
+        assert!(r.tomb_reclaimable(Lsn(22)));
+        // Insert over the tombstone revives the record.
+        r.overwrite(b"c".to_vec(), TcId(1), Lsn(30));
+        assert_eq!(r.read_latest(), Some(&b"c"[..]));
+    }
+
+    #[test]
+    fn displaced_unstamped_write_stamps_into_history() {
+        let mut r = StoredRecord::new(b"a".to_vec(), TcId(1), Lsn(10));
+        r.overwrite(b"b".to_vec(), TcId(1), Lsn(11));
+        assert_eq!(r.staged.len(), 1, "unstamped displaced value parks");
+        assert!(r.stamp(Lsn(10), Lsn(12)), "late stamp finds it");
+        assert_eq!(r.read_snapshot(Lsn(12)), Some(&b"a"[..]));
+        assert!(!r.stamp(Lsn(10), Lsn(12)), "duplicate stamp is a no-op");
+    }
+
+    #[test]
+    fn gc_prunes_below_floor_but_keeps_floor_fallback() {
+        let mut r = StoredRecord::new(b"a".to_vec(), TcId(1), Lsn(10));
+        assert!(r.stamp(Lsn(10), Lsn(12)));
+        r.overwrite(b"b".to_vec(), TcId(1), Lsn(20));
+        assert!(r.stamp(Lsn(20), Lsn(22)));
+        r.overwrite(b"c".to_vec(), TcId(1), Lsn(30));
+        assert_eq!(r.chain_len(), 2);
+        // Floor 25: current is unstamped, so the newest version <= 25
+        // (commit 22) must survive as the fallback.
+        assert_eq!(r.gc(Lsn(25)), 1);
+        assert_eq!(r.read_snapshot(Lsn(25)), Some(&b"b"[..]));
+        assert!(r.stamp(Lsn(30), Lsn(32)));
+        // Now current covers everything >= its commit.
+        assert_eq!(r.gc(Lsn(32)), 1);
+        assert_eq!(r.chain_len(), 0);
+        assert_eq!(r.read_snapshot(Lsn(32)), Some(&b"c"[..]));
+    }
+
+    #[test]
+    fn ownership_change_clears_history() {
+        let mut r = StoredRecord::new(b"a".to_vec(), TcId(1), Lsn(10));
+        assert!(r.stamp(Lsn(10), Lsn(12)));
+        r.overwrite(b"b".to_vec(), TcId(2), Lsn(3));
+        assert_eq!(r.chain_len(), 0, "old owner's LSN space dropped");
+        assert_eq!(r.owner, TcId(2));
+    }
+
+    #[test]
     fn encode_decode_roundtrip() {
+        let mut stamped = StoredRecord::new(b"x".to_vec(), TcId(1), Lsn(5));
+        assert!(stamped.stamp(Lsn(5), Lsn(7)));
+        stamped.overwrite(b"y".to_vec(), TcId(1), Lsn(9));
+        let mut tomb = StoredRecord::new(b"t".to_vec(), TcId(4), Lsn(2));
+        tomb.delete(TcId(4), Lsn(3));
+        let mut vers = StoredRecord::committed(b"y".to_vec(), TcId(9));
+        vers.before = Some(BeforeVersion::Value(b"z".to_vec()));
         for r in [
             StoredRecord::committed(b"abc".to_vec(), TcId(3)),
-            StoredRecord {
-                current: b"x".to_vec(),
-                before: Some(BeforeVersion::Absent),
-                owner: TcId(1),
-            },
-            StoredRecord {
-                current: b"y".to_vec(),
-                before: Some(BeforeVersion::Value(b"z".to_vec())),
-                owner: TcId(9),
-            },
+            StoredRecord::new(b"x".to_vec(), TcId(1), Lsn(44)),
+            stamped,
+            tomb,
+            vers,
         ] {
             let mut e = Encoder::new();
             r.encode(&mut e);

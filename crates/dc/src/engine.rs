@@ -294,6 +294,76 @@ impl DcEngine {
     pub fn handle_lwm(&self, tc: TcId, lwm: Lsn) {
         let clamped = lwm.min(self.eosl(tc));
         vec_set(&mut self.lwm.write(), tc, clamped);
+        if clamped > Lsn::NULL {
+            self.gc_versions(tc, clamped);
+        }
+    }
+
+    /// Garbage-collect MVCC version chains of `tc`-owned records against
+    /// `floor` (the TC's log-truncation low-water mark): no retained
+    /// snapshot position at or above the floor can need the pruned
+    /// history, and positions below it are served best-effort by
+    /// contract. Fully stamped tombstones with no remaining history are
+    /// physically removed.
+    fn gc_versions(&self, tc: TcId, floor: Lsn) {
+        let mut merge_candidates: Vec<(TableId, PageId)> = Vec::new();
+        for pid in self.pool.cached_ids() {
+            let Some(arc) = self.pool.get_cached(pid) else {
+                continue;
+            };
+            let mut page = arc.write();
+            if page.evicted || !page.is_leaf() {
+                continue;
+            }
+            let mut pruned = 0usize;
+            let mut reclaim: Vec<Key> = Vec::new();
+            if let PageData::Leaf(entries) = &mut page.data {
+                for (k, rec) in entries.iter_mut() {
+                    if rec.owner != tc {
+                        continue;
+                    }
+                    pruned += rec.gc(floor);
+                    if rec.tomb_reclaimable(floor) {
+                        reclaim.push(k.clone());
+                    }
+                }
+            }
+            for k in &reclaim {
+                let removed = page.remove(k);
+                debug_assert!(removed);
+            }
+            if pruned > 0 || !reclaim.is_empty() {
+                DcStats::add(&self.stats.versions_pruned, (pruned + reclaim.len()) as u64);
+                page.dirty = true;
+                if page.content_bytes() < self.cfg.merge_threshold {
+                    merge_candidates.push((page.table, pid));
+                }
+            }
+        }
+        for (tid, pid) in merge_candidates {
+            if let Ok(table) = self.table(tid) {
+                self.try_consolidate(&table, pid);
+            }
+        }
+    }
+
+    /// Total retained MVCC version-chain entries (history + staged)
+    /// across cached pages of `table` — the e16 bounded-memory gate.
+    pub fn version_chain_entries(&self, table: TableId) -> usize {
+        let mut total = 0;
+        for pid in self.pool.cached_ids() {
+            let Some(arc) = self.pool.get_cached(pid) else {
+                continue;
+            };
+            let g = arc.read();
+            if g.evicted || g.table != table {
+                continue;
+            }
+            if let PageData::Leaf(entries) = &g.data {
+                total += entries.iter().map(|(_, r)| r.chain_len()).sum::<usize>();
+            }
+        }
+        total
     }
 
     /// Drop all low-water-mark knowledge for a TC (its claim "every
@@ -382,10 +452,25 @@ impl DcEngine {
                 if lsn < ab.max_included() {
                     DcStats::bump(&self.stats.out_of_order);
                 }
-                Self::mutate_leaf(&mut leaf, tc, op)?;
+                let prior_chain = leaf.find(&key).map_or(0, |r| r.chain_len());
+                let stamped = Self::mutate_leaf(&mut leaf, tc, lsn, op)?;
                 leaf.ab.get_mut(tc).record(lsn);
                 leaf.dirty = true;
                 DcStats::bump(&self.stats.ops_applied);
+                if stamped {
+                    DcStats::bump(&self.stats.versions_stamped);
+                }
+                if let Some(rec) = leaf.find_mut(&key) {
+                    let created = rec.chain_len().saturating_sub(prior_chain);
+                    DcStats::add(&self.stats.versions_created, created as u64);
+                    // Inline GC: keep hot records' chains bounded between
+                    // low-water-mark sweeps.
+                    let floor = lwm;
+                    if floor > Lsn::NULL {
+                        let pruned = rec.gc(floor);
+                        DcStats::add(&self.stats.versions_pruned, pruned as u64);
+                    }
+                }
                 if matches!(op, LogicalOp::Delete { .. }) {
                     self.journal_delete(op.table(), key.clone(), tc, lsn);
                 }
@@ -408,49 +493,58 @@ impl DcEngine {
         }
     }
 
-    fn mutate_leaf(leaf: &mut Page, tc: TcId, op: &LogicalOp) -> Result<(), DcError> {
+    /// Apply one mutation to a latched leaf. `lsn` is the operation's
+    /// redo LSN — the identity a later [`LogicalOp::StampCommit`] uses
+    /// to find the version it created. Returns true if the operation
+    /// stamped a version (for the stats).
+    fn mutate_leaf(leaf: &mut Page, tc: TcId, lsn: Lsn, op: &LogicalOp) -> Result<bool, DcError> {
         match op {
             LogicalOp::Insert { table, key, value } => {
-                if !leaf.insert(key.clone(), StoredRecord::committed(value.clone(), tc)) {
-                    return Err(DcError::DuplicateKey(*table, key.clone()));
+                match leaf.find_mut(key) {
+                    // A tombstone is physically present but logically
+                    // absent: insert revives it, retaining the delete in
+                    // the version chain for older snapshots.
+                    Some(rec) if rec.tomb => rec.overwrite(value.clone(), tc, lsn),
+                    Some(_) => return Err(DcError::DuplicateKey(*table, key.clone())),
+                    None => {
+                        let inserted =
+                            leaf.insert(key.clone(), StoredRecord::new(value.clone(), tc, lsn));
+                        debug_assert!(inserted);
+                    }
                 }
-                Ok(())
+                Ok(false)
             }
             LogicalOp::Update { table, key, value } => match leaf.find_mut(key) {
-                Some(rec) => {
-                    rec.current = value.clone();
-                    rec.before = None;
-                    rec.owner = tc;
-                    Ok(())
+                Some(rec) if !rec.tomb => {
+                    rec.overwrite(value.clone(), tc, lsn);
+                    Ok(false)
                 }
-                None => Err(DcError::KeyNotFound(*table, key.clone())),
+                _ => Err(DcError::KeyNotFound(*table, key.clone())),
             },
-            LogicalOp::Delete { table, key } => {
-                if !leaf.remove(key) {
-                    return Err(DcError::KeyNotFound(*table, key.clone()));
+            LogicalOp::Delete { table, key } => match leaf.find_mut(key) {
+                Some(rec) if !rec.tomb => {
+                    rec.delete(tc, lsn);
+                    Ok(false)
                 }
-                Ok(())
-            }
+                _ => Err(DcError::KeyNotFound(*table, key.clone())),
+            },
             LogicalOp::VersionedWrite { key, value, .. } => {
                 match leaf.find_mut(key) {
-                    Some(rec) => rec.versioned_update(value.clone(), tc),
+                    Some(rec) => rec.versioned_update(value.clone(), tc, lsn),
                     None => {
-                        let rec = StoredRecord {
-                            current: value.clone(),
-                            before: Some(unbundled_core::BeforeVersion::Absent),
-                            owner: tc,
-                        };
+                        let mut rec = StoredRecord::new(value.clone(), tc, lsn);
+                        rec.before = Some(unbundled_core::BeforeVersion::Absent);
                         let inserted = leaf.insert(key.clone(), rec);
                         debug_assert!(inserted);
                     }
                 }
-                Ok(())
+                Ok(false)
             }
             LogicalOp::PromoteVersion { key, .. } => {
                 if let Some(rec) = leaf.find_mut(key) {
                     rec.promote();
                 }
-                Ok(())
+                Ok(false)
             }
             LogicalOp::RevertVersion { key, .. } => {
                 let remove = match leaf.find_mut(key) {
@@ -461,7 +555,18 @@ impl DcEngine {
                     let removed = leaf.remove(key);
                     debug_assert!(removed);
                 }
-                Ok(())
+                Ok(false)
+            }
+            LogicalOp::StampCommit {
+                key, op, commit, ..
+            } => {
+                // A stamp whose record is gone (GC'd tombstone, or a
+                // resend racing a later owner change) is a no-op: the
+                // version it addressed is no longer servable anyway.
+                Ok(leaf
+                    .find_mut(key)
+                    .map(|rec| rec.stamp(*op, *commit))
+                    .unwrap_or(false))
             }
             _ => unreachable!("reads routed elsewhere"),
         }
@@ -498,6 +603,9 @@ impl DcEngine {
     fn do_read(&self, op: &LogicalOp) -> Result<OpResult, DcError> {
         match op {
             LogicalOp::Read { key, flavor, .. } => {
+                if matches!(flavor, ReadFlavor::Snapshot(_)) {
+                    DcStats::bump(&self.stats.snapshot_reads);
+                }
                 let table = self.table(op.table())?;
                 loop {
                     let _tree = table.tree_latch.read();
@@ -537,8 +645,9 @@ impl DcEngine {
 
     fn visible(rec: &StoredRecord, flavor: ReadFlavor) -> Option<Vec<u8>> {
         match flavor {
-            ReadFlavor::Latest => Some(rec.read_latest().to_vec()),
+            ReadFlavor::Latest => rec.read_latest().map(|v| v.to_vec()),
             ReadFlavor::Committed => rec.read_committed().map(|v| v.to_vec()),
+            ReadFlavor::Snapshot(at) => rec.read_snapshot(at).map(|v| v.to_vec()),
         }
     }
 
@@ -767,14 +876,24 @@ impl DcEngine {
         drop(page);
         self.pool.install(new_page);
 
-        // Insert the separator into the parent chain (may recurse).
-        let root_changed = self.insert_separator(table, stx, pid, &routing_key, split_key, new_pid);
+        // Insert the separator into the parent chain.
+        let (root_changed, overfull_parent) =
+            self.insert_separator(table, stx, pid, &routing_key, split_key, new_pid);
 
         self.log.append(DcLogRecord::SysTxnEnd { stx });
         DcStats::bump(&self.stats.splits);
         if root_changed {
             self.log.force();
             self.persist_catalog();
+        }
+        // Split an over-full parent only *after* this system transaction's
+        // end record is appended: a nested system transaction must never
+        // open while ours is incomplete, or its forced records (a root
+        // change forces the log) could be complete-stable across a crash
+        // while ours — whose new page its captured images reference — is
+        // discarded as incomplete, leaving an unreachable page.
+        if let Some(ppid) = overfull_parent {
+            self.split_locked(table, ppid);
         }
     }
 
@@ -805,7 +924,9 @@ impl DcEngine {
 
     /// Insert `(split_key → new_pid)` into the parent of `child_pid`
     /// (found by descending with `routing_key`). Creates a new root if
-    /// the child was the root. Returns true if the root changed.
+    /// the child was the root. Returns `(root_changed, overfull_parent)`;
+    /// the caller splits the over-full parent in a *fresh* system
+    /// transaction once the current one is closed.
     fn insert_separator(
         &self,
         table: &Arc<TableState>,
@@ -814,7 +935,7 @@ impl DcEngine {
         routing_key: &Key,
         split_key: Key,
         new_pid: PageId,
-    ) -> bool {
+    ) -> (bool, Option<PageId>) {
         let root = *table.root.lock();
         if child_pid == root {
             // Root split: new branch root over the two halves.
@@ -845,17 +966,17 @@ impl DcEngine {
             self.pool.install(new_root);
             *table.root.lock() = new_root_pid;
             *self.catalog().dlsn.lock() = d;
-            return true;
+            return (true, None);
         }
 
         // Find the parent of child_pid by descending.
         let parent_pid = match self.find_parent(root, routing_key, child_pid) {
             Some(p) => p,
-            None => return false, // racing structure change; child will re-trigger
+            None => return (false, None), // racing structure change; child will re-trigger
         };
         let parent_arc = match self.pool.get(parent_pid) {
             Some(a) => a,
-            None => return false,
+            None => return (false, None),
         };
         let mut parent = parent_arc.write();
         let d = self.log.append(DcLogRecord::BranchInsert {
@@ -873,10 +994,7 @@ impl DcEngine {
         parent.dirty = true;
         let oversized = parent.content_bytes() > self.cfg.page_capacity && parent.entry_count() > 2;
         drop(parent);
-        if oversized {
-            self.split_locked(table, parent_pid);
-        }
-        false
+        (false, oversized.then_some(parent_pid))
     }
 
     fn find_parent(&self, root: PageId, key: &Key, child: PageId) -> Option<PageId> {

@@ -51,6 +51,16 @@ pub struct DcStats {
     /// Mutations rejected because this DC is fenced (read-only replica
     /// or deposed primary).
     pub fenced_rejects: AtomicU64,
+    /// MVCC version-chain entries created (payloads displaced into a
+    /// record's history by a newer write).
+    pub versions_created: AtomicU64,
+    /// MVCC version-chain entries pruned by garbage collection
+    /// (including physically reclaimed tombstones).
+    pub versions_pruned: AtomicU64,
+    /// Commit stamps applied to versions (`StampCommit` with effect).
+    pub versions_stamped: AtomicU64,
+    /// Point reads served at snapshot isolation (lock-free MVCC reads).
+    pub snapshot_reads: AtomicU64,
 }
 
 /// Point-in-time copy of [`DcStats`].
@@ -94,6 +104,14 @@ pub struct DcSnapshot {
     pub ship_apply_errors: u64,
     /// Fenced mutation rejections.
     pub fenced_rejects: u64,
+    /// Version-chain entries created.
+    pub versions_created: u64,
+    /// Version-chain entries pruned by GC.
+    pub versions_pruned: u64,
+    /// Commit stamps applied.
+    pub versions_stamped: u64,
+    /// Snapshot reads served.
+    pub snapshot_reads: u64,
 }
 
 impl DcStats {
@@ -119,6 +137,10 @@ impl DcStats {
             ship_groups_skipped: self.ship_groups_skipped.load(Ordering::Relaxed),
             ship_apply_errors: self.ship_apply_errors.load(Ordering::Relaxed),
             fenced_rejects: self.fenced_rejects.load(Ordering::Relaxed),
+            versions_created: self.versions_created.load(Ordering::Relaxed),
+            versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
+            versions_stamped: self.versions_stamped.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
         }
     }
 

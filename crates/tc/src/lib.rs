@@ -48,10 +48,11 @@ pub mod twopc;
 pub use acks::AckTracker;
 pub use rebalance::RebalanceFence;
 pub use routing::{DcLink, RangePartitioner, ScanProtocol, TableRoute};
-pub use shipper::{ReadConsistency, ReplicaLag};
+pub use shipper::ReplicaLag;
 pub use stats::{TcSnapshot, TcStats};
 pub use tc::{GroupCommitCfg, Tc, TcConfig};
 pub use tclog::{TcLogHandle, TcLogRecord};
 pub use twopc::{TcPeer, TwopcOutcome};
 pub use unbundled_core::TcShardMap;
+pub use unbundled_core::{ReadConsistency, SnapshotSpec};
 pub use unbundled_storage::GatherWindow;

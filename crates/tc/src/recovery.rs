@@ -20,7 +20,7 @@ use crate::tc::{FlagSlot, Tc};
 use crate::tclog::TcLogRecord;
 use crate::twopc::TwopcOutcome;
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -44,6 +44,16 @@ impl Tc {
         // record alone guarantees eventual promotion — Section 6.2.2).
         let mut vwrites: HashMap<TxnId, Vec<(DcId, LogicalOp)>> = HashMap::new();
         let mut winner_promotes: Vec<(DcId, LogicalOp)> = Vec::new();
+        // MVCC commit stamps. A winner's versions must carry its commit
+        // LSN even if the stamp records were lost with the log tail (a
+        // concurrent force can make the commit record stable before the
+        // stamps are appended): track every live transaction's last
+        // write per key, remember each winner's commit point, collect
+        // the stamps actually present in the log, and synthesize the
+        // missing ones after redo.
+        let mut wtrack: HashMap<TxnId, HashMap<(DcId, TableId, Key), Lsn>> = HashMap::new();
+        let mut stamp_cands: Vec<(DcId, TableId, Key, Lsn, Lsn)> = Vec::new();
+        let mut stamps_logged: HashSet<(TableId, Key, Lsn)> = HashSet::new();
         // Cross-TC 2PC state: prepared participant branches (in-doubt
         // unless a later resolution record appears), our own retained
         // commit decisions (re-pinned and re-broadcast), and Begin LSNs
@@ -87,6 +97,14 @@ impl Tc {
                     if let (Some(chain), Some(u)) = (losers.get_mut(txn), undo.clone()) {
                         chain.push((Lsn(*seq), *dc, u));
                     }
+                    if op.is_mutation() {
+                        if let Some(k) = op.point_key() {
+                            wtrack
+                                .entry(*txn)
+                                .or_default()
+                                .insert((*dc, op.table(), k.clone()), Lsn(*seq));
+                        }
+                    }
                     if let LogicalOp::VersionedWrite { table, key, .. } = op {
                         vwrites.entry(*txn).or_default().push((
                             *dc,
@@ -103,11 +121,17 @@ impl Tc {
                     if let Some(p) = vwrites.remove(txn) {
                         winner_promotes.extend(p);
                     }
+                    if let Some(w) = wtrack.remove(txn) {
+                        for ((dc, table, key), op_lsn) in w {
+                            stamp_cands.push((dc, table, key, op_lsn, Lsn(*seq)));
+                        }
+                    }
                 }
                 TcLogRecord::Abort { txn } => {
                     losers.remove(txn);
                     prepared.remove(txn);
                     vwrites.remove(txn);
+                    wtrack.remove(txn);
                 }
                 TcLogRecord::Prepare { txn, coord, gtxn } => {
                     prepared.insert(*txn, (*coord, *gtxn));
@@ -125,6 +149,11 @@ impl Tc {
                     if !participants.is_empty() {
                         decisions.push((*txn, participants.clone(), Lsn(*seq)));
                     }
+                    if let Some(w) = wtrack.remove(txn) {
+                        for ((dc, table, key), op_lsn) in w {
+                            stamp_cands.push((dc, table, key, op_lsn, Lsn(*seq)));
+                        }
+                    }
                 }
                 TcLogRecord::ParticipantCommit { txn } => {
                     losers.remove(txn);
@@ -132,11 +161,17 @@ impl Tc {
                     if let Some(p) = vwrites.remove(txn) {
                         winner_promotes.extend(p);
                     }
+                    if let Some(w) = wtrack.remove(txn) {
+                        for ((dc, table, key), op_lsn) in w {
+                            stamp_cands.push((dc, table, key, op_lsn, Lsn(*seq)));
+                        }
+                    }
                 }
                 TcLogRecord::ParticipantAbort { txn } => {
                     losers.remove(txn);
                     prepared.remove(txn);
                     vwrites.remove(txn);
+                    wtrack.remove(txn);
                 }
                 TcLogRecord::RebalanceIntent { .. } => {}
                 TcLogRecord::RebalanceDone {
@@ -146,7 +181,11 @@ impl Tc {
                         rebalance_done = Some((*lo, *hi, *to, *epoch));
                     }
                 }
-                TcLogRecord::RedoOnly { .. } => {}
+                TcLogRecord::RedoOnly { op, .. } => {
+                    if let LogicalOp::StampCommit { table, key, op, .. } = op {
+                        stamps_logged.insert((*table, key.clone(), *op));
+                    }
+                }
             }
         }
         self.set_next_txn_floor(max_txn + 1);
@@ -172,7 +211,13 @@ impl Tc {
         // the coordinator's log commits the branch; no decision and no
         // live coordinator transaction aborts it; a coordinator still
         // mid-commit parks the branch with its locks re-acquired.
-        let mut branch_commits: Vec<(TxnId, TcId, TxnId)> = Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut branch_commits: Vec<(
+            TxnId,
+            TcId,
+            TxnId,
+            Vec<((DcId, TableId, Key), Lsn)>,
+        )> = Vec::new();
         #[allow(clippy::type_complexity)]
         let mut branch_parks: Vec<(
             TxnId,
@@ -197,7 +242,13 @@ impl Tc {
                     if let Some(p) = vwrites.remove(txn) {
                         winner_promotes.extend(p);
                     }
-                    branch_commits.push((*txn, *coord, *gtxn));
+                    // The branch's versions are stamped at the fresh
+                    // ParticipantCommit LSN logged below.
+                    let writes = wtrack
+                        .remove(txn)
+                        .map(|m| m.into_iter().collect())
+                        .unwrap_or_default();
+                    branch_commits.push((*txn, *coord, *gtxn, writes));
                 }
                 TwopcOutcome::InDoubt => {
                     let chain = losers.remove(txn).unwrap_or_default();
@@ -249,6 +300,30 @@ impl Tc {
             }
         }
 
+        // --- Synthesize missing commit stamps: a winner whose stamp
+        // records were lost with the log tail (its commit record made
+        // stable by a concurrent force) still gets its versions tagged
+        // with its commit LSN. Stamps present in the log were already
+        // resent by the redo pass above and are skipped here; re-sent
+        // stamps are deterministic no-ops at the DC.
+        for (dc, table, key, op_lsn, commit) in stamp_cands {
+            if stamps_logged.contains(&(table, key.clone(), op_lsn)) {
+                continue;
+            }
+            let op = LogicalOp::StampCommit {
+                table,
+                key,
+                op: op_lsn,
+                commit,
+            };
+            let l = self.log_op_record(TcLogRecord::RedoOnly {
+                txn: TxnId(0),
+                dc,
+                op: op.clone(),
+            });
+            let _ = self.send_op(dc, RequestId::Op(l), &op, true)?;
+        }
+
         // --- Re-derive winner promotions (idempotent: promoting a
         // record with no pending version is a no-op).
         for (dc, op) in winner_promotes {
@@ -287,8 +362,22 @@ impl Tc {
                 self.log_bookkeeping(TcLogRecord::Abort { txn: *txn });
             }
         }
-        for (txn, _, _) in &branch_commits {
-            self.log_bookkeeping(TcLogRecord::ParticipantCommit { txn: *txn });
+        for (txn, _, _, writes) in &branch_commits {
+            let commit = self.log_bookkeeping(TcLogRecord::ParticipantCommit { txn: *txn });
+            for ((dc, table, key), op_lsn) in writes {
+                let op = LogicalOp::StampCommit {
+                    table: *table,
+                    key: key.clone(),
+                    op: *op_lsn,
+                    commit,
+                };
+                let l = self.log_op_record(TcLogRecord::RedoOnly {
+                    txn: *txn,
+                    dc: *dc,
+                    op: op.clone(),
+                });
+                let _ = self.send_op(*dc, RequestId::Op(l), &op, true)?;
+            }
         }
         self.force_log();
 
@@ -309,7 +398,7 @@ impl Tc {
         // --- 2PC tail. Acknowledge branch commits only now: the
         // ParticipantCommit records above are stable, so the coordinator
         // may truncate the decisions away.
-        for (_, coord, gtxn) in &branch_commits {
+        for (_, coord, gtxn, _) in &branch_commits {
             TcStats::bump(&self.stats().indoubt_resolved);
             if let Some(p) = self.peer_tc(*coord) {
                 p.twopc_ack(*gtxn, self.id());

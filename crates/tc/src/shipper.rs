@@ -46,21 +46,6 @@ use unbundled_core::{DcId, LogicalOp, Lsn, TcId, TcToDc, TxnId};
 use crate::routing::DcLink;
 use crate::tclog::TcLogRecord;
 
-/// Freshness requirement of a replica-served read.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ReadConsistency {
-    /// Always read the writable primary (no staleness).
-    Primary,
-    /// Read any replica lagging at most `max_lag` LSNs behind the
-    /// primary's stable log end; stale replicas fall back to the
-    /// primary. `BoundedLag(0)` demands a fully caught-up replica.
-    BoundedLag(u64),
-    /// Read any replica whose applied frontier covers the given stream
-    /// position (e.g. a [`read token`](crate::tc::Tc::read_token)
-    /// captured after a commit, for read-your-writes).
-    AtLeast(Lsn),
-}
-
 /// Per-replica freshness introspection.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ReplicaLag {

@@ -69,6 +69,14 @@ pub struct TcStats {
     /// it resolved, and re-resolved their owner under the republished
     /// map instead of executing under lapsed authority.
     pub fence_reroutes: AtomicU64,
+    /// Serializable locking point reads served (S record lock taken).
+    pub lock_reads: AtomicU64,
+    /// Lock-free MVCC snapshot point reads served from the primary
+    /// (explicit snapshot requests plus replica-read fallbacks).
+    pub snapshot_reads: AtomicU64,
+    /// Commit-stamp operations sent to DCs (one per distinct key a
+    /// committed transaction wrote).
+    pub stamps_sent: AtomicU64,
 }
 
 /// Point-in-time copy of [`TcStats`].
@@ -126,6 +134,12 @@ pub struct TcSnapshot {
     pub stale_forward_reroutes: u64,
     /// Local ops re-routed after sleeping through a fence resolution.
     pub fence_reroutes: u64,
+    /// Serializable locking point reads served.
+    pub lock_reads: u64,
+    /// Lock-free MVCC snapshot point reads served from the primary.
+    pub snapshot_reads: u64,
+    /// Commit-stamp operations sent to DCs.
+    pub stamps_sent: u64,
 }
 
 impl TcStats {
@@ -158,6 +172,9 @@ impl TcStats {
             stale_forward_rejects: self.stale_forward_rejects.load(Ordering::Relaxed),
             stale_forward_reroutes: self.stale_forward_reroutes.load(Ordering::Relaxed),
             fence_reroutes: self.fence_reroutes.load(Ordering::Relaxed),
+            lock_reads: self.lock_reads.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            stamps_sent: self.stamps_sent.load(Ordering::Relaxed),
         }
     }
 

@@ -11,18 +11,18 @@
 
 use crate::acks::AckTracker;
 use crate::routing::{DcLink, ScanProtocol, TableRoute};
-use crate::shipper::{ReadConsistency, ReplicaLag, Shipper};
+use crate::shipper::{ReplicaLag, Shipper};
 use crate::stats::TcStats;
 use crate::tclog::{TcLogHandle, TcLogRecord};
 use crate::twopc::TcPeer;
 use parking_lot::{Condvar, Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use unbundled_core::{
-    DcError, DcId, DcToTc, Key, LogicalOp, Lsn, OpResult, ReadFlavor, RequestId, TableId, TcError,
-    TcId, TcShardMap, TcToDc, TxnId,
+    DcError, DcId, DcToTc, Key, LogicalOp, Lsn, OpResult, ReadConsistency, ReadFlavor, RequestId,
+    SnapshotSpec, TableId, TcError, TcId, TcShardMap, TcToDc, TxnId,
 };
 use unbundled_lockmgr::{LockError, LockManager, LockMode, LockName, LockToken};
 use unbundled_storage::{GatherWindow, LogStore};
@@ -117,6 +117,15 @@ pub(crate) struct TxnState {
     pub(crate) cache: HashMap<(TableId, Key), Option<Vec<u8>>>,
     /// Versioned writes requiring post-commit promotion.
     pub(crate) promotes: Vec<(DcId, TableId, Key)>,
+    /// Last write operation LSN per key this transaction mutated — the
+    /// version each commit stamp targets (earlier same-transaction
+    /// writes are dead the moment they are displaced and are never
+    /// stamped; GC reclaims them once their LSN falls under the LWM).
+    pub(crate) writes: HashMap<(DcId, TableId, Key), Lsn>,
+    /// Pinned MVCC snapshot: the stable LSN captured at this
+    /// transaction's first [`SnapshotSpec::Pinned`] read and reused for
+    /// every later one (repeatable reads within the transaction).
+    pub(crate) snapshot: Option<Lsn>,
     /// Cross-TC coordinator role: participant shards holding branches of
     /// this transaction. Non-empty means commit goes through 2PC.
     pub(crate) remotes: HashSet<TcId>,
@@ -144,6 +153,10 @@ pub struct Tc {
     pub(crate) links: RwLock<HashMap<DcId, Arc<dyn DcLink>>>,
     routes: RwLock<HashMap<TableId, TableRoute>>,
     pub(crate) txns: Mutex<HashMap<TxnId, Arc<Mutex<TxnState>>>>,
+    /// Open pinned-snapshot positions (LSN -> pin count). The minimum
+    /// clamps the published low-water mark so DC-side version-chain GC
+    /// never prunes history an open snapshot still needs.
+    snapshot_pins: Mutex<BTreeMap<u64, usize>>,
     pub(crate) pending: Mutex<HashMap<RequestId, Arc<ReplySlot>>>,
     pub(crate) ckpt_waiters: Mutex<HashMap<DcId, Arc<LsnSlot>>>,
     pub(crate) restart_ready: Mutex<HashMap<DcId, Arc<FlagSlot>>>,
@@ -225,6 +238,7 @@ impl Tc {
             links: RwLock::new(HashMap::new()),
             routes: RwLock::new(HashMap::new()),
             txns: Mutex::new(HashMap::new()),
+            snapshot_pins: Mutex::new(BTreeMap::new()),
             pending: Mutex::new(HashMap::new()),
             ckpt_waiters: Mutex::new(HashMap::new()),
             restart_ready: Mutex::new(HashMap::new()),
@@ -634,7 +648,13 @@ impl Tc {
     fn publish_locked(&self, published: &mut Lsn, eosl: Lsn) {
         let eosl = (*published).max(eosl);
         *published = eosl;
-        let lwm = self.acks.lwm().min(eosl);
+        let mut lwm = self.acks.lwm().min(eosl);
+        // Hold the GC floor at the oldest open pinned snapshot: version
+        // chains at or above the published LWM are exact, so a pin must
+        // never sink below it.
+        if let Some(oldest) = self.snapshot_pins.lock().keys().next() {
+            lwm = lwm.min(Lsn(*oldest));
+        }
         self.broadcast(|tc| TcToDc::EndOfStableLog { tc, eosl });
         self.broadcast(|tc| TcToDc::LowWaterMark { tc, lwm });
         self.appends_since_force.store(0, Ordering::Relaxed);
@@ -664,6 +684,8 @@ impl Tc {
             touched: HashSet::new(),
             cache: HashMap::new(),
             promotes: Vec::new(),
+            writes: HashMap::new(),
+            snapshot: None,
             remotes: HashSet::new(),
             part_of: None,
             prepared: false,
@@ -847,6 +869,7 @@ impl Tc {
                     _ => None,
                 };
                 g.cache.insert((table, key.clone()), cached);
+                g.writes.insert((dc, table, key.clone()), lsn);
                 if matches!(op, LogicalOp::VersionedWrite { .. }) {
                     g.promotes.push((dc, table, key));
                 }
@@ -900,10 +923,61 @@ impl Tc {
         self.mutate(txn, LogicalOp::VersionedWrite { table, key, value })
     }
 
-    /// Transactional point read (S lock; serializable).
-    pub fn read(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
+    /// Transactional point read at an explicit [`ReadConsistency`] —
+    /// the single read surface of the TC. The caller states the
+    /// guarantee it needs; primary-vs-replica and locked-vs-versioned
+    /// routing is TC policy:
+    ///
+    /// * [`ReadConsistency::Locking`] — serializable S-lock read on the
+    ///   primary (blocks on and is blocked by writers).
+    /// * [`ReadConsistency::Snapshot`] — lock-free MVCC read on the
+    ///   primary at the resolved snapshot LSN ([`SnapshotSpec::Pinned`]
+    ///   pins the transaction's snapshot at first use). Under a shard
+    ///   map, a key owned by another TC shard is served at *that*
+    ///   shard's stable position (LSN spaces are per-shard, so a pinned
+    ///   local LSN is meaningless there).
+    /// * [`ReadConsistency::BoundedLag`] / [`ReadConsistency::AtLeast`]
+    ///   — replica read when one covers the required frontier, else a
+    ///   lock-free snapshot read on the primary at the stable LSN
+    ///   (never an S lock: a contended fallback must not block behind
+    ///   writers).
+    pub fn read(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        consistency: ReadConsistency,
+    ) -> Result<Option<Vec<u8>>, TcError> {
         self.ensure_available()?;
         let st = self.txn_state(txn)?;
+        match consistency {
+            ReadConsistency::Locking => self.read_locking(txn, &st, table, key),
+            ReadConsistency::Snapshot(spec) => {
+                if let Some(owner) = self.shard_owner(&key) {
+                    let peer = self.peer_tc(owner).ok_or(TcError::NoSuchTc(owner))?;
+                    let at = peer.log.stable();
+                    return peer.snapshot_read_at(table, key, at);
+                }
+                let at = self.resolve_snapshot(&st, spec);
+                self.snapshot_read_at(table, key, at)
+            }
+            ReadConsistency::BoundedLag(lag) => {
+                let required = Lsn(self.log.stable().0.saturating_sub(lag));
+                self.replica_or_snapshot_read(table, key, required)
+            }
+            ReadConsistency::AtLeast(l) => self.replica_or_snapshot_read(table, key, l),
+        }
+    }
+
+    /// The serializable locking read path (S record lock, read cache,
+    /// cross-shard forwarding).
+    fn read_locking(
+        &self,
+        txn: TxnId,
+        st: &Arc<Mutex<TxnState>>,
+        table: TableId,
+        key: Key,
+    ) -> Result<Option<Vec<u8>>, TcError> {
         loop {
             if let Some(owner) = self.shard_owner(&key) {
                 if st.lock().part_of.is_some() {
@@ -912,18 +986,51 @@ impl Tc {
                         epoch: self.map_epoch(),
                     });
                 }
-                return self.forward_read(txn, &st, owner, table, key);
+                return self.forward_read(txn, st, owner, table, key);
             }
             // See `mutate`: a false pass re-resolves the owner after a
             // fence this op slept on resolved (the range may have moved).
-            if self.fence_pass(txn, &st, unbundled_core::route_point(&key))? {
+            if self.fence_pass(txn, st, unbundled_core::route_point(&key))? {
                 break;
             }
         }
         let dc = self.route(table)?.dc_for(&key);
         self.lock_or_abort(txn, LockName::Table(table), LockMode::IS)?;
         self.lock_or_abort(txn, LockName::Record(table, key.clone()), LockMode::S)?;
-        self.known_value(&st, dc, table, &key)
+        TcStats::bump(&self.stats.lock_reads);
+        self.known_value(st, dc, table, &key)
+    }
+
+    /// Resolve which LSN a snapshot read observes; `Pinned` fixes the
+    /// transaction's snapshot on first use.
+    fn resolve_snapshot(&self, st: &Arc<Mutex<TxnState>>, spec: SnapshotSpec) -> Lsn {
+        match spec {
+            SnapshotSpec::At(l) => l,
+            SnapshotSpec::Fresh => self.log.stable(),
+            SnapshotSpec::Pinned => {
+                let mut g = st.lock();
+                match g.snapshot {
+                    Some(l) => l,
+                    None => {
+                        let l = self.log.stable();
+                        g.snapshot = Some(l);
+                        *self.snapshot_pins.lock().entry(l.0).or_insert(0) += 1;
+                        l
+                    }
+                }
+            }
+        }
+    }
+
+    /// Lock-free MVCC snapshot read at an explicit commit-LSN bound.
+    pub(crate) fn snapshot_read_at(
+        &self,
+        table: TableId,
+        key: Key,
+        at: Lsn,
+    ) -> Result<Option<Vec<u8>>, TcError> {
+        TcStats::bump(&self.stats.snapshot_reads);
+        self.unlocked_read(table, key, ReadFlavor::Snapshot(at))
     }
 
     /// Lock-free read of *committed* data via versioning (Section 6.2.2:
@@ -1170,13 +1277,85 @@ impl Tc {
         if !st.lock().remotes.is_empty() {
             return self.commit_cross(txn);
         }
+        // Read-only fast path: nothing was written, so there is nothing
+        // to make durable. The commit record is appended for log
+        // hygiene but NOT forced — losing it across a crash presumes
+        // the transaction aborted, which for a read-only transaction is
+        // indistinguishable from commit. Snapshot readers therefore pay
+        // neither locks nor a log force.
+        let read_only = {
+            let g = st.lock();
+            g.undo.is_empty() && g.writes.is_empty() && g.promotes.is_empty()
+        };
+        if read_only {
+            self.log_bookkeeping(TcLogRecord::Commit { txn });
+            self.locks.unlock_all(Self::token(txn));
+            self.release_pin(&st);
+            self.txns.lock().remove(&txn);
+            TcStats::bump(&self.stats.commits);
+            return Ok(());
+        }
         let commit_lsn = self.log_bookkeeping(TcLogRecord::Commit { txn });
-        self.force_commit(commit_lsn);
+        // MVCC: stamp records are logged *before* the force so one flush
+        // covers the commit record and the stamps, and sent *after* it
+        // (write-ahead). Delivery is synchronous and happens while the
+        // transaction still holds its X locks, so once `commit` returns,
+        // any snapshot at or above the stable LSN observes this
+        // transaction — and no snapshot can observe it partially.
+        let stamps = self.log_stamps(txn, &st, commit_lsn);
+        self.force_commit(self.log.last());
+        self.send_stamps(&stamps)?;
         // Eliminate before-versions (Section 6.2.2) — logged redo-only so
         // recovery finishes the job if we crash mid-way. Single-shard
         // transactions need no 2PC: once the commit record is stable the
         // transaction IS committed.
         self.finish_commit_local(txn, &st)
+    }
+
+    /// Log one redo-only [`LogicalOp::StampCommit`] per key this
+    /// transaction wrote (last write per key — displaced intermediates
+    /// are never stamped), tagging the DC-side versions with the
+    /// transaction's commit LSN. Returns the records for the
+    /// post-force send.
+    pub(crate) fn log_stamps(
+        &self,
+        txn: TxnId,
+        st: &Arc<Mutex<TxnState>>,
+        commit: Lsn,
+    ) -> Vec<(DcId, Lsn, LogicalOp)> {
+        let mut writes: Vec<((DcId, TableId, Key), Lsn)> = {
+            let mut g = st.lock();
+            std::mem::take(&mut g.writes).into_iter().collect()
+        };
+        writes.sort_by_key(|&(_, l)| l);
+        let mut out = Vec::with_capacity(writes.len());
+        for ((dc, table, key), op_lsn) in writes {
+            let op = LogicalOp::StampCommit {
+                table,
+                key,
+                op: op_lsn,
+                commit,
+            };
+            let l = self.log_op_record(TcLogRecord::RedoOnly {
+                txn,
+                dc,
+                op: op.clone(),
+            });
+            out.push((dc, l, op));
+        }
+        out
+    }
+
+    /// Deliver the stamp records logged by [`Tc::log_stamps`]. Runs
+    /// under the committing transaction's locks; a stamp whose record
+    /// was meanwhile truncated away at the DC is a deterministic no-op
+    /// there.
+    pub(crate) fn send_stamps(&self, stamps: &[(DcId, Lsn, LogicalOp)]) -> Result<(), TcError> {
+        for (dc, l, op) in stamps {
+            TcStats::bump(&self.stats.stamps_sent);
+            let _ = self.send_op(*dc, RequestId::Op(*l), op, false)?;
+        }
+        Ok(())
     }
 
     /// Post-commit-point work shared by single-shard commit, cross-TC
@@ -1205,9 +1384,25 @@ impl Tc {
             self.force_commit(self.log.last());
         }
         self.locks.unlock_all(Self::token(txn));
+        self.release_pin(st);
         self.txns.lock().remove(&txn);
         TcStats::bump(&self.stats.commits);
         Ok(())
+    }
+
+    /// Drop a transaction's pinned-snapshot registration (if any) so the
+    /// published low-water mark may advance past it.
+    pub(crate) fn release_pin(&self, st: &Arc<Mutex<TxnState>>) {
+        let pin = st.lock().snapshot.take();
+        if let Some(p) = pin {
+            let mut g = self.snapshot_pins.lock();
+            if let Some(n) = g.get_mut(&p.0) {
+                *n -= 1;
+                if *n == 0 {
+                    g.remove(&p.0);
+                }
+            }
+        }
     }
 
     /// Abort: roll back via inverse operations, then release locks.
@@ -1225,6 +1420,7 @@ impl Tc {
             Some(st) => st,
             None => return Err(TcError::NotActive(txn)),
         };
+        self.release_pin(&st);
         let part_of = st.lock().part_of;
         if let Some(key) = part_of {
             self.participants.lock().remove(&key);
@@ -1404,78 +1600,47 @@ impl Tc {
         self.shipper.lags()
     }
 
-    /// A read token for [`ReadConsistency::AtLeast`]: any replica whose
-    /// applied frontier covers a token captured *after* a commit
-    /// reflects that commit (read-your-writes across the replica fleet).
-    pub fn read_token(&self) -> Lsn {
-        self.log.stable()
-    }
-
     /// Committed point read with bounded-staleness routing: serve from
     /// any replica of the hosting primary whose applied frontier covers
-    /// the requested snapshot, rotating across qualifying replicas;
-    /// stale (or failed) replicas fall back to a committed read on the
-    /// primary. Replica state contains only committed, never-rolled-back
-    /// data by construction (uncommitted work is withheld from the ship
-    /// stream), so no staleness setting can surface dirty data.
-    pub fn read_replica(
+    /// `required`, rotating across qualifying replicas; stale (or
+    /// failed) replicas fall back to a lock-free snapshot read on the
+    /// primary at the stable LSN. Replica state contains only
+    /// committed, never-rolled-back data by construction (uncommitted
+    /// work is withheld from the ship stream), so no staleness setting
+    /// can surface dirty data.
+    fn replica_or_snapshot_read(
         &self,
         table: TableId,
         key: Key,
-        consistency: ReadConsistency,
+        required: Lsn,
     ) -> Result<Option<Vec<u8>>, TcError> {
-        self.ensure_available()?;
         let primary = self.route(table)?.dc_for(&key);
-        let required = match consistency {
-            ReadConsistency::Primary => None,
-            ReadConsistency::BoundedLag(lag) => Some(Lsn(self.log.stable().0.saturating_sub(lag))),
-            ReadConsistency::AtLeast(l) => Some(l),
-        };
-        if let Some(required) = required {
-            let ticket = self.replica_rr.fetch_add(1, Ordering::Relaxed);
-            if let Some((replica, link)) =
-                self.shipper
-                    .pick_replica(self.resolve_dc(primary), required, ticket)
-            {
-                TcStats::bump(&self.stats.replica_reads);
-                let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
-                let op = LogicalOp::Read {
-                    table,
-                    key: key.clone(),
-                    flavor: ReadFlavor::Latest,
-                };
-                match self.send_via(&link, replica, req, &op) {
-                    Ok(Ok(OpResult::Value(v))) => return Ok(v),
-                    Ok(Ok(other)) => panic!("read returned {other:?}"),
-                    // Replica failed or refused: fall back to the primary.
-                    Ok(Err(_)) | Err(_) => TcStats::bump(&self.stats.replica_read_fallbacks),
-                }
-            } else {
-                TcStats::bump(&self.stats.replica_read_fallbacks);
-            }
-        }
-        self.committed_point_read(table, key)
-    }
-
-    /// Committed point read on the primary: an instant-duration S lock
-    /// held across the read keeps concurrent writers' uncommitted state
-    /// invisible even on unversioned tables (a record X lock blocks the
-    /// S acquisition until commit or rollback released it).
-    fn committed_point_read(&self, table: TableId, key: Key) -> Result<Option<Vec<u8>>, TcError> {
-        // Tokens above 1<<63 never collide with transaction lock tokens.
-        let token = LockToken(1 << 63 | self.next_read.fetch_add(1, Ordering::Relaxed));
-        let name = LockName::Record(table, key.clone());
-        match self
-            .locks
-            .lock(token, name.clone(), LockMode::S, self.cfg.lock_timeout)
+        let ticket = self.replica_rr.fetch_add(1, Ordering::Relaxed);
+        if let Some((replica, link)) =
+            self.shipper
+                .pick_replica(self.resolve_dc(primary), required, ticket)
         {
-            Ok(()) => {}
-            Err(LockError::Deadlock) => return Err(TcError::Deadlock(TxnId(0))),
-            Err(LockError::Timeout) => return Err(TcError::LockTimeout(TxnId(0))),
+            TcStats::bump(&self.stats.replica_reads);
+            let req = RequestId::Read(self.next_read.fetch_add(1, Ordering::Relaxed));
+            let op = LogicalOp::Read {
+                table,
+                key: key.clone(),
+                flavor: ReadFlavor::Latest,
+            };
+            match self.send_via(&link, replica, req, &op) {
+                Ok(Ok(OpResult::Value(v))) => return Ok(v),
+                Ok(Ok(other)) => panic!("read returned {other:?}"),
+                // Replica failed or refused: fall back to the primary.
+                Ok(Err(_)) | Err(_) => TcStats::bump(&self.stats.replica_read_fallbacks),
+            }
+        } else {
+            TcStats::bump(&self.stats.replica_read_fallbacks);
         }
-        let result = self.unlocked_read(table, key, ReadFlavor::Latest);
-        self.locks.unlock(token, &name);
-        result
+        // The primary fallback is a *snapshot* read at the stable LSN:
+        // it sees every commit the replica path could have seen, but —
+        // unlike the instant S lock this path once took — it never
+        // queues behind a writer's X lock.
+        self.snapshot_read_at(table, key, self.log.stable())
     }
 
     /// Send one request over an explicit link (replica reads address DCs

@@ -180,6 +180,7 @@ fn op_size(op: &LogicalOp) -> usize {
         | LogicalOp::PromoteVersion { key, .. }
         | LogicalOp::RevertVersion { key, .. }
         | LogicalOp::Read { key, .. } => 16 + key.len(),
+        LogicalOp::StampCommit { key, .. } => 32 + key.len(),
         LogicalOp::ScanRange { low, high, .. } => {
             16 + low.len() + high.as_ref().map(|h| h.len()).unwrap_or(0)
         }

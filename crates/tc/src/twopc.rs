@@ -39,7 +39,9 @@ use crate::tclog::TcLogRecord;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use unbundled_core::{DcId, Key, LogicalOp, Lsn, TableId, TcError, TcId, TcShardMap, TxnId};
+use unbundled_core::{
+    DcId, Key, LogicalOp, Lsn, ReadConsistency, TableId, TcError, TcId, TcShardMap, TxnId,
+};
 use unbundled_lockmgr::{LockMode, LockName};
 
 /// A handle to a peer TC shard that survives the peer's reboots: the
@@ -256,7 +258,9 @@ impl Tc {
                     std::thread::sleep(std::time::Duration::from_millis(1));
                     match self.shard_owner(&key) {
                         Some(next) => owner = next,
-                        None => return self.read(txn, table, key),
+                        None => {
+                            return self.read(txn, table, key, ReadConsistency::Locking);
+                        }
                     }
                 }
                 Err(e) => {
@@ -344,7 +348,7 @@ impl Tc {
     ) -> Result<Option<Vec<u8>>, TcError> {
         self.check_forwarded(coord, gtxn, &key, epoch)?;
         let local = self.begin_participant(coord, gtxn, expect_branch)?;
-        self.read(local, table, key)
+        self.read(local, table, key, ReadConsistency::Locking)
     }
 
     /// Phase one, participant side: force a Prepare record (riding the
@@ -400,9 +404,17 @@ impl Tc {
                 }
             };
             let lsn = self.log_bookkeeping(TcLogRecord::ParticipantCommit { txn: local });
+            // MVCC: the branch's versions are stamped with the
+            // ParticipantCommit LSN — commit LSNs are per-TC, so a
+            // snapshot read served by this shard compares against its
+            // own log positions only.
+            let stamps = self.log_stamps(local, &st, lsn);
             // Forced before acknowledging: once the coordinator hears
             // the ack it may truncate the decision away.
-            self.force_commit(lsn);
+            self.force_commit(self.log.last());
+            if self.send_stamps(&stamps).is_err() {
+                return false;
+            }
             self.participants.lock().remove(&(coord, gtxn));
             self.finish_commit_local(local, &st).is_ok()
         } else {
@@ -526,7 +538,14 @@ impl Tc {
                 .lock()
                 .insert(txn, (lsn, participants.into_iter().collect()));
         }
-        self.force_commit(lsn);
+        // MVCC: the coordinator's *local* writes are stamped with the
+        // decision LSN (the commit point); each participant branch
+        // stamps its own writes with its ParticipantCommit LSN in its
+        // own LSN space. Stamps are logged before the force and sent
+        // after it, under the transaction's still-held locks.
+        let stamps = self.log_stamps(txn, &st, lsn);
+        self.force_commit(self.log.last());
+        self.send_stamps(&stamps)?;
         Ok(lsn)
     }
 
@@ -656,6 +675,15 @@ impl Tc {
                 None,
             );
         }
+        // Re-derive the branch's last-write-per-key map so a commit
+        // decision arriving after the crash still stamps the branch's
+        // versions: the chain is in forward LSN order and each entry's
+        // LSN is the original op record's LSN — exactly the version id
+        // a stamp targets — so collecting lets later writes win.
+        let writes: HashMap<(DcId, TableId, Key), Lsn> = chain
+            .iter()
+            .filter_map(|(l, dc, inv)| inv.point_key().map(|k| ((*dc, inv.table(), k.clone()), *l)))
+            .collect();
         // Re-derive the branch's shard points from what it wrote, so a
         // rebalance drain started after the crash still sees the parked
         // branch as inside (or outside) the moving range.
@@ -675,6 +703,8 @@ impl Tc {
             touched: chain.iter().map(|(_, dc, _)| *dc).collect(),
             cache: HashMap::new(),
             promotes,
+            writes,
+            snapshot: None,
             remotes: HashSet::new(),
             part_of: Some((coord, gtxn)),
             prepared: true,

@@ -9,7 +9,7 @@
 use unbundled::core::{DcId, Key, TableId, TableSpec, TcId};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{single, TransportKind};
-use unbundled::tc::TcConfig;
+use unbundled::tc::{ReadConsistency, TcConfig};
 
 const T: TableId = TableId(1);
 
@@ -67,7 +67,9 @@ fn main() {
         dc_snap.pages_reset, dc_snap.records_reset
     );
     let t = tc.begin().unwrap();
-    let v = tc.read(t, T, Key::from_u64(0)).unwrap();
+    let v = tc
+        .read(t, T, Key::from_u64(0), ReadConsistency::Locking)
+        .unwrap();
     tc.commit(t).unwrap();
     println!(
         "key 0 after recovery: {:?} (loser update gone)",

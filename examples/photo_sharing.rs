@@ -118,11 +118,13 @@ fn main() {
     // after the commit gives read-your-writes: any replica whose applied
     // frontier covers the token qualifies; stale replicas fall back to
     // the primary.
-    let token = tc.read_token();
+    let token = tc.log_handle().stable();
     tc.ship_now(); // the kernel's replication pump would do this continuously
+    let feed = tc.begin().unwrap();
     for photo in [100u64, 101] {
         let v = tc
-            .read_replica(
+            .read(
+                feed,
                 PHOTOS,
                 Key::from_u64(photo),
                 ReadConsistency::AtLeast(token),
@@ -134,6 +136,7 @@ fn main() {
             String::from_utf8_lossy(&v)
         );
     }
+    tc.commit(feed).unwrap();
     for lag in tc.replica_lag() {
         println!(
             "replica {} freshness: applied {} / durable {} of ship frontier {} (lag {})",

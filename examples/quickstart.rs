@@ -8,7 +8,7 @@
 use unbundled::core::{DcId, Key, TableId, TableSpec, TcId};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{single, TransportKind};
-use unbundled::tc::TcConfig;
+use unbundled::tc::{ReadConsistency, TcConfig};
 
 fn main() {
     const ACCOUNTS: TableId = TableId(1);
@@ -43,8 +43,12 @@ fn main() {
     deployment.reboot_all();
     let tc = deployment.tc(TcId(1));
     let txn = tc.begin().unwrap();
-    let alice = tc.read(txn, ACCOUNTS, Key::from_u64(1)).unwrap();
-    let bob = tc.read(txn, ACCOUNTS, Key::from_u64(2)).unwrap();
+    let alice = tc
+        .read(txn, ACCOUNTS, Key::from_u64(1), ReadConsistency::Locking)
+        .unwrap();
+    let bob = tc
+        .read(txn, ACCOUNTS, Key::from_u64(2), ReadConsistency::Locking)
+        .unwrap();
     tc.commit(txn).unwrap();
     println!(
         "after crash+recovery: alice={:?} bob={:?}",

@@ -10,7 +10,7 @@ use unbundled::core::{
 use unbundled::dc::{DcConfig, DcServer};
 use unbundled::kernel::{single, Deployment, FaultModel, TransportKind};
 use unbundled::storage::LogStore;
-use unbundled::tc::{AckTracker, TableRoute, TcConfig};
+use unbundled::tc::{AckTracker, ReadConsistency, TableRoute, TcConfig};
 
 const T: TableId = TableId(1);
 const T2: TableId = TableId(2);
@@ -43,11 +43,13 @@ fn multi_dc_transaction_commits_atomically_without_2pc() {
     tc.commit(txn).unwrap();
     let t = tc.begin().unwrap();
     assert_eq!(
-        tc.read(t, T, Key::from_u64(1)).unwrap(),
+        tc.read(t, T, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"on-dc1".to_vec())
     );
     assert_eq!(
-        tc.read(t, T2, Key::from_u64(1)).unwrap(),
+        tc.read(t, T2, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"on-dc2".to_vec())
     );
     tc.commit(t).unwrap();
@@ -85,11 +87,13 @@ fn multi_dc_tc_crash_recovers_both_sides() {
     let tc = d.tc(TcId(1));
     let t = tc.begin().unwrap();
     assert_eq!(
-        tc.read(t, T, Key::from_u64(1)).unwrap(),
+        tc.read(t, T, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"c1".to_vec())
     );
     assert_eq!(
-        tc.read(t, T2, Key::from_u64(1)).unwrap(),
+        tc.read(t, T2, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"c2".to_vec())
     );
     tc.commit(t).unwrap();
@@ -132,8 +136,12 @@ fn repeatable_reads_from_transaction_cache() {
     tc.commit(t0).unwrap();
     let t = tc.begin().unwrap();
     let reads_before = tc.stats().snapshot().reads_sent;
-    let a = tc.read(t, T, Key::from_u64(1)).unwrap();
-    let b = tc.read(t, T, Key::from_u64(1)).unwrap();
+    let a = tc
+        .read(t, T, Key::from_u64(1), ReadConsistency::Locking)
+        .unwrap();
+    let b = tc
+        .read(t, T, Key::from_u64(1), ReadConsistency::Locking)
+        .unwrap();
     assert_eq!(a, b);
     let reads_after = tc.stats().snapshot().reads_sent;
     assert_eq!(

@@ -315,11 +315,16 @@ fn run_replicated_schedule(seed: u64) {
         if step % 5 == 4 {
             let tc = d.tc(TcId(1));
             let probe = sched.rng.gen_range(0..KEY_SPACE);
-            let token = tc.read_token();
+            let token = tc.log_handle().stable();
             d.pump_replication(TcId(1));
+            let rt = tc
+                .begin()
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: probe begin failed: {e}"));
             let got = tc
-                .read_replica(T, Key::from_u64(probe), ReadConsistency::AtLeast(token))
+                .read(rt, T, Key::from_u64(probe), ReadConsistency::AtLeast(token))
                 .unwrap_or_else(|e| panic!("seed {seed} step {step}: replica read failed: {e}"));
+            tc.commit(rt)
+                .unwrap_or_else(|e| panic!("seed {seed} step {step}: probe commit failed: {e}"));
             assert_eq!(
                 got.as_ref(),
                 sched.model.get(&probe),

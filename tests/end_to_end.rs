@@ -4,7 +4,7 @@
 use unbundled::core::{DcId, Key, TableId, TableSpec, TcError, TcId};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{single, Deployment, FaultModel, TransportKind};
-use unbundled::tc::{RangePartitioner, ScanProtocol, TcConfig};
+use unbundled::tc::{RangePartitioner, ReadConsistency, ScanProtocol, TcConfig};
 
 const T: TableId = TableId(1);
 
@@ -30,7 +30,8 @@ fn txn_commit_roundtrip_inline() {
 
     let txn2 = tc.begin().unwrap();
     assert_eq!(
-        tc.read(txn2, T, Key::from_u64(1)).unwrap(),
+        tc.read(txn2, T, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"hello".to_vec())
     );
     tc.update(txn2, T, Key::from_u64(1), b"hi".to_vec())
@@ -40,10 +41,15 @@ fn txn_commit_roundtrip_inline() {
 
     let txn3 = tc.begin().unwrap();
     assert_eq!(
-        tc.read(txn3, T, Key::from_u64(1)).unwrap(),
+        tc.read(txn3, T, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"hi".to_vec())
     );
-    assert_eq!(tc.read(txn3, T, Key::from_u64(2)).unwrap(), None);
+    assert_eq!(
+        tc.read(txn3, T, Key::from_u64(2), ReadConsistency::Locking)
+            .unwrap(),
+        None
+    );
     tc.commit(txn3).unwrap();
 }
 
@@ -67,10 +73,15 @@ fn abort_rolls_back_via_inverse_operations() {
     // State is exactly the baseline again.
     let t2 = tc.begin().unwrap();
     assert_eq!(
-        tc.read(t2, T, Key::from_u64(1)).unwrap(),
+        tc.read(t2, T, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"keep".to_vec())
     );
-    assert_eq!(tc.read(t2, T, Key::from_u64(2)).unwrap(), None);
+    assert_eq!(
+        tc.read(t2, T, Key::from_u64(2), ReadConsistency::Locking)
+            .unwrap(),
+        None
+    );
     tc.commit(t2).unwrap();
     assert_eq!(tc.stats().snapshot().aborts, 1);
     assert!(tc.stats().snapshot().undo_ops >= 3);
@@ -91,7 +102,11 @@ fn failed_operation_aborts_transaction() {
     assert!(matches!(err, TcError::OperationFailed(..)));
     // The transaction was rolled back: key 5 is gone.
     let t2 = tc.begin().unwrap();
-    assert_eq!(tc.read(t2, T, Key::from_u64(5)).unwrap(), None);
+    assert_eq!(
+        tc.read(t2, T, Key::from_u64(5), ReadConsistency::Locking)
+            .unwrap(),
+        None
+    );
     tc.commit(t2).unwrap();
 }
 
@@ -293,15 +308,18 @@ fn dc_crash_active_transactions_continue_after_redo() {
 
     let t2 = tc.begin().unwrap();
     assert_eq!(
-        tc.read(t2, T, Key::from_u64(0)).unwrap(),
+        tc.read(t2, T, Key::from_u64(0), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"committed".to_vec())
     );
     assert_eq!(
-        tc.read(t2, T, Key::from_u64(100)).unwrap(),
+        tc.read(t2, T, Key::from_u64(100), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"active".to_vec())
     );
     assert_eq!(
-        tc.read(t2, T, Key::from_u64(101)).unwrap(),
+        tc.read(t2, T, Key::from_u64(101), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"active2".to_vec())
     );
     tc.commit(t2).unwrap();
@@ -327,11 +345,13 @@ fn tc_crash_loses_uncommitted_keeps_committed() {
 
     let t2 = tc.begin().unwrap();
     assert_eq!(
-        tc.read(t2, T, Key::from_u64(1)).unwrap(),
+        tc.read(t2, T, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"committed".to_vec())
     );
     assert_eq!(
-        tc.read(t2, T, Key::from_u64(2)).unwrap(),
+        tc.read(t2, T, Key::from_u64(2), ReadConsistency::Locking)
+            .unwrap(),
         None,
         "uncommitted effects must not survive a TC crash"
     );
@@ -361,11 +381,16 @@ fn tc_crash_mid_transaction_rolls_back_stable_loser() {
 
     let t2 = tc.begin().unwrap();
     assert_eq!(
-        tc.read(t2, T, Key::from_u64(1)).unwrap(),
+        tc.read(t2, T, Key::from_u64(1), ReadConsistency::Locking)
+            .unwrap(),
         Some(b"base".to_vec()),
         "stable loser update must be undone"
     );
-    assert_eq!(tc.read(t2, T, Key::from_u64(2)).unwrap(), None);
+    assert_eq!(
+        tc.read(t2, T, Key::from_u64(2), ReadConsistency::Locking)
+            .unwrap(),
+        None
+    );
     tc.commit(t2).unwrap();
 }
 

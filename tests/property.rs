@@ -5,11 +5,12 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use unbundled::core::{
     AbstractLsn, DcId, Key, LogicalOp, Lsn, OpResult, RequestId, TableId, TableSpec, TcId,
+    TcShardMap,
 };
 use unbundled::dc::{DcConfig, DcEngine};
-use unbundled::kernel::{single, FaultModel, TransportKind};
+use unbundled::kernel::{single, Deployment, FaultModel, TransportKind};
 use unbundled::storage::{LogStore, SimDisk};
-use unbundled::tc::{RangePartitioner, TcConfig};
+use unbundled::tc::{RangePartitioner, ReadConsistency, SnapshotSpec, TableRoute, TcConfig};
 
 const T: TableId = TableId(1);
 
@@ -274,4 +275,222 @@ fn opresult_helpers() {
     assert_eq!(OpResult::Value(Some(vec![1])).into_value(), Some(vec![1]));
     assert!(OpResult::Keys(vec![]).into_keys().is_empty());
     assert!(OpResult::Entries(vec![]).into_entries().is_empty());
+}
+
+/// Regression: a leaf split that overflows its parent branch must close
+/// its own system transaction before the branch split opens a new one.
+/// When the branch split was nested *inside* the leaf split's systxn,
+/// the branch split's forced records (a root change forces the DC log)
+/// could be complete-stable across a crash while the still-open outer
+/// systxn lost its end record — and recovery then discarded the outer
+/// page image that the branch's captured image references, leaving an
+/// unreachable page in the recovered tree.
+#[test]
+fn nested_branch_split_survives_crash_recovery() {
+    use std::sync::Arc;
+    use unbundled::core::{DcId, Key, LogicalOp, Lsn, RequestId, TableId, TableSpec, TcId};
+    use unbundled::dc::{DcConfig, DcEngine};
+    use unbundled::storage::{LogStore, SimDisk};
+    const T: TableId = TableId(9);
+    let disk = SimDisk::new();
+    let log = Arc::new(LogStore::new());
+    let cfg = DcConfig {
+        page_capacity: 256,
+        merge_threshold: 32,
+        ..Default::default()
+    };
+    let engine = DcEngine::format(DcId(1), cfg.clone(), disk.clone(), log.clone());
+    engine.create_table(TableSpec::plain(T, "t")).unwrap();
+    let tc = TcId(1);
+    // Enough small inserts to split leaves repeatedly and overflow the
+    // branch above them (forcing a nested branch/root split).
+    for i in 0..69u64 {
+        let lsn = i + 1;
+        let op = LogicalOp::Insert {
+            table: T,
+            key: Key::from_u64((i * 37) % 500),
+            value: format!("v{i}").into_bytes(),
+        };
+        engine.perform(tc, RequestId::Op(Lsn(lsn)), &op).unwrap();
+        engine.handle_eosl(tc, Lsn(lsn));
+        engine.handle_lwm(tc, Lsn(lsn));
+    }
+    engine.crash_volatile();
+    let recovered = DcEngine::recover(DcId(1), cfg, disk, log);
+    recovered.check_tree(T);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot-isolation invariants (MVCC read path)
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A snapshot read at LSN `l` observes exactly the newest version
+    /// whose commit LSN is <= `l` — never a commit stamped above the
+    /// read position, and never a hole where an older version existed.
+    #[test]
+    fn snapshot_reads_never_observe_future_commits(n_writes in 1usize..20) {
+        let d = single(
+            TcConfig::default(),
+            DcConfig::default(),
+            TransportKind::Inline,
+            &[TableSpec::plain(T, "t")],
+        );
+        let tc = d.tc(TcId(1));
+        let key = Key::from_u64(42);
+        // An open pinned snapshot holds the GC floor, so every version
+        // committed after it must remain exactly readable.
+        let pin = tc.begin().unwrap();
+        let _ = tc.read(pin, T, key.clone(), ReadConsistency::SNAPSHOT).unwrap();
+        // history[i] = (stable LSN after commit i, committed value).
+        let mut history: Vec<(Lsn, Option<Vec<u8>>)> =
+            vec![(tc.log_handle().stable(), None)];
+        for i in 0..n_writes {
+            let t = tc.begin().unwrap();
+            let val = format!("v{i}").into_bytes();
+            if i == 0 {
+                tc.insert(t, T, key.clone(), val.clone()).unwrap();
+            } else {
+                tc.update(t, T, key.clone(), val.clone()).unwrap();
+            }
+            tc.commit(t).unwrap();
+            history.push((tc.log_handle().stable(), Some(val)));
+        }
+        for (at, expect) in &history {
+            let t = tc.begin().unwrap();
+            let got = tc
+                .read(t, T, key.clone(), ReadConsistency::Snapshot(SnapshotSpec::At(*at)))
+                .unwrap();
+            tc.commit(t).unwrap();
+            prop_assert_eq!(got, expect.clone(), "snapshot at {:?}", at);
+        }
+        tc.commit(pin).unwrap();
+    }
+
+    /// All reads inside one pinned-snapshot transaction are repeatable:
+    /// concurrent commits never bleed into an open snapshot, while a
+    /// fresh snapshot observes them immediately.
+    #[test]
+    fn pinned_snapshot_is_repeatable_across_concurrent_commits(
+        n_keys in 1usize..6,
+        n_overwrites in 1usize..6,
+    ) {
+        let d = single(
+            TcConfig::default(),
+            DcConfig::default(),
+            TransportKind::Inline,
+            &[TableSpec::plain(T, "t")],
+        );
+        let tc = d.tc(TcId(1));
+        for k in 0..n_keys as u64 {
+            let t = tc.begin().unwrap();
+            tc.insert(t, T, Key::from_u64(k), format!("old{k}").into_bytes()).unwrap();
+            tc.commit(t).unwrap();
+        }
+        let reader = tc.begin().unwrap();
+        let mut first: Vec<Option<Vec<u8>>> = Vec::new();
+        for k in 0..n_keys as u64 {
+            first.push(
+                tc.read(reader, T, Key::from_u64(k), ReadConsistency::SNAPSHOT).unwrap(),
+            );
+        }
+        // A concurrent writer overwrites every key (several times).
+        for round in 0..n_overwrites {
+            for k in 0..n_keys as u64 {
+                let w = tc.begin().unwrap();
+                tc.update(w, T, Key::from_u64(k), format!("new{round}-{k}").into_bytes())
+                    .unwrap();
+                tc.commit(w).unwrap();
+            }
+        }
+        for k in 0..n_keys as u64 {
+            let again = tc
+                .read(reader, T, Key::from_u64(k), ReadConsistency::SNAPSHOT)
+                .unwrap();
+            prop_assert_eq!(again, first[k as usize].clone(), "key {} moved under the pin", k);
+        }
+        tc.commit(reader).unwrap();
+        // A fresh snapshot sees the newest committed overwrite.
+        let t = tc.begin().unwrap();
+        let fresh = tc
+            .read(t, T, Key::from_u64(0), ReadConsistency::Snapshot(SnapshotSpec::Fresh))
+            .unwrap();
+        tc.commit(t).unwrap();
+        prop_assert_eq!(fresh, Some(format!("new{}-0", n_overwrites - 1).into_bytes()));
+    }
+}
+
+/// No snapshot position tears a cross-TC 2PC commit: two keys written by
+/// the same participant branch are stamped at one ParticipantCommit LSN,
+/// so a snapshot read at *any* LSN of the participant's log sees both
+/// keys from the same round (or neither).
+#[test]
+fn cross_tc_commits_are_never_torn_at_any_snapshot() {
+    let tc_cfg = TcConfig {
+        resend_interval: std::time::Duration::from_millis(5),
+        ..TcConfig::default()
+    };
+    let mut d = Deployment::new();
+    for (tc, dc) in [(TcId(1), DcId(1)), (TcId(2), DcId(2))] {
+        d.add_dc(dc, DcConfig::default());
+        d.add_tc(tc, tc_cfg.clone());
+        d.connect(tc, dc, TransportKind::Inline);
+        d.create_table(dc, TableSpec::plain(T, "t"));
+        d.route(tc, T, TableRoute::Single(dc));
+    }
+    d.set_shard_map(TcShardMap::even(&[TcId(1), TcId(2)]));
+    // Both keys live on shard 2; the coordinator on shard 1 writes them
+    // through cross-TC forwarding, so every round is a 2PC commit whose
+    // participant branch covers both keys.
+    let (b, c) = (
+        Key::from_u64(u64::MAX / 2 + 1000),
+        Key::from_u64(u64::MAX / 2 + 2000),
+    );
+    let tc1 = d.tc(TcId(1));
+    // Pin the participant's GC floor below every round so each round's
+    // versions stay readable at their exact stamp positions.
+    let tc2 = d.tc(TcId(2));
+    let pin = tc2.begin().unwrap();
+    let _ = tc2
+        .read(pin, T, b.clone(), ReadConsistency::SNAPSHOT)
+        .unwrap();
+    for round in 0..5u32 {
+        let txn = tc1.begin().unwrap();
+        for key in [b.clone(), c.clone()] {
+            let val = format!("r{round}").into_bytes();
+            if round == 0 {
+                tc1.insert(txn, T, key, val).unwrap();
+            } else {
+                tc1.update(txn, T, key, val).unwrap();
+            }
+        }
+        tc1.commit(txn).unwrap();
+    }
+    let stable = tc2.log_handle().stable();
+    for l in 0..=stable.0 {
+        let at = ReadConsistency::Snapshot(SnapshotSpec::At(Lsn(l)));
+        let txn = tc2.begin().unwrap();
+        let vb = tc2.read(txn, T, b.clone(), at).unwrap();
+        let vc = tc2.read(txn, T, c.clone(), at).unwrap();
+        tc2.commit(txn).unwrap();
+        assert_eq!(
+            vb, vc,
+            "torn cross-TC commit at participant LSN {l}: {vb:?} vs {vc:?}"
+        );
+    }
+    // The final position must see the last round on both keys.
+    let txn = tc2.begin().unwrap();
+    let last = tc2
+        .read(
+            txn,
+            T,
+            b,
+            ReadConsistency::Snapshot(SnapshotSpec::At(stable)),
+        )
+        .unwrap();
+    tc2.commit(txn).unwrap();
+    assert_eq!(last, Some(b"r4".to_vec()));
+    tc2.commit(pin).unwrap();
 }

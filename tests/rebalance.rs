@@ -25,7 +25,7 @@ use std::time::Duration;
 use unbundled::core::{DcId, Key, LogicalOp, TableId, TableSpec, TcError, TcId, TcShardMap, TxnId};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{Deployment, TransportKind};
-use unbundled::tc::{GatherWindow, GroupCommitCfg, TableRoute, TcConfig};
+use unbundled::tc::{GatherWindow, GroupCommitCfg, ReadConsistency, TableRoute, TcConfig};
 
 const T: TableId = TableId(1);
 const HALF: u64 = u64::MAX / 2;
@@ -75,7 +75,10 @@ fn put(d: &Deployment, key: u64, value: &[u8]) {
     let tc = d.tc(owner);
     let txn = tc.begin().expect("begin");
     let k = Key::from_u64(key);
-    match tc.read(txn, T, k.clone()).expect("read") {
+    match tc
+        .read(txn, T, k.clone(), ReadConsistency::Locking)
+        .expect("read")
+    {
         Some(_) => tc.update(txn, T, k, value.to_vec()).expect("update"),
         None => tc.insert(txn, T, k, value.to_vec()).expect("insert"),
     }
@@ -87,7 +90,9 @@ fn get(d: &Deployment, key: u64) -> Option<Vec<u8>> {
     let owner = d.shard_map().expect("sharded").tc_for(&Key::from_u64(key));
     let tc = d.tc(owner);
     let txn = tc.begin().expect("begin");
-    let v = tc.read(txn, T, Key::from_u64(key)).expect("read");
+    let v = tc
+        .read(txn, T, Key::from_u64(key), ReadConsistency::Locking)
+        .expect("read");
     tc.commit(txn).expect("commit");
     v
 }

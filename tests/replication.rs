@@ -24,7 +24,7 @@ use unbundled::core::{
 };
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{Deployment, FaultModel, TransportKind};
-use unbundled::tc::{ReadConsistency, TcConfig};
+use unbundled::tc::{ReadConsistency, SnapshotSpec, TcConfig};
 
 const T: TableId = TableId(1);
 const PRIMARY: DcId = DcId(1);
@@ -65,6 +65,15 @@ fn pump_until_converged(d: &Deployment, tc: TcId) {
         std::thread::sleep(Duration::from_millis(1));
     }
     panic!("replicas failed to converge: {:?}", t.replica_lag());
+}
+
+/// One-shot read at the given consistency level (its own transaction,
+/// as an application session polling replicas would issue it).
+fn read_at(t: &std::sync::Arc<unbundled::tc::Tc>, key: Key, c: ReadConsistency) -> Option<Vec<u8>> {
+    let txn = t.begin().expect("begin");
+    let v = t.read(txn, T, key, c).expect("read");
+    t.commit(txn).expect("commit");
+    v
 }
 
 fn committed_rows(d: &Deployment, tc: TcId) -> Vec<(Key, Vec<u8>)> {
@@ -293,9 +302,7 @@ fn stale_replicas_fall_back_to_the_primary_and_tokens_give_read_your_writes() {
     t.commit(txn).unwrap();
     // Never pumped: the replica's frontier is 0, so a fully-fresh read
     // must fall back to the primary — and still see committed data.
-    let v = t
-        .read_replica(T, Key::from_u64(1), ReadConsistency::BoundedLag(0))
-        .unwrap();
+    let v = read_at(&t, Key::from_u64(1), ReadConsistency::BoundedLag(0));
     assert_eq!(v, Some(b"first".to_vec()));
     assert!(t.stats().snapshot().replica_read_fallbacks > 0);
     assert_eq!(t.stats().snapshot().replica_reads, 0);
@@ -304,23 +311,21 @@ fn stale_replicas_fall_back_to_the_primary_and_tokens_give_read_your_writes() {
     t.update(txn, T, Key::from_u64(1), b"second".to_vec())
         .unwrap();
     t.commit(txn).unwrap();
-    let token = t.read_token();
+    let token = t.log_handle().stable();
     pump_until_converged(&d, TcId(1));
-    let v = t
-        .read_replica(T, Key::from_u64(1), ReadConsistency::AtLeast(token))
-        .unwrap();
+    let v = read_at(&t, Key::from_u64(1), ReadConsistency::AtLeast(token));
     assert_eq!(v, Some(b"second".to_vec()));
     assert!(t.stats().snapshot().replica_reads > 0);
     // An enormous lag bound accepts any replica.
-    let v = t
-        .read_replica(T, Key::from_u64(1), ReadConsistency::BoundedLag(u64::MAX))
-        .unwrap();
+    let v = read_at(&t, Key::from_u64(1), ReadConsistency::BoundedLag(u64::MAX));
     assert_eq!(v, Some(b"second".to_vec()));
-    // Primary consistency never touches a replica.
+    // A fresh primary snapshot read never touches a replica.
     let before = t.stats().snapshot().replica_reads;
-    let v = t
-        .read_replica(T, Key::from_u64(1), ReadConsistency::Primary)
-        .unwrap();
+    let v = read_at(
+        &t,
+        Key::from_u64(1),
+        ReadConsistency::Snapshot(SnapshotSpec::Fresh),
+    );
     assert_eq!(v, Some(b"second".to_vec()));
     assert_eq!(t.stats().snapshot().replica_reads, before);
 }
@@ -338,9 +343,7 @@ fn replica_reads_are_lock_free_committed_and_rotate_across_replicas() {
     let before_r1 = d.dc(R1).engine().stats().snapshot().reads;
     let before_r2 = d.dc(R2).engine().stats().snapshot().reads;
     for i in 0..6u64 {
-        let v = t
-            .read_replica(T, Key::from_u64(i), ReadConsistency::BoundedLag(u64::MAX))
-            .unwrap();
+        let v = read_at(&t, Key::from_u64(i), ReadConsistency::BoundedLag(u64::MAX));
         assert_eq!(v, Some(vec![i as u8]));
     }
     let r1 = d.dc(R1).engine().stats().snapshot().reads - before_r1;
@@ -437,13 +440,11 @@ fn promoted_replica_keeps_serving_replica_reads_from_survivors() {
     t.insert(txn, T, Key::from_u64(777), b"after".to_vec())
         .unwrap();
     t.commit(txn).unwrap();
-    let token = t.read_token();
+    let token = t.log_handle().stable();
     pump_until_converged(&d, TcId(1));
     // The read routes by the *current* primary (R1) and is served by the
     // surviving replica R2, which qualified via its lineage.
-    let v = t
-        .read_replica(T, Key::from_u64(777), ReadConsistency::AtLeast(token))
-        .unwrap();
+    let v = read_at(&t, Key::from_u64(777), ReadConsistency::AtLeast(token));
     assert_eq!(v, Some(b"after".to_vec()));
     assert!(t.stats().snapshot().replica_reads > 0);
 }

@@ -22,7 +22,7 @@ use std::time::Duration;
 use unbundled::core::{DcId, Key, TableId, TableSpec, TcId, TcShardMap};
 use unbundled::dc::DcConfig;
 use unbundled::kernel::{Deployment, TransportKind};
-use unbundled::tc::{GatherWindow, GroupCommitCfg, TableRoute, TcConfig};
+use unbundled::tc::{GatherWindow, GroupCommitCfg, ReadConsistency, TableRoute, TcConfig};
 
 const T: TableId = TableId(1);
 
@@ -76,7 +76,9 @@ fn cross_txn(d: &Deployment) -> unbundled::core::TxnId {
 fn read_via(d: &Deployment, tc: TcId, key: Key) -> Option<Vec<u8>> {
     let t = d.tc(tc);
     let txn = t.begin().expect("begin probe");
-    let v = t.read(txn, T, key).expect("probe read");
+    let v = t
+        .read(txn, T, key, ReadConsistency::Locking)
+        .expect("probe read");
     t.commit(txn).expect("commit probe");
     v
 }
@@ -96,7 +98,9 @@ fn assert_quiesced(d: &Deployment, ctx: &str) {
     for key in [low_key(), high_key()] {
         // Take the X lock (insert or update, whichever applies): a
         // leaked lock from the crashed transaction would time this out.
-        let cur = tc1.read(probe, T, key.clone()).expect("probe read");
+        let cur = tc1
+            .read(probe, T, key.clone(), ReadConsistency::Locking)
+            .expect("probe read");
         let write = match cur {
             Some(_) => tc1.update(probe, T, key, b"probe".to_vec()),
             None => tc1.insert(probe, T, key, b"probe".to_vec()),
