@@ -72,13 +72,14 @@ fn main() {
         Some("e14") => e14(json.as_deref()),
         Some("e15") => e15(json.as_deref()),
         Some("e16") => e16(json.as_deref()),
+        Some("obs") => obs(json.as_deref()),
         Some("check") => {
             let baselines = against.expect("check needs --against <baselines.json>");
             check(&baselines, dir.as_deref().unwrap_or("."));
         }
         Some(other) => {
             panic!(
-                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"e15\" / \"e16\" / \"check\" can run alone)"
+                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"e15\" / \"e16\" / \"obs\" / \"check\" can run alone)"
             )
         }
         None => {
@@ -108,6 +109,7 @@ fn main() {
             e14(per_exp("e14").as_deref());
             e15(per_exp("e15").as_deref());
             e16(per_exp("e16").as_deref());
+            obs(per_exp("obs").as_deref());
         }
     }
     println!("\nreport complete.");
@@ -125,6 +127,23 @@ fn e16(json: Option<&str>) {
     if let Some(path) = json {
         std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("e16 telemetry written to {path}");
+    }
+    report.assert_gates();
+}
+
+/// OBS — the commit-path observability breakdown: per-stage latency
+/// histograms (lock wait, gather wait, force, DC apply, 2PC residual)
+/// out of `Deployment::observe()`, the 20% stage-decomposition gate,
+/// and one traced cross-TC commit rendered as a span tree. Telemetry
+/// is written before the gates are asserted, like e11–e16.
+fn obs(json: Option<&str>) {
+    header("OBS: commit-path breakdown — per-stage histograms and span tree");
+    let smoke = std::env::var("OBS_SMOKE").is_ok() || std::env::var("E11_SMOKE").is_ok();
+    let report = unbundled_bench::obs::run_obs(smoke);
+    report.print();
+    if let Some(path) = json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("obs telemetry written to {path}");
     }
     report.assert_gates();
 }

@@ -16,6 +16,7 @@ pub mod e14;
 pub mod e15;
 pub mod e16;
 pub mod json;
+pub mod obs;
 pub mod workload;
 
 use std::sync::Arc;

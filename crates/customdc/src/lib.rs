@@ -330,10 +330,20 @@ impl SimpleDc {
         req: RequestId,
         op: &LogicalOp,
     ) -> Result<OpResult, DcError> {
-        if op.is_mutation() && self.is_fenced() {
-            return Err(DcError::Fenced(self.id));
-        }
-        self.perform(tc, req, op)
+        // Commit-path applies only, matching the stock engine's policy.
+        let _s = unbundled_obs::stage::in_commit_scope()
+            .then(|| unbundled_obs::span1("dc.apply", "table", op.table().0 as u64));
+        let t0 = std::time::Instant::now();
+        let result = if op.is_mutation() && self.is_fenced() {
+            Err(DcError::Fenced(self.id))
+        } else {
+            self.perform(tc, req, op)
+        };
+        unbundled_obs::stage::add(
+            unbundled_obs::stage::Stage::Apply,
+            t0.elapsed().as_nanos() as u64,
+        );
+        result
     }
 
     /// Operation body under the store lock — ship-batch replay holds the

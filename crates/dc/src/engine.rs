@@ -406,7 +406,13 @@ impl DcEngine {
     /// semantics for mutations (duplicates are suppressed by the abstract
     /// LSN test).
     pub fn perform(&self, tc: TcId, req: RequestId, op: &LogicalOp) -> Result<OpResult, DcError> {
-        if op.is_mutation() {
+        // Span only the commit-path apply (the transaction's stamped
+        // mutations); body operations hit this path several times per
+        // transaction and are not part of the commit tree.
+        let _s = unbundled_obs::stage::in_commit_scope()
+            .then(|| unbundled_obs::span1("dc.apply", "table", op.table().0 as u64));
+        let t0 = std::time::Instant::now();
+        let result = if op.is_mutation() {
             let lsn = req
                 .lsn()
                 .expect("mutations must carry an LSN-based request id");
@@ -414,7 +420,11 @@ impl DcEngine {
         } else {
             DcStats::bump(&self.stats.reads);
             self.do_read(op)
-        }
+        };
+        let took = t0.elapsed();
+        self.stats.apply_ns.record(took);
+        unbundled_obs::stage::add(unbundled_obs::stage::Stage::Apply, took.as_nanos() as u64);
+        result
     }
 
     // ------------------------------------------------------------------

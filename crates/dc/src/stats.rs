@@ -1,66 +1,126 @@
-//! DC-side counters backing the experiments.
+//! DC-side counters and histograms backing the experiments.
+//!
+//! All metrics live in a per-instance [`Registry`] (one per engine),
+//! named `dc.*`; [`DcSnapshot`] stays as the stable, field-per-stat
+//! public view, now materialized from a single registry pass.
+//!
+//! Snapshot semantics: the registry pass reads every counter once,
+//! back-to-back under the registry lock. Each field is individually
+//! exact and monotone; cross-field invariants (e.g. `versions_stamped ≤
+//! versions_created`) are best-effort when read mid-traffic. Quiesce
+//! the engine before asserting exact cross-field relations.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unbundled_obs::{Counter, Histogram, Registry};
 
-/// Monotonic DC counters (lock-free; snapshot with [`DcStats::snapshot`]).
-#[derive(Default, Debug)]
-pub struct DcStats {
+macro_rules! dc_stats {
+    ($( $(#[$doc:meta])* $field:ident => $name:literal, $help:literal; )+) => {
+        /// Monotonic DC counters (lock-free; snapshot with
+        /// [`DcStats::snapshot`]) plus the apply-latency histogram,
+        /// registered in one per-instance metrics [`Registry`].
+        pub struct DcStats {
+            $( $(#[$doc])* pub $field: Counter, )+
+            /// Latency of one performed operation (mutation apply or
+            /// read), one sample per request.
+            pub apply_ns: Histogram,
+            registry: Arc<Registry>,
+        }
+
+        impl Default for DcStats {
+            fn default() -> Self {
+                let registry = Registry::new();
+                DcStats {
+                    $( $field: registry.counter($name, "ops", $help), )+
+                    apply_ns: registry.histogram(
+                        "dc.apply_ns", "ns", "per-operation apply/read latency"),
+                    registry: Arc::new(registry),
+                }
+            }
+        }
+
+        impl DcStats {
+            /// Copy the current values in one registry pass.
+            pub fn snapshot(&self) -> DcSnapshot {
+                let snap = self.registry.snapshot();
+                DcSnapshot {
+                    $( $field: snap.counter($name), )+
+                }
+            }
+
+            /// This instance's metrics registry.
+            pub fn registry(&self) -> &Arc<Registry> {
+                &self.registry
+            }
+
+            pub(crate) fn bump(counter: &AtomicU64) {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+
+            pub(crate) fn add(counter: &AtomicU64, n: u64) {
+                counter.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    };
+}
+
+dc_stats! {
     /// Mutations applied (first delivery).
-    pub ops_applied: AtomicU64,
+    ops_applied => "dc.ops_applied", "mutations applied";
     /// Duplicate deliveries suppressed by the abLSN test.
-    pub duplicates_suppressed: AtomicU64,
+    duplicates_suppressed => "dc.duplicates_suppressed", "duplicate deliveries suppressed";
     /// Mutations that arrived with an LSN below the page's max included
     /// LSN (out-of-order executions, Section 5.1).
-    pub out_of_order: AtomicU64,
+    out_of_order => "dc.out_of_order", "out-of-order arrivals";
     /// Reads served.
-    pub reads: AtomicU64,
+    reads => "dc.reads", "reads served";
     /// Page splits (system transactions).
-    pub splits: AtomicU64,
+    splits => "dc.splits", "page splits";
     /// Page consolidations (system transactions).
-    pub consolidations: AtomicU64,
+    consolidations => "dc.consolidations", "page consolidations";
     /// Pages flushed.
-    pub flushes: AtomicU64,
+    flushes => "dc.flushes", "pages flushed";
     /// Flushes that had to wait for a low-water-mark advance
     /// (page-sync policies 1/3).
-    pub flush_waits: AtomicU64,
+    flush_waits => "dc.flush_waits", "flushes that waited on the LWM";
     /// Operations that backed off from a sync-frozen page.
-    pub freeze_backoffs: AtomicU64,
+    freeze_backoffs => "dc.freeze_backoffs", "sync-freeze backoffs";
     /// Pages evicted from the cache.
-    pub evictions: AtomicU64,
+    evictions => "dc.evictions", "pages evicted";
     /// Pages reset after a TC crash.
-    pub pages_reset: AtomicU64,
+    pages_reset => "dc.pages_reset", "pages reset after a TC crash";
     /// Records selectively reset after a TC crash (Section 6.1.2).
-    pub records_reset: AtomicU64,
+    records_reset => "dc.records_reset", "records selectively reset";
     /// Bytes of abstract-LSN state written into flushed page images.
-    pub ablsn_bytes_flushed: AtomicU64,
+    ablsn_bytes_flushed => "dc.ablsn_bytes_flushed", "abLSN bytes flushed";
     /// Replication `ShipBatch` datagrams applied (frontier advanced).
-    pub ship_batches_applied: AtomicU64,
+    ship_batches_applied => "dc.ship_batches_applied", "ship batches applied";
     /// Redo records applied from ship batches (duplicates excluded —
     /// those count under `duplicates_suppressed`).
-    pub ship_records_applied: AtomicU64,
+    ship_records_applied => "dc.ship_records_applied", "shipped records applied";
     /// Ship batches discarded because an earlier batch was lost (the
     /// batch's `prev` was ahead of the applied frontier).
-    pub ship_gap_drops: AtomicU64,
+    ship_gap_drops => "dc.ship_gap_drops", "ship batches dropped on a gap";
     /// Re-delivered stream groups skipped because the applied frontier
     /// already covered them (duplicated ship batches are idempotent at
     /// group granularity — a group never re-executes on newer state).
-    pub ship_groups_skipped: AtomicU64,
+    ship_groups_skipped => "dc.ship_groups_skipped", "redelivered groups skipped";
     /// Shipped records whose replay returned a deterministic logical
     /// error (e.g. a compensation whose original was never shipped).
-    pub ship_apply_errors: AtomicU64,
+    ship_apply_errors => "dc.ship_apply_errors", "shipped records replayed to error";
     /// Mutations rejected because this DC is fenced (read-only replica
     /// or deposed primary).
-    pub fenced_rejects: AtomicU64,
+    fenced_rejects => "dc.fenced_rejects", "fenced mutations rejected";
     /// MVCC version-chain entries created (payloads displaced into a
     /// record's history by a newer write).
-    pub versions_created: AtomicU64,
+    versions_created => "dc.versions_created", "version-chain entries created";
     /// MVCC version-chain entries pruned by garbage collection
     /// (including physically reclaimed tombstones).
-    pub versions_pruned: AtomicU64,
+    versions_pruned => "dc.versions_pruned", "version-chain entries pruned";
     /// Commit stamps applied to versions (`StampCommit` with effect).
-    pub versions_stamped: AtomicU64,
+    versions_stamped => "dc.versions_stamped", "commit stamps applied";
     /// Point reads served at snapshot isolation (lock-free MVCC reads).
-    pub snapshot_reads: AtomicU64,
+    snapshot_reads => "dc.snapshot_reads", "snapshot point reads served";
 }
 
 /// Point-in-time copy of [`DcStats`].
@@ -114,45 +174,6 @@ pub struct DcSnapshot {
     pub snapshot_reads: u64,
 }
 
-impl DcStats {
-    /// Copy the current values.
-    pub fn snapshot(&self) -> DcSnapshot {
-        DcSnapshot {
-            ops_applied: self.ops_applied.load(Ordering::Relaxed),
-            duplicates_suppressed: self.duplicates_suppressed.load(Ordering::Relaxed),
-            out_of_order: self.out_of_order.load(Ordering::Relaxed),
-            reads: self.reads.load(Ordering::Relaxed),
-            splits: self.splits.load(Ordering::Relaxed),
-            consolidations: self.consolidations.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed),
-            flush_waits: self.flush_waits.load(Ordering::Relaxed),
-            freeze_backoffs: self.freeze_backoffs.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            pages_reset: self.pages_reset.load(Ordering::Relaxed),
-            records_reset: self.records_reset.load(Ordering::Relaxed),
-            ablsn_bytes_flushed: self.ablsn_bytes_flushed.load(Ordering::Relaxed),
-            ship_batches_applied: self.ship_batches_applied.load(Ordering::Relaxed),
-            ship_records_applied: self.ship_records_applied.load(Ordering::Relaxed),
-            ship_gap_drops: self.ship_gap_drops.load(Ordering::Relaxed),
-            ship_groups_skipped: self.ship_groups_skipped.load(Ordering::Relaxed),
-            ship_apply_errors: self.ship_apply_errors.load(Ordering::Relaxed),
-            fenced_rejects: self.fenced_rejects.load(Ordering::Relaxed),
-            versions_created: self.versions_created.load(Ordering::Relaxed),
-            versions_pruned: self.versions_pruned.load(Ordering::Relaxed),
-            versions_stamped: self.versions_stamped.load(Ordering::Relaxed),
-            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
-        }
-    }
-
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,5 +187,14 @@ mod tests {
         assert_eq!(snap.splits, 1);
         assert_eq!(snap.ablsn_bytes_flushed, 32);
         assert_eq!(snap.ops_applied, 0);
+    }
+
+    #[test]
+    fn registry_carries_every_counter() {
+        let s = DcStats::default();
+        DcStats::add(&s.versions_stamped, 3);
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("dc.versions_stamped"), 3);
+        assert!(snap.histogram("dc.apply_ns").is_some());
     }
 }

@@ -417,6 +417,26 @@ impl Deployment {
         v
     }
 
+    /// One cluster-wide metrics snapshot: every component registry —
+    /// per TC its stats, lock-manager and TC-log registries; per DC its
+    /// engine stats and DC-log registries — merged by metric name
+    /// (counters sum, gauges take the max, histograms merge).
+    pub fn observe(&self) -> unbundled_obs::RegistrySnapshot {
+        let mut snaps = Vec::new();
+        for id in self.tc_ids() {
+            let tc = self.tc(id);
+            snaps.push(tc.stats().registry().snapshot());
+            snaps.push(tc.lock_manager().registry().snapshot());
+            snaps.push(self.tc_log(id).registry().snapshot());
+        }
+        for id in self.dc_ids() {
+            let dc = self.dc(id);
+            snaps.push(dc.engine().stats().registry().snapshot());
+            snaps.push(self.dc_log(id).registry().snapshot());
+        }
+        unbundled_obs::merge_snapshots(snaps)
+    }
+
     // ------------------------------------------------------------------
     // Partial failures (Section 5.3)
     // ------------------------------------------------------------------

@@ -31,6 +31,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use unbundled_core::{Key, TableId};
+use unbundled_obs as obs;
 
 /// A lock owner: one transaction (possibly from any TC — tokens are
 /// namespaced by the caller).
@@ -263,6 +264,9 @@ pub struct LockManager {
     /// owner → resources it holds (for unlock_all).
     held: Mutex<HashMap<LockToken, Vec<LockName>>>,
     stats: LockStats,
+    registry: Arc<obs::Registry>,
+    /// Nanoseconds waited before each successful (blocked) grant.
+    wait_hist: obs::Histogram,
 }
 
 const SHARDS: usize = 32;
@@ -277,6 +281,7 @@ fn shard_of(name: &LockName) -> usize {
 impl LockManager {
     /// A fresh lock manager.
     pub fn new() -> Self {
+        let registry = obs::Registry::new();
         LockManager {
             shards: (0..SHARDS)
                 .map(|_| {
@@ -291,12 +296,23 @@ impl LockManager {
             waits_for: Mutex::new(HashMap::new()),
             held: Mutex::new(HashMap::new()),
             stats: LockStats::default(),
+            wait_hist: registry.histogram(
+                "lockmgr.wait_ns",
+                "ns",
+                "time blocked before a successful lock grant",
+            ),
+            registry: Arc::new(registry),
         }
     }
 
     /// Counters.
     pub fn stats(&self) -> &LockStats {
         &self.stats
+    }
+
+    /// This instance's metrics registry.
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
     }
 
     /// Acquire `name` in `mode` for `owner`, blocking if necessary.
@@ -311,6 +327,20 @@ impl LockManager {
         mode: LockMode,
         timeout: Option<Duration>,
     ) -> Result<(), LockError> {
+        self.lock_waited(owner, name, mode, timeout).map(|_| ())
+    }
+
+    /// Like [`LockManager::lock`], but reports how many nanoseconds
+    /// the caller was blocked before the grant (0 for an uncontended
+    /// fast-path grant). Actual waits are recorded in the
+    /// `lockmgr.wait_ns` histogram and emit a `lockmgr.lock_wait` span.
+    pub fn lock_waited(
+        &self,
+        owner: LockToken,
+        name: LockName,
+        mode: LockMode,
+        timeout: Option<Duration>,
+    ) -> Result<u64, LockError> {
         let sid = shard_of(&name);
         let (shard_mtx, cv) = &self.shards[sid];
         let waiter: Arc<Mutex<Waiter>>;
@@ -324,7 +354,7 @@ impl LockManager {
                     g.count += 1;
                     self.stats.acquired.fetch_add(1, Ordering::Relaxed);
                     self.note_held(owner, &name);
-                    return Ok(());
+                    return Ok(0);
                 }
                 // Upgrade: allowed immediately if no *other* holder conflicts.
                 let others_ok = entry
@@ -337,7 +367,7 @@ impl LockManager {
                     g.count += 1;
                     self.stats.acquired.fetch_add(1, Ordering::Relaxed);
                     self.note_held(owner, &name);
-                    return Ok(());
+                    return Ok(0);
                 }
                 // Must wait for the upgrade: queue-jump to the front.
                 waiter = Arc::new(Mutex::new(Waiter {
@@ -364,7 +394,7 @@ impl LockManager {
                     entry.add_grant(owner, mode);
                     self.stats.acquired.fetch_add(1, Ordering::Relaxed);
                     self.note_held(owner, &name);
-                    return Ok(());
+                    return Ok(0);
                 }
                 waiter = Arc::new(Mutex::new(Waiter {
                     owner,
@@ -401,7 +431,8 @@ impl LockManager {
         }
 
         // Sleep until granted, cancelled or timed out.
-        let deadline = timeout.map(|d| std::time::Instant::now() + d);
+        let wait_start = std::time::Instant::now();
+        let deadline = timeout.map(|d| wait_start + d);
         let mut shard = shard_mtx.lock();
         loop {
             {
@@ -411,7 +442,11 @@ impl LockManager {
                     drop(wg);
                     self.clear_waits(owner);
                     self.note_held(owner, &name);
-                    return Ok(());
+                    let waited = wait_start.elapsed();
+                    self.wait_hist.record(waited);
+                    let waited_ns = waited.as_nanos().min(u64::MAX as u128) as u64;
+                    obs::span_interval_ago("lockmgr.lock_wait", waited_ns, 0);
+                    return Ok(waited_ns);
                 }
                 if wg.cancelled {
                     drop(wg);

@@ -1,0 +1,38 @@
+use std::time::Instant;
+fn main() {
+    unbundled_obs::set_spans_enabled(true);
+    // warm
+    for _ in 0..1000 {
+        let _s = unbundled_obs::span1("bench.span", "k", 1);
+    }
+    let n = 1_000_000u64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        let _s = unbundled_obs::span1("bench.span", "k", i);
+    }
+    let el = t0.elapsed();
+    println!(
+        "span1 enabled: {:.1} ns/span",
+        el.as_nanos() as f64 / n as f64
+    );
+    unbundled_obs::set_spans_enabled(false);
+    let t0 = Instant::now();
+    for i in 0..n {
+        let _s = unbundled_obs::span1("bench.span", "k", i);
+    }
+    let el = t0.elapsed();
+    println!(
+        "span1 disabled: {:.1} ns/span",
+        el.as_nanos() as f64 / n as f64
+    );
+    unbundled_obs::set_spans_enabled(true);
+    let t0 = Instant::now();
+    for i in 0..n {
+        unbundled_obs::span_interval_ago("bench.iv", i % 1000, 0);
+    }
+    let el = t0.elapsed();
+    println!(
+        "span_interval enabled: {:.1} ns/iv",
+        el.as_nanos() as f64 / n as f64
+    );
+}

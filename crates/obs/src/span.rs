@@ -1,0 +1,735 @@
+//! Structured spans: allocation-averse enter/exit events recorded into
+//! per-thread ring buffers behind a bounded global collector.
+//!
+//! Spans are **off by default** and runtime-gated: with spans disabled
+//! the hot-path cost of a [`span`] call is one relaxed atomic load.
+//! When enabled, each span records an enter and an exit event (id,
+//! parent id, `&'static str` name, nanosecond timestamps relative to a
+//! process-wide epoch, and up to two `(key, u64)` attributes) into a
+//! thread-local staging buffer — a plain vector push, no lock — that
+//! spills into the thread's shared ring every [`PENDING_CAP`] events,
+//! on thread exit, and on a same-thread drain. No heap allocation per
+//! event beyond the buffers themselves, no global lock on the record
+//! path.
+//!
+//! Parenting is thread-local: a span's parent is the innermost span
+//! open on the same thread. Cross-thread (or cross-object) causality is
+//! stitched with [`ctx`], which pushes an explicit parent id without
+//! emitting events — the TC uses it to parent a commit's spans under
+//! the transaction's long-lived [`open_span`].
+//!
+//! [`take_spans`] drains every thread's ring into one event vector;
+//! [`build_trees`] reconstructs the span forest. Rings are bounded
+//! (oldest events drop first), so a span storm cannot exhaust memory —
+//! at the cost of possibly-orphaned exits in a drain, which
+//! [`build_trees`] tolerates.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Per-thread ring capacity, in events. Oldest events drop first.
+///
+/// Sized so a full ring (~100 KiB of events) stays L2-resident: the
+/// ring cycles continuously under load, and a larger buffer turns
+/// every record into a cache miss — measurably slowing the commit
+/// path the spans are meant to observe.
+const RING_CAP: usize = 1024;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The span timestamp clock. On x86-64 this reads the TSC directly —
+/// roughly a quarter the cost of `Instant::now` on the VMs this runs
+/// on, which matters at ~a dozen events per commit — calibrated once
+/// against the wall clock. `constant_tsc`/`nonstop_tsc` hardware (any
+/// modern x86-64) makes the TSC a valid monotonic time source. All
+/// event timestamps come from this one clock, so spans never mix
+/// clock domains.
+#[cfg(target_arch = "x86_64")]
+mod clock {
+    use std::sync::OnceLock;
+    use std::time::{Duration, Instant};
+
+    struct Tsc {
+        base: u64,
+        ns_per_cycle: f64,
+    }
+
+    fn rdtsc() -> u64 {
+        // SAFETY: `rdtsc` reads a counter register; no memory effects.
+        unsafe { core::arch::x86_64::_rdtsc() }
+    }
+
+    fn tsc() -> &'static Tsc {
+        static TSC: OnceLock<Tsc> = OnceLock::new();
+        TSC.get_or_init(|| {
+            let base = rdtsc();
+            let t0 = Instant::now();
+            // Calibrate over a ~2 ms spin: quantization error from the
+            // wall-clock reads is well under 0.01%.
+            while t0.elapsed() < Duration::from_millis(2) {
+                std::hint::spin_loop();
+            }
+            let cycles = rdtsc().saturating_sub(base).max(1);
+            Tsc {
+                base,
+                ns_per_cycle: t0.elapsed().as_nanos() as f64 / cycles as f64,
+            }
+        })
+    }
+
+    /// Calibrate the clock now, so the first span doesn't pay for it.
+    pub fn init() {
+        let _ = tsc();
+    }
+
+    /// Nanoseconds since the (first-use) clock epoch.
+    pub fn now_ns() -> u64 {
+        let t = tsc();
+        (rdtsc().saturating_sub(t.base) as f64 * t.ns_per_cycle) as u64
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod clock {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    fn epoch() -> Instant {
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        *EPOCH.get_or_init(Instant::now)
+    }
+
+    /// Calibrate the clock now, so the first span doesn't pay for it.
+    pub fn init() {
+        let _ = epoch();
+    }
+
+    /// Nanoseconds since the (first-use) clock epoch.
+    pub fn now_ns() -> u64 {
+        epoch().elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+fn now_ns() -> u64 {
+    clock::now_ns()
+}
+
+/// Whether an event marks a span's start or end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span entered.
+    Enter,
+    /// Span exited.
+    Exit,
+}
+
+/// One recorded span boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// Enter or exit.
+    pub kind: EventKind,
+    /// Span id (unique per process run, never 0).
+    pub id: u64,
+    /// Parent span id, or 0 for a root.
+    pub parent: u64,
+    /// Span name (`subsystem.noun_verb`).
+    pub name: &'static str,
+    /// Nanoseconds since the process-wide span epoch.
+    pub t_ns: u64,
+    /// Up to two key/value attributes.
+    pub attrs: [(&'static str, u64); 2],
+    /// How many of `attrs` are populated.
+    pub n_attrs: u8,
+}
+
+/// Fixed-capacity overwrite ring. Unlike a deque, a push into a full
+/// ring is a single slot write (no front-element read), which keeps
+/// the record path's memory traffic minimal.
+#[derive(Default)]
+struct Ring {
+    buf: Vec<Event>,
+    /// Next slot to overwrite once `buf` has grown to capacity; the
+    /// oldest event then lives at `buf[head]`.
+    head: usize,
+}
+
+impl Ring {
+    fn push(&mut self, ev: Event) {
+        if self.buf.len() < RING_CAP {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head += 1;
+            if self.head == RING_CAP {
+                self.head = 0;
+            }
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Remove and return all events, oldest first.
+    fn take(&mut self) -> Vec<Event> {
+        let mut out = std::mem::take(&mut self.buf);
+        if out.len() == RING_CAP && self.head != 0 {
+            out.rotate_left(self.head);
+        }
+        self.head = 0;
+        out
+    }
+}
+
+struct ThreadBuf {
+    ring: Mutex<Ring>,
+}
+
+fn collector() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static COLLECTOR: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// How many events buffer thread-locally before spilling to the
+/// shared ring. Records inside this window touch no lock at all.
+const PENDING_CAP: usize = 64;
+
+struct ThreadState {
+    buf: Option<Arc<ThreadBuf>>,
+    stack: Vec<u64>,
+    /// Lock-free staging buffer; spilled to `buf`'s ring when full,
+    /// on thread exit, and by a same-thread [`take_spans`].
+    pending: Vec<Event>,
+}
+
+impl Drop for ThreadState {
+    fn drop(&mut self) {
+        // Thread teardown: spill any staged events so short-lived
+        // threads' spans survive until the next `take_spans`.
+        flush_pending(self);
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadState> = const {
+        RefCell::new(ThreadState { buf: None, stack: Vec::new(), pending: Vec::new() })
+    };
+}
+
+fn with_tls<R>(f: impl FnOnce(&mut ThreadState) -> R) -> Option<R> {
+    // A span on a thread that is being torn down is silently dropped.
+    TLS.try_with(|tls| f(&mut tls.borrow_mut())).ok()
+}
+
+fn ensure_buf(state: &mut ThreadState) {
+    if state.buf.is_none() {
+        let buf = Arc::new(ThreadBuf {
+            ring: Mutex::new(Ring::default()),
+        });
+        let mut all = collector().lock().unwrap();
+        // Prune rings whose threads have exited (we hold the only Arc)
+        // — but only once drained, so short-lived threads' events
+        // survive until the next `take_spans`.
+        all.retain(|b| Arc::strong_count(b) > 1 || !b.ring.lock().unwrap().is_empty());
+        all.push(buf.clone());
+        state.buf = Some(buf);
+    }
+}
+
+/// Spill the thread's staged events into its shared ring.
+fn flush_pending(state: &mut ThreadState) {
+    if state.pending.is_empty() {
+        return;
+    }
+    ensure_buf(state);
+    let ThreadState { buf, pending, .. } = state;
+    let mut ring = buf.as_ref().unwrap().ring.lock().unwrap();
+    for ev in pending.drain(..) {
+        ring.push(ev);
+    }
+}
+
+fn push_event(state: &mut ThreadState, ev: Event) {
+    state.pending.push(ev);
+    if state.pending.len() >= PENDING_CAP {
+        flush_pending(state);
+    }
+}
+
+/// Push an interval's enter/exit pair.
+fn push_pair(state: &mut ThreadState, enter: Event, exit: Event) {
+    state.pending.push(enter);
+    push_event(state, exit);
+}
+
+/// Enable or disable span recording process-wide.
+pub fn set_spans_enabled(on: bool) {
+    if on {
+        clock::init();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span recording is currently enabled.
+pub fn spans_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drain every thread's ring buffer, returning all buffered events.
+/// Events from different threads are concatenated (order across
+/// threads is unspecified; [`build_trees`] sorts by timestamp).
+///
+/// The calling thread's staged events are spilled first, so its own
+/// records are always visible. Other *live* threads may hold up to
+/// [`PENDING_CAP`]−1 not-yet-spilled events that this drain misses;
+/// exited threads' events were spilled at thread teardown.
+pub fn take_spans() -> Vec<Event> {
+    let _ = with_tls(flush_pending);
+    let mut all = collector().lock().unwrap();
+    let mut out = Vec::new();
+    all.retain(|buf| {
+        out.extend(buf.ring.lock().unwrap().take());
+        Arc::strong_count(buf) > 1
+    });
+    out
+}
+
+/// Discard all buffered span events.
+pub fn clear_spans() {
+    let _ = take_spans();
+}
+
+fn record_enter(
+    name: &'static str,
+    attrs: [(&'static str, u64); 2],
+    n_attrs: u8,
+    push_stack: bool,
+) -> u64 {
+    if !spans_enabled() {
+        return 0;
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    // One TLS access covers parent lookup, stack push, and the event
+    // record: the commit path emits ~a dozen events per transaction,
+    // so every fixed per-event cost here shows up in throughput.
+    with_tls(|state| {
+        let parent = state.stack.last().copied().unwrap_or(0);
+        if push_stack {
+            state.stack.push(id);
+        }
+        push_event(
+            state,
+            Event {
+                kind: EventKind::Enter,
+                id,
+                parent,
+                name,
+                t_ns: now_ns(),
+                attrs,
+                n_attrs,
+            },
+        );
+    })
+    .map(|_| id)
+    .unwrap_or(0)
+}
+
+fn exit_event(id: u64, name: &'static str) -> Event {
+    Event {
+        kind: EventKind::Exit,
+        id,
+        parent: 0,
+        name,
+        t_ns: now_ns(),
+        attrs: [("", 0); 2],
+        n_attrs: 0,
+    }
+}
+
+fn record_exit(id: u64, name: &'static str) {
+    // Exits are emitted even if spans were disabled after the enter,
+    // so every buffered enter can find its matching exit.
+    with_tls(|state| {
+        push_event(state, exit_event(id, name));
+        maybe_flush_root(state);
+    });
+}
+
+/// Spill staged events once the span stack unwinds to empty — i.e. at
+/// the end of a root span. Flushing here (not just at thread exit)
+/// matters for scoped threads: `std::thread::scope` returns when the
+/// closure finishes, *before* TLS destructors run, so a drain racing
+/// thread teardown would miss events staged by a joined-but-still-
+/// exiting thread.
+fn maybe_flush_root(state: &mut ThreadState) {
+    if state.stack.is_empty() {
+        flush_pending(state);
+    }
+}
+
+/// RAII guard for a scoped span; emits the exit event on drop.
+pub struct SpanGuard {
+    id: u64,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        with_tls(|state| {
+            // Pop our id; a panic may have skipped inner guards'
+            // drops, so search from the top rather than assuming LIFO.
+            if let Some(pos) = state.stack.iter().rposition(|&s| s == self.id) {
+                state.stack.truncate(pos);
+            }
+            push_event(state, exit_event(self.id, self.name));
+            maybe_flush_root(state);
+        });
+    }
+}
+
+fn enter(name: &'static str, attrs: [(&'static str, u64); 2], n_attrs: u8) -> SpanGuard {
+    let id = record_enter(name, attrs, n_attrs, true);
+    SpanGuard { id, name }
+}
+
+/// Open a scoped span with no attributes. Inert (id 0, no events) when
+/// spans are disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    enter(name, [("", 0); 2], 0)
+}
+
+/// Open a scoped span with one attribute.
+pub fn span1(name: &'static str, k: &'static str, v: u64) -> SpanGuard {
+    enter(name, [(k, v), ("", 0)], 1)
+}
+
+/// Open a scoped span with two attributes.
+pub fn span2(
+    name: &'static str,
+    k1: &'static str,
+    v1: u64,
+    k2: &'static str,
+    v2: u64,
+) -> SpanGuard {
+    enter(name, [(k1, v1), (k2, v2)], 2)
+}
+
+/// RAII guard for an explicit-parent context; pops it on drop.
+pub struct CtxGuard {
+    pushed: bool,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            with_tls(|state| {
+                state.stack.pop();
+                maybe_flush_root(state);
+            });
+        }
+    }
+}
+
+/// Push `parent` as the current span context without emitting events:
+/// spans opened while the guard lives are parented under it. Inert for
+/// parent 0. This is how long-lived spans (a transaction) adopt work
+/// done later on the same or another thread.
+pub fn ctx(parent: u64) -> CtxGuard {
+    if parent == 0 || !spans_enabled() {
+        return CtxGuard { pushed: false };
+    }
+    let pushed = with_tls(|state| state.stack.push(parent)).is_some();
+    CtxGuard { pushed }
+}
+
+/// Open a span that outlives the current scope (e.g. a transaction's
+/// lifetime span stored in its state). Parented under the current
+/// thread context but NOT pushed onto the stack; close it explicitly
+/// with [`close_span`]. Returns 0 (inert) when spans are disabled.
+pub fn open_span(name: &'static str, k: &'static str, v: u64) -> u64 {
+    record_enter(name, [(k, v), ("", 0)], 1, false)
+}
+
+/// Close a span opened with [`open_span`]. No-op for id 0.
+pub fn close_span(id: u64, name: &'static str) {
+    if id == 0 {
+        return;
+    }
+    record_exit(id, name);
+}
+
+/// Record a span retroactively — used where the interval is only
+/// known after the fact (e.g. splitting a group-force wait into
+/// gather and flush). The interval ran from `start_ago_ns` ago until
+/// `end_ago_ns` ago (0 = now); expressing it as ages keeps every
+/// event timestamp in the span clock's domain, with a single clock
+/// read per interval. Parented under the current thread context.
+pub fn span_interval_ago(name: &'static str, start_ago_ns: u64, end_ago_ns: u64) {
+    if !spans_enabled() {
+        return;
+    }
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let now = now_ns();
+    with_tls(|state| {
+        let parent = state.stack.last().copied().unwrap_or(0);
+        push_pair(
+            state,
+            Event {
+                kind: EventKind::Enter,
+                id,
+                parent,
+                name,
+                t_ns: now.saturating_sub(start_ago_ns),
+                attrs: [("", 0); 2],
+                n_attrs: 0,
+            },
+            Event {
+                kind: EventKind::Exit,
+                id,
+                parent: 0,
+                name,
+                t_ns: now.saturating_sub(end_ago_ns),
+                attrs: [("", 0); 2],
+                n_attrs: 0,
+            },
+        );
+        maybe_flush_root(state);
+    });
+}
+
+/// One reconstructed span in a [`build_trees`] forest.
+#[derive(Clone, Debug)]
+pub struct SpanNode {
+    /// Span id.
+    pub id: u64,
+    /// Span name.
+    pub name: &'static str,
+    /// Enter timestamp (ns since the span epoch).
+    pub start_ns: u64,
+    /// Exit timestamp, or `None` if the span never exited (still open
+    /// at drain time, or its exit was dropped by a full ring).
+    pub end_ns: Option<u64>,
+    /// The populated attributes.
+    pub attrs: Vec<(&'static str, u64)>,
+    /// Child spans, sorted by start time.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Depth-first search for the first descendant (or self) with the
+    /// given span name.
+    pub fn find(&self, name: &str) -> Option<&SpanNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Count descendants (including self) with the given span name.
+    pub fn count(&self, name: &str) -> usize {
+        (self.name == name) as usize + self.children.iter().map(|c| c.count(name)).sum::<usize>()
+    }
+}
+
+/// Reconstruct the span forest from drained events. Orphan exits
+/// (whose enter was dropped by a full ring) are ignored; spans whose
+/// parent is missing become roots. Roots and children are sorted by
+/// start time.
+pub fn build_trees(events: &[Event]) -> Vec<SpanNode> {
+    use std::collections::HashMap;
+
+    struct Partial {
+        node: SpanNode,
+        parent: u64,
+    }
+    let mut by_id: HashMap<u64, Partial> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    for ev in events {
+        match ev.kind {
+            EventKind::Enter => {
+                by_id.insert(
+                    ev.id,
+                    Partial {
+                        node: SpanNode {
+                            id: ev.id,
+                            name: ev.name,
+                            start_ns: ev.t_ns,
+                            end_ns: None,
+                            attrs: ev.attrs[..ev.n_attrs as usize].to_vec(),
+                            children: Vec::new(),
+                        },
+                        parent: ev.parent,
+                    },
+                );
+                order.push(ev.id);
+            }
+            EventKind::Exit => {
+                if let Some(p) = by_id.get_mut(&ev.id) {
+                    p.node.end_ns = Some(ev.t_ns);
+                }
+            }
+        }
+    }
+    // Attach children to parents, deepest-registered first so nested
+    // subtrees are complete before they are moved into their parents.
+    let mut roots: Vec<SpanNode> = Vec::new();
+    for id in order.iter().rev() {
+        let parent = by_id.get(id).map(|p| p.parent).unwrap_or(0);
+        let has_parent = parent != 0 && by_id.contains_key(&parent);
+        let mut partial = by_id.remove(id).unwrap();
+        partial.node.children.sort_by_key(|c| c.start_ns);
+        if has_parent {
+            by_id
+                .get_mut(&parent)
+                .unwrap()
+                .node
+                .children
+                .insert(0, partial.node);
+        } else {
+            roots.push(partial.node);
+        }
+    }
+    roots.sort_by_key(|n| n.start_ns);
+    roots
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = test_lock();
+        set_spans_enabled(false);
+        clear_spans();
+        {
+            let _s = span("test.outer");
+            let _t = span1("test.inner", "k", 1);
+        }
+        assert!(take_spans().is_empty());
+    }
+
+    #[test]
+    fn nesting_and_attrs_reconstruct() {
+        let _g = test_lock();
+        set_spans_enabled(true);
+        clear_spans();
+        {
+            let _a = span1("test.commit", "txn", 42);
+            {
+                let _b = span("test.force");
+            }
+            let _c = span2("test.apply", "table", 1, "ops", 3);
+        }
+        set_spans_enabled(false);
+        let events = take_spans();
+        let trees = build_trees(&events);
+        assert_eq!(trees.len(), 1);
+        let root = &trees[0];
+        assert_eq!(root.name, "test.commit");
+        assert_eq!(root.attrs, vec![("txn", 42)]);
+        assert!(root.end_ns.is_some());
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "test.force");
+        assert_eq!(root.children[1].name, "test.apply");
+        assert_eq!(root.children[1].attrs, vec![("table", 1), ("ops", 3)]);
+        // Children start after the parent and end before it.
+        for c in &root.children {
+            assert!(c.start_ns >= root.start_ns);
+            assert!(c.end_ns.unwrap() <= root.end_ns.unwrap());
+        }
+    }
+
+    #[test]
+    fn ctx_parents_across_scopes_and_open_close_work() {
+        let _g = test_lock();
+        set_spans_enabled(true);
+        clear_spans();
+        let txn = open_span("test.txn", "txn", 7);
+        assert_ne!(txn, 0);
+        {
+            let _c = ctx(txn);
+            let _s = span("test.commit");
+        }
+        // Outside the ctx guard, spans are roots again.
+        {
+            let _s = span("test.unrelated");
+        }
+        close_span(txn, "test.txn");
+        set_spans_enabled(false);
+        let trees = build_trees(&take_spans());
+        assert_eq!(trees.len(), 2);
+        let txn_tree = trees.iter().find(|t| t.name == "test.txn").unwrap();
+        assert_eq!(txn_tree.count("test.commit"), 1);
+        assert!(txn_tree.end_ns.is_some());
+        assert!(trees.iter().any(|t| t.name == "test.unrelated"));
+    }
+
+    #[test]
+    fn span_interval_is_parented_and_ordered() {
+        let _g = test_lock();
+        set_spans_enabled(true);
+        clear_spans();
+        {
+            let _a = span("test.commit");
+            let start = std::time::Instant::now();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            let total = start.elapsed().as_nanos() as u64;
+            span_interval_ago("test.gather", total, total / 2);
+            span_interval_ago("test.force", total / 2, 0);
+        }
+        set_spans_enabled(false);
+        let trees = build_trees(&take_spans());
+        let root = &trees[0];
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "test.gather");
+        assert_eq!(root.children[1].name, "test.force");
+        assert!(root.children[0].end_ns.unwrap() <= root.children[1].start_ns);
+    }
+
+    #[test]
+    fn ring_bounds_hold_under_span_storm() {
+        let _g = test_lock();
+        set_spans_enabled(true);
+        clear_spans();
+        for i in 0..(RING_CAP as u64 * 4) {
+            let _s = span1("test.storm", "i", i);
+        }
+        set_spans_enabled(false);
+        let events = take_spans();
+        assert!(events.len() <= RING_CAP);
+        // The survivors still build a consistent (exit-matched) forest.
+        let trees = build_trees(&events);
+        for t in &trees {
+            assert_eq!(t.name, "test.storm");
+        }
+    }
+
+    #[test]
+    fn cross_thread_rings_all_drain() {
+        let _g = test_lock();
+        set_spans_enabled(true);
+        clear_spans();
+        std::thread::scope(|sc| {
+            for t in 0..4 {
+                sc.spawn(move || {
+                    let _s = span1("test.worker", "t", t);
+                });
+            }
+        });
+        set_spans_enabled(false);
+        let trees = build_trees(&take_spans());
+        assert_eq!(trees.len(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Thread-local commit-stage accumulators.
+//!
+//! The commit path crosses layers that don't know about each other:
+//! the TC can't see how a `group_force` split its wait between
+//! gathering and flushing, and the storage layer can't know which
+//! commit it is serving. This module bridges them: `Tc::commit` opens
+//! a [`commit_scope`], lower layers [`add`] nanoseconds to a stage as
+//! they measure them, and the commit wrapper reads the totals at the
+//! end to feed the per-stage histograms.
+//!
+//! With the inline transport, participant-side 2PC work (prepare and
+//! decision forces) executes on the coordinator's thread, so it lands
+//! in the coordinator's scope — exactly where the breakdown wants it.
+//! Queued transports run that work elsewhere; their stage attribution
+//! is best-effort (documented in the README).
+
+use std::cell::Cell;
+
+/// A commit-path stage measured by a lower layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Time waiting for a group-commit gather window / force leader.
+    Gather,
+    /// Time in the device flush itself.
+    Force,
+    /// Time applying operations at a DC.
+    Apply,
+}
+
+thread_local! {
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    static GATHER_NS: Cell<u64> = const { Cell::new(0) };
+    static FORCE_NS: Cell<u64> = const { Cell::new(0) };
+    static APPLY_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Per-stage totals accumulated inside a [`CommitScope`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTotals {
+    /// Nanoseconds in [`Stage::Gather`].
+    pub gather_ns: u64,
+    /// Nanoseconds in [`Stage::Force`].
+    pub force_ns: u64,
+    /// Nanoseconds in [`Stage::Apply`].
+    pub apply_ns: u64,
+}
+
+/// RAII scope marking the current thread as inside a commit; created
+/// by [`commit_scope`].
+pub struct CommitScope {
+    // Commits never nest on a thread, but be safe: restore the prior
+    // activation state on drop.
+    was_active: bool,
+}
+
+/// Activate stage accumulation on this thread for the duration of the
+/// returned scope, zeroing the totals.
+pub fn commit_scope() -> CommitScope {
+    let was_active = ACTIVE.with(|a| a.replace(true));
+    GATHER_NS.with(|c| c.set(0));
+    FORCE_NS.with(|c| c.set(0));
+    APPLY_NS.with(|c| c.set(0));
+    CommitScope { was_active }
+}
+
+impl CommitScope {
+    /// Read the totals accumulated so far in this scope.
+    pub fn totals(&self) -> StageTotals {
+        StageTotals {
+            gather_ns: GATHER_NS.with(|c| c.get()),
+            force_ns: FORCE_NS.with(|c| c.get()),
+            apply_ns: APPLY_NS.with(|c| c.get()),
+        }
+    }
+}
+
+impl Drop for CommitScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|a| a.set(self.was_active));
+    }
+}
+
+/// Whether the current thread is inside a [`commit_scope`]. Span
+/// emitters on per-operation paths (DC apply, ack delivery) use this
+/// to record only commit-path work: a transaction's body operations
+/// fire the same code several times per transaction, and tracing them
+/// all would double the per-commit event volume for spans the commit
+/// tree doesn't show.
+pub fn in_commit_scope() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Add measured nanoseconds to a stage. No-op unless the thread is
+/// inside a [`commit_scope`] — background forces, checkpoints and
+/// pump-driven shipping don't pollute the commit breakdown.
+pub fn add(stage: Stage, ns: u64) {
+    if !ACTIVE.with(|a| a.get()) {
+        return;
+    }
+    let cell = match stage {
+        Stage::Gather => &GATHER_NS,
+        Stage::Force => &FORCE_NS,
+        Stage::Apply => &APPLY_NS,
+    };
+    cell.with(|c| c.set(c.get().saturating_add(ns)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adds_only_inside_scope_and_resets_per_scope() {
+        add(Stage::Gather, 100);
+        {
+            let scope = commit_scope();
+            add(Stage::Gather, 10);
+            add(Stage::Force, 20);
+            add(Stage::Force, 5);
+            add(Stage::Apply, 7);
+            assert_eq!(
+                scope.totals(),
+                StageTotals {
+                    gather_ns: 10,
+                    force_ns: 25,
+                    apply_ns: 7
+                }
+            );
+        }
+        add(Stage::Apply, 999);
+        let scope = commit_scope();
+        assert_eq!(scope.totals(), StageTotals::default());
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        let scope = commit_scope();
+        std::thread::scope(|sc| {
+            sc.spawn(|| {
+                // Other thread: no scope, adds are dropped.
+                add(Stage::Force, 50);
+            });
+        });
+        add(Stage::Force, 3);
+        assert_eq!(scope.totals().force_ns, 3);
+    }
+}

@@ -1,0 +1,187 @@
+//! Span-tree well-formedness under randomized nesting, cross-thread
+//! recording, crashes mid-span, and panic unwinding.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use unbundled_obs as obs;
+
+/// The span collector is process-global; serialize the tests that use it.
+static COLLECTOR_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    COLLECTOR_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Interpret a command tape as a nested span program. Spans are held
+/// in lexical scopes (recursion), so unwinding drops them
+/// innermost-first exactly like real instrumented code.
+///
+/// Commands (mod 6): 0/1 open a nested scope, 2 closes the current
+/// scope, 3 records a leaf span, 4 "crashes mid-span" (an enter whose
+/// guard is leaked, so no exit is ever recorded), 5 panics if the
+/// `panic_at` fuse says so.
+fn interp(cmds: &[u8], idx: &mut usize, depth: u32, panic_at: Option<usize>) {
+    while *idx < cmds.len() {
+        let at = *idx;
+        let c = cmds[at];
+        *idx += 1;
+        if panic_at == Some(at) {
+            panic!("storm: injected crash at {at}");
+        }
+        match c % 6 {
+            0 | 1 if depth < 8 => {
+                let _g = obs::span1("prog.node", "at", at as u64);
+                interp(cmds, idx, depth + 1, panic_at);
+            }
+            2 => return,
+            3 => {
+                let _l = obs::span("prog.leaf");
+            }
+            4 => {
+                let g = obs::span1("prog.orphan", "at", at as u64);
+                std::mem::forget(g);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_thread(cmds: Vec<u8>, panic_at: Option<usize>) {
+    // A root guard encloses the whole program; its drop restores the
+    // thread's span stack even when inner guards were leaked.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _root = obs::span("prog.root");
+        interp(&cmds, &mut 0, 0, panic_at);
+    }));
+    if panic_at.is_none() {
+        result.expect("non-storm program must not panic");
+    }
+}
+
+fn check_events(events: &[obs::Event]) {
+    let mut enters: HashMap<u64, &obs::Event> = HashMap::new();
+    let mut exits: HashMap<u64, &obs::Event> = HashMap::new();
+    for ev in events {
+        match ev.kind {
+            obs::EventKind::Enter => {
+                assert!(
+                    enters.insert(ev.id, ev).is_none(),
+                    "span {} entered twice",
+                    ev.id
+                );
+            }
+            obs::EventKind::Exit => {
+                assert!(
+                    exits.insert(ev.id, ev).is_none(),
+                    "span {} exited twice",
+                    ev.id
+                );
+            }
+        }
+    }
+    for (id, ex) in &exits {
+        // Every recorded exit matches an earlier enter of the same span.
+        let en = enters.get(id);
+        assert!(en.is_some(), "exit for span {id} has no enter");
+        let en = en.unwrap();
+        assert_eq!(en.name, ex.name, "enter/exit name mismatch for {}", id);
+        assert!(ex.t_ns >= en.t_ns, "span {} exits before it enters", id);
+    }
+    // Parents complete after (and start before) their children.
+    for (id, en) in &enters {
+        if en.parent == 0 {
+            continue;
+        }
+        let Some(p_en) = enters.get(&en.parent) else {
+            continue; // parent's enter dropped by a full ring
+        };
+        assert!(
+            p_en.t_ns <= en.t_ns,
+            "child {} starts before its parent {}",
+            id,
+            en.parent
+        );
+        if let (Some(ex), Some(p_ex)) = (exits.get(id), exits.get(&en.parent)) {
+            assert!(
+                p_ex.t_ns >= ex.t_ns,
+                "parent {} completes before child {}",
+                en.parent,
+                id
+            );
+        }
+    }
+    // The reconstructed forest is consistent.
+    for tree in obs::build_trees(events) {
+        check_tree(&tree);
+    }
+}
+
+fn check_tree(node: &obs::SpanNode) {
+    if let Some(end) = node.end_ns {
+        assert!(end >= node.start_ns);
+    }
+    for (c, next) in node
+        .children
+        .iter()
+        .zip(node.children.iter().skip(1).map(Some).chain([None]))
+    {
+        assert!(c.start_ns >= node.start_ns);
+        if let (Some(c_end), Some(end)) = (c.end_ns, node.end_ns) {
+            assert!(c_end <= end, "child outlives parent in tree");
+        }
+        if let Some(next) = next {
+            assert!(c.start_ns <= next.start_ns, "children not sorted");
+        }
+        check_tree(c);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random nested span programs, across threads, with leaked guards
+    /// (crash mid-span) and an injected-panic storm arm: every
+    /// recorded exit matches its enter, parents complete after
+    /// children, and the collector stays usable afterwards.
+    #[test]
+    fn span_trees_are_well_formed(
+        tapes in prop::collection::vec(
+            prop::collection::vec(any::<u8>(), 0..120), 1..4),
+        storm in any::<bool>(),
+        storm_at in 0usize..120,
+    ) {
+        let _g = lock();
+        obs::set_spans_enabled(true);
+        obs::clear_spans();
+
+        std::thread::scope(|sc| {
+            for (t, tape) in tapes.iter().enumerate() {
+                let tape = tape.clone();
+                // The storm arm panics the first thread mid-program.
+                let panic_at = (storm && t == 0
+                    && !tape.is_empty()).then(|| storm_at % tape.len().max(1));
+                sc.spawn(move || run_thread(tape, panic_at));
+            }
+        });
+
+        obs::set_spans_enabled(false);
+        let events = obs::take_spans();
+        check_events(&events);
+
+        // The collector survived the storm: a fresh span still records
+        // a matched enter/exit pair and reconstructs as a root.
+        obs::set_spans_enabled(true);
+        {
+            let _s = obs::span("prog.after_storm");
+        }
+        obs::set_spans_enabled(false);
+        let after = obs::take_spans();
+        let trees = obs::build_trees(&after);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].name, "prog.after_storm");
+        assert!(trees[0].end_ns.is_some());
+        check_events(&after);
+    }
+}

@@ -33,8 +33,10 @@
 
 use crate::stats::IoStats;
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use unbundled_obs as obs;
 
 /// How long a group-force leader may hold its flush back to let more
 /// committers join the group.
@@ -418,11 +420,24 @@ pub struct LogStore<R> {
     /// Signalled when a waiter joins (a gathering leader waits here).
     gather: Condvar,
     stats: Arc<IoStats>,
+    /// Duration of the most recent device flush, in nanoseconds. Read
+    /// outside the inner mutex by returning `group_force` callers to
+    /// split their wall-clock wait into gather vs. flush time.
+    last_flush_ns: AtomicU64,
+    registry: Arc<obs::Registry>,
+    /// Per-caller time gathering (waiting on window/leader) before the
+    /// covering flush, excluding the flush itself.
+    gather_hist: obs::Histogram,
+    /// Per-flush device flush duration.
+    force_hist: obs::Histogram,
+    /// The gather window a leader last used, in microseconds.
+    window_gauge: obs::Gauge,
 }
 
 impl<R: Clone> LogStore<R> {
     /// An empty log.
     pub fn new() -> Self {
+        let registry = obs::Registry::new();
         LogStore {
             inner: Mutex::new(LogInner {
                 records: Vec::new(),
@@ -440,7 +455,38 @@ impl<R: Clone> LogStore<R> {
             force_done: Condvar::new(),
             gather: Condvar::new(),
             stats: Arc::new(IoStats::new()),
+            last_flush_ns: AtomicU64::new(0),
+            gather_hist: registry.histogram(
+                "storage.gather_wait_ns",
+                "ns",
+                "per-committer wait for a covering flush, minus the flush itself",
+            ),
+            force_hist: registry.histogram(
+                "storage.force_flush_ns",
+                "ns",
+                "device flush duration, one sample per physical flush",
+            ),
+            window_gauge: registry.gauge(
+                "storage.gather_window_us",
+                "us",
+                "gather window the last group-force leader used",
+            ),
+            registry: Arc::new(registry),
         }
+    }
+
+    /// This instance's metrics registry.
+    pub fn registry(&self) -> &Arc<obs::Registry> {
+        &self.registry
+    }
+
+    /// Record a finished device flush: remember its duration for the
+    /// gather/flush split and feed the flush histogram + commit-stage
+    /// accumulator.
+    fn note_flush(&self, took: Duration) {
+        let ns = took.as_nanos().min(u64::MAX as u128) as u64;
+        self.last_flush_ns.store(ns, Ordering::Relaxed);
+        self.force_hist.record_ns(ns);
     }
 
     /// Set the simulated device latency charged per flush. Zero (the
@@ -483,7 +529,13 @@ impl<R: Clone> LogStore<R> {
                 let generation = g.crashes;
                 let latency = g.force_latency;
                 drop(g);
+                let flush_start = std::time::Instant::now();
                 arb.flush(latency);
+                let took = flush_start.elapsed();
+                self.note_flush(took);
+                let took_ns = took.as_nanos().min(u64::MAX as u128) as u64;
+                obs::stage::add(obs::stage::Stage::Force, took_ns);
+                obs::span_interval_ago("storage.force", took_ns, 0);
                 g = self.inner.lock();
                 if g.crashes == generation {
                     let n = covers.min(g.records.len());
@@ -495,9 +547,15 @@ impl<R: Clone> LogStore<R> {
                     }
                 }
             } else {
+                let flush_start = std::time::Instant::now();
                 if g.force_latency > Duration::ZERO {
                     std::thread::sleep(g.force_latency);
                 }
+                let took = flush_start.elapsed();
+                self.note_flush(took);
+                let took_ns = took.as_nanos().min(u64::MAX as u128) as u64;
+                obs::stage::add(obs::stage::Stage::Force, took_ns);
+                obs::span_interval_ago("storage.force", took_ns, 0);
                 g.stable = g.records.len();
                 g.force_epoch += 1;
                 self.stats.log_force();
@@ -536,7 +594,17 @@ impl<R: Clone> LogStore<R> {
             if adaptive_params.is_some() {
                 g.adaptive.record_latency(entered.elapsed());
             }
-            return g.stable_seq();
+            let stable = g.stable_seq();
+            // Telemetry happens with the log unlocked: the inner mutex
+            // is the commit path's serialization point, and even a few
+            // hundred nanoseconds inside it queues every committer.
+            drop(g);
+            // No flush was waited on: the (near-zero) wall time is all
+            // gather from the committer's point of view.
+            let total_ns = entered.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.gather_hist.record_ns(total_ns);
+            obs::stage::add(obs::stage::Stage::Gather, total_ns);
+            return stable;
         }
         // After a crash the caller's record is gone and `target` would
         // denote whatever gets appended in its place — give up rather
@@ -565,7 +633,27 @@ impl<R: Clone> LogStore<R> {
                     // end-to-end gather+flush latency to the controller.
                     g.adaptive.record_latency(entered.elapsed());
                 }
-                return g.stable_seq();
+                let stable = g.stable_seq();
+                // Telemetry happens with the log unlocked (see the
+                // early-return above): holding the inner mutex while
+                // recording would serialize every committer behind it.
+                drop(g);
+                // Split this committer's wall time into gather vs.
+                // flush: the covering flush's measured duration (capped
+                // by our own wait — late joiners saw only part of it)
+                // is flush time, the remainder is gather.
+                let total = entered.elapsed();
+                let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+                let flush_ns = self.last_flush_ns.load(Ordering::Relaxed).min(total_ns);
+                let gather_ns = total_ns - flush_ns;
+                self.gather_hist.record_ns(gather_ns);
+                obs::stage::add(obs::stage::Stage::Gather, gather_ns);
+                obs::stage::add(obs::stage::Stage::Force, flush_ns);
+                if obs::spans_enabled() {
+                    obs::span_interval_ago("storage.gather_wait", total_ns, flush_ns);
+                    obs::span_interval_ago("storage.force", flush_ns, 0);
+                }
+                return stable;
             }
             if g.forcing {
                 // Piggyback on the in-flight flush.
@@ -600,7 +688,10 @@ impl<R: Clone> LogStore<R> {
             g.gf_stats.led_flushes += 1;
             g.gf_stats.gathered_waiters += group;
             let arb = g.arbiter.clone();
+            self.window_gauge
+                .set(win.as_micros().min(u64::MAX as u128) as u64);
             drop(g);
+            let flush_start = std::time::Instant::now();
             match arb {
                 // Shared device: serialize (and possibly share) the
                 // flush with the other logs on it.
@@ -611,6 +702,10 @@ impl<R: Clone> LogStore<R> {
                     }
                 }
             }
+            // Publish the measured flush duration before any covered
+            // waiter can observe the new stable end, so their
+            // gather/flush split uses this flush's cost.
+            self.note_flush(flush_start.elapsed());
             g = self.inner.lock();
             // A crash during the flush loses the records it was writing;
             // the flush must not touch anything appended afterwards.

@@ -218,6 +218,11 @@ impl Shipper {
                 crate::stats::TcStats::bump(&stats.ship_batches);
                 let records: usize = groups.iter().map(|(_, r)| r.len()).sum();
                 crate::stats::TcStats::add(&stats.ship_records, records as u64);
+                let _s = unbundled_obs::span1("tc.ship", "records", records as u64);
+                let sent = Instant::now();
+                link.send(msg);
+                stats.ship_batch_ns.record(sent.elapsed());
+                continue;
             }
             link.send(msg);
         }

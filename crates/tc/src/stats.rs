@@ -1,82 +1,173 @@
-//! TC-side counters backing the experiments.
+//! TC-side counters and histograms backing the experiments.
+//!
+//! All metrics live in a per-instance [`Registry`] (one per TC), named
+//! `tc.*`; [`TcSnapshot`] stays as the stable, field-per-stat public
+//! view, now materialized from a single registry pass.
+//!
+//! Snapshot semantics: the registry pass reads every counter once,
+//! back-to-back under the registry lock. Each field is individually
+//! exact and monotone, but cross-field invariants (`stamps_sent` vs.
+//! `commits`, `cross_commits ≤ commits`, …) are best-effort when read
+//! mid-traffic — the pass is not a linearization point across writer
+//! threads. Quiesce the TC (as the tests and benches do) before
+//! asserting exact cross-field relations.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use unbundled_obs::{Counter, Histogram, Registry};
 
-/// Monotonic TC counters.
-#[derive(Default, Debug)]
-pub struct TcStats {
+macro_rules! tc_stats {
+    ($( $(#[$doc:meta])* $field:ident => $name:literal, $help:literal; )+) => {
+        /// Monotonic TC counters plus commit-path latency histograms,
+        /// registered in one per-instance metrics [`Registry`].
+        pub struct TcStats {
+            $( $(#[$doc])* pub $field: Counter, )+
+            /// End-to-end commit latency (all commit flavours).
+            pub commit_ns: Histogram,
+            /// Per-commit time blocked acquiring locks.
+            pub stage_lock_wait_ns: Histogram,
+            /// Per-commit time gathering (group-commit window/leader wait).
+            pub stage_gather_wait_ns: Histogram,
+            /// Per-commit time in device flushes.
+            pub stage_force_ns: Histogram,
+            /// Per-commit time applying operations at DCs.
+            pub stage_dc_apply_ns: Histogram,
+            /// Per-commit cross-TC 2PC residual (coordination time not
+            /// accounted to gather/force/apply; 0 for local commits).
+            pub stage_twopc_ns: Histogram,
+            /// Replication ship-batch send latency.
+            pub ship_batch_ns: Histogram,
+            registry: Arc<Registry>,
+        }
+
+        impl Default for TcStats {
+            fn default() -> Self {
+                let registry = Registry::new();
+                TcStats {
+                    $( $field: registry.counter($name, "ops", $help), )+
+                    commit_ns: registry.histogram(
+                        "tc.commit_ns", "ns", "end-to-end commit latency"),
+                    stage_lock_wait_ns: registry.histogram(
+                        "tc.commit_stage.lock_wait_ns", "ns",
+                        "per-commit lock wait"),
+                    stage_gather_wait_ns: registry.histogram(
+                        "tc.commit_stage.gather_wait_ns", "ns",
+                        "per-commit group-commit gather wait"),
+                    stage_force_ns: registry.histogram(
+                        "tc.commit_stage.force_ns", "ns",
+                        "per-commit device flush time"),
+                    stage_dc_apply_ns: registry.histogram(
+                        "tc.commit_stage.dc_apply_ns", "ns",
+                        "per-commit DC apply time"),
+                    stage_twopc_ns: registry.histogram(
+                        "tc.commit_stage.twopc_ns", "ns",
+                        "per-commit 2PC coordination residual"),
+                    ship_batch_ns: registry.histogram(
+                        "tc.ship_batch_ns", "ns",
+                        "replication ship-batch send latency"),
+                    registry: Arc::new(registry),
+                }
+            }
+        }
+
+        impl TcStats {
+            /// Copy current counter values in one registry pass.
+            pub fn snapshot(&self) -> TcSnapshot {
+                let snap = self.registry.snapshot();
+                TcSnapshot {
+                    $( $field: snap.counter($name), )+
+                }
+            }
+
+            /// This instance's metrics registry.
+            pub fn registry(&self) -> &Arc<Registry> {
+                &self.registry
+            }
+
+            pub(crate) fn bump(c: &AtomicU64) {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+
+            pub(crate) fn add(c: &AtomicU64, n: u64) {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    };
+}
+
+tc_stats! {
     /// Transactions committed.
-    pub commits: AtomicU64,
+    commits => "tc.commits", "transactions committed";
     /// Transactions aborted (user abort, deadlock, operation failure).
-    pub aborts: AtomicU64,
+    aborts => "tc.aborts", "transactions aborted";
     /// Aborts caused by deadlock victims.
-    pub deadlock_aborts: AtomicU64,
+    deadlock_aborts => "tc.deadlock_aborts", "deadlock-victim aborts";
     /// Logged operations sent (first sends).
-    pub ops_sent: AtomicU64,
+    ops_sent => "tc.ops_sent", "logged operations sent";
     /// Resends of operations (lost/late replies).
-    pub resends: AtomicU64,
+    resends => "tc.resends", "operation resends";
     /// Unlogged reads/probes/scans sent.
-    pub reads_sent: AtomicU64,
+    reads_sent => "tc.reads_sent", "unlogged reads sent";
     /// Replies that arrived after their waiter gave up (duplicates).
-    pub stale_replies: AtomicU64,
+    stale_replies => "tc.stale_replies", "stale replies received";
     /// Checkpoints taken.
-    pub checkpoints: AtomicU64,
+    checkpoints => "tc.checkpoints", "checkpoints taken";
     /// Operations resent during recovery (redo).
-    pub redo_resends: AtomicU64,
+    redo_resends => "tc.redo_resends", "recovery redo resends";
     /// Inverse operations sent during rollback/recovery (undo).
-    pub undo_ops: AtomicU64,
+    undo_ops => "tc.undo_ops", "undo operations sent";
     /// DC-crash recoveries driven.
-    pub dc_recoveries: AtomicU64,
+    dc_recoveries => "tc.dc_recoveries", "DC recoveries driven";
     /// EOSL/LWM publications skipped because a group-commit leader's
     /// broadcast already covered this committer's frontier.
-    pub publishes_coalesced: AtomicU64,
+    publishes_coalesced => "tc.publishes_coalesced", "coalesced EOSL/LWM publications";
     /// Coalesced `ReplyBatch` messages received (each advanced the ack
     /// frontier once for all the acks it carried).
-    pub reply_batches: AtomicU64,
+    reply_batches => "tc.reply_batches", "coalesced reply batches received";
     /// Replication `ShipBatch` datagrams put on the wire (resends
     /// included).
-    pub ship_batches: AtomicU64,
+    ship_batches => "tc.ship_batches", "replication ship batches sent";
     /// Redo records carried inside those batches.
-    pub ship_records: AtomicU64,
+    ship_records => "tc.ship_records", "redo records shipped";
     /// Reads served by a replica (routing found a fresh-enough one).
-    pub replica_reads: AtomicU64,
+    replica_reads => "tc.replica_reads", "replica-served reads";
     /// Replica-eligible reads that fell back to the primary (no replica
     /// covered the requested snapshot, or the chosen replica failed).
-    pub replica_read_fallbacks: AtomicU64,
+    replica_read_fallbacks => "tc.replica_read_fallbacks", "replica reads that fell back";
     /// Failover promotions driven (replica → writable primary).
-    pub promotions: AtomicU64,
+    promotions => "tc.promotions", "failover promotions driven";
     /// Cross-TC 2PC: participant branches prepared (yes votes).
-    pub prepares: AtomicU64,
+    prepares => "tc.prepares", "participant branches prepared";
     /// Cross-TC 2PC: distributed transactions committed at this
     /// coordinator (also counted in `commits`).
-    pub cross_commits: AtomicU64,
+    cross_commits => "tc.cross_commits", "distributed transactions committed";
     /// Cross-TC 2PC: distributed transactions aborted at this
     /// coordinator (prepare refused, or coordinator-side failure).
-    pub cross_aborts: AtomicU64,
+    cross_aborts => "tc.cross_aborts", "distributed transactions aborted";
     /// Cross-TC 2PC: in-doubt participant branches resolved against the
     /// coordinator's log (recovery or explicit re-resolution).
-    pub indoubt_resolved: AtomicU64,
+    indoubt_resolved => "tc.indoubt_resolved", "in-doubt branches resolved";
     /// Elastic rebalance: range moves completed at this TC as the
     /// source (RebalanceDone forced).
-    pub rebalances: AtomicU64,
+    rebalances => "tc.rebalances", "range moves completed";
     /// Elastic rebalance: forwards rejected here because the sender's
     /// map epoch was stale (the op was not executed).
-    pub stale_forward_rejects: AtomicU64,
+    stale_forward_rejects => "tc.stale_forward_rejects", "stale-epoch forwards rejected";
     /// Elastic rebalance: forwards re-routed by this (sender) TC after
     /// a stale-epoch rejection.
-    pub stale_forward_reroutes: AtomicU64,
+    stale_forward_reroutes => "tc.stale_forward_reroutes", "forwards re-routed after rejection";
     /// Elastic rebalance: local ops that slept on a fence, woke after
     /// it resolved, and re-resolved their owner under the republished
     /// map instead of executing under lapsed authority.
-    pub fence_reroutes: AtomicU64,
+    fence_reroutes => "tc.fence_reroutes", "ops re-routed after a fence";
     /// Serializable locking point reads served (S record lock taken).
-    pub lock_reads: AtomicU64,
+    lock_reads => "tc.lock_reads", "locking point reads served";
     /// Lock-free MVCC snapshot point reads served from the primary
     /// (explicit snapshot requests plus replica-read fallbacks).
-    pub snapshot_reads: AtomicU64,
+    snapshot_reads => "tc.snapshot_reads", "snapshot point reads served";
     /// Commit-stamp operations sent to DCs (one per distinct key a
     /// committed transaction wrote).
-    pub stamps_sent: AtomicU64,
+    stamps_sent => "tc.stamps_sent", "commit stamps sent";
 }
 
 /// Point-in-time copy of [`TcStats`].
@@ -142,51 +233,6 @@ pub struct TcSnapshot {
     pub stamps_sent: u64,
 }
 
-impl TcStats {
-    /// Copy current values.
-    pub fn snapshot(&self) -> TcSnapshot {
-        TcSnapshot {
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
-            deadlock_aborts: self.deadlock_aborts.load(Ordering::Relaxed),
-            ops_sent: self.ops_sent.load(Ordering::Relaxed),
-            resends: self.resends.load(Ordering::Relaxed),
-            reads_sent: self.reads_sent.load(Ordering::Relaxed),
-            stale_replies: self.stale_replies.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            redo_resends: self.redo_resends.load(Ordering::Relaxed),
-            undo_ops: self.undo_ops.load(Ordering::Relaxed),
-            dc_recoveries: self.dc_recoveries.load(Ordering::Relaxed),
-            publishes_coalesced: self.publishes_coalesced.load(Ordering::Relaxed),
-            reply_batches: self.reply_batches.load(Ordering::Relaxed),
-            ship_batches: self.ship_batches.load(Ordering::Relaxed),
-            ship_records: self.ship_records.load(Ordering::Relaxed),
-            replica_reads: self.replica_reads.load(Ordering::Relaxed),
-            replica_read_fallbacks: self.replica_read_fallbacks.load(Ordering::Relaxed),
-            promotions: self.promotions.load(Ordering::Relaxed),
-            prepares: self.prepares.load(Ordering::Relaxed),
-            cross_commits: self.cross_commits.load(Ordering::Relaxed),
-            cross_aborts: self.cross_aborts.load(Ordering::Relaxed),
-            indoubt_resolved: self.indoubt_resolved.load(Ordering::Relaxed),
-            rebalances: self.rebalances.load(Ordering::Relaxed),
-            stale_forward_rejects: self.stale_forward_rejects.load(Ordering::Relaxed),
-            stale_forward_reroutes: self.stale_forward_reroutes.load(Ordering::Relaxed),
-            fence_reroutes: self.fence_reroutes.load(Ordering::Relaxed),
-            lock_reads: self.lock_reads.load(Ordering::Relaxed),
-            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
-            stamps_sent: self.stamps_sent.load(Ordering::Relaxed),
-        }
-    }
-
-    pub(crate) fn bump(c: &AtomicU64) {
-        c.fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub(crate) fn add(c: &AtomicU64, n: u64) {
-        c.fetch_add(n, Ordering::Relaxed);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +246,15 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.commits, 1);
         assert_eq!(snap.resends, 2);
+    }
+
+    #[test]
+    fn registry_carries_every_counter() {
+        let s = TcStats::default();
+        TcStats::add(&s.stamps_sent, 5);
+        let snap = s.registry().snapshot();
+        assert_eq!(snap.counter("tc.stamps_sent"), 5);
+        assert!(snap.histogram("tc.commit_ns").is_some());
+        assert!(snap.histogram("tc.commit_stage.twopc_ns").is_some());
     }
 }

@@ -25,6 +25,7 @@ use unbundled_core::{
     SnapshotSpec, TableId, TcError, TcId, TcShardMap, TcToDc, TxnId,
 };
 use unbundled_lockmgr::{LockError, LockManager, LockMode, LockName, LockToken};
+use unbundled_obs as obs;
 use unbundled_storage::{GatherWindow, LogStore};
 
 /// Group-commit tuning (see [`TcConfig::group_commit`]).
@@ -141,6 +142,12 @@ pub(crate) struct TxnState {
     /// that already holds one is a *drain member* and finishes under
     /// the old authority.
     pub(crate) shard_points: HashSet<u64>,
+    /// Observability: the transaction's `tc.txn` span (0 when spans are
+    /// disabled), closed when the transaction resolves.
+    pub(crate) span: u64,
+    /// Observability: nanoseconds this transaction spent blocked on
+    /// lock waits, accumulated across its operations.
+    pub(crate) lock_wait_ns: u64,
 }
 
 /// The Transactional Component. Thread-safe; share via [`Arc`].
@@ -394,6 +401,9 @@ impl Tc {
     pub fn deliver(&self, msg: DcToTc) {
         match msg {
             DcToTc::Reply { req, result, .. } => {
+                // Commit-path acks only (see the DC apply span): body
+                // operations' replies are not part of the commit tree.
+                let _s = obs::stage::in_commit_scope().then(|| obs::span("tc.ack"));
                 if let Some(lsn) = req.lsn() {
                     self.acks.acked(lsn);
                 }
@@ -690,6 +700,8 @@ impl Tc {
             part_of: None,
             prepared: false,
             shard_points: HashSet::new(),
+            span: obs::open_span("tc.txn", "txn", txn.0),
+            lock_wait_ns: 0,
         };
         self.txns.lock().insert(txn, Arc::new(Mutex::new(st)));
         Ok(txn)
@@ -715,9 +727,16 @@ impl Tc {
     ) -> Result<(), TcError> {
         match self
             .locks
-            .lock(Self::token(txn), name, mode, self.cfg.lock_timeout)
+            .lock_waited(Self::token(txn), name, mode, self.cfg.lock_timeout)
         {
-            Ok(()) => Ok(()),
+            Ok(waited_ns) => {
+                if waited_ns > 0 {
+                    if let Ok(st) = self.txn_state(txn) {
+                        st.lock().lock_wait_ns += waited_ns;
+                    }
+                }
+                Ok(())
+            }
             Err(LockError::Deadlock) => {
                 TcStats::bump(&self.stats.deadlock_aborts);
                 self.rollback(txn)?;
@@ -1274,9 +1293,53 @@ impl Tc {
     pub fn commit(&self, txn: TxnId) -> Result<(), TcError> {
         self.ensure_available()?;
         let st = self.txn_state(txn)?;
-        if !st.lock().remotes.is_empty() {
-            return self.commit_cross(txn);
+        let (txn_span, cross) = {
+            let g = st.lock();
+            (g.span, !g.remotes.is_empty())
+        };
+        // Parent everything the commit does under the transaction's
+        // span, and collect the per-stage time lower layers measure
+        // (gather/force in the log, apply at the DCs) while this thread
+        // drives the commit.
+        let _ctx = obs::ctx(txn_span);
+        let _span = obs::span1("tc.commit", "txn", txn.0);
+        let scope = obs::stage::commit_scope();
+        let started = std::time::Instant::now();
+        let result = if cross {
+            self.commit_cross(txn)
+        } else {
+            self.commit_local(txn, &st)
+        };
+        if result.is_ok() {
+            let total_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let stages = scope.totals();
+            // The 2PC residual is coordination time not already
+            // attributed to gather/force/apply (prepare and decision
+            // forces land in those stages via the inline transport);
+            // local commits record a zero so every histogram sees the
+            // same commit population and stage p50s sum meaningfully.
+            let twopc_ns = if cross {
+                total_ns
+                    .saturating_sub(stages.gather_ns)
+                    .saturating_sub(stages.force_ns)
+                    .saturating_sub(stages.apply_ns)
+            } else {
+                0
+            };
+            self.stats.commit_ns.record_ns(total_ns);
+            self.stats
+                .stage_lock_wait_ns
+                .record_ns(st.lock().lock_wait_ns);
+            self.stats.stage_gather_wait_ns.record_ns(stages.gather_ns);
+            self.stats.stage_force_ns.record_ns(stages.force_ns);
+            self.stats.stage_dc_apply_ns.record_ns(stages.apply_ns);
+            self.stats.stage_twopc_ns.record_ns(twopc_ns);
         }
+        result
+    }
+
+    /// Single-shard commit (the classical path).
+    fn commit_local(&self, txn: TxnId, st: &Arc<Mutex<TxnState>>) -> Result<(), TcError> {
         // Read-only fast path: nothing was written, so there is nothing
         // to make durable. The commit record is appended for log
         // hygiene but NOT forced — losing it across a crash presumes
@@ -1290,8 +1353,9 @@ impl Tc {
         if read_only {
             self.log_bookkeeping(TcLogRecord::Commit { txn });
             self.locks.unlock_all(Self::token(txn));
-            self.release_pin(&st);
+            self.release_pin(st);
             self.txns.lock().remove(&txn);
+            obs::close_span(st.lock().span, "tc.txn");
             TcStats::bump(&self.stats.commits);
             return Ok(());
         }
@@ -1302,14 +1366,14 @@ impl Tc {
         // transaction still holds its X locks, so once `commit` returns,
         // any snapshot at or above the stable LSN observes this
         // transaction — and no snapshot can observe it partially.
-        let stamps = self.log_stamps(txn, &st, commit_lsn);
+        let stamps = self.log_stamps(txn, st, commit_lsn);
         self.force_commit(self.log.last());
         self.send_stamps(&stamps)?;
         // Eliminate before-versions (Section 6.2.2) — logged redo-only so
         // recovery finishes the job if we crash mid-way. Single-shard
         // transactions need no 2PC: once the commit record is stable the
         // transaction IS committed.
-        self.finish_commit_local(txn, &st)
+        self.finish_commit_local(txn, st)
     }
 
     /// Log one redo-only [`LogicalOp::StampCommit`] per key this
@@ -1386,6 +1450,7 @@ impl Tc {
         self.locks.unlock_all(Self::token(txn));
         self.release_pin(st);
         self.txns.lock().remove(&txn);
+        obs::close_span(st.lock().span, "tc.txn");
         TcStats::bump(&self.stats.commits);
         Ok(())
     }
@@ -1465,6 +1530,7 @@ impl Tc {
         }
         self.force_and_publish();
         self.locks.unlock_all(Self::token(txn));
+        obs::close_span(st.lock().span, "tc.txn");
         TcStats::bump(&self.stats.aborts);
         Ok(())
     }

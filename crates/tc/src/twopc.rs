@@ -43,6 +43,7 @@ use unbundled_core::{
     DcId, Key, LogicalOp, Lsn, ReadConsistency, TableId, TcError, TcId, TcShardMap, TxnId,
 };
 use unbundled_lockmgr::{LockMode, LockName};
+use unbundled_obs as obs;
 
 /// A handle to a peer TC shard that survives the peer's reboots: the
 /// kernel registers an indirection that always resolves the *current*
@@ -504,6 +505,7 @@ impl Tc {
         let mut remotes: Vec<TcId> = st.lock().remotes.iter().copied().collect();
         remotes.sort();
         for r in remotes {
+            let _s = obs::span1("tc.twopc_prepare", "participant", r.0 as u64);
             let ok = self
                 .peer_tc(r)
                 .map(|p| p.prepare_participant(self.id(), txn))
@@ -521,6 +523,7 @@ impl Tc {
     #[doc(hidden)]
     pub fn twopc_log_decision(&self, txn: TxnId) -> Result<Lsn, TcError> {
         self.ensure_available()?;
+        let _s = obs::span1("tc.twopc_decision", "txn", txn.0);
         let st = self.txn_state(txn)?;
         let mut participants: Vec<TcId> = st.lock().remotes.iter().copied().collect();
         participants.sort();
@@ -709,6 +712,8 @@ impl Tc {
             part_of: Some((coord, gtxn)),
             prepared: true,
             shard_points,
+            span: obs::open_span("tc.txn", "txn", local.0),
+            lock_wait_ns: 0,
         };
         self.txns.lock().insert(local, Arc::new(Mutex::new(st)));
         self.participants.lock().insert((coord, gtxn), local);

@@ -1,0 +1,241 @@
+//! Observability integration tests: metric-name hygiene across every
+//! component registry, and deterministic span-tree choreography for
+//! local and cross-TC commits.
+
+use std::sync::Mutex;
+use unbundled_core::{DcId, Key, TableId, TableSpec, TcId, TcShardMap};
+use unbundled_dc::DcConfig;
+use unbundled_kernel::{single, Deployment, TransportKind};
+use unbundled_obs as obs;
+use unbundled_tc::{GatherWindow, GroupCommitCfg, TableRoute, TcConfig};
+
+const TABLE: TableId = TableId(1);
+
+/// The span collector is process-global and the test harness runs
+/// tests on parallel threads; serialize the tests that record spans.
+static SPAN_LOCK: Mutex<()> = Mutex::new(());
+
+fn span_lock() -> std::sync::MutexGuard<'static, ()> {
+    SPAN_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn commit_path_tc_cfg() -> TcConfig {
+    TcConfig {
+        // Only the commit path forces, so every storage span in a
+        // trace is attributable to the traced transaction.
+        force_every: usize::MAX,
+        group_commit: Some(GroupCommitCfg {
+            window: GatherWindow::none(),
+            max_waiters: 64,
+        }),
+        ..TcConfig::default()
+    }
+}
+
+/// Two TC shards, each with its own DC and redo log, shard map
+/// installed — the smallest deployment where a commit runs 2PC.
+fn two_shard_deployment() -> Deployment {
+    let mut d = Deployment::new();
+    let ids = [TcId(1), TcId(2)];
+    for (i, &tc) in ids.iter().enumerate() {
+        let dc = DcId(i as u16 + 1);
+        d.add_dc(dc, DcConfig::default());
+        d.add_tc(tc, commit_path_tc_cfg());
+        d.connect(tc, dc, TransportKind::Inline);
+        d.create_table(dc, TableSpec::plain(TABLE, "t"));
+        d.route(tc, TABLE, TableRoute::Single(dc));
+    }
+    d.set_shard_map(TcShardMap::even(&ids));
+    d
+}
+
+/// A key owned by shard `i` under `TcShardMap::even` over two shards.
+fn shard_key(i: u16, k: u64) -> Key {
+    Key::from_u64((u64::MAX / 2) * i as u64 + 1 + k)
+}
+
+#[test]
+fn registry_names_are_unique_and_follow_convention() {
+    let d = two_shard_deployment();
+    // Every component registry a deployment aggregates.
+    let mut components: Vec<(&str, obs::RegistrySnapshot)> = Vec::new();
+    for id in d.tc_ids() {
+        let tc = d.tc(id);
+        components.push(("tc stats", tc.stats().registry().snapshot()));
+        components.push(("lock manager", tc.lock_manager().registry().snapshot()));
+        components.push(("tc log", d.tc_log(id).registry().snapshot()));
+    }
+    for id in d.dc_ids() {
+        components.push(("dc stats", d.dc(id).engine().stats().registry().snapshot()));
+        components.push(("dc log", d.dc_log(id).registry().snapshot()));
+    }
+    for (what, snap) in &components {
+        assert!(!snap.samples.is_empty(), "{what} registry is empty");
+        let mut seen = std::collections::HashSet::new();
+        for s in &snap.samples {
+            obs::validate_metric_name(&s.name).unwrap_or_else(|e| panic!("{what}: {e}"));
+            assert!(
+                seen.insert(s.name.clone()),
+                "{what}: duplicate metric name `{}`",
+                s.name
+            );
+        }
+    }
+    // The merged cluster view carries the commit-path stage histograms
+    // the report reads.
+    let merged = d.observe();
+    for name in [
+        "tc.commit_ns",
+        "tc.commit_stage.gather_wait_ns",
+        "tc.commit_stage.force_ns",
+        "tc.commit_stage.dc_apply_ns",
+        "tc.commit_stage.twopc_ns",
+        "lockmgr.wait_ns",
+        "dc.apply_ns",
+    ] {
+        assert!(
+            merged.histogram(name).is_some(),
+            "merged snapshot is missing histogram `{name}`"
+        );
+    }
+    assert!(merged.counter("dc.ops_applied") > 0 || merged.counter("dc.reads") == 0);
+}
+
+#[test]
+fn local_commit_span_tree_choreography() {
+    let _g = span_lock();
+    let d = single(
+        commit_path_tc_cfg(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(TABLE, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    let key = Key::from_u64(7);
+    let txn = tc.begin().expect("begin preload");
+    tc.insert(txn, TABLE, key.clone(), vec![1u8; 8])
+        .expect("insert");
+    tc.commit(txn).expect("commit preload");
+
+    obs::set_spans_enabled(true);
+    obs::clear_spans();
+    let txn = tc.begin().expect("begin");
+    tc.update(txn, TABLE, key, vec![2u8; 8]).expect("update");
+    tc.commit(txn).expect("commit");
+    obs::set_spans_enabled(false);
+    let trees = obs::build_trees(&obs::take_spans());
+    obs::clear_spans();
+
+    let txn_tree = trees
+        .iter()
+        .find(|t| t.name == "tc.txn")
+        .expect("traced transaction has a tc.txn root span");
+    // The commit choreography appears exactly once each, all inside
+    // the transaction's tree.
+    let commit = txn_tree.find("tc.commit").expect("commit span under txn");
+    assert_eq!(txn_tree.count("tc.commit"), 1);
+    for stage in ["storage.gather_wait", "storage.force", "dc.apply", "tc.ack"] {
+        assert_eq!(
+            commit.count(stage),
+            1,
+            "expected exactly one `{stage}` under tc.commit"
+        );
+    }
+    // A conflict-free local commit has no lock waits and no 2PC.
+    assert_eq!(txn_tree.count("lockmgr.lock_wait"), 0);
+    assert_eq!(txn_tree.count("tc.twopc_prepare"), 0);
+    assert_eq!(txn_tree.count("tc.twopc_decision"), 0);
+    // Every span in the trace closed.
+    assert!(commit.end_ns.is_some());
+    assert!(txn_tree.end_ns.is_some());
+}
+
+#[test]
+fn lock_wait_records_a_span_under_contention() {
+    let _g = span_lock();
+    let d = single(
+        commit_path_tc_cfg(),
+        DcConfig::default(),
+        TransportKind::Inline,
+        &[TableSpec::plain(TABLE, "t")],
+    );
+    let tc = d.tc(TcId(1));
+    let key = Key::from_u64(11);
+    let txn = tc.begin().expect("begin preload");
+    tc.insert(txn, TABLE, key.clone(), vec![1u8; 8])
+        .expect("insert");
+    tc.commit(txn).expect("commit preload");
+
+    obs::set_spans_enabled(true);
+    obs::clear_spans();
+    // Holder takes the write lock, waiter blocks on it until the
+    // holder commits.
+    let holder = tc.begin().expect("begin holder");
+    tc.update(holder, TABLE, key.clone(), vec![2u8; 8])
+        .expect("holder update");
+    std::thread::scope(|s| {
+        let tc2 = d.tc(TcId(1));
+        let key2 = key.clone();
+        s.spawn(move || {
+            let waiter = tc2.begin().expect("begin waiter");
+            tc2.update(waiter, TABLE, key2, vec![3u8; 8])
+                .expect("waiter update");
+            tc2.commit(waiter).expect("waiter commit");
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tc.commit(holder).expect("holder commit");
+    });
+    obs::set_spans_enabled(false);
+    let trees = obs::build_trees(&obs::take_spans());
+    obs::clear_spans();
+
+    let wait = trees
+        .iter()
+        .find_map(|t| t.find("lockmgr.lock_wait"))
+        .expect("contended update records a lockmgr.lock_wait span");
+    let end = wait.end_ns.expect("lock wait span closed");
+    assert!(end >= wait.start_ns);
+}
+
+#[test]
+fn cross_tc_commit_tree_has_2pc_branches() {
+    let _g = span_lock();
+    let d = two_shard_deployment();
+    let tc = d.tc(TcId(1));
+    for i in 0..2u16 {
+        let txn = tc.begin().expect("begin preload");
+        tc.insert(txn, TABLE, shard_key(i, 0), vec![1u8; 8])
+            .expect("insert");
+        tc.commit(txn).expect("commit preload");
+    }
+
+    obs::set_spans_enabled(true);
+    obs::clear_spans();
+    let txn = tc.begin().expect("begin");
+    tc.update(txn, TABLE, shard_key(0, 0), vec![2u8; 8])
+        .expect("local update");
+    tc.update(txn, TABLE, shard_key(1, 0), vec![2u8; 8])
+        .expect("forwarded update");
+    tc.commit(txn).expect("cross-TC commit");
+    obs::set_spans_enabled(false);
+    let trees = obs::build_trees(&obs::take_spans());
+    obs::clear_spans();
+
+    let txn_tree = trees
+        .iter()
+        .find(|t| t.name == "tc.txn" && t.find("tc.twopc_prepare").is_some())
+        .expect("traced cross-TC transaction tree");
+    let commit = txn_tree.find("tc.commit").expect("commit span under txn");
+    // One prepare and one decision branch, both inside the commit.
+    assert_eq!(commit.count("tc.twopc_prepare"), 1);
+    assert_eq!(commit.count("tc.twopc_decision"), 1);
+    let prepare = commit.find("tc.twopc_prepare").unwrap();
+    let decision = commit.find("tc.twopc_decision").unwrap();
+    // The participant forces its prepare record; the decision applies
+    // and acks at the participant before the coordinator's own force.
+    assert!(prepare.count("storage.force") >= 1);
+    assert!(decision.count("dc.apply") >= 1);
+    assert!(decision.count("tc.ack") >= 1);
+    // Decision follows prepare.
+    assert!(decision.start_ns >= prepare.start_ns);
+}
