@@ -1,0 +1,25 @@
+//! E17: the shard autopilot against a ramp it must outrun.
+//!
+//! The shard map starts with every key on TC1 while an e13-style ramp
+//! climbs past one shard's log ceiling, over a deliberately skewed key
+//! distribution (7/8 of traffic in the bottom eighth of the keyspace).
+//! The telemetry-driven rebalance policy — commit-rate and force-queue
+//! watermarks, key-sketch median cuts, cooldown hysteresis — must
+//! notice the pressure and split the hot shard on its own, in time.
+//!
+//! The harness lives in `unbundled_bench::e17` and is shared with the
+//! report binary, which serializes the same rows as `BENCH_e17.json`
+//! for the CI perf trajectory.
+//!
+//! Run modes: full (default) or smoke (`E17_SMOKE=1`, used by CI as a
+//! regression gate — the run fails if the policy loses an acknowledged
+//! write, fails to complete at least one split and settle the map,
+//! moves any range twice within one cooldown window, or lets commit
+//! p99 out of the band the static map must breach).
+
+fn main() {
+    let smoke = std::env::var("E17_SMOKE").is_ok();
+    let report = unbundled_bench::e17::run_e17(smoke);
+    report.print();
+    report.assert_gates();
+}

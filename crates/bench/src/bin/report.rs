@@ -72,6 +72,7 @@ fn main() {
         Some("e14") => e14(json.as_deref()),
         Some("e15") => e15(json.as_deref()),
         Some("e16") => e16(json.as_deref()),
+        Some("e17") => e17(json.as_deref()),
         Some("obs") => obs(json.as_deref()),
         Some("check") => {
             let baselines = against.expect("check needs --against <baselines.json>");
@@ -79,7 +80,7 @@ fn main() {
         }
         Some(other) => {
             panic!(
-                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"e15\" / \"e16\" / \"obs\" / \"check\" can run alone)"
+                "unknown section {other:?} (only \"e11\" / \"e12\" / \"e13\" / \"e14\" / \"e15\" / \"e16\" / \"e17\" / \"obs\" / \"check\" can run alone)"
             )
         }
         None => {
@@ -109,6 +110,7 @@ fn main() {
             e14(per_exp("e14").as_deref());
             e15(per_exp("e15").as_deref());
             e16(per_exp("e16").as_deref());
+            e17(per_exp("e17").as_deref());
             obs(per_exp("obs").as_deref());
         }
     }
@@ -127,6 +129,22 @@ fn e16(json: Option<&str>) {
     if let Some(path) = json {
         std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("e16 telemetry written to {path}");
+    }
+    report.assert_gates();
+}
+
+/// E17 — the shard autopilot: the telemetry-driven split/merge policy
+/// against a ramp that saturates a single shard, over a skewed key
+/// distribution a midpoint cut could not fix. Telemetry is written
+/// before the gates are asserted, like e11–e16.
+fn e17(json: Option<&str>) {
+    header("E17: shard autopilot — policy-driven split under a skewed ramp");
+    let smoke = std::env::var("E17_SMOKE").is_ok();
+    let report = unbundled_bench::e17::run_e17(smoke);
+    report.print();
+    if let Some(path) = json {
+        std::fs::write(path, report.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("e17 telemetry written to {path}");
     }
     report.assert_gates();
 }

@@ -15,6 +15,7 @@ pub mod e13;
 pub mod e14;
 pub mod e15;
 pub mod e16;
+pub mod e17;
 pub mod json;
 pub mod obs;
 pub mod workload;

@@ -122,6 +122,50 @@ impl fmt::Display for TcError {
 
 impl std::error::Error for TcError {}
 
+/// Why a proposed shard split is invalid. Surfaced as a value (not a
+/// panic) so both the manual `split_shard` path and the automatic
+/// rebalance policy can *reject* a bad cut — an empty or single-point
+/// shard has no observable interior median, and splitting "at" one of
+/// its bounds would move nothing while still burning a fence + drain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SplitError {
+    /// The cut point is not interior to the partition containing it: a
+    /// cut exactly on the partition's lower bound (the empty-shard /
+    /// no-observable-median case collapses to this) would move the
+    /// whole partition, and the bound itself moves nothing.
+    NotInterior {
+        /// The rejected cut point.
+        at: u64,
+        /// Lower bound (inclusive) of the partition containing `at`.
+        lo: u64,
+    },
+    /// The proposed target already owns the partition containing the
+    /// cut: the "split" would change no ownership.
+    SameOwner {
+        /// The rejected cut point.
+        at: u64,
+        /// The TC that already owns the partition.
+        owner: TcId,
+    },
+}
+
+impl fmt::Display for SplitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SplitError::NotInterior { at, lo } => write!(
+                f,
+                "split at {at:#x} rejected: not interior to its partition (lower bound {lo:#x})"
+            ),
+            SplitError::SameOwner { at, owner } => write!(
+                f,
+                "split at {at:#x} rejected: {owner} already owns the partition"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,7 +51,7 @@ pub mod record;
 pub mod shard;
 
 pub use consistency::{ReadConsistency, SnapshotSpec};
-pub use error::{CoreError, DcError, TcError};
+pub use error::{CoreError, DcError, SplitError, TcError};
 pub use ids::{DcId, PageId, RequestId, SysTxnId, TableId, TcId, TxnId};
 pub use key::Key;
 pub use lsn::{AbstractLsn, DLsn, Lsn, PerTcAbLsn};

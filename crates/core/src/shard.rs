@@ -18,6 +18,7 @@
 
 use std::sync::Arc;
 
+use crate::error::SplitError;
 use crate::ids::TcId;
 use crate::key::Key;
 
@@ -209,14 +210,25 @@ impl TcShardMap {
 
     /// The next map after a split: the partition containing `at` is cut
     /// at `at` and its upper piece `[at, old_upper]` is handed to `to`.
-    /// Returns the new map (epoch + 1); `at` must be interior to its
-    /// partition (a cut exactly on an existing bound moves nothing).
-    pub fn split(&self, at: u64, to: TcId) -> TcShardMap {
+    /// Returns the new map (epoch + 1).
+    ///
+    /// A split that would move nothing is rejected as a value, not a
+    /// panic: `at` must be interior to its partition (a cut exactly on
+    /// an existing bound — the shape an empty or single-point shard
+    /// forces — is [`SplitError::NotInterior`]) and `to` must differ
+    /// from the current owner ([`SplitError::SameOwner`]). Callers like
+    /// the rebalance policy probe speculative cuts; they need a typed
+    /// refusal, not a crashed controller.
+    pub fn split(&self, at: u64, to: TcId) -> Result<TcShardMap, SplitError> {
         let (lo, hi, from) = self.range_containing(at);
-        assert!(at > lo, "split point must be interior to its partition");
-        assert!(at <= hi);
-        assert_ne!(from, to, "split target must differ from current owner");
-        self.with_range_owner(at, hi, to, self.epoch + 1)
+        if at <= lo {
+            return Err(SplitError::NotInterior { at, lo });
+        }
+        debug_assert!(at <= hi);
+        if from == to {
+            return Err(SplitError::SameOwner { at, owner: from });
+        }
+        Ok(self.with_range_owner(at, hi, to, self.epoch + 1))
     }
 
     /// The next map after a merge at `bound`: the partition starting at
@@ -447,7 +459,7 @@ mod tests {
         let m = TcShardMap::even(&[TcId(1), TcId(2)]);
         let half = u64::MAX / 2;
         let quarter = half / 2;
-        let s = m.split(quarter, TcId(3));
+        let s = m.split(quarter, TcId(3)).expect("interior cut");
         assert_eq!(s.epoch(), 1);
         assert_eq!(
             s.parts(),
@@ -458,6 +470,34 @@ mod tests {
         // Points outside the moving range keep their owner.
         assert_eq!(s.tc_for(&Key::from_u64(0)), TcId(1));
         assert_eq!(s.tc_for(&Key::from_u64(half)), TcId(2));
+    }
+
+    #[test]
+    fn split_rejects_non_interior_cut_and_same_owner() {
+        let m = TcShardMap::even(&[TcId(1), TcId(2)]);
+        let half = u64::MAX / 2;
+        // A cut exactly on a partition's lower bound moves nothing —
+        // the shape an empty shard forces on any proposed cut.
+        assert_eq!(
+            m.split(0, TcId(3)).err(),
+            Some(SplitError::NotInterior { at: 0, lo: 0 })
+        );
+        assert_eq!(
+            m.split(half, TcId(3)).err(),
+            Some(SplitError::NotInterior { at: half, lo: half })
+        );
+        // Handing the upper piece to the owner it already has is not a
+        // split either.
+        assert_eq!(
+            m.split(half / 2, TcId(1)).err(),
+            Some(SplitError::SameOwner {
+                at: half / 2,
+                owner: TcId(1)
+            })
+        );
+        // The rejected map is untouched: epoch 0, two even ranges.
+        assert_eq!(m.epoch(), 0);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use unbundled_core::{DcId, DcToTc, Lsn, TableId, TableSpec, TcId, TcShardMap};
+use unbundled_core::{DcId, DcToTc, Lsn, SplitError, TableId, TableSpec, TcId, TcShardMap};
 use unbundled_dc::{DcConfig, DcLogRecord, DcServer};
 use unbundled_storage::{ForceArbiter, LogStore, SimDisk};
 use unbundled_tc::{DcLink, TableRoute, Tc, TcConfig, TcLogRecord};
@@ -82,6 +82,11 @@ pub struct Deployment {
     /// Key-range → TC shard map, if the TC tier is sharded. Re-applied
     /// (with the all-to-all peer wiring) whenever a TC is rebuilt.
     shard_map: Mutex<Option<TcShardMap>>,
+    /// Serializes online shard moves: a TC runs one rebalance at a
+    /// time, and the map-read → fence → republish sequence must not
+    /// interleave between two movers (e.g. an operator and the
+    /// automatic rebalance policy driving moves concurrently).
+    move_gate: Mutex<()>,
 }
 
 impl Deployment {
@@ -91,6 +96,7 @@ impl Deployment {
             dcs: HashMap::new(),
             tcs: HashMap::new(),
             shard_map: Mutex::new(None),
+            move_gate: Mutex::new(()),
         }
     }
 
@@ -273,25 +279,36 @@ impl Deployment {
     /// Split the partition containing `at` at that bound and hand the
     /// upper piece to `to`, online. See [`Deployment::move_range`] for
     /// the protocol.
-    pub fn split_shard(&self, at: u64, to: TcId) {
+    ///
+    /// An invalid cut — `at` on an existing partition bound (the shape
+    /// every proposed cut of an empty shard takes: with no observable
+    /// median key, any `at` collapses onto a bound), or `to` already
+    /// owning the partition — is **rejected with a typed error** before
+    /// any fence or log record exists. Nothing moved, nothing to undo;
+    /// both the manual path and the rebalance policy get a value to
+    /// react to instead of a panicked mover thread.
+    pub fn split_shard(&self, at: u64, to: TcId) -> Result<(), SplitError> {
+        let _moves = self.move_gate.lock();
         let map = self
             .shard_map
             .lock()
             .clone()
             .expect("split_shard requires a sharded TC tier");
-        let new_map = map.split(at, to);
+        let new_map = map.split(at, to)?;
         // The moving piece is the upper part of the *old* partition cut
         // at `at`. The new map may coalesce that piece with an adjacent
         // range `to` already owned — which the source does not own and
         // must not fence.
         let (_, hi, _) = map.range_containing(at);
         self.move_range_to(at, hi, to, new_map);
+        Ok(())
     }
 
     /// Merge the partition starting at `bound` into the partition below
     /// it (the lower partition's owner absorbs the range), online. See
     /// [`Deployment::move_range`] for the protocol.
     pub fn merge_shards(&self, bound: u64) {
+        let _moves = self.move_gate.lock();
         let map = self
             .shard_map
             .lock()
@@ -313,6 +330,7 @@ impl Deployment {
     /// and a stale-epoch forward is rejected and re-routed rather than
     /// executed on the wrong shard.
     pub fn move_range(&self, lo: u64, hi: u64, to: TcId) {
+        let _moves = self.move_gate.lock();
         let map = self
             .shard_map
             .lock()

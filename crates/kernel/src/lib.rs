@@ -13,13 +13,17 @@
 //!   the restart conversations.
 //! * [`scenarios`] — the Section 6.3 movie site (workloads W1–W4).
 //! * [`harness`] — measurement utilities for the experiments.
+//! * [`policy`] — the shard autopilot: a telemetry-driven automatic
+//!   split/merge controller over the online rebalance mechanism.
 
 #![warn(missing_docs)]
 
 pub mod deployment;
 pub mod harness;
+pub mod policy;
 pub mod scenarios;
 pub mod transport;
 
 pub use deployment::{single, Deployment, ReplicationPump, TransportKind};
+pub use policy::{cooldown_violations, MoveKind, MoveRecord, RebalanceCfg, RebalancePolicy};
 pub use transport::{DcSlot, FaultModel, InlineLink, QueuedLink, ReplySink};

@@ -20,6 +20,12 @@
 //! [`stage`] carries per-commit stage attribution (gather/force/apply
 //! nanoseconds) from the storage and DC layers up to the TC's commit
 //! wrapper without plumbing a context argument through every call.
+//!
+//! Telemetry recorded here is consumed by machines as well as humans:
+//! the kernel's shard autopilot reads per-shard registry counters
+//! (`tc.commits`) and gauges (`storage.force_queue_depth`) to decide
+//! when to split or merge shards, and emits its own `policy.*` spans
+//! so the decision trail renders as a tree alongside the commit path.
 
 #![warn(missing_docs)]
 

@@ -432,6 +432,11 @@ pub struct LogStore<R> {
     force_hist: obs::Histogram,
     /// The gather window a leader last used, in microseconds.
     window_gauge: obs::Gauge,
+    /// Committers the last group-force leader cut into its flush — the
+    /// instantaneous force-queue depth of this log device. The
+    /// rebalance policy reads this per TC log as its "device under
+    /// pressure" signal.
+    depth_gauge: obs::Gauge,
 }
 
 impl<R: Clone> LogStore<R> {
@@ -470,6 +475,11 @@ impl<R: Clone> LogStore<R> {
                 "storage.gather_window_us",
                 "us",
                 "gather window the last group-force leader used",
+            ),
+            depth_gauge: registry.gauge(
+                "storage.force_queue_depth",
+                "committers",
+                "committers covered by the last led flush (force-queue depth)",
             ),
             registry: Arc::new(registry),
         }
@@ -690,6 +700,7 @@ impl<R: Clone> LogStore<R> {
             let arb = g.arbiter.clone();
             self.window_gauge
                 .set(win.as_micros().min(u64::MAX as u128) as u64);
+            self.depth_gauge.set(group);
             drop(g);
             let flush_start = std::time::Instant::now();
             match arb {

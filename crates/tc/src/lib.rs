@@ -49,7 +49,7 @@ pub use acks::AckTracker;
 pub use rebalance::RebalanceFence;
 pub use routing::{DcLink, RangePartitioner, ScanProtocol, TableRoute};
 pub use shipper::ReplicaLag;
-pub use stats::{TcSnapshot, TcStats};
+pub use stats::{KeySketch, TcSnapshot, TcStats};
 pub use tc::{GroupCommitCfg, Tc, TcConfig};
 pub use tclog::{TcLogHandle, TcLogRecord};
 pub use twopc::{TcPeer, TwopcOutcome};

@@ -41,6 +41,14 @@
 //!   but the republish may not have completed. Recovery re-installs the
 //!   fence and records the move; the kernel finishes the republish when
 //!   it reboots the TC.
+//!
+//! Moves may be operator-initiated (`Deployment::split_shard` /
+//! `merge_shards` / `move_range`) or driven automatically by the
+//! kernel's shard autopilot (`unbundled_kernel::RebalancePolicy`),
+//! which watches per-shard commit rates, force-queue depth and the
+//! [`KeySketch`](crate::stats::KeySketch) key-distribution window and
+//! runs this same protocol — this module is the mechanism and stays
+//! policy-free.
 
 use crate::stats::TcStats;
 use crate::tc::{Tc, TxnState};

@@ -16,6 +16,88 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use unbundled_obs::{Counter, Histogram, Registry};
 
+/// Sliding-window sketch of the route points of recently executed
+/// mutations, kept per TC so the rebalance policy can place a split cut
+/// where the *traffic* median is — not the key-space midpoint, which a
+/// skewed workload makes useless.
+///
+/// The sketch is a fixed ring of the last [`KeySketch::WINDOW`] observed
+/// route points: each record is one relaxed `fetch_add` plus one relaxed
+/// store, cheap enough to leave on for every mutation. Recency-weighting
+/// is deliberate — a controller wants the median of *current* traffic,
+/// and old samples aging out is exactly the hysteresis-friendly behavior
+/// (a shard whose hotspot moved is re-observed within one window).
+///
+/// Readers ([`KeySketch::median_in`], [`KeySketch::count_in`]) copy the
+/// filled slots without locking; a torn read against concurrent writers
+/// perturbs individual samples, never the structure, which is fine for a
+/// policy input.
+pub struct KeySketch {
+    slots: Vec<AtomicU64>,
+    next: AtomicU64,
+}
+
+impl Default for KeySketch {
+    fn default() -> Self {
+        KeySketch::new(Self::WINDOW)
+    }
+}
+
+impl KeySketch {
+    /// Default ring capacity: large enough that a 50 ms policy tick at
+    /// tens of thousands of commits/s still sees a full window of fresh
+    /// samples, small enough to scan in microseconds.
+    pub const WINDOW: usize = 4096;
+
+    /// A sketch with `slots` ring capacity (rounded up to 1).
+    pub fn new(slots: usize) -> Self {
+        KeySketch {
+            slots: (0..slots.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observed route point.
+    pub fn record(&self, point: u64) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) as usize;
+        self.slots[i % self.slots.len()].store(point, Ordering::Relaxed);
+    }
+
+    /// Samples currently held (saturates at the ring capacity).
+    pub fn observed(&self) -> usize {
+        (self.next.load(Ordering::Relaxed) as usize).min(self.slots.len())
+    }
+
+    /// Held samples whose route point falls inside `[lo, hi]`.
+    pub fn count_in(&self, lo: u64, hi: u64) -> usize {
+        self.slots[..self.observed()]
+            .iter()
+            .filter(|s| {
+                let p = s.load(Ordering::Relaxed);
+                (lo..=hi).contains(&p)
+            })
+            .count()
+    }
+
+    /// Median route point of the held samples inside `[lo, hi]`, or
+    /// `None` when no sample landed there (an unobserved — e.g. empty —
+    /// shard has no median to split at; the policy must reject the
+    /// split rather than guess).
+    pub fn median_in(&self, lo: u64, hi: u64) -> Option<u64> {
+        let mut pts: Vec<u64> = self.slots[..self.observed()]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .filter(|p| (lo..=hi).contains(p))
+            .collect();
+        if pts.is_empty() {
+            return None;
+        }
+        let mid = pts.len() / 2;
+        let (_, m, _) = pts.select_nth_unstable(mid);
+        Some(*m)
+    }
+}
+
 macro_rules! tc_stats {
     ($( $(#[$doc:meta])* $field:ident => $name:literal, $help:literal; )+) => {
         /// Monotonic TC counters plus commit-path latency histograms,
@@ -37,6 +119,10 @@ macro_rules! tc_stats {
             pub stage_twopc_ns: Histogram,
             /// Replication ship-batch send latency.
             pub ship_batch_ns: Histogram,
+            /// Route points of recent mutations (split-placement input
+            /// for the rebalance policy). Not part of the registry: it
+            /// is a structural sketch, not a scalar metric.
+            pub keys: KeySketch,
             registry: Arc<Registry>,
         }
 
@@ -65,6 +151,7 @@ macro_rules! tc_stats {
                     ship_batch_ns: registry.histogram(
                         "tc.ship_batch_ns", "ns",
                         "replication ship-batch send latency"),
+                    keys: KeySketch::default(),
                     registry: Arc::new(registry),
                 }
             }
@@ -246,6 +333,27 @@ mod tests {
         let snap = s.snapshot();
         assert_eq!(snap.commits, 1);
         assert_eq!(snap.resends, 2);
+    }
+
+    #[test]
+    fn key_sketch_median_and_window() {
+        let k = KeySketch::new(8);
+        assert_eq!(k.observed(), 0);
+        assert_eq!(k.median_in(0, u64::MAX), None);
+        for p in [10u64, 20, 30, 40, 50] {
+            k.record(p);
+        }
+        assert_eq!(k.observed(), 5);
+        assert_eq!(k.count_in(15, 45), 3);
+        assert_eq!(k.median_in(0, u64::MAX), Some(30));
+        // No sample inside the probed range: no median is observable.
+        assert_eq!(k.median_in(100, 200), None);
+        // Overflow the ring: old samples age out, recency wins.
+        for p in [100u64, 100, 100, 100, 100, 100, 100, 100] {
+            k.record(p);
+        }
+        assert_eq!(k.observed(), 8);
+        assert_eq!(k.median_in(0, u64::MAX), Some(100));
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct TcConfig {
     /// concurrent committer and EOSL/LWM publication is coalesced to one
     /// broadcast per flush.
     pub group_commit: Option<GroupCommitCfg>,
+    /// Feed every executed mutation's route point into the per-TC
+    /// [`KeySketch`](crate::KeySketch) (one relaxed store per mutation).
+    /// On by default; the sketch is what lets the rebalance policy
+    /// split a hot shard at its observed traffic median. Turn off only
+    /// for microbenchmarks chasing the last nanosecond on an unsharded
+    /// deployment.
+    pub key_sketch: bool,
 }
 
 impl Default for TcConfig {
@@ -85,6 +92,7 @@ impl Default for TcConfig {
             scan_protocol: ScanProtocol::fetch_ahead(),
             force_every: 64,
             group_commit: None,
+            key_sketch: true,
         }
     }
 }
@@ -790,6 +798,7 @@ impl Tc {
         let st = self.txn_state(txn)?;
         let table = op.table();
         let key = op.point_key().expect("point mutation").clone();
+        let point = unbundled_core::route_point(&key);
         // Sharded transaction service: a key owned by another TC shard is
         // forwarded to it and executed there as a participant branch of
         // this transaction (locked, logged and sent by the owner — only
@@ -814,9 +823,16 @@ impl Tc {
             // may have moved away while it slept, so re-resolve the
             // owner under the republished map instead of executing
             // under lapsed authority.
-            if self.fence_pass(txn, &st, unbundled_core::route_point(&key))? {
+            if self.fence_pass(txn, &st, point)? {
                 break;
             }
+        }
+        // Locally owned mutation (forwards were handled above, and a
+        // forwarded op re-enters `mutate` at its owner): feed the key
+        // sketch the rebalance policy splits by. Traffic-weighted on
+        // purpose — every executed mutation is one sample.
+        if self.cfg.key_sketch {
+            self.stats.keys.record(point);
         }
         let dc = self.route(table)?.dc_for(&key);
 

@@ -648,7 +648,7 @@ fn plan_rebalance(d: &Deployment) -> (u64, u64, TcId, TcId, TcShardMap) {
     } else {
         let (_, hi, src) = map.range_containing(REBALANCE_CUT);
         let to = if src == TcId(1) { TcId(2) } else { TcId(1) };
-        let new_map = map.split(REBALANCE_CUT, to);
+        let new_map = map.split(REBALANCE_CUT, to).expect("valid split");
         (REBALANCE_CUT, hi, to, src, new_map)
     }
 }
@@ -664,7 +664,7 @@ fn rebalance_move(d: &Deployment) {
     } else {
         let (_, _, src) = map.range_containing(REBALANCE_CUT);
         let to = if src == TcId(1) { TcId(2) } else { TcId(1) };
-        d.split_shard(REBALANCE_CUT, to);
+        d.split_shard(REBALANCE_CUT, to).expect("valid split");
     }
 }
 
